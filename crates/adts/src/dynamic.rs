@@ -1,0 +1,279 @@
+//! Dynamic (reflective) ADT interface used by the interpreter.
+//!
+//! The `interp` crate executes atomic-section IR against real ADT
+//! instances; it addresses operations by schema method index, so every ADT
+//! that participates implements [`AdtDyn`].
+
+use crate::map::MapAdt;
+use crate::multimap::MultimapAdt;
+use crate::queue::QueueAdt;
+use crate::set::SetAdt;
+use crate::specs;
+use crate::weakmap::WeakMapAdt;
+use semlock::schema::{set_schema, AdtSchema, MethodIdx};
+use semlock::value::Value;
+use std::sync::Arc;
+
+/// A dynamically invocable linearizable ADT instance.
+pub trait AdtDyn: Send + Sync {
+    /// The ADT's schema.
+    fn schema(&self) -> &Arc<AdtSchema>;
+    /// Invoke a method by index with concrete arguments, returning the
+    /// (possibly NULL) result value.
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value;
+}
+
+/// Construct a dynamic ADT instance by class name.
+///
+/// Panics on unknown class names — the synthesizer and interpreter agree on
+/// the class universe, so a miss is a programming error.
+pub fn new_instance(class: &str) -> Box<dyn AdtDyn> {
+    match class {
+        "Map" => Box::new(DynMap::new()),
+        "Set" => Box::new(DynSet::new()),
+        "Queue" => Box::new(DynQueue::new()),
+        "Multimap" => Box::new(DynMultimap::new()),
+        "WeakMap" => Box::new(DynWeakMap::new()),
+        other => panic!("unknown ADT class {other}"),
+    }
+}
+
+/// Schema lookup by class name (panics on unknown classes).
+pub fn schema_of(class: &str) -> Arc<AdtSchema> {
+    match class {
+        "Map" => specs::map_schema(),
+        "Set" => set_schema(),
+        "Queue" => specs::queue_schema(),
+        "Multimap" => specs::multimap_schema(),
+        "WeakMap" => specs::weakmap_schema(),
+        other => panic!("unknown ADT class {other}"),
+    }
+}
+
+/// Commutativity specification lookup by class name.
+pub fn spec_of(class: &str) -> Arc<semlock::spec::CommutSpec> {
+    match class {
+        "Map" => specs::map_spec(),
+        "Set" => specs::set_spec(),
+        "Queue" => specs::queue_spec(),
+        "Multimap" => specs::multimap_spec(),
+        "WeakMap" => specs::weakmap_spec(),
+        other => panic!("unknown ADT class {other}"),
+    }
+}
+
+macro_rules! dyn_wrapper {
+    ($name:ident, $inner:ty, $schema:expr) => {
+        /// Dynamic wrapper (see [`AdtDyn`]).
+        pub struct $name {
+            inner: $inner,
+            schema: Arc<AdtSchema>,
+        }
+
+        impl $name {
+            /// Create a fresh instance.
+            pub fn new() -> Self {
+                Self {
+                    inner: <$inner>::new(),
+                    schema: $schema,
+                }
+            }
+
+            /// Access the underlying typed ADT.
+            pub fn inner(&self) -> &$inner {
+                &self.inner
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+    };
+}
+
+dyn_wrapper!(DynMap, MapAdt, specs::map_schema());
+dyn_wrapper!(DynSet, SetAdt, set_schema());
+dyn_wrapper!(DynQueue, QueueAdt, specs::queue_schema());
+dyn_wrapper!(DynMultimap, MultimapAdt, specs::multimap_schema());
+dyn_wrapper!(DynWeakMap, WeakMapAdt, specs::weakmap_schema());
+
+impl AdtDyn for DynMap {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        match self.schema.sig(method).name.as_str() {
+            "get" => self.inner.get(args[0]),
+            "put" => self.inner.put(args[0], args[1]),
+            "remove" => self.inner.remove(args[0]),
+            "containsKey" => Value::from_bool(self.inner.contains_key(args[0])),
+            "size" => Value(self.inner.size() as u64),
+            "clear" => {
+                self.inner.clear();
+                Value::NULL
+            }
+            m => unreachable!("Map has no method {m}"),
+        }
+    }
+}
+
+impl AdtDyn for DynSet {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        match self.schema.sig(method).name.as_str() {
+            "add" => {
+                self.inner.add(args[0]);
+                Value::NULL
+            }
+            "remove" => {
+                self.inner.remove(args[0]);
+                Value::NULL
+            }
+            "contains" => Value::from_bool(self.inner.contains(args[0])),
+            "size" => Value(self.inner.size() as u64),
+            "clear" => {
+                self.inner.clear();
+                Value::NULL
+            }
+            m => unreachable!("Set has no method {m}"),
+        }
+    }
+}
+
+impl AdtDyn for DynQueue {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        match self.schema.sig(method).name.as_str() {
+            "enqueue" => {
+                self.inner.enqueue(args[0]);
+                Value::NULL
+            }
+            "dequeue" => self.inner.dequeue(),
+            "size" => Value(self.inner.size() as u64),
+            "isEmpty" => Value::from_bool(self.inner.is_empty()),
+            m => unreachable!("Queue has no method {m}"),
+        }
+    }
+}
+
+impl AdtDyn for DynMultimap {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        match self.schema.sig(method).name.as_str() {
+            "put" => Value::from_bool(self.inner.put(args[0], args[1])),
+            "remove" => Value::from_bool(self.inner.remove(args[0], args[1])),
+            // Dynamic `get` returns the cardinality of the key's value set:
+            // the interpreter's value domain is scalar. (The Graph workload
+            // uses the typed API, which returns the actual set.)
+            "get" => Value(self.inner.key_size(args[0]) as u64),
+            "containsEntry" => Value::from_bool(self.inner.contains_entry(args[0], args[1])),
+            "keySize" => Value(self.inner.key_size(args[0]) as u64),
+            "size" => Value(self.inner.size() as u64),
+            m => unreachable!("Multimap has no method {m}"),
+        }
+    }
+}
+
+impl AdtDyn for DynWeakMap {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        match self.schema.sig(method).name.as_str() {
+            "get" => self.inner.get(args[0]),
+            "put" => self.inner.put(args[0], args[1]),
+            "remove" => self.inner.remove(args[0]),
+            "containsKey" => Value::from_bool(self.inner.contains_key(args[0])),
+            "size" => Value(self.inner.size() as u64),
+            "clear" => {
+                self.inner.clear();
+                Value::NULL
+            }
+            m => unreachable!("WeakMap has no method {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_via_dyn() {
+        let m = new_instance("Map");
+        let s = m.schema().clone();
+        assert_eq!(m.invoke(s.method("get"), &[Value(1)]), Value::NULL);
+        m.invoke(s.method("put"), &[Value(1), Value(10)]);
+        assert_eq!(m.invoke(s.method("get"), &[Value(1)]), Value(10));
+        assert_eq!(m.invoke(s.method("size"), &[]), Value(1));
+        assert_eq!(
+            m.invoke(s.method("containsKey"), &[Value(1)]),
+            Value::TRUE
+        );
+        m.invoke(s.method("remove"), &[Value(1)]);
+        assert_eq!(m.invoke(s.method("size"), &[]), Value(0));
+    }
+
+    #[test]
+    fn set_via_dyn() {
+        let x = new_instance("Set");
+        let s = x.schema().clone();
+        x.invoke(s.method("add"), &[Value(7)]);
+        assert_eq!(x.invoke(s.method("contains"), &[Value(7)]), Value::TRUE);
+        x.invoke(s.method("clear"), &[]);
+        assert_eq!(x.invoke(s.method("size"), &[]), Value(0));
+    }
+
+    #[test]
+    fn queue_via_dyn() {
+        let q = new_instance("Queue");
+        let s = q.schema().clone();
+        q.invoke(s.method("enqueue"), &[Value(1)]);
+        q.invoke(s.method("enqueue"), &[Value(2)]);
+        assert_eq!(q.invoke(s.method("dequeue"), &[]), Value(1));
+        assert_eq!(q.invoke(s.method("isEmpty"), &[]), Value::FALSE);
+    }
+
+    #[test]
+    fn multimap_via_dyn() {
+        let m = new_instance("Multimap");
+        let s = m.schema().clone();
+        assert_eq!(m.invoke(s.method("put"), &[Value(1), Value(5)]), Value::TRUE);
+        assert_eq!(m.invoke(s.method("put"), &[Value(1), Value(6)]), Value::TRUE);
+        assert_eq!(m.invoke(s.method("get"), &[Value(1)]), Value(2));
+        assert_eq!(
+            m.invoke(s.method("containsEntry"), &[Value(1), Value(5)]),
+            Value::TRUE
+        );
+    }
+
+    #[test]
+    fn schema_and_spec_lookup_agree() {
+        for class in ["Map", "Set", "Queue", "Multimap", "WeakMap"] {
+            let schema = schema_of(class);
+            let spec = spec_of(class);
+            assert_eq!(spec.schema().name(), schema.name());
+            let inst = new_instance(class);
+            assert_eq!(inst.schema().name(), schema.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ADT class")]
+    fn unknown_class_panics() {
+        let _ = new_instance("Blob");
+    }
+}

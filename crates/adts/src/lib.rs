@@ -1,0 +1,24 @@
+//! # adts — linearizable ADT substrate
+//!
+//! The shared-state building blocks the paper's client programs use: Map,
+//! Set (Fig. 3a), Queue, Multimap, and WeakMap, each linearizable via its
+//! own internal synchronization, together with the commutativity
+//! specifications (§5.2) the semantic-locking compiler consumes, and a
+//! dynamic invocation interface for the IR interpreter.
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod map;
+pub mod multimap;
+pub mod queue;
+pub mod set;
+pub mod specs;
+pub mod weakmap;
+
+pub use dynamic::{new_instance, schema_of, spec_of, AdtDyn};
+pub use map::MapAdt;
+pub use multimap::MultimapAdt;
+pub use queue::QueueAdt;
+pub use set::SetAdt;
+pub use weakmap::WeakMapAdt;

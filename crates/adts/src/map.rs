@@ -1,0 +1,127 @@
+//! A linearizable Map ADT.
+//!
+//! The Map of the paper's running example (Fig. 1): `get`, `put`, `remove`,
+//! `containsKey`, `size`, `clear`. Linearizability is provided by a single
+//! internal mutex — the paper explicitly allows each ADT to use its own
+//! internal concurrency control (§1, *Modularity and compositionality*);
+//! the semantic locks layered on top never depend on it.
+
+use parking_lot::Mutex;
+use semlock::value::Value;
+use std::collections::HashMap;
+
+/// A linearizable `Value → Value` map.
+#[derive(Default)]
+pub struct MapAdt {
+    inner: Mutex<HashMap<Value, Value>>,
+}
+
+impl MapAdt {
+    /// Create an empty map.
+    pub fn new() -> MapAdt {
+        MapAdt::default()
+    }
+
+    /// `get(k)`: the value bound to `k`, or [`Value::NULL`].
+    pub fn get(&self, k: Value) -> Value {
+        self.inner.lock().get(&k).copied().unwrap_or(Value::NULL)
+    }
+
+    /// `put(k, v)`: bind `k` to `v`; returns the previous value or NULL.
+    pub fn put(&self, k: Value, v: Value) -> Value {
+        self.inner.lock().insert(k, v).unwrap_or(Value::NULL)
+    }
+
+    /// `remove(k)`: unbind `k`; returns the previous value or NULL.
+    pub fn remove(&self, k: Value) -> Value {
+        self.inner.lock().remove(&k).unwrap_or(Value::NULL)
+    }
+
+    /// `containsKey(k)`.
+    pub fn contains_key(&self, k: Value) -> bool {
+        self.inner.lock().contains_key(&k)
+    }
+
+    /// `size()`.
+    pub fn size(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `clear()`.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Drain all entries (used by the Tomcat cache's overflow path, which
+    /// the paper models as a sequence of Map operations inside one atomic
+    /// section).
+    pub fn drain_entries(&self) -> Vec<(Value, Value)> {
+        self.inner.lock().drain().collect()
+    }
+
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<(Value, Value)> {
+        self.inner.lock().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let m = MapAdt::new();
+        assert_eq!(m.get(Value(1)), Value::NULL);
+        assert_eq!(m.put(Value(1), Value(10)), Value::NULL);
+        assert_eq!(m.get(Value(1)), Value(10));
+        assert_eq!(m.put(Value(1), Value(11)), Value(10));
+        assert_eq!(m.remove(Value(1)), Value(11));
+        assert_eq!(m.remove(Value(1)), Value::NULL);
+    }
+
+    #[test]
+    fn contains_size_clear() {
+        let m = MapAdt::new();
+        for i in 0..10 {
+            m.put(Value(i), Value(i * 2));
+        }
+        assert_eq!(m.size(), 10);
+        assert!(m.contains_key(Value(3)));
+        assert!(!m.contains_key(Value(30)));
+        m.clear();
+        assert_eq!(m.size(), 0);
+        assert!(!m.contains_key(Value(3)));
+    }
+
+    #[test]
+    fn drain_moves_everything() {
+        let m = MapAdt::new();
+        for i in 0..5 {
+            m.put(Value(i), Value(i));
+        }
+        let drained = m.drain_entries();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn concurrent_distinct_keys() {
+        use std::sync::Arc;
+        let m = Arc::new(MapAdt::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.put(Value(t * 10_000 + i), Value(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.size(), 4000);
+    }
+}

@@ -1,0 +1,107 @@
+//! A linearizable Multimap ADT (Guava-style), the building block of the
+//! Graph benchmark (§6.1): the graph is "implemented by using two Multimap
+//! instances" — one mapping each node to its successors, one to its
+//! predecessors.
+
+use parking_lot::Mutex;
+use semlock::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A linearizable `Value → set of Value` multimap.
+#[derive(Default)]
+pub struct MultimapAdt {
+    inner: Mutex<HashMap<Value, HashSet<Value>>>,
+}
+
+impl MultimapAdt {
+    /// Create an empty multimap.
+    pub fn new() -> MultimapAdt {
+        MultimapAdt::default()
+    }
+
+    /// `put(k, v)`: add `v` to `k`'s value set; returns whether it was new.
+    pub fn put(&self, k: Value, v: Value) -> bool {
+        self.inner.lock().entry(k).or_default().insert(v)
+    }
+
+    /// `remove(k, v)`: remove `v` from `k`'s set; returns whether present.
+    pub fn remove(&self, k: Value, v: Value) -> bool {
+        let mut g = self.inner.lock();
+        if let Some(set) = g.get_mut(&k) {
+            let removed = set.remove(&v);
+            if set.is_empty() {
+                g.remove(&k);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// `get(k)`: a snapshot of `k`'s value set (Guava returns a view; a
+    /// snapshot gives the same linearizable observable behaviour).
+    pub fn get(&self, k: Value) -> Vec<Value> {
+        self.inner
+            .lock()
+            .get(&k)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// `containsEntry(k, v)`.
+    pub fn contains_entry(&self, k: Value, v: Value) -> bool {
+        self.inner.lock().get(&k).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Number of entries under key `k`.
+    pub fn key_size(&self, k: Value) -> usize {
+        self.inner.lock().get(&k).map_or(0, HashSet::len)
+    }
+
+    /// Total number of (key, value) entries.
+    pub fn size(&self) -> usize {
+        self.inner.lock().values().map(HashSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let m = MultimapAdt::new();
+        assert!(m.put(Value(1), Value(10)));
+        assert!(m.put(Value(1), Value(11)));
+        assert!(!m.put(Value(1), Value(10))); // duplicate entry
+        let mut g = m.get(Value(1));
+        g.sort();
+        assert_eq!(g, vec![Value(10), Value(11)]);
+        assert!(m.remove(Value(1), Value(10)));
+        assert!(!m.remove(Value(1), Value(10)));
+        assert_eq!(m.get(Value(1)), vec![Value(11)]);
+    }
+
+    #[test]
+    fn empty_key_sets_are_pruned() {
+        let m = MultimapAdt::new();
+        m.put(Value(5), Value(6));
+        m.remove(Value(5), Value(6));
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.get(Value(5)), Vec::<Value>::new());
+        assert!(!m.contains_entry(Value(5), Value(6)));
+    }
+
+    #[test]
+    fn sizes() {
+        let m = MultimapAdt::new();
+        for k in 0..3 {
+            for v in 0..4 {
+                m.put(Value(k), Value(v));
+            }
+        }
+        assert_eq!(m.size(), 12);
+        assert_eq!(m.key_size(Value(0)), 4);
+        assert_eq!(m.key_size(Value(9)), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! A linearizable FIFO Queue ADT (the `queue` of Fig. 1).
+
+use parking_lot::Mutex;
+use semlock::value::Value;
+use std::collections::VecDeque;
+
+/// A linearizable FIFO queue of [`Value`]s.
+#[derive(Default)]
+pub struct QueueAdt {
+    inner: Mutex<VecDeque<Value>>,
+}
+
+impl QueueAdt {
+    /// Create an empty queue.
+    pub fn new() -> QueueAdt {
+        QueueAdt::default()
+    }
+
+    /// `enqueue(v)`: append to the tail.
+    pub fn enqueue(&self, v: Value) {
+        self.inner.lock().push_back(v);
+    }
+
+    /// `dequeue()`: remove and return the head, or [`Value::NULL`] if empty.
+    pub fn dequeue(&self) -> Value {
+        self.inner.lock().pop_front().unwrap_or(Value::NULL)
+    }
+
+    /// `size()`.
+    pub fn size(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `isEmpty()`.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = QueueAdt::new();
+        for i in 0..5 {
+            q.enqueue(Value(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(), Value(i));
+        }
+        assert_eq!(q.dequeue(), Value::NULL);
+    }
+
+    #[test]
+    fn size_tracks() {
+        let q = QueueAdt::new();
+        assert!(q.is_empty());
+        q.enqueue(Value(1));
+        q.enqueue(Value(2));
+        assert_eq!(q.size(), 2);
+        q.dequeue();
+        assert_eq!(q.size(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_enqueue_preserves_count() {
+        use std::sync::Arc;
+        let q = Arc::new(QueueAdt::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.enqueue(Value(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.size(), 2000);
+    }
+}

@@ -1,0 +1,283 @@
+//! Schemas and commutativity specifications for every ADT in this crate.
+//!
+//! A commutativity specification (§5.2) is the extra compiler input: for
+//! each pair of operations, a condition under which they commute. The
+//! conditions below are the natural ones for the sequential semantics of
+//! each ADT; where a pair's commutativity is state-dependent (e.g.
+//! `dequeue` vs `dequeue`), the specification conservatively says `false`,
+//! which is always sound.
+
+use semlock::schema::{set_schema, AdtSchema};
+use semlock::spec::{Cond, CommutSpec};
+use std::sync::Arc;
+
+/// The Set commutativity specification — exactly Fig. 3(b).
+pub fn set_spec() -> Arc<CommutSpec> {
+    CommutSpec::builder(set_schema())
+        .always("add", "add")
+        .differ("add", 0, "remove", 0)
+        .differ("add", 0, "contains", 0)
+        .never("add", "size")
+        .never("add", "clear")
+        .always("remove", "remove")
+        .differ("remove", 0, "contains", 0)
+        .never("remove", "size")
+        .never("remove", "clear")
+        .always("contains", "contains")
+        .always("contains", "size")
+        .never("contains", "clear")
+        .always("size", "size")
+        .never("size", "clear")
+        .always("clear", "clear")
+        .build()
+}
+
+/// Schema of the Map ADT (Fig. 1's `map`).
+pub fn map_schema() -> Arc<AdtSchema> {
+    AdtSchema::builder("Map")
+        .method("get", 1)
+        .method("put", 2)
+        .method("remove", 1)
+        .method("containsKey", 1)
+        .method("size", 0)
+        .method("clear", 0)
+        .build()
+}
+
+/// Commutativity specification for the Map ADT.
+///
+/// Key-indexed operations commute when their keys differ; reads commute
+/// with reads; `size`/`clear` conflict with every mutation.
+pub fn map_spec() -> Arc<CommutSpec> {
+    CommutSpec::builder(map_schema())
+        .always("get", "get")
+        .differ("get", 0, "put", 0)
+        .differ("get", 0, "remove", 0)
+        .always("get", "containsKey")
+        .always("get", "size")
+        .never("get", "clear")
+        .differ("put", 0, "put", 0)
+        .differ("put", 0, "remove", 0)
+        .differ("put", 0, "containsKey", 0)
+        .never("put", "size")
+        .never("put", "clear")
+        .differ("remove", 0, "remove", 0)
+        .differ("remove", 0, "containsKey", 0)
+        .never("remove", "size")
+        .never("remove", "clear")
+        .always("containsKey", "containsKey")
+        .always("containsKey", "size")
+        .never("containsKey", "clear")
+        .always("size", "size")
+        .never("size", "clear")
+        .always("clear", "clear")
+        .build()
+}
+
+/// Schema of the FIFO Queue ADT (Fig. 1's `queue`).
+pub fn queue_schema() -> Arc<AdtSchema> {
+    AdtSchema::builder("Queue")
+        .method("enqueue", 1)
+        .method("dequeue", 0)
+        .method("size", 0)
+        .method("isEmpty", 0)
+        .build()
+}
+
+/// Commutativity specification for the Queue ADT.
+///
+/// FIFO order makes almost nothing commute: two `enqueue`s produce
+/// different orders, `dequeue` observes the order, and the size predicates
+/// observe mutations. Only read/read pairs commute.
+pub fn queue_spec() -> Arc<CommutSpec> {
+    CommutSpec::builder(queue_schema())
+        .never("enqueue", "enqueue")
+        .never("enqueue", "dequeue")
+        .never("enqueue", "size")
+        .never("enqueue", "isEmpty")
+        .never("dequeue", "dequeue")
+        .never("dequeue", "size")
+        .never("dequeue", "isEmpty")
+        .always("size", "size")
+        .always("size", "isEmpty")
+        .always("isEmpty", "isEmpty")
+        .build()
+}
+
+/// Schema of the Multimap ADT (the Graph benchmark's substrate).
+pub fn multimap_schema() -> Arc<AdtSchema> {
+    AdtSchema::builder("Multimap")
+        .method("put", 2)
+        .method("remove", 2)
+        .method("get", 1)
+        .method("containsEntry", 2)
+        .method("keySize", 1)
+        .method("size", 0)
+        .build()
+}
+
+/// Commutativity specification for the Multimap ADT.
+///
+/// Entry-level mutations commute when either the key or the value differs
+/// (distinct entries of a set-valued multimap are independent); key reads
+/// commute with mutations of other keys; `size` conflicts with mutations.
+pub fn multimap_spec() -> Arc<CommutSpec> {
+    let entry_differs = Cond::Or(vec![Cond::args_differ(0, 0), Cond::args_differ(1, 1)]);
+    CommutSpec::builder(multimap_schema())
+        .pair("put", "put", entry_differs.clone())
+        .pair("put", "remove", entry_differs.clone())
+        .differ("put", 0, "get", 0)
+        .pair("put", "containsEntry", entry_differs.clone())
+        .differ("put", 0, "keySize", 0)
+        .never("put", "size")
+        .pair("remove", "remove", entry_differs.clone())
+        .differ("remove", 0, "get", 0)
+        .pair("remove", "containsEntry", entry_differs)
+        .differ("remove", 0, "keySize", 0)
+        .never("remove", "size")
+        .always("get", "get")
+        .always("get", "containsEntry")
+        .always("get", "keySize")
+        .always("get", "size")
+        .always("containsEntry", "containsEntry")
+        .always("containsEntry", "keySize")
+        .always("containsEntry", "size")
+        .always("keySize", "keySize")
+        .always("keySize", "size")
+        .always("size", "size")
+        .build()
+}
+
+/// Schema of the WeakMap ADT (Tomcat cache's long-term map).
+pub fn weakmap_schema() -> Arc<AdtSchema> {
+    AdtSchema::builder("WeakMap")
+        .method("get", 1)
+        .method("put", 2)
+        .method("remove", 1)
+        .method("containsKey", 1)
+        .method("size", 0)
+        .method("clear", 0)
+        .build()
+}
+
+/// Commutativity specification for the WeakMap ADT — identical structure
+/// to [`map_spec`] (weakness does not change operation semantics).
+pub fn weakmap_spec() -> Arc<CommutSpec> {
+    CommutSpec::builder(weakmap_schema())
+        .always("get", "get")
+        .differ("get", 0, "put", 0)
+        .differ("get", 0, "remove", 0)
+        .always("get", "containsKey")
+        .always("get", "size")
+        .never("get", "clear")
+        .differ("put", 0, "put", 0)
+        .differ("put", 0, "remove", 0)
+        .differ("put", 0, "containsKey", 0)
+        .never("put", "size")
+        .never("put", "clear")
+        .differ("remove", 0, "remove", 0)
+        .differ("remove", 0, "containsKey", 0)
+        .never("remove", "size")
+        .never("remove", "clear")
+        .always("containsKey", "containsKey")
+        .always("containsKey", "size")
+        .never("containsKey", "clear")
+        .always("size", "size")
+        .never("size", "clear")
+        .always("clear", "clear")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semlock::symbolic::Operation;
+    use semlock::value::Value;
+
+    fn op(spec: &CommutSpec, name: &str, args: &[u64]) -> Operation {
+        Operation::new(
+            spec.schema().method(name),
+            args.iter().map(|&v| Value(v)).collect(),
+        )
+    }
+
+    #[test]
+    fn map_spec_key_independence() {
+        let s = map_spec();
+        assert!(s.commutes(&op(&s, "put", &[1, 10]), &op(&s, "put", &[2, 20])));
+        assert!(!s.commutes(&op(&s, "put", &[1, 10]), &op(&s, "put", &[1, 20])));
+        assert!(s.commutes(&op(&s, "get", &[1]), &op(&s, "remove", &[2])));
+        assert!(!s.commutes(&op(&s, "get", &[1]), &op(&s, "remove", &[1])));
+        assert!(!s.commutes(&op(&s, "put", &[1, 10]), &op(&s, "size", &[])));
+        assert!(s.commutes(&op(&s, "get", &[1]), &op(&s, "size", &[])));
+    }
+
+    #[test]
+    fn queue_spec_serializes_mutations() {
+        let s = queue_spec();
+        assert!(!s.commutes(&op(&s, "enqueue", &[1]), &op(&s, "enqueue", &[2])));
+        assert!(!s.commutes(&op(&s, "enqueue", &[1]), &op(&s, "dequeue", &[])));
+        assert!(s.commutes(&op(&s, "size", &[]), &op(&s, "isEmpty", &[])));
+    }
+
+    #[test]
+    fn multimap_entry_level_commutativity() {
+        let s = multimap_spec();
+        // Same key, different values: independent entries → commute.
+        assert!(s.commutes(&op(&s, "put", &[1, 10]), &op(&s, "put", &[1, 11])));
+        // Identical entry: conflict.
+        assert!(!s.commutes(&op(&s, "put", &[1, 10]), &op(&s, "remove", &[1, 10])));
+        // get(k) conflicts with put(k, v) regardless of v.
+        assert!(!s.commutes(&op(&s, "get", &[1]), &op(&s, "put", &[1, 99])));
+        assert!(s.commutes(&op(&s, "get", &[1]), &op(&s, "put", &[2, 99])));
+    }
+
+    #[test]
+    fn specs_are_symmetric_on_samples() {
+        for spec in [map_spec(), queue_spec(), multimap_spec(), weakmap_spec(), set_spec()] {
+            let schema = spec.schema().clone();
+            for m1 in 0..schema.method_count() {
+                for m2 in 0..schema.method_count() {
+                    for seed in 0..4u64 {
+                        let a = Operation::new(
+                            m1,
+                            (0..schema.sig(m1).arity).map(|i| Value(seed + i as u64)).collect(),
+                        );
+                        let b = Operation::new(
+                            m2,
+                            (0..schema.sig(m2).arity)
+                                .map(|i| Value((seed * 7 + i as u64) % 3))
+                                .collect(),
+                        );
+                        assert_eq!(
+                            spec.commutes(&a, &b),
+                            spec.commutes(&b, &a),
+                            "{} methods {m1},{m2} seed {seed}",
+                            schema.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Operational ground truth: the specification's `true` entries really
+    /// do commute on the implementations (spot checks across ADTs).
+    #[test]
+    fn map_spec_matches_implementation() {
+        use crate::map::MapAdt;
+        // put(1,10) / put(2,20) in both orders → same final map.
+        let run = |first: (u64, u64), second: (u64, u64)| {
+            let m = MapAdt::new();
+            m.put(Value(7), Value(70)); // pre-state
+            m.put(Value(first.0), Value(first.1));
+            m.put(Value(second.0), Value(second.1));
+            let mut e = m.entries();
+            e.sort();
+            e
+        };
+        assert_eq!(run((1, 10), (2, 20)), run((2, 20), (1, 10)));
+        // Non-commuting pair really differs: put(1,10) vs put(1,20).
+        assert_ne!(run((1, 10), (1, 20)), run((1, 20), (1, 10)));
+    }
+}

@@ -1,0 +1,84 @@
+//! A "WeakMap" ADT modelling Java's `WeakHashMap` as used by the Tomcat
+//! `ConcurrentCache` benchmark (§6.1, Cache).
+//!
+//! **Substitution note** (recorded in DESIGN.md): Java weak references let
+//! the GC evict entries whose keys become unreachable. Eviction timing is
+//! irrelevant to the synchronization behaviour the benchmark measures — the
+//! cache's atomic sections perform the same Map operations either way — so
+//! we model the weak map as an ordinary linearizable map with an explicit
+//! `evict` operation that tests can drive deterministically.
+
+use crate::map::MapAdt;
+use semlock::value::Value;
+
+/// A linearizable map with explicit (test-drivable) eviction standing in
+/// for GC-driven weak-reference clearing.
+#[derive(Default)]
+pub struct WeakMapAdt {
+    inner: MapAdt,
+}
+
+impl WeakMapAdt {
+    /// Create an empty weak map.
+    pub fn new() -> WeakMapAdt {
+        WeakMapAdt::default()
+    }
+
+    /// `get(k)`.
+    pub fn get(&self, k: Value) -> Value {
+        self.inner.get(k)
+    }
+
+    /// `put(k, v)`.
+    pub fn put(&self, k: Value, v: Value) -> Value {
+        self.inner.put(k, v)
+    }
+
+    /// `remove(k)`.
+    pub fn remove(&self, k: Value) -> Value {
+        self.inner.remove(k)
+    }
+
+    /// `containsKey(k)`.
+    pub fn contains_key(&self, k: Value) -> bool {
+        self.inner.contains_key(k)
+    }
+
+    /// `size()`.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// `clear()`.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Deterministic stand-in for GC clearing a weak entry.
+    pub fn evict(&self, k: Value) -> bool {
+        !self.inner.remove(k).is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_map() {
+        let m = WeakMapAdt::new();
+        m.put(Value(1), Value(2));
+        assert_eq!(m.get(Value(1)), Value(2));
+        assert!(m.contains_key(Value(1)));
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn evict_removes() {
+        let m = WeakMapAdt::new();
+        m.put(Value(1), Value(2));
+        assert!(m.evict(Value(1)));
+        assert!(!m.evict(Value(1)));
+        assert_eq!(m.get(Value(1)), Value::NULL);
+    }
+}

@@ -1,0 +1,104 @@
+//! A plain binary lock with explicit `lock`/`unlock` (no guard object),
+//! used to implement the paper's *2PL* baseline: one standard exclusive
+//! lock per ADT instance, acquired with the same ordered two-phase
+//! discipline as the semantic locks (§6: "the 2PL synchronization was
+//! implemented by using the output of Section 3 — instead of locking
+//! operations of ADT instance A, we acquire a Java lock that protects A").
+
+use parking_lot::{Condvar, Mutex};
+
+/// An exclusive lock whose acquire and release may happen in different
+/// scopes (and, for the benchmark harness, different program points).
+#[derive(Default)]
+pub struct BinaryLock {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl BinaryLock {
+    /// New, unlocked.
+    pub fn new() -> BinaryLock {
+        BinaryLock::default()
+    }
+
+    /// Acquire, blocking while held.
+    pub fn lock(&self) {
+        let mut held = self.state.lock();
+        while *held {
+            self.cv.wait(&mut held);
+        }
+        *held = true;
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> bool {
+        let mut held = self.state.lock();
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
+    /// Release. Panics if not held.
+    pub fn unlock(&self) {
+        let mut held = self.state.lock();
+        assert!(*held, "unlock of unheld BinaryLock");
+        *held = false;
+        self.cv.notify_one();
+    }
+
+    /// Whether currently held (diagnostic only — racy by nature).
+    pub fn is_locked(&self) -> bool {
+        *self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = BinaryLock::new();
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn mutual_exclusion_counter() {
+        let l = Arc::new(BinaryLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    l.lock();
+                    // Non-atomic read-modify-write protected by the lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    l.unlock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld")]
+    fn unlock_unheld_panics() {
+        BinaryLock::new().unlock();
+    }
+}

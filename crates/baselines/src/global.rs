@@ -1,0 +1,51 @@
+//! The *Global* baseline (§6): a single lock around every atomic section.
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// One global lock shared by all transactions.
+#[derive(Default)]
+pub struct GlobalLock {
+    inner: Mutex<()>,
+}
+
+impl GlobalLock {
+    /// New, unlocked.
+    pub fn new() -> GlobalLock {
+        GlobalLock::default()
+    }
+
+    /// Enter the critical section; the guard releases on drop.
+    pub fn enter(&self) -> MutexGuard<'_, ()> {
+        self.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn serializes_critical_sections() {
+        let g = Arc::new(GlobalLock::new());
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                let n = n.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _guard = g.enter();
+                        let v = n.load(Ordering::Relaxed);
+                        n.store(v + 1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 4000);
+    }
+}

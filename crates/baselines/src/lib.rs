@@ -1,0 +1,21 @@
+//! # baselines — comparison synchronization strategies
+//!
+//! The paper's evaluation (§6) compares the synthesized semantic locking
+//! against: a single global lock (*Global*), ordered two-phase locking
+//! with a standard lock per ADT instance (*2PL*), hand-crafted lock
+//! striping (*Manual*), and a `ConcurrentHashMapV8`-style map with an
+//! atomic `computeIfAbsent` (*V8*). This crate implements all of them.
+
+#![warn(missing_docs)]
+
+pub mod binlock;
+pub mod global;
+pub mod striping;
+pub mod tpl;
+pub mod v8map;
+
+pub use binlock::BinaryLock;
+pub use global::GlobalLock;
+pub use striping::StripedLock;
+pub use tpl::{TplLock, TplTxn};
+pub use v8map::V8Map;

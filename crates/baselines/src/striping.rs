@@ -1,0 +1,141 @@
+//! Lock striping — the *Manual* baseline of the ComputeIfAbsent and
+//! Intruder benchmarks (§6.1: "a lock striping technique with 64 locks
+//! where each key is protected by one of the locks").
+
+use crate::binlock::BinaryLock;
+use semlock::value::Value;
+
+/// A fixed array of stripes; each key hashes to one stripe.
+pub struct StripedLock {
+    stripes: Box<[BinaryLock]>,
+}
+
+impl StripedLock {
+    /// Create with `n` stripes (rounded up to a power of two).
+    pub fn new(n: usize) -> StripedLock {
+        let n = n.next_power_of_two().max(1);
+        StripedLock {
+            stripes: (0..n).map(|_| BinaryLock::new()).collect(),
+        }
+    }
+
+    /// The paper's Manual configuration: 64 stripes.
+    pub fn paper_default() -> StripedLock {
+        StripedLock::new(64)
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe a key maps to (exposed for collision analyses).
+    pub fn stripe_of(&self, key: Value) -> usize {
+        self.index(key)
+    }
+
+    #[inline]
+    fn index(&self, key: Value) -> usize {
+        // Fibonacci hash, same family as semlock's φ.
+        let m = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (((m >> 32) * self.stripes.len() as u64) >> 32) as usize
+    }
+
+    /// Lock the stripe of a key.
+    pub fn lock_key(&self, key: Value) {
+        self.stripes[self.index(key)].lock();
+    }
+
+    /// Unlock the stripe of a key.
+    pub fn unlock_key(&self, key: Value) {
+        self.stripes[self.index(key)].unlock();
+    }
+
+    /// Lock the stripes of several keys in ascending stripe order
+    /// (deduplicated), returning the locked stripe indices for
+    /// [`StripedLock::unlock_indices`].
+    pub fn lock_keys(&self, keys: &[Value]) -> Vec<usize> {
+        let mut idx: Vec<usize> = keys.iter().map(|&k| self.index(k)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        for &i in &idx {
+            self.stripes[i].lock();
+        }
+        idx
+    }
+
+    /// Unlock previously locked stripes.
+    pub fn unlock_indices(&self, indices: &[usize]) {
+        for &i in indices {
+            self.stripes[i].unlock();
+        }
+    }
+
+    /// Run a closure holding the stripe of `key`.
+    pub fn with_key<R>(&self, key: Value, f: impl FnOnce() -> R) -> R {
+        self.lock_key(key);
+        let r = f();
+        self.unlock_key(key);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn stripe_count_power_of_two() {
+        assert_eq!(StripedLock::new(5).stripes(), 8);
+        assert_eq!(StripedLock::paper_default().stripes(), 64);
+    }
+
+    #[test]
+    fn same_key_excludes() {
+        let s = StripedLock::new(8);
+        s.lock_key(Value(7));
+        // Same key's stripe is held.
+        let i = s.index(Value(7));
+        assert!(!s.stripes[i].try_lock());
+        s.unlock_key(Value(7));
+        assert!(s.stripes[i].try_lock());
+        s.stripes[i].unlock();
+    }
+
+    #[test]
+    fn multi_key_dedup_and_order() {
+        let s = StripedLock::new(4);
+        let locked = s.lock_keys(&[Value(1), Value(2), Value(1), Value(3)]);
+        assert!(locked.windows(2).all(|w| w[0] < w[1]), "sorted: {locked:?}");
+        s.unlock_indices(&locked);
+    }
+
+    #[test]
+    fn striped_counters() {
+        let s = Arc::new(StripedLock::new(16));
+        let counters: Arc<Vec<AtomicU64>> = Arc::new((0..8).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = s.clone();
+                let counters = counters.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        let k = Value((t + i) % 8);
+                        s.with_key(k, || {
+                            let c = &counters[k.0 as usize];
+                            let v = c.load(Ordering::Relaxed);
+                            c.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 8000);
+    }
+}

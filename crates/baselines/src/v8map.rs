@@ -1,0 +1,108 @@
+//! The *V8* baseline (§6.1): a hand-crafted concurrent map with an atomic
+//! `computeIfAbsent`, modelling `ConcurrentHashMapV8` — sharded buckets,
+//! each protected by its own lock, with the compute executed under the
+//! bucket lock exactly once per absent key.
+
+use parking_lot::Mutex;
+use semlock::value::Value;
+use std::collections::HashMap;
+
+/// A sharded concurrent map with `compute_if_absent`.
+pub struct V8Map {
+    shards: Box<[Mutex<HashMap<Value, Value>>]>,
+}
+
+impl V8Map {
+    /// Create with `n` shards (rounded up to a power of two).
+    pub fn new(n: usize) -> V8Map {
+        let n = n.next_power_of_two().max(1);
+        V8Map {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: Value) -> &Mutex<HashMap<Value, Value>> {
+        let m = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let i = ((m >> 32) * self.shards.len() as u64) >> 32;
+        &self.shards[i as usize]
+    }
+
+    /// Atomic check-then-insert: if `key` is absent, run `compute` and
+    /// store its result; returns the (existing or new) value.
+    pub fn compute_if_absent(&self, key: Value, compute: impl FnOnce() -> Value) -> Value {
+        let mut shard = self.shard(key).lock();
+        *shard.entry(key).or_insert_with(compute)
+    }
+
+    /// `get`.
+    pub fn get(&self, key: Value) -> Value {
+        self.shard(key).lock().get(&key).copied().unwrap_or(Value::NULL)
+    }
+
+    /// `put`; returns the previous value or NULL.
+    pub fn put(&self, key: Value, value: Value) -> Value {
+        self.shard(key).lock().insert(key, value).unwrap_or(Value::NULL)
+    }
+
+    /// `remove`; returns the previous value or NULL.
+    pub fn remove(&self, key: Value) -> Value {
+        self.shard(key).lock().remove(&key).unwrap_or(Value::NULL)
+    }
+
+    /// `containsKey`.
+    pub fn contains_key(&self, key: Value) -> bool {
+        self.shard(key).lock().contains_key(&key)
+    }
+
+    /// Total entries (not linearizable across shards — like the Java
+    /// original's size estimate).
+    pub fn size(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn compute_if_absent_runs_once_per_key() {
+        let m = Arc::new(V8Map::new(16));
+        let computes = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                let computes = computes.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let k = Value(i % 50);
+                        m.compute_if_absent(k, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            Value(k.0 * 10)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 50, "one compute per key");
+        assert_eq!(m.size(), 50);
+        assert_eq!(m.get(Value(7)), Value(70));
+    }
+
+    #[test]
+    fn basic_map_ops() {
+        let m = V8Map::new(4);
+        assert_eq!(m.get(Value(1)), Value::NULL);
+        assert_eq!(m.put(Value(1), Value(5)), Value::NULL);
+        assert_eq!(m.put(Value(1), Value(6)), Value(5));
+        assert!(m.contains_key(Value(1)));
+        assert_eq!(m.remove(Value(1)), Value(6));
+        assert!(!m.contains_key(Value(1)));
+    }
+}

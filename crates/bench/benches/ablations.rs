@@ -1,0 +1,235 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo bench --bench ablations            # all
+//! cargo bench --bench ablations -- phi     # one
+//! ```
+
+use bench::{should_run, thread_counts, Table};
+use semlock::manager::SemLock;
+use semlock::mech::WaitStrategy;
+use semlock::mode::ModeTable;
+use semlock::phi::Phi;
+use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+use semlock::value::Value;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::driver::{ops_per_thread, run_fixed_ops};
+use workloads::{ComputeIfAbsent, GraphBench, SyncKind};
+
+/// Build the ComputeIfAbsent mode table `{containsKey(k), put(k,*)}`
+/// directly (same shape the compiler infers), with the given φ and
+/// partitioning choice.
+fn cia_table(phi: Phi, partitioned: bool) -> (Arc<ModeTable>, semlock::mode::LockSiteId) {
+    let schema = adts::schema_of("Map");
+    let spec = adts::spec_of("Map");
+    let mut b = ModeTable::builder(schema.clone(), spec, phi);
+    if !partitioned {
+        b = b.single_partition();
+    }
+    let site = b.add_site(SymbolicSet::new(vec![
+        SymOp::new(schema.method("containsKey"), vec![SymArg::Var(0)]),
+        SymOp::new(schema.method("put"), vec![SymArg::Var(0), SymArg::Star]),
+    ]));
+    (b.build(), site)
+}
+
+/// Raw lock/unlock throughput (ops/ms) for a given lock configuration.
+fn lock_throughput(
+    table: Arc<ModeTable>,
+    site: semlock::mode::LockSiteId,
+    strategy: WaitStrategy,
+    threads: usize,
+    ops: u64,
+) -> f64 {
+    let lock = SemLock::with_strategy(table.clone(), strategy);
+    let start = Instant::now();
+    run_fixed_ops(threads, ops, 5, &|_, rng| {
+        use rand::Rng;
+        let k = Value(rng.gen_range(0..4096u64));
+        let mode = table.select(site, &[k]);
+        lock.lock(mode);
+        std::hint::black_box(&lock);
+        lock.unlock(mode);
+    });
+    (ops * threads as u64) as f64 / start.elapsed().as_secs_f64() / 1000.0
+}
+
+/// Ablation 1 — blocking vs spinning admission wait (Fig. 20's literal
+/// spin loop vs the condvar variant).
+fn ablation_wait() {
+    let ops = ops_per_thread();
+    let mut t = Table::new(
+        "Ablation — wait strategy (lock/unlock, 4096 keys, φ n=64)",
+        "lock-pairs/ms",
+        &["Block", "Spin"],
+    );
+    for &threads in &thread_counts() {
+        let (table, site) = cia_table(Phi::fib(64), true);
+        let block = lock_throughput(table.clone(), site, WaitStrategy::Block, threads, ops);
+        let spin = lock_throughput(table, site, WaitStrategy::Spin, threads, ops);
+        t.row(threads, vec![block, spin]);
+    }
+    t.print();
+}
+
+/// Ablation 2 — lock partitioning on/off (§5.2: the single internal lock
+/// becomes a bottleneck).
+fn ablation_partition() {
+    let ops = ops_per_thread();
+    let mut t = Table::new(
+        "Ablation — lock partitioning (lock/unlock, φ n=64)",
+        "lock-pairs/ms",
+        &["Partitioned", "SingleMech"],
+    );
+    for &threads in &thread_counts() {
+        let (pt, ps) = cia_table(Phi::fib(64), true);
+        let (st, ss) = cia_table(Phi::fib(64), false);
+        let on = lock_throughput(pt, ps, WaitStrategy::Block, threads, ops);
+        let off = lock_throughput(st, ss, WaitStrategy::Block, threads, ops);
+        t.row(threads, vec![on, off]);
+    }
+    t.print();
+}
+
+/// Ablation 3 — φ resolution (number of abstract values; paper uses 64).
+fn ablation_phi() {
+    let ops = ops_per_thread();
+    let ns: [u16; 5] = [1, 4, 16, 64, 256];
+    let labels: Vec<String> = ns.iter().map(|n| format!("n={n}")).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Ablation — φ resolution on ComputeIfAbsent (Ours)",
+        "ops/ms",
+        &label_refs,
+    );
+    for &threads in &thread_counts() {
+        let mut row = Vec::new();
+        for &n in &ns {
+            let bench = ComputeIfAbsent::with_phi(SyncKind::Semantic, 8192, Phi::fib(n));
+            let start = Instant::now();
+            run_fixed_ops(threads, ops, 5, &|tid, rng| bench.op(tid, rng));
+            row.push((ops * threads as u64) as f64 / start.elapsed().as_secs_f64() / 1000.0);
+        }
+        t.row(threads, row);
+    }
+    t.print();
+}
+
+/// Ablation 4 — mode cap N on the Graph benchmark (two-key sites explode
+/// as n², so the cap's φ-coarsening matters).
+fn ablation_modes() {
+    let ops = ops_per_thread();
+    let caps = [16usize, 128, 1024, 4096];
+    let labels: Vec<String> = caps.iter().map(|c| format!("N={c}")).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Ablation — mode cap N on Graph (Ours)",
+        "ops/ms",
+        &label_refs,
+    );
+    for &threads in &thread_counts() {
+        let mut row = Vec::new();
+        for &cap in &caps {
+            let bench = GraphBench::with_phi(SyncKind::Semantic, 1024, Phi::fib(64), cap);
+            let start = Instant::now();
+            run_fixed_ops(threads, ops, 5, &|tid, rng| bench.op(tid, rng));
+            bench.validate().expect("graph invariant");
+            row.push((ops * threads as u64) as f64 / start.elapsed().as_secs_f64() / 1000.0);
+        }
+        t.row(threads, row);
+    }
+    t.print();
+}
+
+/// Ablation 5 — Appendix-A optimizations on/off, measured through the
+/// interpreter (instrumentation counts + throughput on the counter
+/// workload).
+fn ablation_opt() {
+    use interp::{Env, Interp, Strategy};
+    use synth::ir::{e::*, ptr, scalar, AtomicSection, Body};
+    use synth::Synthesizer;
+
+    let section = || {
+        AtomicSection::new(
+            "counter",
+            [ptr("map", "Map"), scalar("k"), scalar("v")],
+            Body::new()
+                .call_into("v", "map", "get", vec![var("k")])
+                .if_else(
+                    is_null(var("v")),
+                    Body::new().call("map", "put", vec![var("k"), konst(1)]),
+                    Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
+                )
+                .build(),
+        )
+    };
+    let mut registry = synth::ClassRegistry::new();
+    registry.register("Map", adts::schema_of("Map"), adts::spec_of("Map"));
+
+    let optimized = Arc::new(
+        Synthesizer::new(registry.clone())
+            .phi(Phi::fib(64))
+            .synthesize(&[section()]),
+    );
+    let naive = Arc::new(
+        Synthesizer::new(registry)
+            .phi(Phi::fib(64))
+            .without_optimizations()
+            .synthesize(&[section()]),
+    );
+    let so = synth::opt::stats(&optimized.sections[0]);
+    let sn = synth::opt::stats(&naive.sections[0]);
+    println!("\nAblation — Appendix-A optimizations (counter section)");
+    println!(
+        "  optimized:      {} LV, {} direct locks, {} unlocks, epilogue={}, guards={}",
+        so.lv, so.lock_direct, so.unlock, so.has_epilogue, so.guards
+    );
+    println!(
+        "  non-optimized:  {} LV, {} direct locks, {} unlocks, epilogue={}, guards={}",
+        sn.lv, sn.lock_direct, sn.unlock, sn.has_epilogue, sn.guards
+    );
+
+    let ops = ops_per_thread() / 10; // interpretation is slower
+    let mut t = Table::new(
+        "Ablation — optimized vs naive instrumentation (interpreted)",
+        "txn/ms",
+        &["Optimized", "Naive"],
+    );
+    for &threads in &thread_counts() {
+        let mut row = Vec::new();
+        for program in [&optimized, &naive] {
+            let env = Arc::new(Env::new(program.clone()));
+            let map = env.new_instance("Map");
+            let interp = Interp::new(env, Strategy::Semantic);
+            let start = Instant::now();
+            run_fixed_ops(threads, ops, 3, &|_, rng| {
+                use rand::Rng;
+                let k = Value(rng.gen_range(0..1024u64));
+                interp.run("counter", &[("map", map), ("k", k)]);
+            });
+            row.push((ops * threads as u64) as f64 / start.elapsed().as_secs_f64() / 1000.0);
+        }
+        t.row(threads, row);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("semantic-locking ablations");
+    if should_run("wait") {
+        ablation_wait();
+    }
+    if should_run("partition") {
+        ablation_partition();
+    }
+    if should_run("phi") {
+        ablation_phi();
+    }
+    if should_run("modes") {
+        ablation_modes();
+    }
+    if should_run("opt") {
+        ablation_opt();
+    }
+}

@@ -1,0 +1,144 @@
+//! # bench — harness utilities for regenerating the paper's figures
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one table per paper figure (Figs. 21–25), printed in the
+//!   paper's units (throughput in ops/ms for Figs. 21–23, speedup over a
+//!   single thread for Figs. 24–25);
+//! * `ablations` — design-choice ablations called out in DESIGN.md
+//!   (wait strategy, lock partitioning, φ resolution, mode cap,
+//!   Appendix-A optimizations);
+//! * `micro` — Criterion micro-benchmarks of the runtime primitives.
+//!
+//! This library provides the shared table-formatting and configuration
+//! plumbing.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Thread counts to sweep: `SEMLOCK_THREADS="1,2,4"` overrides the
+/// paper's 1–32 sweep.
+pub fn thread_counts() -> Vec<usize> {
+    if let Ok(v) = std::env::var("SEMLOCK_THREADS") {
+        let parsed: Vec<usize> = v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    workloads::driver::PAPER_THREADS.to_vec()
+}
+
+/// Number of timed passes (paper: 4) — `SEMLOCK_PASSES` overrides.
+pub fn passes() -> usize {
+    std::env::var("SEMLOCK_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Number of warmup passes (paper: 1).
+pub fn warmups() -> usize {
+    std::env::var("SEMLOCK_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A results table: rows are thread counts, columns are strategies.
+pub struct Table {
+    title: String,
+    unit: String,
+    columns: Vec<String>,
+    rows: Vec<(usize, Vec<f64>)>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            unit: unit.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row.
+    pub fn row(&mut self, threads: usize, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((threads, values));
+    }
+
+    /// Render in the fixed-width format the EXPERIMENTS.md tables use.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n{} [{}]", self.title, self.unit);
+        let _ = write!(out, "{:>8}", "threads");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>12}");
+        }
+        let _ = writeln!(out);
+        for (threads, values) in &self.rows {
+            let _ = write!(out, "{threads:>8}");
+            for v in values {
+                if *v >= 1000.0 {
+                    let _ = write!(out, "{:>12.0}", v);
+                } else {
+                    let _ = write!(out, "{:>12.2}", v);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// The measured values (for assertions in tests).
+    pub fn rows(&self) -> &[(usize, Vec<f64>)] {
+        &self.rows
+    }
+}
+
+/// Should the benchmark named `name` run, given CLI args (substring
+/// filters, as Criterion does)? No filters → run everything.
+pub fn should_run(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig. X", "ops/ms", &["Ours", "Global"]);
+        t.row(1, vec![1234.0, 56.78]);
+        t.row(32, vec![99999.0, 1.0]);
+        let s = t.render();
+        assert!(s.contains("Fig. X [ops/ms]"));
+        assert!(s.contains("Ours"));
+        assert!(s.contains("1234"));
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn thread_counts_default() {
+        // Without the env var set, the paper's sweep is used.
+        if std::env::var("SEMLOCK_THREADS").is_err() {
+            assert_eq!(thread_counts(), vec![1, 2, 4, 8, 16, 32]);
+        }
+    }
+}

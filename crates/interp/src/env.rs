@@ -1,0 +1,187 @@
+//! The runtime environment of an interpreted program: ADT instances,
+//! their semantic locks, and the global-wrapper instances.
+//!
+//! Pointer values in the interpreter are [`Value`]s holding instance ids
+//! (or [`Value::NULL`]); the [`Registry`] resolves ids to live instances.
+
+use baselines::BinaryLock;
+use adts::AdtDyn;
+use parking_lot::RwLock;
+use semlock::manager::SemLock;
+use semlock::schema::{AdtSchema, MethodIdx};
+use semlock::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+use synth::SynthOutput;
+
+/// One shared ADT instance with its synchronization state.
+pub struct SharedAdt {
+    /// The underlying linearizable ADT.
+    pub obj: Box<dyn AdtDyn>,
+    /// The semantic lock (present when the class has a mode table — i.e.
+    /// the class is locked directly; wrapped classes are locked through
+    /// their wrapper instead).
+    pub sem: Option<SemLock>,
+    /// Plain per-instance lock for the 2PL baseline.
+    pub plain: BinaryLock,
+    /// Process-unique instance id (doubles as the pointer value).
+    pub id: u64,
+}
+
+impl SharedAdt {
+    /// The semantic lock; panics if the class is not directly lockable.
+    pub fn sem(&self) -> &SemLock {
+        self.sem
+            .as_ref()
+            .expect("instance's class has no semantic lock (wrapped class?)")
+    }
+}
+
+/// Registry resolving instance ids to live instances.
+#[derive(Default)]
+pub struct Registry {
+    map: RwLock<HashMap<u64, Arc<SharedAdt>>>,
+}
+
+impl Registry {
+    /// Look up an instance (panics on dangling ids — the interpreter never
+    /// frees instances during a run).
+    pub fn get(&self, id: u64) -> Arc<SharedAdt> {
+        self.map
+            .read()
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| panic!("dangling ADT instance id {id}"))
+    }
+
+    /// Register an instance.
+    pub fn insert(&self, adt: Arc<SharedAdt>) {
+        self.map.write().insert(adt.id, adt);
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+/// Dynamic ADT implementing a §3.4 global wrapper: dispatches
+/// `Class_method(instance, args…)` to the wrapped instance.
+pub struct WrapperDyn {
+    schema: Arc<AdtSchema>,
+    /// Wrapper method index → wrapped (class, method name).
+    dispatch: Vec<(String, String)>,
+    registry: Arc<Registry>,
+}
+
+impl AdtDyn for WrapperDyn {
+    fn schema(&self) -> &Arc<AdtSchema> {
+        &self.schema
+    }
+
+    fn invoke(&self, method: MethodIdx, args: &[Value]) -> Value {
+        let (_, inner_name) = &self.dispatch[method];
+        let handle = args[0];
+        assert!(
+            !handle.is_null(),
+            "null dereference through global wrapper {}",
+            self.schema.name()
+        );
+        let target = self.registry.get(handle.0);
+        let inner_method = target.obj.schema().method(inner_name);
+        target.obj.invoke(inner_method, &args[1..])
+    }
+}
+
+/// The environment: registry + the per-program wrapper instances.
+pub struct Env {
+    /// The synthesized program this environment executes.
+    pub program: Arc<SynthOutput>,
+    registry: Arc<Registry>,
+    /// Wrapper class name → its single global instance handle.
+    wrappers: HashMap<String, Value>,
+}
+
+impl Env {
+    /// Create an environment for a synthesized program, instantiating one
+    /// global instance per wrapper ADT.
+    pub fn new(program: Arc<SynthOutput>) -> Env {
+        let registry = Arc::new(Registry::default());
+        let mut wrappers = HashMap::new();
+        for w in &program.wrappers {
+            let obj = Box::new(WrapperDyn {
+                schema: w.schema.clone(),
+                dispatch: w.dispatch.clone(),
+                registry: registry.clone(),
+            });
+            let sem = if program.tables.contains(&w.name) {
+                Some(SemLock::new(program.tables.table(&w.name).clone()))
+            } else {
+                None
+            };
+            let id = sem
+                .as_ref()
+                .map(|s| s.unique())
+                .unwrap_or_else(semlock::manager::fresh_instance_id);
+            let adt = Arc::new(SharedAdt {
+                obj,
+                sem,
+                plain: BinaryLock::new(),
+                id,
+            });
+            registry.insert(adt.clone());
+            wrappers.insert(w.name.clone(), Value(id));
+        }
+        Env {
+            program,
+            registry,
+            wrappers,
+        }
+    }
+
+    /// The instance registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Create a new ADT instance of `class`, returning its handle.
+    pub fn new_instance(&self, class: &str) -> Value {
+        let obj = adts::new_instance(class);
+        let sem = if self.program.tables.contains(class) {
+            Some(SemLock::new(self.program.tables.table(class).clone()))
+        } else {
+            None
+        };
+        let id = sem
+            .as_ref()
+            .map(|s| s.unique())
+            .unwrap_or_else(semlock::manager::fresh_instance_id);
+        let adt = Arc::new(SharedAdt {
+            obj,
+            sem,
+            plain: BinaryLock::new(),
+            id,
+        });
+        self.registry.insert(adt.clone());
+        Value(id)
+    }
+
+    /// Handle of a wrapper class's global instance.
+    pub fn wrapper_handle(&self, class: &str) -> Value {
+        *self
+            .wrappers
+            .get(class)
+            .unwrap_or_else(|| panic!("no wrapper instance for class {class}"))
+    }
+
+    /// Resolve a non-null handle.
+    pub fn resolve(&self, handle: Value) -> Arc<SharedAdt> {
+        assert!(!handle.is_null(), "null ADT dereference");
+        self.registry.get(handle.0)
+    }
+}

@@ -1,0 +1,587 @@
+//! The multi-threaded atomic-section interpreter.
+//!
+//! Executes (instrumented) IR sections against live ADT instances under one
+//! of three synchronization strategies, mirroring the paper's evaluation
+//! configurations:
+//!
+//! * [`Strategy::Semantic`] — the inserted semantic-locking statements
+//!   ("Ours");
+//! * [`Strategy::Global`] — one global lock around every section;
+//! * [`Strategy::TwoPhase`] — the §3 output with a standard exclusive lock
+//!   per ADT instance ("2PL").
+//!
+//! With [`Interp::with_checker`], every semantic lock, operation, and
+//! unlock is recorded into a [`ProtocolChecker`] for post-hoc validation
+//! of the OS2PL rules.
+
+use baselines::BinaryLock;
+use crate::env::{Env, SharedAdt};
+use semlock::mode::ModeId;
+use semlock::protocol::ProtocolChecker;
+use semlock::symbolic::Operation;
+use semlock::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use synth::ir::{AtomicSection, Expr, Stmt};
+
+/// Synchronization strategy for executing atomic sections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// The synthesized semantic locking ("Ours").
+    Semantic,
+    /// A single global lock.
+    Global,
+    /// Ordered two-phase locking with one exclusive lock per instance.
+    TwoPhase,
+}
+
+/// Maximum statements executed per section run (runaway-loop backstop).
+const FUEL: u64 = 10_000_000;
+
+/// The interpreter.
+pub struct Interp {
+    env: Arc<Env>,
+    strategy: Strategy,
+    global: BinaryLock,
+    checker: Option<Arc<ProtocolChecker>>,
+    txn_counter: AtomicU64,
+}
+
+/// Final variable frame of a section run.
+pub type Frame = HashMap<String, Value>;
+
+struct RunState {
+    frame: Frame,
+    held_sem: Vec<(Arc<SharedAdt>, ModeId)>,
+    held_plain: Vec<Arc<SharedAdt>>,
+    txn: u64,
+    fuel: u64,
+}
+
+impl Interp {
+    /// Create an interpreter over an environment.
+    pub fn new(env: Arc<Env>, strategy: Strategy) -> Interp {
+        Interp {
+            env,
+            strategy,
+            global: BinaryLock::new(),
+            checker: None,
+            txn_counter: AtomicU64::new(1),
+        }
+    }
+
+    /// Attach a protocol checker (records semantic-strategy executions).
+    pub fn with_checker(mut self, checker: Arc<ProtocolChecker>) -> Interp {
+        self.checker = Some(checker);
+        self
+    }
+
+    /// The environment.
+    pub fn env(&self) -> &Arc<Env> {
+        &self.env
+    }
+
+    /// Run a section by name with the given variable bindings; returns the
+    /// final frame.
+    pub fn run(&self, section_name: &str, args: &[(&str, Value)]) -> Frame {
+        let program = self.env.program.clone();
+        let section = program
+            .sections
+            .iter()
+            .find(|s| s.name == section_name)
+            .unwrap_or_else(|| panic!("no section named {section_name}"));
+        self.run_section(section, args)
+    }
+
+    /// Run a specific section with the given bindings.
+    pub fn run_section(&self, section: &AtomicSection, args: &[(&str, Value)]) -> Frame {
+        // Initialize the frame: pointers null, scalars zero, args override.
+        let mut frame: Frame = section
+            .decls
+            .iter()
+            .map(|(name, ty)| {
+                let v = match ty {
+                    synth::ir::VarType::Ptr(_) => Value::NULL,
+                    synth::ir::VarType::Scalar => Value(0),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        for (name, v) in args {
+            frame.insert(name.to_string(), *v);
+        }
+        // Wrapper pointers are bound to their global instances.
+        for w in &self.env.program.wrappers {
+            if section.decls.contains_key(&w.pointer) {
+                frame.insert(w.pointer.clone(), self.env.wrapper_handle(&w.name));
+            }
+        }
+
+        let mut st = RunState {
+            frame,
+            held_sem: Vec::new(),
+            held_plain: Vec::new(),
+            txn: self.txn_counter.fetch_add(1, Ordering::Relaxed),
+            fuel: FUEL,
+        };
+
+        if self.strategy == Strategy::Global {
+            self.global.lock();
+        }
+        self.exec_block(section, &section.body, &mut st);
+        // Release anything still held (sections without explicit epilogue
+        // after optimization rely on trailing unlocks; leftovers are a
+        // compiler bug for Semantic — but always release defensively).
+        self.release_all(&mut st);
+        if self.strategy == Strategy::Global {
+            self.global.unlock();
+        }
+        st.frame
+    }
+
+    fn eval(&self, e: &Expr, frame: &Frame) -> Value {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Null => Value::NULL,
+            Expr::Var(v) => *frame
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable {v}")),
+            Expr::IsNull(x) => Value::from_bool(self.eval(x, frame).is_null()),
+            Expr::Not(x) => Value::from_bool(!self.eval(x, frame).as_bool()),
+            Expr::Eq(a, b) => Value::from_bool(self.eval(a, frame) == self.eval(b, frame)),
+            Expr::Lt(a, b) => Value::from_bool(self.eval(a, frame).0 < self.eval(b, frame).0),
+            Expr::Add(a, b) => Value(self.eval(a, frame).0.wrapping_add(self.eval(b, frame).0)),
+        }
+    }
+
+    fn exec_block(&self, section: &AtomicSection, stmts: &[Stmt], st: &mut RunState) {
+        for s in stmts {
+            st.fuel = st
+                .fuel
+                .checked_sub(1)
+                .expect("atomic section exceeded its fuel (runaway loop?)");
+            self.exec_stmt(section, s, st);
+        }
+    }
+
+    fn exec_stmt(&self, section: &AtomicSection, s: &Stmt, st: &mut RunState) {
+        match s {
+            Stmt::Assign { var, expr, .. } => {
+                let v = self.eval(expr, &st.frame);
+                st.frame.insert(var.clone(), v);
+            }
+            Stmt::New { var, class, .. } => {
+                let handle = self.env.new_instance(class);
+                self.register_with_checker(handle, class);
+                st.frame.insert(var.clone(), handle);
+            }
+            Stmt::Call {
+                ret,
+                recv,
+                method,
+                args,
+                ..
+            } => {
+                let handle = st.frame[recv];
+                let adt = self.env.resolve(handle);
+                let argv: Vec<Value> = args.iter().map(|a| self.eval(a, &st.frame)).collect();
+                let midx = adt.obj.schema().method(method);
+                if self.strategy == Strategy::Semantic {
+                    if let Some(c) = &self.checker {
+                        c.on_op(st.txn, adt.id, Operation::new(midx, argv.clone()));
+                    }
+                }
+                let result = adt.obj.invoke(midx, &argv);
+                if let Some(r) = ret {
+                    st.frame.insert(r.clone(), result);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if self.eval(cond, &st.frame).as_bool() {
+                    self.exec_block(section, then_branch, st);
+                } else {
+                    self.exec_block(section, else_branch, st);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval(cond, &st.frame).as_bool() {
+                    st.fuel = st
+                        .fuel
+                        .checked_sub(1)
+                        .expect("atomic section exceeded its fuel (runaway loop?)");
+                    self.exec_block(section, body, st);
+                }
+            }
+            Stmt::Lv { recv, site, .. } | Stmt::LockDirect { recv, site, .. } => {
+                let handle = st.frame[recv];
+                if handle.is_null() {
+                    return; // LV / guarded lock skips null pointers
+                }
+                self.acquire(section, handle, *site, st);
+            }
+            Stmt::LvGroup { entries, .. } => {
+                // Dynamic ordering by unique instance id (Fig. 12).
+                let mut targets: Vec<(u64, Value, usize)> = entries
+                    .iter()
+                    .filter_map(|(v, site)| {
+                        let handle = st.frame[v];
+                        if handle.is_null() {
+                            None
+                        } else {
+                            Some((self.env.resolve(handle).id, handle, *site))
+                        }
+                    })
+                    .collect();
+                targets.sort_by_key(|&(id, _, _)| id);
+                for (_, handle, site) in targets {
+                    self.acquire(section, handle, site, st);
+                }
+            }
+            Stmt::UnlockAllOf { recv, .. } => {
+                let handle = st.frame[recv];
+                if handle.is_null() {
+                    return;
+                }
+                self.release_one(handle, st);
+            }
+            Stmt::EpilogueUnlockAll { .. } => {
+                self.release_all(st);
+            }
+        }
+    }
+
+    fn register_with_checker(&self, handle: Value, class: &str) {
+        if let Some(c) = &self.checker {
+            if self.env.program.tables.contains(class) {
+                c.register_instance(handle.0, self.env.program.tables.table(class).clone());
+            }
+        }
+    }
+
+    /// Acquire per the active strategy, with LOCAL_SET skip semantics.
+    fn acquire(&self, section: &AtomicSection, handle: Value, site: usize, st: &mut RunState) {
+        let adt = self.env.resolve(handle);
+        match self.strategy {
+            Strategy::Global => {}
+            Strategy::TwoPhase => {
+                if !st.held_plain.iter().any(|a| a.id == adt.id) {
+                    adt.plain.lock();
+                    st.held_plain.push(adt);
+                }
+            }
+            Strategy::Semantic => {
+                if st.held_sem.iter().any(|(a, _)| a.id == adt.id) {
+                    return;
+                }
+                let decl = &section.sites[site];
+                let table = self.env.program.tables.table(&decl.class);
+                let rt_site = self.env.program.tables.site(&section.name, site);
+                let keys: Vec<Value> = decl.keys.iter().map(|k| st.frame[k]).collect();
+                let mode = table.select(rt_site, &keys);
+                self.register_with_checker(handle, &decl.class);
+                adt.sem().lock(mode);
+                if let Some(c) = &self.checker {
+                    c.on_lock(st.txn, adt.id, mode);
+                }
+                st.held_sem.push((adt, mode));
+            }
+        }
+    }
+
+    fn release_one(&self, handle: Value, st: &mut RunState) {
+        match self.strategy {
+            Strategy::Global => {}
+            Strategy::TwoPhase => {
+                if let Some(pos) = st.held_plain.iter().position(|a| a.id == handle.0) {
+                    let adt = st.held_plain.swap_remove(pos);
+                    adt.plain.unlock();
+                }
+            }
+            Strategy::Semantic => {
+                if let Some(pos) = st.held_sem.iter().position(|(a, _)| a.id == handle.0) {
+                    let (adt, mode) = st.held_sem.swap_remove(pos);
+                    adt.sem().unlock(mode);
+                    if let Some(c) = &self.checker {
+                        c.on_unlock(st.txn, adt.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_all(&self, st: &mut RunState) {
+        for (adt, mode) in st.held_sem.drain(..) {
+            adt.sem().unlock(mode);
+            if let Some(c) = &self.checker {
+                c.on_unlock(st.txn, adt.id);
+            }
+        }
+        for adt in st.held_plain.drain(..) {
+            adt.plain.unlock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adts::{schema_of, spec_of};
+    use synth::ir::{e::*, fig1_section, ptr, scalar, AtomicSection, Body};
+    use synth::{ClassRegistry, Synthesizer};
+
+    fn registry() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        for class in ["Map", "Set", "Queue", "Multimap", "WeakMap"] {
+            r.register(class, schema_of(class), spec_of(class));
+        }
+        r
+    }
+
+    fn compile(sections: Vec<AtomicSection>) -> Arc<synth::SynthOutput> {
+        Arc::new(
+            Synthesizer::new(registry())
+                .phi(semlock::phi::Phi::fib(16))
+                .synthesize(&sections),
+        )
+    }
+
+    /// The ComputeIfAbsent-with-counter section used by atomicity tests:
+    /// increments map[k] atomically.
+    fn counter_section() -> AtomicSection {
+        AtomicSection::new(
+            "counter",
+            [ptr("map", "Map"), scalar("k"), scalar("v")],
+            Body::new()
+                .call_into("v", "map", "get", vec![var("k")])
+                .if_else(
+                    is_null(var("v")),
+                    Body::new().call("map", "put", vec![var("k"), konst(1)]),
+                    Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
+                )
+                .build(),
+        )
+    }
+
+    #[test]
+    fn fig1_runs_end_to_end() {
+        let program = compile(vec![fig1_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let queue = env.new_instance("Queue");
+        let interp = Interp::new(env.clone(), Strategy::Semantic);
+        let frame = interp.run(
+            "fig1",
+            &[
+                ("map", map),
+                ("queue", queue),
+                ("id", Value(7)),
+                ("x", Value(1)),
+                ("y", Value(2)),
+                ("flag", Value(1)),
+            ],
+        );
+        // flag=1: the set was enqueued and removed from the map.
+        let map_adt = env.resolve(map);
+        let get = map_adt.obj.schema().method("get");
+        assert_eq!(map_adt.obj.invoke(get, &[Value(7)]), Value::NULL);
+        let q_adt = env.resolve(queue);
+        let size = q_adt.obj.schema().method("size");
+        assert_eq!(q_adt.obj.invoke(size, &[]), Value(1));
+        // The set the section created contains x and y.
+        let set_handle = frame["set"];
+        let set_adt = env.resolve(set_handle);
+        let contains = set_adt.obj.schema().method("contains");
+        assert_eq!(set_adt.obj.invoke(contains, &[Value(1)]), Value::TRUE);
+        assert_eq!(set_adt.obj.invoke(contains, &[Value(2)]), Value::TRUE);
+    }
+
+    #[test]
+    fn fig1_flag_false_keeps_set_in_map() {
+        let program = compile(vec![fig1_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let queue = env.new_instance("Queue");
+        let interp = Interp::new(env.clone(), Strategy::Semantic);
+        interp.run(
+            "fig1",
+            &[
+                ("map", map),
+                ("queue", queue),
+                ("id", Value(3)),
+                ("x", Value(9)),
+                ("y", Value(9)),
+                ("flag", Value(0)),
+            ],
+        );
+        let map_adt = env.resolve(map);
+        let get = map_adt.obj.schema().method("get");
+        assert_ne!(map_adt.obj.invoke(get, &[Value(3)]), Value::NULL);
+    }
+
+    fn run_counter_stress(strategy: Strategy, check_protocol: bool) {
+        let program = compile(vec![counter_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let checker = Arc::new(ProtocolChecker::new());
+        let mut interp = Interp::new(env.clone(), strategy);
+        if check_protocol {
+            interp = interp.with_checker(checker.clone());
+        }
+        let interp = Arc::new(interp);
+
+        let threads = 4;
+        let iters = 250;
+        let keys = 8u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let interp = interp.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..iters {
+                    let k = (t * 31 + i) % keys;
+                    interp.run("counter", &[("map", map), ("k", Value(k))]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Atomicity: total of all counters equals total increments.
+        let map_adt = env.resolve(map);
+        let get = map_adt.obj.schema().method("get");
+        let total: u64 = (0..keys)
+            .map(|k| {
+                let v = map_adt.obj.invoke(get, &[Value(k)]);
+                if v.is_null() {
+                    0
+                } else {
+                    v.0
+                }
+            })
+            .sum();
+        assert_eq!(total, threads * iters, "lost updates under {strategy:?}");
+        if check_protocol {
+            checker.assert_ok();
+        }
+    }
+
+    #[test]
+    fn counter_atomic_under_semantic() {
+        run_counter_stress(Strategy::Semantic, true);
+    }
+
+    #[test]
+    fn counter_atomic_under_global() {
+        run_counter_stress(Strategy::Global, false);
+    }
+
+    #[test]
+    fn counter_atomic_under_two_phase() {
+        run_counter_stress(Strategy::TwoPhase, false);
+    }
+
+    #[test]
+    fn fig1_stress_with_protocol_checker() {
+        let program = compile(vec![fig1_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let queue = env.new_instance("Queue");
+        let checker = Arc::new(ProtocolChecker::new());
+        let interp =
+            Arc::new(Interp::new(env.clone(), Strategy::Semantic).with_checker(checker.clone()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let interp = interp.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    interp.run(
+                        "fig1",
+                        &[
+                            ("map", map),
+                            ("queue", queue),
+                            ("id", Value(i % 5)),
+                            ("x", Value(t * 1000 + i)),
+                            ("y", Value(t * 1000 + i + 1)),
+                            ("flag", Value(i % 2)),
+                        ],
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        checker.assert_ok();
+    }
+
+    #[test]
+    fn fig9_wrapper_execution() {
+        // The cyclic-graph section runs through its global wrapper.
+        let program = compile(vec![synth::ir::fig9_section()]);
+        assert_eq!(program.wrappers.len(), 1);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        // Seed: map[0..3] → sets with sizes 1, 2, 3.
+        let map_adt = env.resolve(map);
+        let put = map_adt.obj.schema().method("put");
+        for i in 0..3u64 {
+            let set = env.new_instance("Set");
+            let set_adt = env.resolve(set);
+            let add = set_adt.obj.schema().method("add");
+            for v in 0..=i {
+                set_adt.obj.invoke(add, &[Value(v)]);
+            }
+            map_adt.obj.invoke(put, &[Value(i), set]);
+        }
+        let interp = Interp::new(env.clone(), Strategy::Semantic);
+        let frame = interp.run("fig9", &[("map", map), ("n", Value(3))]);
+        assert_eq!(frame["sum"], Value(1 + 2 + 3));
+    }
+
+    #[test]
+    fn two_phase_ordered_acquisition_no_deadlock() {
+        // Two sections locking the same pair of maps in *source-reversed*
+        // order: the synthesized ordering must prevent deadlock.
+        let sec_a = AtomicSection::new(
+            "a",
+            [ptr("m1", "Map"), ptr("m2", "Map"), scalar("k")],
+            Body::new()
+                .call("m1", "put", vec![var("k"), konst(1)])
+                .call("m2", "put", vec![var("k"), konst(2)])
+                .build(),
+        );
+        let sec_b = AtomicSection::new(
+            "b",
+            [ptr("m1", "Map"), ptr("m2", "Map"), scalar("k")],
+            Body::new()
+                .call("m2", "put", vec![var("k"), konst(3)])
+                .call("m1", "put", vec![var("k"), konst(4)])
+                .build(),
+        );
+        let program = compile(vec![sec_a, sec_b]);
+        let env = Arc::new(Env::new(program));
+        let m1 = env.new_instance("Map");
+        let m2 = env.new_instance("Map");
+        for strategy in [Strategy::Semantic, Strategy::TwoPhase] {
+            let interp = Arc::new(Interp::new(env.clone(), strategy));
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let interp = interp.clone();
+                let name = if t % 2 == 0 { "a" } else { "b" };
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        interp.run(name, &[("m1", m1), ("m2", m2), ("k", Value(i % 4))]);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap(); // would hang on deadlock
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # interp — the atomic-section interpreter
+//!
+//! Executes instrumented atomic-section IR (produced by the `synth`
+//! compiler) against live linearizable ADT instances from the `adts`
+//! crate, on real threads, under the paper's three synchronization
+//! strategies (semantic locking / global lock / per-instance 2PL).
+//! Integration tests use it with [`semlock::protocol::ProtocolChecker`] to
+//! validate atomicity and deadlock freedom of compiled sections.
+
+#![warn(missing_docs)]
+
+
+pub mod env;
+pub mod exec;
+
+pub use baselines::BinaryLock;
+pub use env::{Env, Registry, SharedAdt};
+pub use exec::{Frame, Interp, Strategy};

@@ -1,0 +1,306 @@
+//! The must-commutativity analysis and the commutativity function `F_c`
+//! (§5.2, Fig. 19).
+//!
+//! A locking mode represents a (possibly infinite) set of runtime
+//! operations. Two modes may be held concurrently only if *every* operation
+//! represented by one commutes with *every* operation represented by the
+//! other. Because mode arguments range over abstract values and wildcards,
+//! the commutativity condition is evaluated in a three-valued logic: the
+//! result is `True` only when the condition holds for **all** concrete
+//! instantiations — the sound direction for admission control.
+
+use crate::mode::{Mode, ModeArg, ModeOp};
+use crate::phi::Phi;
+use crate::spec::{ArgRef, CommutSpec, Cond};
+use crate::value::Value;
+
+/// Kleene three-valued truth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tri {
+    /// Holds for every instantiation.
+    True,
+    /// Fails for every instantiation.
+    False,
+    /// Depends on the instantiation.
+    Unknown,
+}
+
+impl Tri {
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+
+    fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+/// An argument term after resolution: what we statically know about the
+/// runtime value in that position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Term {
+    /// Exactly this value.
+    Const(Value),
+    /// Some value in abstract class αᵢ.
+    Abs(u16),
+    /// Any value at all (`*`).
+    Any,
+}
+
+fn resolve(r: ArgRef, left: &[ModeArg], right: &[ModeArg]) -> Term {
+    let arg = match r {
+        ArgRef::Left(i) => left[i],
+        ArgRef::Right(i) => right[i],
+        ArgRef::Const(c) => return Term::Const(c),
+    };
+    match arg {
+        ModeArg::Const(c) => Term::Const(c),
+        ModeArg::Abs(a) => Term::Abs(a.0),
+        ModeArg::Star => Term::Any,
+    }
+}
+
+/// Three-valued equality of two terms under φ.
+///
+/// The key fact exploited here is that distinct abstract values denote
+/// **disjoint** sets of runtime values, so `αᵢ = αⱼ` with `i ≠ j` is
+/// definitely false, while `αᵢ = αᵢ` is merely possible.
+fn term_eq(a: Term, b: Term, phi: &Phi) -> Tri {
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => {
+            if x == y {
+                Tri::True
+            } else {
+                Tri::False
+            }
+        }
+        (Term::Abs(i), Term::Abs(j)) => {
+            if i != j {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        (Term::Abs(i), Term::Const(c)) | (Term::Const(c), Term::Abs(i)) => {
+            if phi.apply(c).0 != i {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        (Term::Any, _) | (_, Term::Any) => Tri::Unknown,
+    }
+}
+
+/// Evaluate a commutativity condition over two mode operations' abstract
+/// argument vectors, in three-valued logic.
+pub fn tri_eval(cond: &Cond, left: &[ModeArg], right: &[ModeArg], phi: &Phi) -> Tri {
+    match cond {
+        Cond::True => Tri::True,
+        Cond::False => Tri::False,
+        Cond::Eq(a, b) => term_eq(resolve(*a, left, right), resolve(*b, left, right), phi),
+        Cond::Ne(a, b) => term_eq(resolve(*a, left, right), resolve(*b, left, right), phi).not(),
+        Cond::And(cs) => cs
+            .iter()
+            .fold(Tri::True, |acc, c| acc.and(tri_eval(c, left, right, phi))),
+        Cond::Or(cs) => cs
+            .iter()
+            .fold(Tri::False, |acc, c| acc.or(tri_eval(c, left, right, phi))),
+        Cond::Not(c) => tri_eval(c, left, right, phi).not(),
+    }
+}
+
+/// Must two mode operations commute — i.e. does the specification condition
+/// hold for every pair of concrete operations they represent?
+pub fn ops_must_commute(spec: &CommutSpec, a: &ModeOp, b: &ModeOp, phi: &Phi) -> bool {
+    tri_eval(spec.cond(a.method, b.method), &a.args, &b.args, phi) == Tri::True
+}
+
+/// The commutativity function `F_c` applied to two modes: true iff **all**
+/// operations represented by `a` commute with **all** operations
+/// represented by `b` (§5.2).
+pub fn modes_must_commute(spec: &CommutSpec, a: &Mode, b: &Mode, phi: &Phi) -> bool {
+    a.ops()
+        .iter()
+        .all(|oa| b.ops().iter().all(|ob| ops_must_commute(spec, oa, ob, phi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{Mode, ModeArg, ModeOp};
+    use crate::phi::AbsVal;
+    use crate::schema::set_schema;
+    use crate::spec::CommutSpec;
+    use std::sync::Arc;
+
+    fn fig3b() -> Arc<CommutSpec> {
+        let s = set_schema();
+        CommutSpec::builder(s)
+            .always("add", "add")
+            .differ("add", 0, "remove", 0)
+            .differ("add", 0, "contains", 0)
+            .never("add", "size")
+            .never("add", "clear")
+            .always("remove", "remove")
+            .differ("remove", 0, "contains", 0)
+            .never("remove", "size")
+            .never("remove", "clear")
+            .always("contains", "contains")
+            .always("contains", "size")
+            .never("contains", "clear")
+            .always("size", "size")
+            .never("size", "clear")
+            .always("clear", "clear")
+            .build()
+    }
+
+    fn mode(spec: &CommutSpec, ops: &[(&str, &[ModeArg])]) -> Mode {
+        Mode::new(
+            ops.iter()
+                .map(|(m, a)| ModeOp::new(spec.schema().method(m), a.to_vec()))
+                .collect(),
+        )
+    }
+
+    /// The full golden table of Fig. 19: φ with n=2 so φ(5)=α₁ (5 mod 2),
+    /// modes {add(*)}, {add(5)}, and the four {add(αᵢ),remove(αⱼ)} modes.
+    #[test]
+    fn fig19_table() {
+        let spec = fig3b();
+        let phi = Phi::modulo(2);
+        assert_eq!(phi.apply(Value(5)), AbsVal(1)); // φ(5) = α₁
+
+        let star = mode(&spec, &[("add", &[ModeArg::Star])]);
+        let add5 = mode(&spec, &[("add", &[ModeArg::Const(Value(5))])]);
+        // Paper indexes α₁, α₂; we index α0, α1. Fig. 19's α₁ (the class of
+        // 5) is our α1, its α₂ is our α0.
+        let a = |i: u16| ModeArg::Abs(AbsVal(i));
+        let m11 = mode(&spec, &[("add", &[a(1)]), ("remove", &[a(1)])]);
+        let m10 = mode(&spec, &[("add", &[a(1)]), ("remove", &[a(0)])]);
+        let m01 = mode(&spec, &[("add", &[a(0)]), ("remove", &[a(1)])]);
+        let m00 = mode(&spec, &[("add", &[a(0)]), ("remove", &[a(0)])]);
+
+        let fc = |x: &Mode, y: &Mode| modes_must_commute(&spec, x, y, &phi);
+
+        // Row {add(*)}: true true false false false false
+        assert!(fc(&star, &star));
+        assert!(fc(&star, &add5));
+        assert!(!fc(&star, &m11));
+        assert!(!fc(&star, &m10));
+        assert!(!fc(&star, &m01));
+        assert!(!fc(&star, &m00));
+        // Row {add(5)}: true false true false true
+        // (paper order: (α1,α1)=false, (α1,α2)=true, (α2,α1)=false, (α2,α2)=true
+        //  — remember the remove argument is what matters against add(5))
+        assert!(fc(&add5, &add5));
+        assert!(!fc(&add5, &m11)); // remove(α₁) may remove 5
+        assert!(fc(&add5, &m10)); // remove(α₀) cannot be 5
+        assert!(!fc(&add5, &m01));
+        assert!(fc(&add5, &m00));
+        // Diagonal of the {add,remove} modes: self-commute iff add and
+        // remove classes differ.
+        assert!(!fc(&m11, &m11));
+        assert!(fc(&m10, &m10));
+        assert!(fc(&m01, &m01));
+        assert!(!fc(&m00, &m00));
+        // Cross entries from the figure.
+        assert!(!fc(&m11, &m10)); // add(α₁) vs remove(α₁)
+        // {add(α₁),remove(α₁)} vs {add(α₀),remove(α₀)}: all cross pairs
+        // involve distinct classes → commute.
+        assert!(fc(&m11, &m00));
+        // {add(α₁),remove(α₀)} vs {add(α₀),remove(α₁)}: add(α₁)/remove(α₁)
+        // collide → false.
+        assert!(!fc(&m10, &m01));
+    }
+
+    #[test]
+    fn symmetry_of_fc() {
+        let spec = fig3b();
+        let phi = Phi::modulo(4);
+        let a = |i: u16| ModeArg::Abs(AbsVal(i));
+        let modes: Vec<Mode> = (0..4)
+            .map(|i| mode(&spec, &[("add", &[a(i)]), ("remove", &[a((i + 1) % 4)])]))
+            .collect();
+        for x in &modes {
+            for y in &modes {
+                assert_eq!(
+                    modes_must_commute(&spec, x, y, &phi),
+                    modes_must_commute(&spec, y, x, &phi)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_vs_everything_mutating_conflicts() {
+        let spec = fig3b();
+        let phi = Phi::modulo(2);
+        let all = Mode::all_operations(spec.schema());
+        // The "lock everything" mode self-conflicts (size vs add, etc.).
+        assert!(!modes_must_commute(&spec, &all, &all, &phi));
+    }
+
+    #[test]
+    fn const_vs_const() {
+        let spec = fig3b();
+        let phi = Phi::modulo(2);
+        let add5 = mode(&spec, &[("add", &[ModeArg::Const(Value(5))])]);
+        let rm5 = mode(&spec, &[("remove", &[ModeArg::Const(Value(5))])]);
+        let rm6 = mode(&spec, &[("remove", &[ModeArg::Const(Value(6))])]);
+        assert!(!modes_must_commute(&spec, &add5, &rm5, &phi));
+        assert!(modes_must_commute(&spec, &add5, &rm6, &phi));
+    }
+
+    #[test]
+    fn tri_connectives() {
+        use Tri::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn abs_vs_const_uses_phi() {
+        // Ne(l0, r0) with left = α0 and right = const 5 where φ(5)=α1:
+        // definitely different classes → definitely unequal → True.
+        let spec = fig3b();
+        let phi = Phi::modulo(2);
+        let cond = Cond::args_differ(0, 0);
+        let t = tri_eval(
+            &cond,
+            &[ModeArg::Abs(AbsVal(0))],
+            &[ModeArg::Const(Value(5))],
+            &phi,
+        );
+        assert_eq!(t, Tri::True);
+        // Same class: unknown.
+        let u = tri_eval(
+            &cond,
+            &[ModeArg::Abs(AbsVal(1))],
+            &[ModeArg::Const(Value(5))],
+            &phi,
+        );
+        assert_eq!(u, Tri::Unknown);
+        let _ = spec;
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-ADT-instance semantic locks (§2.2).
+//!
+//! A [`SemLock`] is the synchronization side of one ADT instance: it owns
+//! one [`Mech`] per partition of the class's [`ModeTable`] and exposes the
+//! mode-level `lock` / `unlock` the paper's synchronization API compiles
+//! down to. Every instance carries a process-unique identifier, used both
+//! for the dynamic ordering of same-equivalence-class acquisitions
+//! (`unique(x)` in Fig. 12) and by the protocol checker.
+
+use crate::mech::{Mech, WaitStrategy};
+use crate::mode::{ModeId, ModeTable};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique ADT instance identifier.
+pub fn fresh_instance_id() -> u64 {
+    NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The semantic lock of one ADT instance.
+pub struct SemLock {
+    table: Arc<ModeTable>,
+    mechs: Box<[Mech]>,
+    id: u64,
+}
+
+impl SemLock {
+    /// Create the lock for a new ADT instance of the class described by
+    /// `table`, using the default (blocking) wait strategy.
+    pub fn new(table: Arc<ModeTable>) -> SemLock {
+        SemLock::with_strategy(table, WaitStrategy::Block)
+    }
+
+    /// Create with an explicit wait strategy (used by the ablation bench).
+    pub fn with_strategy(table: Arc<ModeTable>, strategy: WaitStrategy) -> SemLock {
+        let mechs = table
+            .partition_sizes()
+            .iter()
+            .map(|&sz| Mech::new(sz as usize, strategy))
+            .collect();
+        SemLock {
+            table,
+            mechs,
+            id: fresh_instance_id(),
+        }
+    }
+
+    /// The class mode table.
+    pub fn table(&self) -> &Arc<ModeTable> {
+        &self.table
+    }
+
+    /// The process-unique instance identifier (`unique(x)` of Fig. 12).
+    pub fn unique(&self) -> u64 {
+        self.id
+    }
+
+    /// Acquire a locking mode. Blocks while any transaction holds a
+    /// non-commuting mode on this instance.
+    pub fn lock(&self, mode: ModeId) {
+        let p = self.table.placement(mode);
+        if p.free {
+            return; // commutes with everything: admission can never fail
+        }
+        self.mechs[p.part as usize].lock(p.local, &p.local_conflicts);
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self, mode: ModeId) -> bool {
+        let p = self.table.placement(mode);
+        if p.free {
+            return true;
+        }
+        self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts)
+    }
+
+    /// Release one hold of a locking mode.
+    pub fn unlock(&self, mode: ModeId) {
+        let p = self.table.placement(mode);
+        if p.free {
+            return;
+        }
+        self.mechs[p.part as usize].unlock(p.local);
+    }
+
+    /// Current hold count of a mode (diagnostics / tests).
+    pub fn hold_count(&self, mode: ModeId) -> u32 {
+        let p = self.table.placement(mode);
+        if p.free {
+            0
+        } else {
+            self.mechs[p.part as usize].count(p.local)
+        }
+    }
+
+    /// Aggregate contention statistics over all partitions:
+    /// `(acquisitions, contended)`.
+    pub fn contention(&self) -> (u64, u64) {
+        let mut acq = 0;
+        let mut cont = 0;
+        for m in self.mechs.iter() {
+            acq += m.stats().acquisitions.load(Ordering::Relaxed);
+            cont += m.stats().contended.load(Ordering::Relaxed);
+        }
+        (acq, cont)
+    }
+}
+
+impl std::fmt::Debug for SemLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SemLock#{} ({}, {} partitions)",
+            self.id,
+            self.table.schema().name(),
+            self.mechs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phi::Phi;
+    use crate::schema::set_schema;
+    use crate::spec::CommutSpec;
+    use crate::symbolic::{SymArg, SymOp, SymbolicSet};
+    use crate::value::Value;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    fn table() -> (Arc<ModeTable>, crate::mode::LockSiteId) {
+        let s = set_schema();
+        let spec = CommutSpec::builder(s.clone())
+            .always("add", "add")
+            .differ("add", 0, "remove", 0)
+            .differ("add", 0, "contains", 0)
+            .never("add", "size")
+            .never("add", "clear")
+            .always("remove", "remove")
+            .differ("remove", 0, "contains", 0)
+            .never("remove", "size")
+            .never("remove", "clear")
+            .always("contains", "contains")
+            .always("contains", "size")
+            .never("contains", "clear")
+            .always("size", "size")
+            .never("size", "clear")
+            .always("clear", "clear")
+            .build();
+        let mut b = ModeTable::builder(s.clone(), spec, Phi::modulo(4));
+        let site = b.add_site(SymbolicSet::new(vec![
+            SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+            SymOp::new(s.method("remove"), vec![SymArg::Var(0)]),
+        ]));
+        (b.build(), site)
+    }
+
+    #[test]
+    fn unique_ids_are_unique() {
+        let (t, _) = table();
+        let a = SemLock::new(t.clone());
+        let b = SemLock::new(t);
+        assert_ne!(a.unique(), b.unique());
+    }
+
+    #[test]
+    fn same_class_excludes_distinct_classes_run() {
+        let (t, site) = table();
+        let lock = Arc::new(SemLock::new(t.clone()));
+        let m1 = t.select(site, &[Value(1)]);
+        let m2 = t.select(site, &[Value(2)]);
+        assert_ne!(m1, m2);
+        // m1 self-conflicts; m2 is in a different partition.
+        lock.lock(m1);
+        assert!(!lock.try_lock(m1));
+        assert!(lock.try_lock(m2)); // different key class admitted
+        lock.unlock(m2);
+        lock.unlock(m1);
+        assert!(lock.try_lock(m1));
+        lock.unlock(m1);
+    }
+
+    #[test]
+    fn blocked_acquirer_wakes() {
+        let (t, site) = table();
+        let lock = Arc::new(SemLock::new(t.clone()));
+        let m = t.select(site, &[Value(3)]);
+        lock.lock(m);
+        let flag = Arc::new(AtomicBool::new(false));
+        let h = {
+            let (lock, flag) = (lock.clone(), flag.clone());
+            std::thread::spawn(move || {
+                lock.lock(m);
+                flag.store(true, Ordering::SeqCst);
+                lock.unlock(m);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!flag.load(Ordering::SeqCst));
+        lock.unlock(m);
+        h.join().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn contention_stats_accumulate() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(0)]);
+        for _ in 0..10 {
+            lock.lock(m);
+            lock.unlock(m);
+        }
+        let (acq, cont) = lock.contention();
+        assert_eq!(acq, 10);
+        assert_eq!(cont, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Union–find used to partition locking modes into independent mechanisms
+//! (§5.2, *Lock Partitioning*).
+//!
+//! Two modes must share a locking mechanism iff they are connected by a
+//! chain of conflicts; the connected components of the conflict graph are
+//! exactly the maximal partition the paper describes (every mode in one
+//! component commutes with every mode in any other component).
+
+/// A small path-halving, union-by-size union–find over `0..n`.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&mut self) -> usize {
+        (0..self.len()).filter(|&i| self.find(i) == i).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 2));
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.set_count(), 3); // {0,1,2,3}, {4}, {5}
+    }
+
+    #[test]
+    fn chain_of_unions() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, 99));
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The abstract-value hash φ : Value → {α₁, …, αₙ} (§5.1).
+//!
+//! Variable symbolic sets represent a value-dependent set of runtime
+//! operations; to obtain a *finite* set of locking modes the compiler maps
+//! runtime values to `n` abstract values with a hash function φ. Each
+//! abstract value αᵢ represents the disjoint set `{v | φ(v) = αᵢ}` — so two
+//! *different* abstract values denote provably-different runtime values,
+//! which is what lets the must-commutativity analysis conclude `v ≠ v'`.
+//!
+//! The evaluation (§6) uses `n = 64`; the ablation benchmarks sweep `n`.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An abstract value αᵢ, identified by its index `i ∈ [0, n)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AbsVal(pub u16);
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α{}", self.0)
+    }
+}
+
+/// The hashing strategy of a [`Phi`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhiKind {
+    /// `φ(v) = v mod n`. Deterministic and easy to reason about in tests
+    /// (e.g. Fig. 19 pins `φ(5) = α₁` with `n = 2`: `5 mod 2 = 1`).
+    Mod,
+    /// Fibonacci multiplicative hashing — spreads adjacent keys across
+    /// abstract values, the behaviour a production deployment wants.
+    Fib,
+}
+
+/// A concrete abstract-value hash function with `n` abstract values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Phi {
+    n: u16,
+    kind: PhiKind,
+}
+
+impl Phi {
+    /// A modulo hash with `n` abstract values.
+    pub fn modulo(n: u16) -> Phi {
+        assert!(n >= 1, "φ needs at least one abstract value");
+        Phi { n, kind: PhiKind::Mod }
+    }
+
+    /// A Fibonacci multiplicative hash with `n` abstract values.
+    pub fn fib(n: u16) -> Phi {
+        assert!(n >= 1, "φ needs at least one abstract value");
+        Phi { n, kind: PhiKind::Fib }
+    }
+
+    /// The paper's evaluation configuration: 64 abstract values.
+    pub fn paper_default() -> Phi {
+        Phi::fib(64)
+    }
+
+    /// Number of abstract values `n`.
+    #[inline]
+    pub fn n(&self) -> u16 {
+        self.n
+    }
+
+    /// Apply φ to a runtime value.
+    #[inline]
+    pub fn apply(&self, v: Value) -> AbsVal {
+        let h = match self.kind {
+            PhiKind::Mod => v.0 % self.n as u64,
+            PhiKind::Fib => {
+                // 2^64 / golden ratio; top bits are well mixed.
+                let m = v.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // Map the mixed word into [0, n) without bias for small n.
+                ((m >> 32) * self.n as u64) >> 32
+            }
+        };
+        AbsVal(h as u16)
+    }
+
+    /// A copy of this φ with a coarser range of `n'` abstract values,
+    /// used by the mode-cap merging of §5.3 (optimization 3).
+    pub fn coarsen(&self, n: u16) -> Phi {
+        assert!(n >= 1 && n <= self.n);
+        Phi { n, kind: self.kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_basics() {
+        let phi = Phi::modulo(2);
+        assert_eq!(phi.apply(Value(5)), AbsVal(1)); // Fig. 19: φ(5) = α₁
+        assert_eq!(phi.apply(Value(4)), AbsVal(0));
+        assert_eq!(phi.n(), 2);
+    }
+
+    #[test]
+    fn fib_in_range_and_deterministic() {
+        let phi = Phi::fib(64);
+        for v in 0..10_000u64 {
+            let a = phi.apply(Value(v));
+            assert!(a.0 < 64);
+            assert_eq!(a, phi.apply(Value(v)), "determinism");
+        }
+    }
+
+    #[test]
+    fn fib_spreads_adjacent_keys() {
+        // Adjacent integers should not all collapse into one abstract value.
+        let phi = Phi::fib(64);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..64u64 {
+            seen.insert(phi.apply(Value(v)));
+        }
+        assert!(seen.len() > 32, "only {} distinct classes", seen.len());
+    }
+
+    #[test]
+    fn coarsen_shrinks_range() {
+        let phi = Phi::fib(64).coarsen(8);
+        assert_eq!(phi.n(), 8);
+        for v in 0..1000u64 {
+            assert!(phi.apply(Value(v)).0 < 8);
+        }
+    }
+
+    #[test]
+    fn single_class_collapses_everything() {
+        let phi = Phi::modulo(1);
+        assert_eq!(phi.apply(Value(0)), phi.apply(Value(u64::MAX - 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_classes_rejected() {
+        let _ = Phi::modulo(0);
+    }
+
+    #[test]
+    fn display_abs() {
+        assert_eq!(format!("{}", AbsVal(3)), "α3");
+    }
+}

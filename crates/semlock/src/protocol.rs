@@ -1,0 +1,469 @@
+//! Runtime checker for the S2PL / OS2PL protocols (§2.3).
+//!
+//! Tests (and the interpreter, when asked) record every locking and standard
+//! operation into a [`ProtocolChecker`]; [`ProtocolChecker::check`] then
+//! validates the recorded execution against the protocol rules:
+//!
+//! 1. a transaction invokes a standard operation only while holding a lock
+//!    whose mode covers that operation (S2PL rule 1);
+//! 2. a transaction never locks after it has unlocked (S2PL rule 2,
+//!    two-phase);
+//! 3. a transaction never issues two locking operations on the same ADT
+//!    instance (OS2PL corollary, §2.3);
+//! 4. there exists an irreflexive transitive order on ADT instances
+//!    consistent with every transaction's locking order (OS2PL) — checked
+//!    as acyclicity of the union of the per-transaction orders.
+
+use crate::mode::{ModeId, ModeTable};
+use crate::symbolic::Operation;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Transaction identifier used by the recorder.
+pub type TxnId = u64;
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// `lock` invocation on an instance, acquiring a mode.
+    Lock {
+        /// Recording transaction.
+        txn: TxnId,
+        /// ADT instance id.
+        instance: u64,
+        /// Mode acquired.
+        mode: ModeId,
+    },
+    /// Standard ADT operation invocation.
+    Op {
+        /// Recording transaction.
+        txn: TxnId,
+        /// ADT instance id.
+        instance: u64,
+        /// The concrete operation.
+        op: Operation,
+    },
+    /// `unlockAll` on one instance (the epilogue records one per instance,
+    /// early release records it at the release point).
+    Unlock {
+        /// Recording transaction.
+        txn: TxnId,
+        /// ADT instance id.
+        instance: u64,
+    },
+}
+
+/// A protocol violation found by [`ProtocolChecker::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Rule 1: operation without a covering lock.
+    OpWithoutLock {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Instance operated on.
+        instance: u64,
+        /// Human-readable operation description.
+        op: String,
+    },
+    /// Rule 2: lock after unlock.
+    LockAfterUnlock {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Instance locked too late.
+        instance: u64,
+    },
+    /// Rule 3: two locking operations on the same instance.
+    DoubleLock {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Instance locked twice.
+        instance: u64,
+    },
+    /// Rule 4: the union of per-transaction lock orders has a cycle.
+    CyclicLockOrder {
+        /// Instances participating in the detected cycle.
+        cycle: Vec<u64>,
+    },
+    /// Unlock of an instance that was never locked.
+    UnlockWithoutLock {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Instance unlocked without a lock.
+        instance: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OpWithoutLock { txn, instance, op } => {
+                write!(f, "txn {txn}: op {op} on instance {instance} without covering lock")
+            }
+            Violation::LockAfterUnlock { txn, instance } => {
+                write!(f, "txn {txn}: locked instance {instance} after unlocking (2PL)")
+            }
+            Violation::DoubleLock { txn, instance } => {
+                write!(f, "txn {txn}: second locking operation on instance {instance}")
+            }
+            Violation::CyclicLockOrder { cycle } => {
+                write!(f, "cyclic instance lock order: {cycle:?}")
+            }
+            Violation::UnlockWithoutLock { txn, instance } => {
+                write!(f, "txn {txn}: unlocked instance {instance} it never locked")
+            }
+        }
+    }
+}
+
+/// Records events from concurrently executing transactions and validates
+/// them post-hoc.
+#[derive(Default)]
+pub struct ProtocolChecker {
+    events: Mutex<Vec<Event>>,
+    tables: Mutex<HashMap<u64, Arc<ModeTable>>>,
+}
+
+impl ProtocolChecker {
+    /// Create an empty checker.
+    pub fn new() -> ProtocolChecker {
+        ProtocolChecker::default()
+    }
+
+    /// Register the mode table governing an instance (needed to evaluate
+    /// mode coverage of operations).
+    pub fn register_instance(&self, instance: u64, table: Arc<ModeTable>) {
+        self.tables.lock().insert(instance, table);
+    }
+
+    /// Record a lock acquisition.
+    pub fn on_lock(&self, txn: TxnId, instance: u64, mode: ModeId) {
+        self.events.lock().push(Event::Lock { txn, instance, mode });
+    }
+
+    /// Record a standard operation.
+    pub fn on_op(&self, txn: TxnId, instance: u64, op: Operation) {
+        self.events.lock().push(Event::Op { txn, instance, op });
+    }
+
+    /// Record an unlock of one instance.
+    pub fn on_unlock(&self, txn: TxnId, instance: u64) {
+        self.events.lock().push(Event::Unlock { txn, instance });
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Validate the recorded execution; returns every violation found.
+    pub fn check(&self) -> Vec<Violation> {
+        let events = self.events.lock();
+        let tables = self.tables.lock();
+        let mut violations = Vec::new();
+
+        // Per-transaction state, replayed in recorded order. The recorder's
+        // mutex gives a total order consistent with each thread's program
+        // order, which is all the per-transaction rules need.
+        struct TxnState {
+            held: HashMap<u64, ModeId>,
+            ever_locked: HashSet<u64>,
+            unlocked_any: bool,
+            lock_order: Vec<u64>,
+        }
+        let mut txns: HashMap<TxnId, TxnState> = HashMap::new();
+
+        for ev in events.iter() {
+            match ev {
+                Event::Lock { txn, instance, mode } => {
+                    let st = txns.entry(*txn).or_insert_with(|| TxnState {
+                        held: HashMap::new(),
+                        ever_locked: HashSet::new(),
+                        unlocked_any: false,
+                        lock_order: Vec::new(),
+                    });
+                    if st.unlocked_any {
+                        violations.push(Violation::LockAfterUnlock {
+                            txn: *txn,
+                            instance: *instance,
+                        });
+                    }
+                    if !st.ever_locked.insert(*instance) {
+                        violations.push(Violation::DoubleLock {
+                            txn: *txn,
+                            instance: *instance,
+                        });
+                    }
+                    st.held.insert(*instance, *mode);
+                    st.lock_order.push(*instance);
+                }
+                Event::Op { txn, instance, op } => {
+                    let covered = txns.get(txn).and_then(|st| st.held.get(instance)).map(
+                        |mode| {
+                            tables
+                                .get(instance)
+                                .map(|t| t.mode_covers(*mode, op))
+                                .unwrap_or(false)
+                        },
+                    );
+                    if covered != Some(true) {
+                        let opstr = tables
+                            .get(instance)
+                            .map(|t| format!("{}", op.display(t.schema())))
+                            .unwrap_or_else(|| format!("{op:?}"));
+                        violations.push(Violation::OpWithoutLock {
+                            txn: *txn,
+                            instance: *instance,
+                            op: opstr,
+                        });
+                    }
+                }
+                Event::Unlock { txn, instance } => {
+                    let st = txns.entry(*txn).or_insert_with(|| TxnState {
+                        held: HashMap::new(),
+                        ever_locked: HashSet::new(),
+                        unlocked_any: false,
+                        lock_order: Vec::new(),
+                    });
+                    if st.held.remove(instance).is_none() {
+                        violations.push(Violation::UnlockWithoutLock {
+                            txn: *txn,
+                            instance: *instance,
+                        });
+                    }
+                    st.unlocked_any = true;
+                }
+            }
+        }
+
+        // Rule 4: build the union of per-transaction lock orders and check
+        // acyclicity.
+        let mut edges: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for st in txns.values() {
+            for (i, &a) in st.lock_order.iter().enumerate() {
+                for &b in &st.lock_order[i + 1..] {
+                    if a != b {
+                        edges.entry(a).or_default().insert(b);
+                    }
+                }
+            }
+        }
+        if let Some(cycle) = find_cycle(&edges) {
+            violations.push(Violation::CyclicLockOrder { cycle });
+        }
+
+        violations
+    }
+
+    /// Convenience: panic with a readable message if any violation exists.
+    pub fn assert_ok(&self) {
+        let v = self.check();
+        assert!(
+            v.is_empty(),
+            "protocol violations:\n{}",
+            v.iter().map(|x| format!("  {x}\n")).collect::<String>()
+        );
+    }
+}
+
+/// Find a cycle in a directed graph, if any, returning its nodes.
+fn find_cycle(edges: &HashMap<u64, HashSet<u64>>) -> Option<Vec<u64>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<u64, Color> = HashMap::new();
+    let mut stack: Vec<u64> = Vec::new();
+
+    fn dfs(
+        node: u64,
+        edges: &HashMap<u64, HashSet<u64>>,
+        color: &mut HashMap<u64, Color>,
+        stack: &mut Vec<u64>,
+    ) -> Option<Vec<u64>> {
+        color.insert(node, Color::Gray);
+        stack.push(node);
+        if let Some(next) = edges.get(&node) {
+            for &n in next {
+                match color.get(&n).copied().unwrap_or(Color::White) {
+                    Color::Gray => {
+                        let pos = stack.iter().position(|&x| x == n).unwrap();
+                        return Some(stack[pos..].to_vec());
+                    }
+                    Color::White => {
+                        if let Some(c) = dfs(n, edges, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(node, Color::Black);
+        None
+    }
+
+    let nodes: Vec<u64> = edges.keys().copied().collect();
+    for n in nodes {
+        if color.get(&n).copied().unwrap_or(Color::White) == Color::White {
+            if let Some(c) = dfs(n, edges, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ModeTable;
+    use crate::phi::Phi;
+    use crate::schema::set_schema;
+    use crate::spec::CommutSpec;
+    use crate::symbolic::{SymArg, SymOp, SymbolicSet};
+    use crate::value::Value;
+
+    fn table() -> (Arc<ModeTable>, crate::mode::LockSiteId) {
+        let s = set_schema();
+        let spec = CommutSpec::builder(s.clone())
+            .always("add", "add")
+            .differ("add", 0, "remove", 0)
+            .never("add", "size")
+            .never("add", "clear")
+            .differ("add", 0, "contains", 0)
+            .always("remove", "remove")
+            .differ("remove", 0, "contains", 0)
+            .never("remove", "size")
+            .never("remove", "clear")
+            .always("contains", "contains")
+            .always("contains", "size")
+            .never("contains", "clear")
+            .always("size", "size")
+            .never("size", "clear")
+            .always("clear", "clear")
+            .build();
+        let mut b = ModeTable::builder(s.clone(), spec, Phi::modulo(4));
+        let site = b.add_site(SymbolicSet::new(vec![
+            SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+            SymOp::new(s.method("remove"), vec![SymArg::Var(0)]),
+        ]));
+        (b.build(), site)
+    }
+
+    fn add_op(t: &ModeTable, v: u64) -> Operation {
+        Operation::new(t.schema().method("add"), vec![Value(v)])
+    }
+
+    #[test]
+    fn clean_execution_passes() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        let m = t.select(site, &[Value(5)]);
+        c.on_lock(10, 1, m);
+        c.on_op(10, 1, add_op(&t, 5));
+        c.on_unlock(10, 1);
+        assert!(c.check().is_empty());
+        c.assert_ok();
+    }
+
+    #[test]
+    fn op_without_lock_detected() {
+        let (t, _) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        c.on_op(10, 1, add_op(&t, 5));
+        let v = c.check();
+        assert!(matches!(v[0], Violation::OpWithoutLock { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn op_outside_mode_coverage_detected() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        // Lock the class of key 5 but operate on a key of another class.
+        let m = t.select(site, &[Value(5)]); // φ(5)=α1
+        c.on_lock(10, 1, m);
+        c.on_op(10, 1, add_op(&t, 6)); // φ(6)=α2 — not covered
+        let v = c.check();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::OpWithoutLock { .. }));
+    }
+
+    #[test]
+    fn lock_after_unlock_detected() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        c.register_instance(2, t.clone());
+        let m = t.select(site, &[Value(5)]);
+        c.on_lock(10, 1, m);
+        c.on_unlock(10, 1);
+        c.on_lock(10, 2, m);
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::LockAfterUnlock { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn double_lock_detected() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        let m = t.select(site, &[Value(5)]);
+        c.on_lock(10, 1, m);
+        c.on_lock(10, 1, m);
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::DoubleLock { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn cyclic_order_detected() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        c.register_instance(2, t.clone());
+        let m = t.select(site, &[Value(5)]);
+        // txn 10 locks 1 then 2; txn 11 locks 2 then 1.
+        c.on_lock(10, 1, m);
+        c.on_lock(10, 2, m);
+        c.on_lock(11, 2, m);
+        c.on_lock(11, 1, m);
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::CyclicLockOrder { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn consistent_order_passes() {
+        let (t, site) = table();
+        let c = ProtocolChecker::new();
+        for i in 1..=3 {
+            c.register_instance(i, t.clone());
+        }
+        let m = t.select(site, &[Value(5)]);
+        for txn in 10..20 {
+            for inst in 1..=3 {
+                c.on_lock(txn, inst, m);
+            }
+            for inst in 1..=3 {
+                c.on_unlock(txn, inst);
+            }
+        }
+        c.assert_ok();
+    }
+
+    #[test]
+    fn unlock_without_lock_detected() {
+        let (t, _) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        c.on_unlock(10, 1);
+        let v = c.check();
+        assert!(matches!(v[0], Violation::UnlockWithoutLock { .. }));
+    }
+}

@@ -1,0 +1,159 @@
+//! ADT schemas: the static shape (API) of an abstract data type.
+//!
+//! An ADT (§2.1) consists statically of an interface — a set of method
+//! signatures — plus a linearizable implementation. The semantic-locking
+//! machinery only needs the interface: method names and arities, which
+//! symbolic operations, commutativity specifications, and locking modes all
+//! refer to by index.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a method within an [`AdtSchema`].
+pub type MethodIdx = usize;
+
+/// A method signature: a name and the number of value arguments
+/// (not counting the receiver ADT instance).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Method name, e.g. `"add"`.
+    pub name: String,
+    /// Number of arguments, e.g. 1 for `add(v)`.
+    pub arity: usize,
+}
+
+/// The static interface of an ADT class.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AdtSchema {
+    name: String,
+    methods: Vec<MethodSig>,
+}
+
+impl AdtSchema {
+    /// Start building a schema for an ADT class with the given name.
+    pub fn builder(name: impl Into<String>) -> AdtSchemaBuilder {
+        AdtSchemaBuilder {
+            name: name.into(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// The class name (e.g. `"Set"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All method signatures, in declaration order.
+    pub fn methods(&self) -> &[MethodSig] {
+        &self.methods
+    }
+
+    /// Number of methods in the interface.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Look up a method index by name. Panics if absent — schema authors
+    /// control both sides, so a miss is a programming error.
+    pub fn method(&self, name: &str) -> MethodIdx {
+        self.try_method(name)
+            .unwrap_or_else(|| panic!("ADT {} has no method named {name}", self.name))
+    }
+
+    /// Look up a method index by name.
+    pub fn try_method(&self, name: &str) -> Option<MethodIdx> {
+        self.methods.iter().position(|m| m.name == name)
+    }
+
+    /// Signature of the method at `idx`.
+    pub fn sig(&self, idx: MethodIdx) -> &MethodSig {
+        &self.methods[idx]
+    }
+}
+
+impl fmt::Display for AdtSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{ ", self.name)?;
+        for (i, m) in self.methods.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", m.name, m.arity)?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Builder for [`AdtSchema`].
+pub struct AdtSchemaBuilder {
+    name: String,
+    methods: Vec<MethodSig>,
+}
+
+impl AdtSchemaBuilder {
+    /// Declare a method with the given name and arity.
+    pub fn method(mut self, name: impl Into<String>, arity: usize) -> Self {
+        let name = name.into();
+        assert!(
+            !self.methods.iter().any(|m| m.name == name),
+            "duplicate method {name} in ADT {}",
+            self.name
+        );
+        self.methods.push(MethodSig { name, arity });
+        self
+    }
+
+    /// Finish, producing a shared schema.
+    pub fn build(self) -> Arc<AdtSchema> {
+        Arc::new(AdtSchema {
+            name: self.name,
+            methods: self.methods,
+        })
+    }
+}
+
+/// The Set ADT schema of Fig. 3(a), used pervasively in tests and docs.
+pub fn set_schema() -> Arc<AdtSchema> {
+    AdtSchema::builder("Set")
+        .method("add", 1)
+        .method("remove", 1)
+        .method("contains", 1)
+        .method("size", 0)
+        .method("clear", 0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = set_schema();
+        assert_eq!(s.name(), "Set");
+        assert_eq!(s.method_count(), 5);
+        assert_eq!(s.method("add"), 0);
+        assert_eq!(s.method("clear"), 4);
+        assert_eq!(s.sig(s.method("add")).arity, 1);
+        assert_eq!(s.sig(s.method("size")).arity, 0);
+        assert!(s.try_method("frobnicate").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no method named")]
+    fn missing_method_panics() {
+        set_schema().method("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate method")]
+    fn duplicate_method_panics() {
+        let _ = AdtSchema::builder("X").method("m", 0).method("m", 1).build();
+    }
+
+    #[test]
+    fn display() {
+        let s = AdtSchema::builder("Q").method("enqueue", 1).method("size", 0).build();
+        assert_eq!(format!("{s}"), "Q { enqueue/1, size/0 }");
+    }
+}

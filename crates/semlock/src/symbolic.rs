@@ -1,0 +1,377 @@
+//! Concrete and symbolic operations, and symbolic sets (§2.2.1).
+//!
+//! A concrete [`Operation`] is a method name plus runtime argument values,
+//! e.g. `add(7)`. A *symbolic operation* `p(a1, …, an)` describes a set of
+//! concrete operations: each argument is a program variable, the wildcard
+//! `*`, or a constant. A *symbolic set* is a set of symbolic operations and
+//! is the parameter of the `lock` method: `lock({get(id), put(id,*)})`.
+//!
+//! The meaning of a symbolic set under an environment σ mapping variables to
+//! runtime values is the set of operations `[SY](σ)` defined in §2.2.1;
+//! [`SymbolicSet::instantiate_covers`] implements membership in that set.
+
+use crate::schema::{AdtSchema, MethodIdx};
+use crate::value::Value;
+use std::fmt;
+
+/// A concrete runtime operation: a method and its argument values.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// Method index within the ADT schema.
+    pub method: MethodIdx,
+    /// Concrete argument values.
+    pub args: Vec<Value>,
+}
+
+impl Operation {
+    /// Construct an operation.
+    pub fn new(method: MethodIdx, args: Vec<Value>) -> Self {
+        Operation { method, args }
+    }
+
+    /// Render against a schema, e.g. `add(7)`.
+    pub fn display<'a>(&'a self, schema: &'a AdtSchema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Operation, &'a AdtSchema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.sig(self.0.method).name)?;
+                for (i, a) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}{:?}", self.method, self.args)
+    }
+}
+
+/// An argument of a symbolic operation.
+///
+/// `Var(k)` refers to the `k`-th *key slot* of the lock site: when the
+/// compiler emits `lock({get(id), put(id,*)})`, the variable `id` becomes
+/// `Var(0)` and the runtime supplies its current value at lock time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum SymArg {
+    /// A program variable, identified by its slot in the site's key tuple.
+    Var(usize),
+    /// The `*` wildcard: all possible values.
+    Star,
+    /// A compile-time constant value.
+    Const(Value),
+}
+
+impl fmt::Display for SymArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymArg::Var(k) => write!(f, "v{k}"),
+            SymArg::Star => write!(f, "*"),
+            SymArg::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A symbolic operation `p(a1, …, an)` over variables / `*` / constants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SymOp {
+    /// Method index within the ADT schema.
+    pub method: MethodIdx,
+    /// Symbolic arguments; length matches the method arity.
+    pub args: Vec<SymArg>,
+}
+
+impl SymOp {
+    /// Construct a symbolic operation.
+    pub fn new(method: MethodIdx, args: Vec<SymArg>) -> Self {
+        SymOp { method, args }
+    }
+
+    /// A symbolic operation with every argument `*` — matches all
+    /// invocations of the method (used by the §3 "lock everything" stage).
+    pub fn all_of(schema: &AdtSchema, method: MethodIdx) -> Self {
+        SymOp {
+            method,
+            args: vec![SymArg::Star; schema.sig(method).arity],
+        }
+    }
+
+    /// Largest variable slot index used, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                SymArg::Var(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Whether this operation mentions a variable argument.
+    pub fn has_vars(&self) -> bool {
+        self.args.iter().any(|a| matches!(a, SymArg::Var(_)))
+    }
+
+    /// Does this symbolic operation cover the concrete `op` under the
+    /// environment `env` (values for the variable slots)?
+    pub fn covers(&self, op: &Operation, env: &[Value]) -> bool {
+        if self.method != op.method || self.args.len() != op.args.len() {
+            return false;
+        }
+        self.args.iter().zip(&op.args).all(|(sa, v)| match sa {
+            SymArg::Star => true,
+            SymArg::Const(c) => c == v,
+            SymArg::Var(k) => env.get(*k).is_some_and(|e| e == v),
+        })
+    }
+
+    /// Render against a schema, e.g. `put(id,*)`.
+    pub fn display<'a>(&'a self, schema: &'a AdtSchema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a SymOp, &'a AdtSchema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.sig(self.0.method).name)?;
+                for (i, a) in self.0.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// A symbolic set: the static parameter of a `lock` call.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SymbolicSet {
+    ops: Vec<SymOp>,
+}
+
+impl SymbolicSet {
+    /// The empty symbolic set (locks nothing).
+    pub fn empty() -> Self {
+        SymbolicSet { ops: Vec::new() }
+    }
+
+    /// Build from symbolic operations, deduplicating and dropping
+    /// operations subsumed by a more general one (e.g. `get(i)` is
+    /// redundant next to `get(*)`) — the represented operation set is
+    /// unchanged.
+    pub fn new(mut ops: Vec<SymOp>) -> Self {
+        // Order is irrelevant to the semantics; canonicalize so that equal
+        // sets compare equal regardless of construction order.
+        ops.sort_by(|a, b| (a.method, &a.args).cmp(&(b.method, &b.args)));
+        ops.dedup();
+        let subsumes = |general: &SymOp, specific: &SymOp| {
+            general.method == specific.method
+                && general
+                    .args
+                    .iter()
+                    .zip(&specific.args)
+                    .all(|(g, s)| matches!(g, SymArg::Star) || g == s)
+        };
+        let keep: Vec<bool> = ops
+            .iter()
+            .map(|op| {
+                !ops.iter()
+                    .any(|other| other != op && subsumes(other, op))
+            })
+            .collect();
+        let mut it = keep.iter();
+        ops.retain(|_| *it.next().unwrap());
+        SymbolicSet { ops }
+    }
+
+    /// The "lock everything" symbolic set of §3: every method with all-`*`
+    /// arguments, written `lock(+)` in the paper.
+    pub fn all_operations(schema: &AdtSchema) -> Self {
+        SymbolicSet::new(
+            (0..schema.method_count())
+                .map(|m| SymOp::all_of(schema, m))
+                .collect(),
+        )
+    }
+
+    /// The symbolic operations in this set.
+    pub fn ops(&self) -> &[SymOp] {
+        &self.ops
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of symbolic operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Union with another symbolic set.
+    pub fn union(&self, other: &SymbolicSet) -> SymbolicSet {
+        let mut ops = self.ops.clone();
+        ops.extend(other.ops.iter().cloned());
+        SymbolicSet::new(ops)
+    }
+
+    /// Insert one symbolic operation.
+    pub fn insert(&mut self, op: SymOp) {
+        if !self.ops.contains(&op) {
+            self.ops.push(op);
+            self.ops
+                .sort_by(|a, b| (a.method, &a.args).cmp(&(b.method, &b.args)));
+        }
+    }
+
+    /// Number of distinct variable slots referenced (`max index + 1`).
+    pub fn var_slots(&self) -> usize {
+        self.ops
+            .iter()
+            .filter_map(SymOp::max_var)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Whether any operation uses a variable argument — the paper's
+    /// distinction between *constant* and *variable* symbolic sets (§5.1).
+    pub fn is_variable(&self) -> bool {
+        self.ops.iter().any(SymOp::has_vars)
+    }
+
+    /// Membership of a concrete operation in `[SY](σ)` where σ is given by
+    /// the key-slot environment `env` (§2.2.1).
+    pub fn instantiate_covers(&self, op: &Operation, env: &[Value]) -> bool {
+        self.ops.iter().any(|s| s.covers(op, env))
+    }
+
+    /// Render against a schema, e.g. `{get(v0),put(v0,*),remove(v0)}`.
+    pub fn display<'a>(&'a self, schema: &'a AdtSchema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a SymbolicSet, &'a AdtSchema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{{")?;
+                for (i, o) in self.0.ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", o.display(self.1))?;
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::set_schema;
+
+    fn sset() -> std::sync::Arc<AdtSchema> {
+        set_schema()
+    }
+
+    #[test]
+    fn all_operations_set() {
+        let s = sset();
+        let all = SymbolicSet::all_operations(&s);
+        assert_eq!(all.len(), 5);
+        assert!(!all.is_variable());
+        // covers any op of any method
+        let op = Operation::new(s.method("add"), vec![Value(99)]);
+        assert!(all.instantiate_covers(&op, &[]));
+        let op = Operation::new(s.method("size"), vec![]);
+        assert!(all.instantiate_covers(&op, &[]));
+    }
+
+    #[test]
+    fn example_2_2_semantics() {
+        // lock({get(id), put(id,*), remove(id)}) with id = 7 covers exactly
+        // get(7), put(7, anything), remove(7) — Example 2.2 of the paper,
+        // transposed to the Set schema: {add(id)} with id=7 covers add(7).
+        let s = sset();
+        let sy = SymbolicSet::new(vec![SymOp::new(s.method("add"), vec![SymArg::Var(0)])]);
+        let env = [Value(7)];
+        assert!(sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(7)]), &env));
+        assert!(!sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(8)]), &env));
+        assert!(
+            !sy.instantiate_covers(&Operation::new(s.method("remove"), vec![Value(7)]), &env)
+        );
+    }
+
+    #[test]
+    fn star_covers_all_values() {
+        let s = sset();
+        let sy = SymbolicSet::new(vec![SymOp::new(s.method("add"), vec![SymArg::Star])]);
+        for v in [0u64, 5, 1 << 40] {
+            assert!(sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(v)]), &[]));
+        }
+        assert!(!sy.instantiate_covers(&Operation::new(s.method("remove"), vec![Value(0)]), &[]));
+    }
+
+    #[test]
+    fn const_args() {
+        let s = sset();
+        let sy = SymbolicSet::new(vec![SymOp::new(
+            s.method("add"),
+            vec![SymArg::Const(Value(5))],
+        )]);
+        assert!(sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(5)]), &[]));
+        assert!(!sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(6)]), &[]));
+    }
+
+    #[test]
+    fn dedup_and_canonical_order() {
+        let s = sset();
+        let a = SymOp::new(s.method("add"), vec![SymArg::Star]);
+        let b = SymOp::new(s.method("remove"), vec![SymArg::Star]);
+        let s1 = SymbolicSet::new(vec![a.clone(), b.clone(), a.clone()]);
+        let s2 = SymbolicSet::new(vec![b, a]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn var_slots_counts_max() {
+        let s = sset();
+        let sy = SymbolicSet::new(vec![
+            SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+            SymOp::new(s.method("remove"), vec![SymArg::Var(1)]),
+        ]);
+        assert_eq!(sy.var_slots(), 2);
+        assert!(sy.is_variable());
+    }
+
+    #[test]
+    fn union_merges() {
+        let s = sset();
+        let a = SymbolicSet::new(vec![SymOp::new(s.method("add"), vec![SymArg::Star])]);
+        let b = SymbolicSet::new(vec![SymOp::new(s.method("remove"), vec![SymArg::Star])]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.union(&a), u);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = sset();
+        let sy = SymbolicSet::new(vec![
+            SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+            SymOp::new(s.method("size"), vec![]),
+        ]);
+        assert_eq!(format!("{}", sy.display(&s)), "{add(v0),size()}");
+        let op = Operation::new(s.method("add"), vec![Value(3)]);
+        assert_eq!(format!("{}", op.display(&s)), "add(3)");
+    }
+}

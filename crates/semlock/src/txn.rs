@@ -1,0 +1,291 @@
+//! Transaction contexts: `LOCAL_SET`, prologue/epilogue, and the ordered
+//! acquisition helpers of §3 (`LV`, `LV2`, dynamic same-class sorting).
+//!
+//! A [`Txn`] is the runtime state of one executing atomic section. It tracks
+//! the ADT instances the transaction has locked (the paper's thread-local
+//! `LOCAL_SET`, Fig. 5), skips re-locking, releases everything in the
+//! epilogue (or early, for the Appendix-A early-release optimization), and —
+//! in debug builds — enforces the OS2PL single-lock-per-instance rule.
+
+use crate::manager::SemLock;
+use crate::mode::ModeId;
+
+/// The runtime context of one transaction (execution of an atomic section).
+///
+/// Dropping a `Txn` releases every lock it still holds, so a panicking
+/// atomic section cannot leak locks.
+pub struct Txn<'a> {
+    /// `LOCAL_SET`: instances currently locked, with the mode held.
+    /// Transactions touch a handful of ADTs, so a linear-scan vector beats
+    /// any hash structure here.
+    held: Vec<(&'a SemLock, ModeId)>,
+}
+
+impl<'a> Txn<'a> {
+    /// Prologue: begin a transaction with an empty `LOCAL_SET`.
+    pub fn new() -> Txn<'a> {
+        Txn { held: Vec::new() }
+    }
+
+    /// The `LV(x)` macro of Fig. 5: lock `adt` in `mode` unless this
+    /// transaction already holds a lock on that instance.
+    ///
+    /// The compiler guarantees that the first lock site reached for an
+    /// instance requests a mode covering every operation the section may
+    /// still invoke on it, so skipping subsequent sites is sound.
+    pub fn lv(&mut self, adt: &'a SemLock, mode: ModeId) {
+        if self.holds(adt) {
+            return;
+        }
+        adt.lock(mode);
+        self.held.push((adt, mode));
+    }
+
+    /// The `LV2(x, y)` macro of Fig. 12: lock two instances of the same
+    /// equivalence class in the dynamic order given by their unique
+    /// identifiers, so concurrent transactions agree on the order.
+    pub fn lv2(&mut self, a: (&'a SemLock, ModeId), b: (&'a SemLock, ModeId)) {
+        if a.0.unique() <= b.0.unique() {
+            self.lv(a.0, a.1);
+            self.lv(b.0, b.1);
+        } else {
+            self.lv(b.0, b.1);
+            self.lv(a.0, a.1);
+        }
+    }
+
+    /// General case of Fig. 12: lock any number of same-class instances in
+    /// ascending unique-id order.
+    pub fn lv_sorted(&mut self, mut entries: Vec<(&'a SemLock, ModeId)>) {
+        entries.sort_by_key(|(l, _)| l.unique());
+        for (l, m) in entries {
+            self.lv(l, m);
+        }
+    }
+
+    /// Does this transaction currently hold a lock on `adt`?
+    pub fn holds(&self, adt: &SemLock) -> bool {
+        self.held.iter().any(|(l, _)| l.unique() == adt.unique())
+    }
+
+    /// The mode held on `adt`, if any.
+    pub fn held_mode(&self, adt: &SemLock) -> Option<ModeId> {
+        self.held
+            .iter()
+            .find(|(l, _)| l.unique() == adt.unique())
+            .map(|&(_, m)| m)
+    }
+
+    /// Number of instances currently locked.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Early lock release (Appendix A): the `x.unlockAll()` moved before
+    /// the end of the section. No-op if the instance is not held.
+    pub fn release(&mut self, adt: &SemLock) {
+        if let Some(pos) = self
+            .held
+            .iter()
+            .position(|(l, _)| l.unique() == adt.unique())
+        {
+            let (l, m) = self.held.swap_remove(pos);
+            l.unlock(m);
+        }
+    }
+
+    /// Epilogue: `foreach(t : LOCAL_SET) t.unlockAll()`.
+    pub fn unlock_all(&mut self) {
+        for (l, m) in self.held.drain(..) {
+            l.unlock(m);
+        }
+    }
+}
+
+impl Default for Txn<'_> {
+    fn default() -> Self {
+        Txn::new()
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        self.unlock_all();
+    }
+}
+
+/// Run a closure as a transaction: prologue, body, epilogue.
+///
+/// ```
+/// # use semlock::{txn::atomic_section};
+/// let out = atomic_section(|txn| {
+///     // lock ADTs via txn.lv(...), invoke operations, ...
+///     let _ = txn.held_count();
+///     42
+/// });
+/// assert_eq!(out, 42);
+/// ```
+pub fn atomic_section<'a, R>(body: impl FnOnce(&mut Txn<'a>) -> R) -> R {
+    let mut txn = Txn::new();
+    let r = body(&mut txn);
+    txn.unlock_all();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{LockSiteId, ModeTable};
+    use crate::phi::Phi;
+    use crate::schema::set_schema;
+    use crate::spec::CommutSpec;
+    use crate::symbolic::{SymArg, SymOp, SymbolicSet};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn table() -> (Arc<ModeTable>, LockSiteId) {
+        let s = set_schema();
+        let spec = CommutSpec::builder(s.clone())
+            .always("add", "add")
+            .differ("add", 0, "remove", 0)
+            .never("add", "size")
+            .always("remove", "remove")
+            .never("remove", "size")
+            .always("size", "size")
+            .never("add", "clear")
+            .never("remove", "clear")
+            .never("size", "clear")
+            .always("clear", "clear")
+            .differ("add", 0, "contains", 0)
+            .differ("remove", 0, "contains", 0)
+            .always("contains", "contains")
+            .always("contains", "size")
+            .never("contains", "clear")
+            .build();
+        let mut b = ModeTable::builder(s.clone(), spec, Phi::modulo(4));
+        let site = b.add_site(SymbolicSet::new(vec![
+            SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+            SymOp::new(s.method("remove"), vec![SymArg::Var(0)]),
+        ]));
+        (b.build(), site)
+    }
+
+    #[test]
+    fn lv_skips_already_locked_instance() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        let mut txn = Txn::new();
+        txn.lv(&lock, m);
+        txn.lv(&lock, m); // second LV is a no-op
+        assert_eq!(txn.held_count(), 1);
+        assert_eq!(lock.hold_count(m), 1);
+        txn.unlock_all();
+        assert_eq!(lock.hold_count(m), 0);
+    }
+
+    #[test]
+    fn drop_releases_locks() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        {
+            let mut txn = Txn::new();
+            txn.lv(&lock, m);
+            assert_eq!(lock.hold_count(m), 1);
+            // txn dropped here without explicit unlock_all
+        }
+        assert_eq!(lock.hold_count(m), 0);
+    }
+
+    #[test]
+    fn lv2_orders_by_unique_id() {
+        let (t, site) = table();
+        let a = SemLock::new(t.clone());
+        let b = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        // Both argument orders must succeed and leave both locked.
+        let mut txn = Txn::new();
+        txn.lv2((&b, m), (&a, m));
+        assert!(txn.holds(&a) && txn.holds(&b));
+        txn.unlock_all();
+        let mut txn = Txn::new();
+        txn.lv2((&a, m), (&b, m));
+        assert!(txn.holds(&a) && txn.holds(&b));
+    }
+
+    #[test]
+    fn lv_sorted_many() {
+        let (t, site) = table();
+        let locks: Vec<_> = (0..5).map(|_| SemLock::new(t.clone())).collect();
+        let m = t.select(site, &[Value(2)]);
+        let mut txn = Txn::new();
+        // Deliberately shuffled order of same-class instances.
+        txn.lv_sorted(vec![
+            (&locks[3], m),
+            (&locks[0], m),
+            (&locks[4], m),
+            (&locks[1], m),
+            (&locks[2], m),
+        ]);
+        assert_eq!(txn.held_count(), 5);
+    }
+
+    #[test]
+    fn early_release() {
+        let (t, site) = table();
+        let a = SemLock::new(t.clone());
+        let b = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(3)]);
+        let mut txn = Txn::new();
+        txn.lv(&a, m);
+        txn.lv(&b, m);
+        txn.release(&a);
+        assert_eq!(a.hold_count(m), 0);
+        assert_eq!(b.hold_count(m), 1);
+        assert!(!txn.holds(&a));
+        txn.unlock_all();
+        assert_eq!(b.hold_count(m), 0);
+    }
+
+    #[test]
+    fn held_mode_lookup() {
+        let (t, site) = table();
+        let a = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        let mut txn = Txn::new();
+        assert_eq!(txn.held_mode(&a), None);
+        txn.lv(&a, m);
+        assert_eq!(txn.held_mode(&a), Some(m));
+    }
+
+    #[test]
+    fn atomic_section_helper_runs_epilogue() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        atomic_section(|txn| {
+            txn.lv(&lock, m);
+        });
+        assert_eq!(lock.hold_count(m), 0);
+    }
+
+    #[test]
+    fn concurrent_transactions_on_commuting_modes_overlap() {
+        let (t, site) = table();
+        let lock = Arc::new(SemLock::new(t.clone()));
+        let m1 = t.select(site, &[Value(0)]);
+        let m2 = t.select(site, &[Value(1)]);
+        assert_ne!(m1, m2);
+        // Hold m1 in this thread, acquire m2 in another — must not block.
+        let mut txn = Txn::new();
+        txn.lv(&lock, m1);
+        let l2 = lock.clone();
+        let h = std::thread::spawn(move || {
+            let mut t2 = Txn::new();
+            t2.lv(&l2, m2);
+            t2.held_count()
+        });
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Runtime values flowing through ADT operations.
+//!
+//! The paper's formalization treats operation arguments as opaque members of
+//! a set `Value` (§2.1). We model them as 64-bit integers with a reserved
+//! `NULL` sentinel, which is sufficient to encode keys, elements, and ADT
+//! instance identifiers in every benchmark of the evaluation.
+
+use std::fmt;
+
+/// A runtime value: an operation argument or return value.
+///
+/// `Value` is deliberately a thin wrapper over `u64` so that it is `Copy`
+/// and free to hash; richer payloads (e.g. the 128-byte allocations of the
+/// ComputeIfAbsent benchmark) live inside the ADT implementations and are
+/// referenced by `Value` handles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The distinguished "null" value (Java's `null` in the paper's examples).
+    pub const NULL: Value = Value(u64::MAX);
+
+    /// Boolean `true` encoded as a value.
+    pub const TRUE: Value = Value(1);
+    /// Boolean `false` encoded as a value.
+    pub const FALSE: Value = Value(0);
+
+    /// Encode a boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// Interpret this value as a boolean (non-zero and non-null are true).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self != Value::NULL && self.0 != 0
+    }
+
+    /// Whether this value is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Value::NULL
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(v: u64) -> Value {
+        Value(v)
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Value {
+        Value(v as u64)
+    }
+}
+
+impl From<bool> for Value {
+    #[inline]
+    fn from(v: bool) -> Value {
+        Value::from_bool(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_distinct() {
+        assert!(Value::NULL.is_null());
+        assert!(!Value(0).is_null());
+        assert!(!Value(7).is_null());
+        assert_ne!(Value::NULL, Value(0));
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert!(Value::from_bool(true).as_bool());
+        assert!(!Value::from_bool(false).as_bool());
+        assert!(!Value::NULL.as_bool());
+        assert_eq!(Value::from(true), Value::TRUE);
+    }
+
+    #[test]
+    fn display_null() {
+        assert_eq!(format!("{}", Value::NULL), "null");
+        assert_eq!(format!("{}", Value(42)), "42");
+        assert_eq!(format!("{:?}", Value(42)), "42");
+    }
+
+    #[test]
+    fn from_integers() {
+        assert_eq!(Value::from(5u64), Value(5));
+        assert_eq!(Value::from(-1i64), Value(u64::MAX));
+    }
+}

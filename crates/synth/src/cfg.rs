@@ -1,0 +1,374 @@
+//! Control-flow graphs over atomic-section IR.
+//!
+//! Every analysis of the paper is phrased over "(feasible) execution paths
+//! within a single atomic section"; this module provides the conservative
+//! static approximation: a CFG over statement ids with virtual entry/exit
+//! nodes, its transitive closure, and the path predicates the
+//! restrictions-graph (§3.2), lock insertion (§3.3), and Appendix-A
+//! optimizations consume.
+
+use crate::ir::{AtomicSection, Stmt, StmtId};
+
+/// A CFG node: a statement id, or the virtual entry/exit.
+pub type NodeId = u32;
+
+/// The control-flow graph of one atomic section.
+pub struct Cfg {
+    /// Number of real statements (nodes `0..n_stmts`).
+    n_stmts: u32,
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    /// `reach[a]` = nodes reachable from `a` via ≥ 1 edge.
+    reach: Vec<Vec<bool>>,
+}
+
+impl Cfg {
+    /// The virtual entry node.
+    pub fn entry(&self) -> NodeId {
+        self.n_stmts
+    }
+
+    /// The virtual exit node.
+    pub fn exit(&self) -> NodeId {
+        self.n_stmts + 1
+    }
+
+    /// Number of statement nodes.
+    pub fn stmt_count(&self) -> u32 {
+        self.n_stmts
+    }
+
+    /// Successors of a node.
+    pub fn succ(&self, n: NodeId) -> &[NodeId] {
+        &self.succ[n as usize]
+    }
+
+    /// Predecessors of a node.
+    pub fn pred(&self, n: NodeId) -> &[NodeId] {
+        &self.pred[n as usize]
+    }
+
+    /// Is there a path of length ≥ 1 from `a` to `b`?
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        self.reach[a as usize][b as usize]
+    }
+
+    /// Is there a path of length ≥ 0 from `a` to `b`?
+    pub fn reaches_reflexive(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.reaches(a, b)
+    }
+
+    /// Build the CFG of a section. The section must be freshly renumbered.
+    pub fn build(section: &AtomicSection) -> Cfg {
+        let n = section.stmt_count() as u32;
+        let entry = n;
+        let exit = n + 1;
+        let total = (n + 2) as usize;
+        let mut succ: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+
+        // Lower a statement list; returns (first nodes, exit nodes).
+        // "first nodes" is a single head except for empty lists.
+        fn lower(stmts: &[Stmt], succ: &mut Vec<Vec<NodeId>>) -> (Option<NodeId>, Vec<NodeId>) {
+            let mut first: Option<NodeId> = None;
+            let mut prev_exits: Vec<NodeId> = Vec::new();
+            for s in stmts {
+                let (head, exits) = lower_one(s, succ);
+                if first.is_none() {
+                    first = Some(head);
+                }
+                for &e in &prev_exits {
+                    push_edge(succ, e, head);
+                }
+                prev_exits = exits;
+            }
+            (first, prev_exits)
+        }
+
+        fn lower_one(s: &Stmt, succ: &mut Vec<Vec<NodeId>>) -> (NodeId, Vec<NodeId>) {
+            let id = s.id();
+            match s {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let mut exits = Vec::new();
+                    for branch in [then_branch, else_branch] {
+                        let (head, mut ex) = lower(branch, succ);
+                        match head {
+                            Some(h) => {
+                                push_edge(succ, id, h);
+                                exits.append(&mut ex);
+                            }
+                            None => exits.push(id), // empty branch falls through
+                        }
+                    }
+                    (id, exits)
+                }
+                Stmt::While { body, .. } => {
+                    let (head, ex) = lower(body, succ);
+                    match head {
+                        Some(h) => {
+                            push_edge(succ, id, h);
+                            for e in ex {
+                                push_edge(succ, e, id); // back edge
+                            }
+                        }
+                        None => push_edge(succ, id, id), // empty body: self loop
+                    }
+                    (id, vec![id]) // loop exits via the condition node
+                }
+                _ => (id, vec![id]),
+            }
+        }
+
+        fn push_edge(succ: &mut [Vec<NodeId>], from: NodeId, to: NodeId) {
+            let v = &mut succ[from as usize];
+            if !v.contains(&to) {
+                v.push(to);
+            }
+        }
+
+        let (head, exits) = lower(&section.body, &mut succ);
+        match head {
+            Some(h) => push_edge(&mut succ, entry, h),
+            None => push_edge(&mut succ, entry, exit),
+        }
+        for e in exits {
+            push_edge(&mut succ, e, exit);
+        }
+
+        let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+        for (from, tos) in succ.iter().enumerate() {
+            for &to in tos {
+                pred[to as usize].push(from as NodeId);
+            }
+        }
+
+        // Transitive closure via DFS from each node over successors.
+        let mut reach = vec![vec![false; total]; total];
+        for start in 0..total {
+            let row = &mut reach[start];
+            let mut stack: Vec<NodeId> = succ[start].clone();
+            while let Some(n) = stack.pop() {
+                if !row[n as usize] {
+                    row[n as usize] = true;
+                    stack.extend_from_slice(&succ[n as usize]);
+                }
+            }
+        }
+
+        Cfg {
+            n_stmts: n,
+            succ,
+            pred,
+            reach,
+        }
+    }
+
+    /// The restrictions-graph path predicate (§3.2): may variable `v` be
+    /// assigned "along the path" between call `l` and call `l'`? The
+    /// assignment performed *by `l` itself* (its return variable) counts —
+    /// see Example 3.2 — while `l'`'s own return assignment does not (it
+    /// takes effect only after the call).
+    pub fn may_assign_between(
+        &self,
+        section: &AtomicSection,
+        l: StmtId,
+        l2: StmtId,
+        v: &str,
+    ) -> bool {
+        let mut result = false;
+        section.for_each_stmt(|s| {
+            if result {
+                return;
+            }
+            if s.assigned_var() == Some(v) {
+                let n = s.id();
+                let after_l = n == l || self.reaches(l, n);
+                let before_l2 = self.reaches(n, l2);
+                if after_l && before_l2 {
+                    result = true;
+                }
+            }
+        });
+        result
+    }
+
+    /// Does some complete path (entry → exit) avoid node `l`? Used by the
+    /// early-release transformation: moving the unlock to `l` is only legal
+    /// when no complete path skips it.
+    pub fn some_path_avoids(&self, l: NodeId) -> bool {
+        let mut seen = vec![false; self.succ.len()];
+        let mut stack = vec![self.entry()];
+        while let Some(n) = stack.pop() {
+            if n == l || seen[n as usize] {
+                continue;
+            }
+            if n == self.exit() {
+                return true;
+            }
+            seen[n as usize] = true;
+            stack.extend_from_slice(&self.succ[n as usize]);
+        }
+        false
+    }
+
+    /// Nodes in reverse-post-order from entry (a good iteration order for
+    /// forward dataflow analyses).
+    pub fn rpo(&self) -> Vec<NodeId> {
+        let total = self.succ.len();
+        let mut visited = vec![false; total];
+        let mut post = Vec::with_capacity(total);
+        // Iterative post-order DFS.
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry(), 0)];
+        visited[self.entry() as usize] = true;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succ[n as usize].len() {
+                let next = self.succ[n as usize][*i];
+                *i += 1;
+                if !visited[next as usize] {
+                    visited[next as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, fig7_section, fig9_section, Stmt};
+
+    fn call_id(s: &AtomicSection, method: &str, nth: usize) -> StmtId {
+        let mut found = Vec::new();
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method: m, id, .. } = st {
+                if m == method {
+                    found.push(*id);
+                }
+            }
+        });
+        found[nth]
+    }
+
+    #[test]
+    fn straight_line_reachability() {
+        let s = fig1_section();
+        let cfg = Cfg::build(&s);
+        let get = call_id(&s, "get", 0);
+        let add_x = call_id(&s, "add", 0);
+        let remove = call_id(&s, "remove", 0);
+        assert!(cfg.reaches(get, add_x));
+        assert!(cfg.reaches(get, remove));
+        assert!(!cfg.reaches(remove, get));
+        assert!(!cfg.reaches(add_x, get));
+        // No cycles in fig1.
+        assert!(!cfg.reaches(get, get));
+    }
+
+    #[test]
+    fn branch_joins() {
+        let s = fig1_section();
+        let cfg = Cfg::build(&s);
+        let put = call_id(&s, "put", 0);
+        let add_x = call_id(&s, "add", 0);
+        // put (inside then-branch) flows to add_x.
+        assert!(cfg.reaches(put, add_x));
+        // get flows to put and also around the branch to add_x.
+        let get = call_id(&s, "get", 0);
+        assert!(cfg.reaches(get, put));
+        assert!(cfg.reaches(get, add_x));
+        // enqueue is conditional: some path avoids it.
+        let enq = call_id(&s, "enqueue", 0);
+        assert!(cfg.some_path_avoids(enq));
+        // add_x is unconditional: no path avoids it.
+        assert!(!cfg.some_path_avoids(add_x));
+    }
+
+    #[test]
+    fn loop_creates_cycle() {
+        let s = fig9_section();
+        let cfg = Cfg::build(&s);
+        let get = call_id(&s, "get", 0);
+        let size = call_id(&s, "size", 0);
+        // The loop makes each loop statement reach itself.
+        assert!(cfg.reaches(get, get));
+        assert!(cfg.reaches(size, size));
+        assert!(cfg.reaches(size, get));
+        assert!(cfg.reaches(get, size));
+    }
+
+    #[test]
+    fn entry_exit_wiring() {
+        let s = fig7_section();
+        let cfg = Cfg::build(&s);
+        // Entry reaches everything; everything reaches exit.
+        s.for_each_stmt(|st| {
+            assert!(cfg.reaches(cfg.entry(), st.id()), "entry → {}", st.id());
+            assert!(cfg.reaches(st.id(), cfg.exit()), "{} → exit", st.id());
+        });
+        assert!(cfg.reaches(cfg.entry(), cfg.exit()));
+    }
+
+    #[test]
+    fn may_assign_between_example_3_2() {
+        // In Fig. 7: s1.add(1) is reachable from m.get(key1) and s1 is
+        // assigned by that very get — so "s1 may be assigned between".
+        let s = fig7_section();
+        let cfg = Cfg::build(&s);
+        let get1 = call_id(&s, "get", 0);
+        let add1 = call_id(&s, "add", 0);
+        assert!(cfg.may_assign_between(&s, get1, add1, "s1"));
+        // But m is never assigned.
+        assert!(!cfg.may_assign_between(&s, get1, add1, "m"));
+        // And s2 is assigned between get1 and s2.add(2) (by the second get).
+        let add2 = call_id(&s, "add", 1);
+        assert!(cfg.may_assign_between(&s, get1, add2, "s2"));
+        // s1 is NOT assigned between s1.add(1) and s2.add(2).
+        assert!(!cfg.may_assign_between(&s, add1, add2, "s1"));
+    }
+
+    #[test]
+    fn may_assign_between_loop_self() {
+        // Fig. 9: set is assigned between size() and size() (next iteration).
+        let s = fig9_section();
+        let cfg = Cfg::build(&s);
+        let size = call_id(&s, "size", 0);
+        assert!(cfg.may_assign_between(&s, size, size, "set"));
+        assert!(!cfg.may_assign_between(&s, size, size, "map"));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_covers_all() {
+        let s = fig9_section();
+        let cfg = Cfg::build(&s);
+        let order = cfg.rpo();
+        assert_eq!(order[0], cfg.entry());
+        assert_eq!(order.len() as u32, cfg.stmt_count() + 2);
+    }
+
+    #[test]
+    fn empty_branch_falls_through() {
+        use crate::ir::{e::*, ptr, scalar, AtomicSection, Body};
+        let s = AtomicSection::new(
+            "t",
+            [ptr("m", "Map"), scalar("k")],
+            Body::new()
+                .if_then(var("k"), Body::new()) // empty then
+                .call("m", "get", vec![var("k")])
+                .build(),
+        );
+        let cfg = Cfg::build(&s);
+        let if_id = s.body[0].id();
+        let get_id = s.body[1].id();
+        assert!(cfg.reaches(if_id, get_id));
+        assert!(cfg.reaches(cfg.entry(), cfg.exit()));
+    }
+}

@@ -1,0 +1,126 @@
+//! Pointer-variable equivalence classes (§3.2, *A Static Finite
+//! Abstraction*).
+//!
+//! The algorithm is parameterized by an equivalence relation on pointer
+//! variables such that (a) every runtime ADT instance corresponds to exactly
+//! one class and (b) a variable only ever points to instances of its class.
+//! Any pointer analysis can supply this; as the paper notes (Example 3.1),
+//! static types already give a correct abstraction, and that is what this
+//! implementation uses: one equivalence class per ADT class name. A
+//! finer-grained, analysis-supplied partition can be layered on by renaming
+//! classes before synthesis.
+
+use crate::ir::AtomicSection;
+use std::collections::HashMap;
+
+/// Identifier of an equivalence class (a restrictions-graph node).
+pub type ClassId = usize;
+
+/// The equivalence classes of all pointer variables across a program's
+/// atomic sections.
+#[derive(Debug, Clone)]
+pub struct Classes {
+    names: Vec<String>,
+    idx: HashMap<String, ClassId>,
+}
+
+impl Classes {
+    /// Collect the classes appearing in the given sections (deterministic
+    /// order: first appearance across sections, by sorted declaration order
+    /// within each).
+    pub fn collect(sections: &[AtomicSection]) -> Classes {
+        let mut c = Classes {
+            names: Vec::new(),
+            idx: HashMap::new(),
+        };
+        for s in sections {
+            for (_, class) in s.pointer_vars() {
+                c.intern(class);
+            }
+        }
+        c
+    }
+
+    /// Intern a class name, returning its id.
+    pub fn intern(&mut self, name: &str) -> ClassId {
+        if let Some(&i) = self.idx.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.idx.insert(name.to_string(), i);
+        i
+    }
+
+    /// Id of a class name (panics if unknown).
+    pub fn id(&self, name: &str) -> ClassId {
+        *self
+            .idx
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown equivalence class {name}"))
+    }
+
+    /// Name of a class id.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no classes were collected.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Class id of a pointer variable in a section.
+    pub fn of_var(&self, section: &AtomicSection, var: &str) -> ClassId {
+        self.id(section.class_of(var))
+    }
+
+    /// All class names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, fig7_section};
+
+    #[test]
+    fn example_3_1() {
+        // Fig. 7 has classes {m}, {q}, {s1, s2} under the type abstraction.
+        let s = fig7_section();
+        let c = Classes::collect(std::slice::from_ref(&s));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.of_var(&s, "s1"), c.of_var(&s, "s2"));
+        assert_ne!(c.of_var(&s, "m"), c.of_var(&s, "s1"));
+        assert_ne!(c.of_var(&s, "m"), c.of_var(&s, "q"));
+    }
+
+    #[test]
+    fn classes_shared_across_sections() {
+        // Fig. 11: the graph for the sections of Fig. 1 and Fig. 7 together;
+        // both use Map/Set/Queue, so three classes total.
+        let sections = [fig1_section(), fig7_section()];
+        let c = Classes::collect(&sections);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.of_var(&sections[0], "map"), c.of_var(&sections[1], "m"));
+        assert_eq!(c.of_var(&sections[0], "set"), c.of_var(&sections[1], "s1"));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = Classes::collect(&[]);
+        assert!(c.is_empty());
+        let a = c.intern("X");
+        let b = c.intern("X");
+        assert_eq!(a, b);
+        assert_eq!(c.name(a), "X");
+        assert_eq!(c.len(), 1);
+    }
+}

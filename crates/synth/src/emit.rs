@@ -1,0 +1,276 @@
+//! Pretty-printer for (instrumented) atomic sections.
+//!
+//! Produces output in the style of the paper's figures (`LV(map)`,
+//! `map.lock({get(id),put(id,*),remove(id)})`, `map.unlockAll()`, …), used
+//! by the golden tests that compare each synthesis stage against the
+//! corresponding figure.
+
+use crate::ir::{AtomicSection, Expr, LockSiteDecl, Stmt};
+use semlock::symbolic::SymArg;
+use std::fmt::Write;
+
+/// Render an expression.
+pub fn emit_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{v}"),
+        Expr::Null => "null".to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::IsNull(x) => format!("{}==null", emit_expr(x)),
+        Expr::Not(x) => match &**x {
+            Expr::IsNull(y) => format!("{}!=null", emit_expr(y)),
+            other => format!("!({})", emit_expr(other)),
+        },
+        Expr::Eq(a, b) => format!("{}=={}", emit_expr(a), emit_expr(b)),
+        Expr::Lt(a, b) => format!("{}<{}", emit_expr(a), emit_expr(b)),
+        Expr::Add(a, b) => format!("{}+{}", emit_expr(a), emit_expr(b)),
+    }
+}
+
+/// Render a lock-site argument list: the refined symbolic set if present
+/// (with key variables substituted back for slot indices), else the
+/// generic `+` of §3.
+pub fn emit_site(site: &LockSiteDecl) -> String {
+    if let Some(r) = &site.rendered {
+        return r.clone();
+    }
+    match &site.symset {
+        None => "+".to_string(),
+        Some(sy) => {
+            let mut out = String::from("{");
+            for (i, op) in sy.ops().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // Method names are stored in the decl's class schema order;
+                // the symset was built against that schema, so we can only
+                // render indices here — the pipeline stores the rendered
+                // form via `rendered` when schemas are at hand. Fall back
+                // to a structural rendering.
+                let _ = write!(out, "m{}(", op.method);
+                for (j, a) in op.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    match a {
+                        SymArg::Star => out.push('*'),
+                        SymArg::Const(c) => {
+                            let _ = write!(out, "{c}");
+                        }
+                        SymArg::Var(k) => {
+                            if let Some(name) = site.keys.get(*k) {
+                                out.push_str(name);
+                            } else {
+                                let _ = write!(out, "v{k}");
+                            }
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Render a lock site against a schema (names instead of method indices).
+pub fn emit_site_named(site: &LockSiteDecl, schema: &semlock::schema::AdtSchema) -> String {
+    match &site.symset {
+        None => "+".to_string(),
+        Some(sy) => {
+            let mut out = String::from("{");
+            for (i, op) in sy.ops().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}(", schema.sig(op.method).name);
+                for (j, a) in op.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    match a {
+                        SymArg::Star => out.push('*'),
+                        SymArg::Const(c) => {
+                            let _ = write!(out, "{c}");
+                        }
+                        SymArg::Var(k) => {
+                            if let Some(name) = site.keys.get(*k) {
+                                out.push_str(name);
+                            } else {
+                                let _ = write!(out, "v{k}");
+                            }
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn emit_stmt(s: &Stmt, section: &AtomicSection, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Assign { var, expr, .. } => {
+            let _ = writeln!(out, "{pad}{var} = {};", emit_expr(expr));
+        }
+        Stmt::New { var, class, .. } => {
+            let _ = writeln!(out, "{pad}{var} = new {class}();");
+        }
+        Stmt::Call {
+            ret,
+            recv,
+            method,
+            args,
+            ..
+        } => {
+            let args: Vec<String> = args.iter().map(emit_expr).collect();
+            let call = format!("{recv}.{method}({})", args.join(","));
+            match ret {
+                Some(r) => {
+                    let _ = writeln!(out, "{pad}{r} = {call};");
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{call};");
+                }
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if({}) {{", emit_expr(cond));
+            for t in then_branch {
+                emit_stmt(t, section, indent + 1, out);
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for t in else_branch {
+                    emit_stmt(t, section, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while({}) {{", emit_expr(cond));
+            for t in body {
+                emit_stmt(t, section, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Lv { recv, site, .. } => {
+            let sy = emit_site(&section.sites[*site]);
+            if sy == "+" {
+                let _ = writeln!(out, "{pad}LV({recv});");
+            } else {
+                let _ = writeln!(out, "{pad}LV({recv}, {sy});");
+            }
+        }
+        Stmt::LvGroup { entries, .. } => {
+            let vars: Vec<&str> = entries.iter().map(|(v, _)| v.as_str()).collect();
+            let _ = writeln!(out, "{pad}LV{}({});", entries.len(), vars.join(","));
+        }
+        Stmt::LockDirect {
+            recv,
+            site,
+            guarded,
+            ..
+        } => {
+            let sy = emit_site(&section.sites[*site]);
+            let lock = format!("{recv}.lock({sy});");
+            if *guarded {
+                let _ = writeln!(out, "{pad}if({recv}!=null) {lock}");
+            } else {
+                let _ = writeln!(out, "{pad}{lock}");
+            }
+        }
+        Stmt::UnlockAllOf { recv, guarded, .. } => {
+            let unlock = format!("{recv}.unlockAll();");
+            if *guarded {
+                let _ = writeln!(out, "{pad}if({recv}!=null) {unlock}");
+            } else {
+                let _ = writeln!(out, "{pad}{unlock}");
+            }
+        }
+        Stmt::EpilogueUnlockAll { .. } => {
+            let _ = writeln!(out, "{pad}foreach(t : LOCAL_SET) t.unlockAll();");
+        }
+    }
+}
+
+/// Render a whole section.
+pub fn emit_section(section: &AtomicSection) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "atomic {{ // {}", section.name);
+    for s in &section.body {
+        emit_stmt(s, section, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::fig1_section;
+
+    #[test]
+    fn fig1_renders_like_the_paper() {
+        let s = fig1_section();
+        let text = emit_section(&s);
+        assert!(text.contains("set = map.get(id);"));
+        assert!(text.contains("if(set==null) {"));
+        assert!(text.contains("set = new Set();"));
+        assert!(text.contains("map.put(id,set);"));
+        assert!(text.contains("set.add(x);"));
+        assert!(text.contains("queue.enqueue(set);"));
+        assert!(text.contains("map.remove(id);"));
+    }
+
+    #[test]
+    fn sync_statements_render() {
+        use crate::ir::{LockSiteDecl, Stmt, UNNUMBERED};
+        let mut s = fig1_section();
+        s.sites.push(LockSiteDecl {
+            class: "Map".to_string(),
+            symset: None,
+            keys: vec![],
+            rendered: None,
+        });
+        s.body.insert(
+            0,
+            Stmt::Lv {
+                id: UNNUMBERED,
+                recv: "map".to_string(),
+                site: 0,
+            },
+        );
+        s.body.push(Stmt::UnlockAllOf {
+            id: UNNUMBERED,
+            recv: "map".to_string(),
+            guarded: false,
+        });
+        s.body.push(Stmt::EpilogueUnlockAll { id: UNNUMBERED });
+        s.renumber();
+        let text = emit_section(&s);
+        assert!(text.contains("LV(map);"));
+        assert!(text.contains("map.unlockAll();"));
+        assert!(text.contains("foreach(t : LOCAL_SET) t.unlockAll();"));
+    }
+
+    #[test]
+    fn expr_rendering() {
+        use crate::ir::e::*;
+        assert_eq!(emit_expr(&is_null(var("x"))), "x==null");
+        assert_eq!(emit_expr(&not(is_null(var("x")))), "x!=null");
+        assert_eq!(emit_expr(&lt(var("i"), var("n"))), "i<n");
+        assert_eq!(emit_expr(&add(var("a"), konst(1))), "a+1");
+        assert_eq!(emit_expr(&not(var("f"))), "!(f)");
+    }
+}

@@ -1,0 +1,455 @@
+//! Backward inference of refined symbolic sets (§4).
+//!
+//! For every pointer variable `x` and location `l`, the analysis computes a
+//! symbolic set `SY_{x,l}` conservatively describing the ADT operations
+//! that may still be invoked on `x`'s equivalence class along paths from
+//! `l`. As in the paper, variables of the same equivalence class share one
+//! set. The generic `lock(+)` calls of §3 are then replaced by
+//! `lock(SY_{x,l})` (Fig. 18 / Fig. 2).
+//!
+//! The transfer function is a simple backward may-analysis: a call
+//! `y.m(a₁,…)` generates the symbolic operation `m(a₁,…)` for `[y]` (with
+//! non-variable arguments collapsed to `*`), and an assignment to a scalar
+//! or pointer variable `v` *stars out* every occurrence of `v` in collected
+//! operations — before the assignment, `v` holds a different value, so the
+//! operation's future argument can no longer be named.
+
+use crate::cfg::Cfg;
+use crate::classes::Classes;
+use crate::ir::{AtomicSection, Expr, Stmt, StmtId};
+use crate::restrictions::ClassRegistry;
+use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+use semlock::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// A symbolic-operation argument during analysis: named program variables
+/// instead of key-slot indices.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum NamedArg {
+    /// A program variable, by name.
+    Var(String),
+    /// A compile-time constant.
+    Const(Value),
+    /// Any value.
+    Star,
+}
+
+/// A symbolic operation with named arguments.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NamedOp {
+    /// Method name.
+    pub method: String,
+    /// Arguments.
+    pub args: Vec<NamedArg>,
+}
+
+type NamedSet = BTreeSet<NamedOp>;
+
+/// The analysis result: for each statement, the per-class symbolic sets
+/// holding *before* the statement executes.
+pub struct FutureUse {
+    /// `before[stmt][class]`.
+    before: HashMap<StmtId, Vec<NamedSet>>,
+    n_classes: usize,
+}
+
+impl FutureUse {
+    /// Run the backward analysis on a section.
+    pub fn analyze(section: &AtomicSection, classes: &Classes) -> FutureUse {
+        let cfg = Cfg::build(section);
+        let n_classes = classes.len();
+        let total = cfg.stmt_count() as usize + 2;
+        let empty: Vec<NamedSet> = vec![NamedSet::new(); n_classes];
+        let mut ins: Vec<Vec<NamedSet>> = vec![empty.clone(); total];
+
+        // Index statements by id for the transfer function.
+        let mut stmts: HashMap<StmtId, Stmt> = HashMap::new();
+        section.for_each_stmt(|s| {
+            // Shallow identity is enough: transfer only looks at the
+            // statement's own fields, not its children (children are
+            // separate CFG nodes).
+            stmts.insert(s.id(), shallow(s));
+        });
+
+        // Backward worklist to fixpoint.
+        let order: Vec<u32> = {
+            let mut o = cfg.rpo();
+            o.reverse();
+            o
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in &order {
+                if n == cfg.exit() {
+                    continue;
+                }
+                // out(n) = union of in(s) over successors.
+                let mut out = empty.clone();
+                for &s in cfg.succ(n) {
+                    for (c, set) in ins[s as usize].iter().enumerate() {
+                        out[c].extend(set.iter().cloned());
+                    }
+                }
+                // in(n) = transfer(n, out).
+                let new_in = if n == cfg.entry() {
+                    out
+                } else {
+                    transfer(&stmts[&n], section, classes, out)
+                };
+                if new_in != ins[n as usize] {
+                    ins[n as usize] = new_in;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut before = HashMap::new();
+        section.for_each_stmt(|s| {
+            before.insert(s.id(), ins[s.id() as usize].clone());
+        });
+        FutureUse { before, n_classes }
+    }
+
+    /// The symbolic set (named form) for `class` before statement `stmt`.
+    pub fn before(&self, stmt: StmtId, class: usize) -> &NamedSet {
+        assert!(class < self.n_classes);
+        &self.before[&stmt][class]
+    }
+}
+
+/// Clone a statement without its nested bodies (cheap; the analysis only
+/// reads top-level fields).
+fn shallow(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::If { id, cond, .. } => Stmt::If {
+            id: *id,
+            cond: cond.clone(),
+            then_branch: Vec::new(),
+            else_branch: Vec::new(),
+        },
+        Stmt::While { id, cond, .. } => Stmt::While {
+            id: *id,
+            cond: cond.clone(),
+            body: Vec::new(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Star out every occurrence of variable `v` in all collected operations.
+fn star_out(sets: &mut [NamedSet], v: &str) {
+    for set in sets {
+        let affected: Vec<NamedOp> = set
+            .iter()
+            .filter(|op| op.args.iter().any(|a| matches!(a, NamedArg::Var(x) if x == v)))
+            .cloned()
+            .collect();
+        for op in affected {
+            set.remove(&op);
+            let starred = NamedOp {
+                method: op.method,
+                args: op
+                    .args
+                    .into_iter()
+                    .map(|a| match a {
+                        NamedArg::Var(x) if x == v => NamedArg::Star,
+                        other => other,
+                    })
+                    .collect(),
+            };
+            set.insert(starred);
+        }
+    }
+}
+
+fn transfer(
+    s: &Stmt,
+    section: &AtomicSection,
+    classes: &Classes,
+    mut out: Vec<NamedSet>,
+) -> Vec<NamedSet> {
+    match s {
+        Stmt::Call {
+            ret,
+            recv,
+            method,
+            args,
+            ..
+        } => {
+            if let Some(r) = ret {
+                star_out(&mut out, r);
+            }
+            let c = classes.of_var(section, recv);
+            let named_args = args
+                .iter()
+                .map(|a| match a {
+                    Expr::Var(v) => NamedArg::Var(v.clone()),
+                    Expr::Const(k) => NamedArg::Const(*k),
+                    Expr::Null => NamedArg::Const(Value::NULL),
+                    _ => NamedArg::Star,
+                })
+                .collect();
+            out[c].insert(NamedOp {
+                method: method.clone(),
+                args: named_args,
+            });
+            out
+        }
+        Stmt::Assign { var, .. } | Stmt::New { var, .. } => {
+            star_out(&mut out, var);
+            out
+        }
+        _ => out,
+    }
+}
+
+/// Replace each lock site's generic symbolic set with the refined
+/// `SY_{x,l}` inferred at the site's location, converting named arguments
+/// into key slots (the variables whose runtime values select the locking
+/// mode, §5.1).
+pub fn refine_sites(section: &mut AtomicSection, classes: &Classes, registry: &ClassRegistry) {
+    let fu = FutureUse::analyze(section, classes);
+
+    // Gather (site, stmt id, class) for every lock statement.
+    let mut jobs: Vec<(usize, StmtId, String)> = Vec::new();
+    section.for_each_stmt(|s| match s {
+        Stmt::Lv { id, recv, site } | Stmt::LockDirect { id, recv, site, .. } => {
+            jobs.push((*site, *id, section.class_of(recv).to_string()));
+        }
+        Stmt::LvGroup { id, entries } => {
+            for (recv, site) in entries {
+                jobs.push((*site, *id, section.class_of(recv).to_string()));
+            }
+        }
+        _ => {}
+    });
+
+    for (site, stmt, class) in jobs {
+        let named = fu.before(stmt, classes.id(&class));
+        let schema = registry.schema(&class);
+        // Assign key slots to distinct variable names in sorted order.
+        let mut keys: Vec<String> = named
+            .iter()
+            .flat_map(|op| {
+                op.args.iter().filter_map(|a| match a {
+                    NamedArg::Var(v) => Some(v.clone()),
+                    _ => None,
+                })
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let ops = named
+            .iter()
+            .map(|op| {
+                let m = schema.method(&op.method);
+                let args = op
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        NamedArg::Var(v) => {
+                            SymArg::Var(keys.iter().position(|k| k == v).unwrap())
+                        }
+                        NamedArg::Const(c) => SymArg::Const(*c),
+                        NamedArg::Star => SymArg::Star,
+                    })
+                    .collect();
+                SymOp::new(m, args)
+            })
+            .collect();
+        let decl = &mut section.sites[site];
+        decl.symset = Some(SymbolicSet::new(ops));
+        decl.keys = keys;
+        decl.rendered = Some(crate::emit::emit_site_named(decl, schema));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, Stmt};
+
+    fn named(method: &str, args: &[NamedArg]) -> NamedOp {
+        NamedOp {
+            method: method.to_string(),
+            args: args.to_vec(),
+        }
+    }
+
+    /// The inferred symbolic sets of Fig. 18 for the `map` class of Fig. 1.
+    #[test]
+    fn fig18_map_sets() {
+        let s = fig1_section();
+        let classes = Classes::collect(std::slice::from_ref(&s));
+        let fu = FutureUse::analyze(&s, &classes);
+        let map = classes.id("Map");
+
+        // Before line 1 (the get): {get(id), put(id,*), remove(id)}.
+        let get_id = s.body[0].id();
+        let set0 = fu.before(get_id, map);
+        let expect: NamedSet = [
+            named("get", &[NamedArg::Var("id".into())]),
+            named("put", &[NamedArg::Var("id".into()), NamedArg::Star]),
+            named("remove", &[NamedArg::Var("id".into())]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set0, &expect, "before get: {set0:?}");
+
+        // Before set.add(x) (line 6): {remove(id)}.
+        let mut add_ids = Vec::new();
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method, id, .. } = st {
+                if method == "add" {
+                    add_ids.push(*id);
+                }
+            }
+        });
+        let expect_rm: NamedSet = [named("remove", &[NamedArg::Var("id".into())])]
+            .into_iter()
+            .collect();
+        assert_eq!(fu.before(add_ids[0], map), &expect_rm);
+        assert_eq!(fu.before(add_ids[1], map), &expect_rm);
+
+        // Before map.remove(id): {remove(id)}.
+        let mut rm_id = None;
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method, id, .. } = st {
+                if method == "remove" {
+                    rm_id = Some(*id);
+                }
+            }
+        });
+        assert_eq!(fu.before(rm_id.unwrap(), map), &expect_rm);
+    }
+
+    #[test]
+    fn put_second_arg_starred_because_set_reassigned() {
+        // Fig. 18 line 1 shows put(id,*) — `set` is assigned between the
+        // start and the put (both by get's return and by new Set()).
+        let s = fig1_section();
+        let classes = Classes::collect(std::slice::from_ref(&s));
+        let fu = FutureUse::analyze(&s, &classes);
+        let map = classes.id("Map");
+        let get_id = s.body[0].id();
+        let has_star_put = fu
+            .before(get_id, map)
+            .iter()
+            .any(|op| op.method == "put" && op.args[1] == NamedArg::Star);
+        assert!(has_star_put);
+    }
+
+    #[test]
+    fn put_named_inside_branch() {
+        // *Inside* the then-branch, after `set = new Set()`, the future put
+        // is put(id, set) with `set` nameable.
+        let s = fig1_section();
+        let classes = Classes::collect(std::slice::from_ref(&s));
+        let fu = FutureUse::analyze(&s, &classes);
+        let map = classes.id("Map");
+        let mut put_id = None;
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method, id, .. } = st {
+                if method == "put" {
+                    put_id = Some(*id);
+                }
+            }
+        });
+        let before_put = fu.before(put_id.unwrap(), map);
+        assert!(before_put.contains(&named(
+            "put",
+            &[NamedArg::Var("id".into()), NamedArg::Var("set".into())]
+        )));
+    }
+
+    #[test]
+    fn set_class_sets() {
+        // Before set.add(x): the Set class's future ops are add(x), add(y).
+        let s = fig1_section();
+        let classes = Classes::collect(std::slice::from_ref(&s));
+        let fu = FutureUse::analyze(&s, &classes);
+        let setc = classes.id("Set");
+        let mut add_ids = Vec::new();
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method, id, .. } = st {
+                if method == "add" {
+                    add_ids.push(*id);
+                }
+            }
+        });
+        let before_first = fu.before(add_ids[0], setc);
+        let expect: NamedSet = [
+            named("add", &[NamedArg::Var("x".into())]),
+            named("add", &[NamedArg::Var("y".into())]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(before_first, &expect);
+        // Before the second add only add(y) remains.
+        let expect2: NamedSet = [named("add", &[NamedArg::Var("y".into())])]
+            .into_iter()
+            .collect();
+        assert_eq!(fu.before(add_ids[1], setc), &expect2);
+    }
+
+    #[test]
+    fn refine_sites_fills_symsets_and_keys() {
+        use crate::insertion::insert_locking;
+        use crate::order::LockOrder;
+        use crate::restrictions::RestrictionsGraph;
+        use semlock::schema::AdtSchema;
+        use semlock::spec::CommutSpec;
+
+        let s = fig1_section();
+        let g = RestrictionsGraph::build(std::slice::from_ref(&s));
+        let o = LockOrder::compute(&g);
+        let mut inst = insert_locking(&s, &g, &o);
+
+        let mut registry = ClassRegistry::new();
+        let map_schema = AdtSchema::builder("Map")
+            .method("get", 1)
+            .method("put", 2)
+            .method("remove", 1)
+            .build();
+        let set_schema = AdtSchema::builder("Set").method("add", 1).build();
+        let q_schema = AdtSchema::builder("Queue").method("enqueue", 1).build();
+        registry.register(
+            "Map",
+            map_schema.clone(),
+            CommutSpec::builder(map_schema).build(),
+        );
+        registry.register(
+            "Set",
+            set_schema.clone(),
+            CommutSpec::builder(set_schema).build(),
+        );
+        registry.register(
+            "Queue",
+            q_schema.clone(),
+            CommutSpec::builder(q_schema).build(),
+        );
+
+        let classes = Classes::collect(std::slice::from_ref(&inst));
+        refine_sites(&mut inst, &classes, &registry);
+        // Every site now has a symbolic set.
+        for site in &inst.sites {
+            assert!(site.symset.is_some(), "unrefined site for {}", site.class);
+        }
+        // The first Lv(map)'s site is {get(id),put(id,*),remove(id)} with
+        // key variable `id`.
+        let mut first_map_site = None;
+        inst.for_each_stmt(|st| {
+            if let Stmt::Lv { recv, site, .. } = st {
+                if recv == "map" && first_map_site.is_none() {
+                    first_map_site = Some(*site);
+                }
+            }
+        });
+        let site = &inst.sites[first_map_site.unwrap()];
+        assert_eq!(site.keys, vec!["id".to_string()]);
+        let sy = site.symset.as_ref().unwrap();
+        assert_eq!(sy.len(), 3);
+        assert!(sy.is_variable());
+    }
+}

@@ -1,0 +1,335 @@
+//! Lock insertion enforcing OS2PL (§3.3).
+//!
+//! For every statement `l: x.f(…)` invoking an ADT method, the set `LS(l)`
+//! contains the variables `y` with `y ≤ x` (in the topological preorder)
+//! that are used as a call receiver somewhere reachable from `l` —
+//! including `x` itself via the trivial path. Locking code for every
+//! variable in `LS(l)` is inserted just before `l`: smaller classes first
+//! (static order), same-class variables grouped into a dynamically ordered
+//! `LV2`/`LVn` (Fig. 12). An epilogue unlocking everything in `LOCAL_SET`
+//! closes the section (Fig. 6).
+
+use crate::cfg::Cfg;
+use crate::classes::ClassId;
+use crate::ir::{AtomicSection, LockSiteDecl, Stmt, StmtId, UNNUMBERED};
+use crate::order::LockOrder;
+use crate::restrictions::RestrictionsGraph;
+use std::collections::HashMap;
+
+/// Compute `LS(l)` for a call statement `l` with receiver `x`: the
+/// variables to lock before `l`, grouped by class in lock order (each
+/// inner vector shares one equivalence class).
+pub fn lock_set(
+    section: &AtomicSection,
+    cfg: &Cfg,
+    graph: &RestrictionsGraph,
+    order: &LockOrder,
+    l: StmtId,
+    x: &str,
+) -> Vec<Vec<String>> {
+    let cx = graph.classes().of_var(section, x);
+
+    // Receivers of calls reachable (reflexively) from l.
+    let mut future_receivers: Vec<(String, ClassId)> = Vec::new();
+    section.for_each_stmt(|s| {
+        if let Stmt::Call { id, recv, .. } = s {
+            if cfg.reaches_reflexive(l, *id) {
+                let c = graph.classes().of_var(section, recv);
+                if !future_receivers.iter().any(|(r, _)| r == recv) {
+                    future_receivers.push((recv.clone(), c));
+                }
+            }
+        }
+    });
+
+    // Keep y with [y] ≤ [x]; group by class rank.
+    let mut by_class: HashMap<ClassId, Vec<String>> = HashMap::new();
+    for (y, cy) in future_receivers {
+        if order.le(cy, cx) {
+            by_class.entry(cy).or_default().push(y);
+        }
+    }
+    let mut classes: Vec<ClassId> = by_class.keys().copied().collect();
+    classes.sort_by_key(|&c| order.rank(c));
+    classes
+        .into_iter()
+        .map(|c| {
+            let mut vars = by_class.remove(&c).unwrap();
+            vars.sort(); // deterministic source order within a class
+            vars
+        })
+        .collect()
+}
+
+/// Insert the §3.3 locking code into a section, producing the
+/// non-optimized instrumented form (the analogue of Figs. 13–14).
+pub fn insert_locking(
+    section: &AtomicSection,
+    graph: &RestrictionsGraph,
+    order: &LockOrder,
+) -> AtomicSection {
+    let cfg = Cfg::build(section);
+    let mut out = section.clone();
+    out.sites.clear();
+
+    // Plan insertions: call stmt id → locking statements to place before it.
+    let mut insertions: HashMap<StmtId, Vec<Stmt>> = HashMap::new();
+    let mut sites: Vec<LockSiteDecl> = Vec::new();
+    section.for_each_stmt(|s| {
+        if let Stmt::Call { id, recv, .. } = s {
+            let groups = lock_set(section, &cfg, graph, order, *id, recv);
+            let mut stmts = Vec::new();
+            for group in groups {
+                let class = section.class_of(&group[0]).to_string();
+                let mut entries = Vec::with_capacity(group.len());
+                for var in group {
+                    let site = sites.len();
+                    sites.push(LockSiteDecl {
+                        class: class.clone(),
+                        symset: None,
+                        keys: Vec::new(),
+                        rendered: None,
+                    });
+                    entries.push((var, site));
+                }
+                stmts.push(if entries.len() == 1 {
+                    let (recv, site) = entries.pop().unwrap();
+                    Stmt::Lv {
+                        id: UNNUMBERED,
+                        recv,
+                        site,
+                    }
+                } else {
+                    Stmt::LvGroup {
+                        id: UNNUMBERED,
+                        entries,
+                    }
+                });
+            }
+            insertions.insert(*id, stmts);
+        }
+    });
+
+    out.body = splice_before(std::mem::take(&mut out.body), &mut insertions);
+    out.body.push(Stmt::EpilogueUnlockAll { id: UNNUMBERED });
+    out.sites = sites;
+    out.renumber();
+    out
+}
+
+/// Rebuild a statement list, inserting the planned statements before each
+/// matching id (recursing into branches and loop bodies).
+fn splice_before(stmts: Vec<Stmt>, insertions: &mut HashMap<StmtId, Vec<Stmt>>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for mut s in stmts {
+        if let Some(ins) = insertions.remove(&s.id()) {
+            out.extend(ins);
+        }
+        match &mut s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                *then_branch = splice_before(std::mem::take(then_branch), insertions);
+                *else_branch = splice_before(std::mem::take(else_branch), insertions);
+            }
+            Stmt::While { body, .. } => {
+                *body = splice_before(std::mem::take(body), insertions);
+            }
+            _ => {}
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Insert statements *after* the statement with the given id (used by the
+/// early-release optimization). Returns true if the anchor was found.
+pub fn splice_after(stmts: &mut Vec<Stmt>, anchor: StmtId, insert: Vec<Stmt>) -> bool {
+    for i in 0..stmts.len() {
+        if stmts[i].id() == anchor {
+            for (at, s) in (i + 1..).zip(insert) {
+                stmts.insert(at, s);
+            }
+            return true;
+        }
+        let found = match &mut stmts[i] {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                splice_after(then_branch, anchor, insert.clone())
+                    || splice_after(else_branch, anchor, insert.clone())
+            }
+            Stmt::While { body, .. } => splice_after(body, anchor, insert.clone()),
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, fig7_section};
+
+    fn setup(
+        sections: &[AtomicSection],
+    ) -> (RestrictionsGraph, LockOrder) {
+        let g = RestrictionsGraph::build(sections);
+        let o = LockOrder::compute(&g);
+        (g, o)
+    }
+
+    fn call_id(s: &AtomicSection, method: &str, nth: usize) -> StmtId {
+        let mut found = Vec::new();
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method: m, id, .. } = st {
+                if m == method {
+                    found.push(*id);
+                }
+            }
+        });
+        found[nth]
+    }
+
+    #[test]
+    fn ls_for_fig7_matches_fig13() {
+        // With the order m < s1,s2 < q (forced by the Map→Set edge; Queue
+        // unconstrained but ranked deterministically):
+        let s = fig7_section();
+        let (g, o) = setup(std::slice::from_ref(&s));
+        let cfg = Cfg::build(&s);
+
+        // LS(m.get(key1)) = {m}.
+        let get1 = call_id(&s, "get", 0);
+        assert_eq!(lock_set(&s, &cfg, &g, &o, get1, "m"), vec![vec!["m".to_string()]]);
+
+        // LS(s1.add(1)): s1 and s2 (same class, both used later), and m only
+        // if a call via m is still reachable — it is not.
+        let add1 = call_id(&s, "add", 0);
+        let ls = lock_set(&s, &cfg, &g, &o, add1, "s1");
+        assert_eq!(ls, vec![vec!["s1".to_string(), "s2".to_string()]]);
+
+        // LS(s2.add(2)) = {s2} (no future s1-call; q not ≤ s2... q is
+        // incomparable-but-ranked; only vars with rank ≤ matter).
+        let add2 = call_id(&s, "add", 1);
+        let ls = lock_set(&s, &cfg, &g, &o, add2, "s2");
+        // s2 must be present; s1 must not (no future call via s1).
+        assert!(ls.iter().flatten().any(|v| v == "s2"));
+        assert!(!ls.iter().flatten().any(|v| v == "s1"));
+    }
+
+    #[test]
+    fn ls_for_fig1_includes_smaller_class_future_uses() {
+        // Fig. 14: before set.add(x) both map and set are locked — map
+        // because map.remove(id) is still reachable.
+        let s = fig1_section();
+        let (g, o) = setup(std::slice::from_ref(&s));
+        let cfg = Cfg::build(&s);
+        let add_x = call_id(&s, "add", 0);
+        let ls = lock_set(&s, &cfg, &g, &o, add_x, "set");
+        let flat: Vec<&String> = ls.iter().flatten().collect();
+        assert!(flat.iter().any(|v| *v == "map"));
+        assert!(flat.iter().any(|v| *v == "set"));
+        // map's group comes first (smaller rank).
+        assert_eq!(ls[0], vec!["map".to_string()]);
+    }
+
+    #[test]
+    fn insertion_produces_lv_before_every_call() {
+        let s = fig1_section();
+        let (g, o) = setup(std::slice::from_ref(&s));
+        let out = insert_locking(&s, &g, &o);
+        // Every call must be immediately preceded (in its block) by at
+        // least one Lv/LvGroup — check global counts instead of positions:
+        let mut lv = 0;
+        let mut calls = 0;
+        let mut epilogue = 0;
+        out.for_each_stmt(|st| match st {
+            Stmt::Lv { .. } | Stmt::LvGroup { .. } => lv += 1,
+            Stmt::Call { .. } => calls += 1,
+            Stmt::EpilogueUnlockAll { .. } => epilogue += 1,
+            _ => {}
+        });
+        assert_eq!(calls, 6);
+        assert!(lv >= calls, "each call got at least one lock stmt");
+        assert_eq!(epilogue, 1);
+        // Sites registered for each Lv occurrence.
+        assert_eq!(out.sites.len(), lv_site_count(&out));
+    }
+
+    fn lv_site_count(s: &AtomicSection) -> usize {
+        let mut n = 0;
+        s.for_each_stmt(|st| match st {
+            Stmt::Lv { .. } => n += 1,
+            Stmt::LvGroup { entries, .. } => n += entries.len(),
+            _ => {}
+        });
+        n
+    }
+
+    #[test]
+    fn fig7_insertion_uses_lv2_for_same_class() {
+        let s = fig7_section();
+        let (g, o) = setup(std::slice::from_ref(&s));
+        let out = insert_locking(&s, &g, &o);
+        let mut groups = Vec::new();
+        out.for_each_stmt(|st| {
+            if let Stmt::LvGroup { entries, .. } = st {
+                groups.push(entries.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>());
+            }
+        });
+        assert_eq!(groups, vec![vec!["s1".to_string(), "s2".to_string()]]);
+    }
+
+    #[test]
+    fn splice_after_nested() {
+        let s = fig1_section();
+        let enqueue = call_id(&s, "enqueue", 0);
+        let mut body = s.body.clone();
+        let ok = splice_after(
+            &mut body,
+            enqueue,
+            vec![Stmt::UnlockAllOf {
+                id: UNNUMBERED,
+                recv: "queue".to_string(),
+                guarded: true,
+            }],
+        );
+        assert!(ok);
+        // The unlock landed right after the enqueue inside the if-branch.
+        let mut seen = false;
+        fn walk(stmts: &[Stmt], seen: &mut bool) {
+            for w in stmts.windows(2) {
+                if let (Stmt::Call { method, .. }, Stmt::UnlockAllOf { recv, .. }) = (&w[0], &w[1])
+                {
+                    if method == "enqueue" && recv == "queue" {
+                        *seen = true;
+                    }
+                }
+            }
+            for s in stmts {
+                match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, seen);
+                        walk(else_branch, seen);
+                    }
+                    Stmt::While { body, .. } => walk(body, seen),
+                    _ => {}
+                }
+            }
+        }
+        walk(&body, &mut seen);
+        assert!(seen);
+    }
+}

@@ -1,0 +1,749 @@
+//! The atomic-section intermediate representation.
+//!
+//! The paper's compiler operates on Java atomic sections; every analysis it
+//! performs (restrictions-graph construction §3.2, lock insertion §3.3,
+//! backward symbolic-set inference §4, the Appendix-A optimizations)
+//! consumes only control flow, pointer-variable assignments, and ADT method
+//! calls. This IR exposes exactly that: a small structured language of
+//! assignments, allocations, ADT calls, branches and loops, plus the
+//! synchronization statements the synthesizer inserts.
+//!
+//! Every statement carries a [`StmtId`] assigned by
+//! [`AtomicSection::renumber`]; the CFG (see [`crate::cfg`]) and all
+//! analyses are keyed by these ids.
+
+use semlock::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a statement within one atomic section (assigned by
+/// [`AtomicSection::renumber`]).
+pub type StmtId = u32;
+
+/// Reserved id meaning "not yet numbered".
+pub const UNNUMBERED: StmtId = u32::MAX;
+
+/// Variable kinds: pointers reference ADT instances of a declared class,
+/// scalars hold [`Value`]s.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarType {
+    /// Pointer to an ADT instance of the named class.
+    Ptr(String),
+    /// Scalar value.
+    Scalar,
+}
+
+/// A side-effect-free expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Constant value.
+    Const(Value),
+    /// The null literal.
+    Null,
+    /// Variable read (scalar or pointer).
+    Var(String),
+    /// `e == null`.
+    IsNull(Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Equality of two values.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Numeric less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Numeric addition (wrapping).
+    Add(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Variable names read by this expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Null => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::IsNull(e) | Expr::Not(e) => e.vars(out),
+            Expr::Eq(a, b) | Expr::Lt(a, b) | Expr::Add(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+
+    /// If the expression is a bare variable read, its name.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Expr::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience constructors for [`Expr`].
+pub mod e {
+    use super::Expr;
+    use semlock::value::Value;
+
+    /// Variable read.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Constant.
+    pub fn konst(v: u64) -> Expr {
+        Expr::Const(Value(v))
+    }
+
+    /// Null literal.
+    pub fn null() -> Expr {
+        Expr::Null
+    }
+
+    /// `x == null`.
+    pub fn is_null(x: Expr) -> Expr {
+        Expr::IsNull(Box::new(x))
+    }
+
+    /// Logical not.
+    pub fn not(x: Expr) -> Expr {
+        Expr::Not(Box::new(x))
+    }
+
+    /// Equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// Less-than.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// Addition.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+}
+
+/// Identifier of an inserted lock site within an atomic section. The
+/// synthesizer assigns sites; the §4 analysis later attaches a refined
+/// symbolic set to each.
+pub type SiteIdx = usize;
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign {
+        /// Statement id.
+        id: StmtId,
+        /// Assigned variable.
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `var = new Class()` — ADT allocation (constructors are pure, §2.1).
+    New {
+        /// Statement id.
+        id: StmtId,
+        /// Assigned pointer variable.
+        var: String,
+        /// ADT class name.
+        class: String,
+    },
+    /// `ret = recv.method(args)` — an ADT operation.
+    Call {
+        /// Statement id.
+        id: StmtId,
+        /// Variable receiving the result, if any.
+        ret: Option<String>,
+        /// Receiver pointer variable.
+        recv: String,
+        /// Method name (resolved against the receiver class's schema).
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `if (cond) { then } else { els }`.
+    If {
+        /// Statement id (of the branch itself).
+        id: StmtId,
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Statement id (of the loop head).
+        id: StmtId,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+
+    // ---- synchronization statements inserted by the synthesizer ----
+    /// The `LV(x)` macro (Fig. 5): lock via `LOCAL_SET` unless held.
+    Lv {
+        /// Statement id.
+        id: StmtId,
+        /// Receiver pointer variable.
+        recv: String,
+        /// Lock site.
+        site: SiteIdx,
+    },
+    /// The `LV2(x, y)` macro (Fig. 12), generalized to any number of
+    /// same-equivalence-class instances: locked in dynamic unique-id order.
+    LvGroup {
+        /// Statement id.
+        id: StmtId,
+        /// Variables (same class) and their lock sites.
+        entries: Vec<(String, SiteIdx)>,
+    },
+    /// Direct lock after `LOCAL_SET` elimination:
+    /// `if (x != null) x.lock(site)` (the guard may be optimized away).
+    LockDirect {
+        /// Statement id.
+        id: StmtId,
+        /// Receiver pointer variable.
+        recv: String,
+        /// Lock site.
+        site: SiteIdx,
+        /// Whether the `x != null` guard is still present.
+        guarded: bool,
+    },
+    /// `if (x != null) x.unlockAll()` — per-variable unlock, used both in
+    /// the lowered epilogue and for early release (Appendix A).
+    UnlockAllOf {
+        /// Statement id.
+        id: StmtId,
+        /// Receiver pointer variable.
+        recv: String,
+        /// Whether the `x != null` guard is still present.
+        guarded: bool,
+    },
+    /// Epilogue over `LOCAL_SET`: `foreach (t : LOCAL_SET) t.unlockAll()`.
+    EpilogueUnlockAll {
+        /// Statement id.
+        id: StmtId,
+    },
+}
+
+impl Stmt {
+    /// This statement's id.
+    pub fn id(&self) -> StmtId {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::New { id, .. }
+            | Stmt::Call { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::Lv { id, .. }
+            | Stmt::LvGroup { id, .. }
+            | Stmt::LockDirect { id, .. }
+            | Stmt::UnlockAllOf { id, .. }
+            | Stmt::EpilogueUnlockAll { id } => *id,
+        }
+    }
+
+    fn set_id(&mut self, new: StmtId) {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::New { id, .. }
+            | Stmt::Call { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::Lv { id, .. }
+            | Stmt::LvGroup { id, .. }
+            | Stmt::LockDirect { id, .. }
+            | Stmt::UnlockAllOf { id, .. }
+            | Stmt::EpilogueUnlockAll { id } => *id = new,
+        }
+    }
+
+    /// The variable this statement assigns, if any. A `Call`'s return
+    /// variable counts: its assignment takes effect *after* the call.
+    pub fn assigned_var(&self) -> Option<&str> {
+        match self {
+            Stmt::Assign { var, .. } | Stmt::New { var, .. } => Some(var),
+            Stmt::Call { ret: Some(r), .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a synchronization statement inserted by the
+    /// synthesizer.
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Lv { .. }
+                | Stmt::LvGroup { .. }
+                | Stmt::LockDirect { .. }
+                | Stmt::UnlockAllOf { .. }
+                | Stmt::EpilogueUnlockAll { .. }
+        )
+    }
+}
+
+/// One atomic section: declarations plus a body.
+#[derive(Clone, Debug)]
+pub struct AtomicSection {
+    /// Section name (for diagnostics and multi-section programs).
+    pub name: String,
+    /// All variable declarations (parameters and locals).
+    pub decls: BTreeMap<String, VarType>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Lock sites referenced by inserted synchronization statements.
+    /// Initially empty; the synthesizer appends as it instruments.
+    pub sites: Vec<LockSiteDecl>,
+}
+
+/// Declaration of a lock site: which class it locks and — after the §4
+/// refinement — the symbolic set and key variables it uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockSiteDecl {
+    /// ADT class locked at this site.
+    pub class: String,
+    /// The symbolic set (over key-slot indices) to lock. `None` until
+    /// refinement means the generic "all operations" set of §3.
+    pub symset: Option<semlock::symbolic::SymbolicSet>,
+    /// Scalar program variables supplying the key slots, in slot order.
+    pub keys: Vec<String>,
+    /// Human-readable rendering of the symbolic set with method names
+    /// (filled by the §4 refinement, which has the schema at hand); used
+    /// by the pretty-printer.
+    pub rendered: Option<String>,
+}
+
+impl AtomicSection {
+    /// Create a section with the given declarations.
+    pub fn new(
+        name: impl Into<String>,
+        decls: impl IntoIterator<Item = (String, VarType)>,
+        body: Vec<Stmt>,
+    ) -> AtomicSection {
+        let mut s = AtomicSection {
+            name: name.into(),
+            decls: decls.into_iter().collect(),
+            body,
+            sites: Vec::new(),
+        };
+        s.renumber();
+        s
+    }
+
+    /// The declared type of a variable.
+    pub fn var_type(&self, name: &str) -> &VarType {
+        self.decls
+            .get(name)
+            .unwrap_or_else(|| panic!("undeclared variable {name} in section {}", self.name))
+    }
+
+    /// Class of a pointer variable (panics if scalar/undeclared).
+    pub fn class_of(&self, name: &str) -> &str {
+        match self.var_type(name) {
+            VarType::Ptr(c) => c,
+            VarType::Scalar => panic!("variable {name} is scalar, expected pointer"),
+        }
+    }
+
+    /// Pointer variables declared in this section.
+    pub fn pointer_vars(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.decls.iter().filter_map(|(n, t)| match t {
+            VarType::Ptr(c) => Some((n.as_str(), c.as_str())),
+            VarType::Scalar => None,
+        })
+    }
+
+    /// Re-assign sequential statement ids (pre-order). Returns the number
+    /// of statements. Must be called after any structural transformation.
+    pub fn renumber(&mut self) -> u32 {
+        fn walk(stmts: &mut [Stmt], next: &mut StmtId) {
+            for s in stmts {
+                s.set_id(*next);
+                *next += 1;
+                match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, next);
+                        walk(else_branch, next);
+                    }
+                    Stmt::While { body, .. } => walk(body, next),
+                    _ => {}
+                }
+            }
+        }
+        let mut next = 0;
+        walk(&mut self.body, &mut next);
+        next
+    }
+
+    /// Visit every statement (pre-order).
+    pub fn for_each_stmt(&self, mut f: impl FnMut(&Stmt)) {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, f);
+                        walk(else_branch, f);
+                    }
+                    Stmt::While { body, .. } => walk(body, f),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut f);
+    }
+
+    /// Count statements.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_stmt(|_| n += 1);
+        n
+    }
+
+    /// Find a statement by id (pre-order search).
+    pub fn find(&self, id: StmtId) -> Option<&Stmt> {
+        fn walk(stmts: &[Stmt], id: StmtId) -> Option<&Stmt> {
+            for s in stmts {
+                if s.id() == id {
+                    return Some(s);
+                }
+                match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        if let Some(x) = walk(then_branch, id) {
+                            return Some(x);
+                        }
+                        if let Some(x) = walk(else_branch, id) {
+                            return Some(x);
+                        }
+                    }
+                    Stmt::While { body, .. } => {
+                        if let Some(x) = walk(body, id) {
+                            return Some(x);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        walk(&self.body, id)
+    }
+}
+
+impl fmt::Display for AtomicSection {
+    /// Delegates to the pretty-printer in [`crate::emit`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::emit::emit_section(self))
+    }
+}
+
+/// Builder for statement lists — keeps the paper-example constructions in
+/// tests readable.
+#[derive(Default)]
+pub struct Body {
+    stmts: Vec<Stmt>,
+}
+
+impl Body {
+    /// Start an empty body.
+    pub fn new() -> Body {
+        Body::default()
+    }
+
+    /// `var = expr`.
+    pub fn assign(mut self, var: &str, expr: Expr) -> Self {
+        self.stmts.push(Stmt::Assign {
+            id: UNNUMBERED,
+            var: var.to_string(),
+            expr,
+        });
+        self
+    }
+
+    /// `var = new Class()`.
+    pub fn new_adt(mut self, var: &str, class: &str) -> Self {
+        self.stmts.push(Stmt::New {
+            id: UNNUMBERED,
+            var: var.to_string(),
+            class: class.to_string(),
+        });
+        self
+    }
+
+    /// `recv.method(args)` (result discarded).
+    pub fn call(self, recv: &str, method: &str, args: Vec<Expr>) -> Self {
+        self.call_ret(None, recv, method, args)
+    }
+
+    /// `ret = recv.method(args)`.
+    pub fn call_into(self, ret: &str, recv: &str, method: &str, args: Vec<Expr>) -> Self {
+        self.call_ret(Some(ret.to_string()), recv, method, args)
+    }
+
+    fn call_ret(
+        mut self,
+        ret: Option<String>,
+        recv: &str,
+        method: &str,
+        args: Vec<Expr>,
+    ) -> Self {
+        self.stmts.push(Stmt::Call {
+            id: UNNUMBERED,
+            ret,
+            recv: recv.to_string(),
+            method: method.to_string(),
+            args,
+        });
+        self
+    }
+
+    /// `if (cond) { then }`.
+    pub fn if_then(mut self, cond: Expr, then_branch: Body) -> Self {
+        self.stmts.push(Stmt::If {
+            id: UNNUMBERED,
+            cond,
+            then_branch: then_branch.stmts,
+            else_branch: Vec::new(),
+        });
+        self
+    }
+
+    /// `if (cond) { then } else { els }`.
+    pub fn if_else(mut self, cond: Expr, then_branch: Body, else_branch: Body) -> Self {
+        self.stmts.push(Stmt::If {
+            id: UNNUMBERED,
+            cond,
+            then_branch: then_branch.stmts,
+            else_branch: else_branch.stmts,
+        });
+        self
+    }
+
+    /// `while (cond) { body }`.
+    pub fn while_loop(mut self, cond: Expr, body: Body) -> Self {
+        self.stmts.push(Stmt::While {
+            id: UNNUMBERED,
+            cond,
+            body: body.stmts,
+        });
+        self
+    }
+
+    /// Finish, producing the statement list.
+    pub fn build(self) -> Vec<Stmt> {
+        self.stmts
+    }
+}
+
+/// Declarations helper: `decls![("map", ptr "Map"), ("id", scalar)]`-style
+/// construction without macro magic.
+pub fn ptr(name: &str, class: &str) -> (String, VarType) {
+    (name.to_string(), VarType::Ptr(class.to_string()))
+}
+
+/// Scalar declaration helper.
+pub fn scalar(name: &str) -> (String, VarType) {
+    (name.to_string(), VarType::Scalar)
+}
+
+/// The atomic section of Fig. 1 — used across the test suites and docs.
+///
+/// ```text
+/// atomic {
+///   set = map.get(id);
+///   if (set == null) { set = new Set(); map.put(id, set); }
+///   set.add(x); set.add(y);
+///   if (flag) { queue.enqueue(set); map.remove(id); }
+/// }
+/// ```
+pub fn fig1_section() -> AtomicSection {
+    use e::*;
+    AtomicSection::new(
+        "fig1",
+        [
+            ptr("map", "Map"),
+            ptr("set", "Set"),
+            ptr("queue", "Queue"),
+            scalar("id"),
+            scalar("x"),
+            scalar("y"),
+            scalar("flag"),
+        ],
+        Body::new()
+            .call_into("set", "map", "get", vec![var("id")])
+            .if_then(
+                is_null(var("set")),
+                Body::new()
+                    .new_adt("set", "Set")
+                    .call("map", "put", vec![var("id"), var("set")]),
+            )
+            .call("set", "add", vec![var("x")])
+            .call("set", "add", vec![var("y")])
+            .if_then(
+                var("flag"),
+                Body::new()
+                    .call("queue", "enqueue", vec![var("set")])
+                    .call("map", "remove", vec![var("id")]),
+            )
+            .build(),
+    )
+}
+
+/// The atomic section of Fig. 7.
+///
+/// ```text
+/// atomic {
+///   s1 = m.get(key1);
+///   s2 = m.get(key2);
+///   if (s1 != null && s2 != null) {
+///     s1.add(1); s2.add(2); q.enqueue(s1);
+///   }
+/// }
+/// ```
+pub fn fig7_section() -> AtomicSection {
+    use e::*;
+    AtomicSection::new(
+        "fig7",
+        [
+            ptr("m", "Map"),
+            ptr("q", "Queue"),
+            ptr("s1", "Set"),
+            ptr("s2", "Set"),
+            scalar("key1"),
+            scalar("key2"),
+        ],
+        Body::new()
+            .call_into("s1", "m", "get", vec![var("key1")])
+            .call_into("s2", "m", "get", vec![var("key2")])
+            .if_then(
+                not(is_null(var("s1"))),
+                Body::new().if_then(
+                    not(is_null(var("s2"))),
+                    Body::new()
+                        .call("s1", "add", vec![konst(1)])
+                        .call("s2", "add", vec![konst(2)])
+                        .call("q", "enqueue", vec![var("s1")]),
+                ),
+            )
+            .build(),
+    )
+}
+
+/// The atomic section of Fig. 9 (loop whose restrictions-graph is cyclic).
+///
+/// ```text
+/// atomic {
+///   sum = 0;
+///   for (i = 0; i < n; i++) {
+///     set = map.get(i);
+///     if (set != null) sum += set.size();
+///   }
+/// }
+/// ```
+pub fn fig9_section() -> AtomicSection {
+    use e::*;
+    AtomicSection::new(
+        "fig9",
+        [
+            ptr("map", "Map"),
+            ptr("set", "Set"),
+            scalar("sum"),
+            scalar("i"),
+            scalar("n"),
+            scalar("sz"),
+        ],
+        Body::new()
+            .assign("sum", konst(0))
+            .assign("i", konst(0))
+            .while_loop(
+                lt(var("i"), var("n")),
+                Body::new()
+                    .call_into("set", "map", "get", vec![var("i")])
+                    .if_then(
+                        not(is_null(var("set"))),
+                        Body::new()
+                            .call_into("sz", "set", "size", vec![])
+                            .assign("sum", add(var("sum"), var("sz"))),
+                    )
+                    .assign("i", add(var("i"), konst(1))),
+            )
+            .build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumber_assigns_preorder_ids() {
+        let s = fig1_section();
+        let mut ids = Vec::new();
+        s.for_each_stmt(|st| ids.push(st.id()));
+        let expect: Vec<StmtId> = (0..ids.len() as u32).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let s = fig1_section();
+        assert_eq!(s.body.len(), 5); // call, if, add, add, if
+        assert_eq!(s.class_of("map"), "Map");
+        assert_eq!(s.class_of("queue"), "Queue");
+        assert_eq!(s.pointer_vars().count(), 3);
+        // Count calls.
+        let mut calls = 0;
+        s.for_each_stmt(|st| {
+            if matches!(st, Stmt::Call { .. }) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 6); // get, put, add, add, enqueue, remove
+    }
+
+    #[test]
+    fn find_locates_nested() {
+        let s = fig9_section();
+        let mut loop_call = None;
+        s.for_each_stmt(|st| {
+            if let Stmt::Call { method, id, .. } = st {
+                if method == "size" {
+                    loop_call = Some(*id);
+                }
+            }
+        });
+        let id = loop_call.expect("size call present");
+        assert!(matches!(s.find(id), Some(Stmt::Call { method, .. }) if method == "size"));
+        assert!(s.find(9999).is_none());
+    }
+
+    #[test]
+    fn assigned_var_of_call_is_ret() {
+        let s = fig1_section();
+        let first = &s.body[0];
+        assert_eq!(first.assigned_var(), Some("set"));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared variable")]
+    fn undeclared_var_panics() {
+        let s = fig1_section();
+        let _ = s.var_type("nope");
+    }
+}

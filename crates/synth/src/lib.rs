@@ -1,0 +1,39 @@
+//! # synth — the automatic atomicity-enforcement compiler
+//!
+//! Implements the synthesis algorithm of *Automatic Scalable Atomicity via
+//! Semantic Locking* (PPoPP'15) over an explicit atomic-section IR:
+//!
+//! * [`ir`] — the atomic-section language (assignments, allocations, ADT
+//!   calls, branches, loops) plus the synchronization statements the
+//!   compiler inserts;
+//! * [`mod@cfg`] — control-flow graphs and path predicates;
+//! * [`classes`] — pointer-variable equivalence classes (§3.2);
+//! * [`restrictions`] — the restrictions-graph, cyclic components, and the
+//!   global-wrapper rewrite (§3.2, §3.4);
+//! * [`order`] — topological lock ordering (§3.3);
+//! * [`insertion`] — `LS(l)` computation and `LV`/`LV2` insertion (§3.3);
+//! * [`opt`] — the Appendix-A optimizations;
+//! * [`future`] — backward symbolic-set inference (§4);
+//! * [`modes`] — per-class locking-mode table construction (§5);
+//! * [`emit`] — a pretty-printer reproducing the paper's figures;
+//! * [`parse`] — a parser for the surface language (round-trips with
+//!   [`emit`]);
+//! * [`pipeline`] — the end-to-end [`pipeline::Synthesizer`].
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod classes;
+pub mod emit;
+pub mod future;
+pub mod insertion;
+pub mod ir;
+pub mod modes;
+pub mod opt;
+pub mod order;
+pub mod parse;
+pub mod pipeline;
+pub mod restrictions;
+
+pub use pipeline::{SynthOutput, Synthesizer};
+pub use restrictions::ClassRegistry;

@@ -1,0 +1,193 @@
+//! Locking-mode extraction (§5.1): translate the lock sites of the
+//! instrumented sections into per-equivalence-class [`ModeTable`]s that the
+//! runtime uses to implement `lock(SY)`.
+//!
+//! Per §5.3 (optimization 2) one table is built per equivalence class, so
+//! the same ADT type used differently in different classes gets specialized
+//! locking.
+
+use crate::ir::{AtomicSection, SiteIdx, Stmt};
+use crate::restrictions::ClassRegistry;
+use semlock::mode::{LockSiteId, ModeTable, ModeTableBuilder};
+use semlock::phi::Phi;
+use semlock::symbolic::SymbolicSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The compiled mode tables of a program, plus the mapping from IR lock
+/// sites to runtime [`LockSiteId`]s.
+pub struct ClassTables {
+    tables: HashMap<String, Arc<ModeTable>>,
+    site_map: HashMap<(String, SiteIdx), LockSiteId>,
+}
+
+impl ClassTables {
+    /// The mode table of an equivalence class.
+    pub fn table(&self, class: &str) -> &Arc<ModeTable> {
+        self.tables
+            .get(class)
+            .unwrap_or_else(|| panic!("no mode table for class {class}"))
+    }
+
+    /// Whether a class has a table (it does iff some section locks it).
+    pub fn contains(&self, class: &str) -> bool {
+        self.tables.contains_key(class)
+    }
+
+    /// Classes with tables.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Runtime site id for an IR site of a section.
+    pub fn site(&self, section: &str, site: SiteIdx) -> LockSiteId {
+        *self
+            .site_map
+            .get(&(section.to_string(), site))
+            .unwrap_or_else(|| panic!("unmapped lock site {site} in section {section}"))
+    }
+}
+
+/// Collect the site indices actually referenced by a section's surviving
+/// lock statements (optimizations may have deleted some).
+pub fn referenced_sites(section: &AtomicSection) -> BTreeSet<SiteIdx> {
+    let mut used = BTreeSet::new();
+    section.for_each_stmt(|s| match s {
+        Stmt::Lv { site, .. } | Stmt::LockDirect { site, .. } => {
+            used.insert(*site);
+        }
+        Stmt::LvGroup { entries, .. } => {
+            for (_, site) in entries {
+                used.insert(*site);
+            }
+        }
+        _ => {}
+    });
+    used
+}
+
+/// Build mode tables for every class locked anywhere in the program.
+///
+/// Unrefined sites (the generic `lock(+)` of §3) register the
+/// all-operations symbolic set.
+pub fn build_tables(
+    sections: &[AtomicSection],
+    registry: &ClassRegistry,
+    phi: Phi,
+    cap: usize,
+) -> ClassTables {
+    let mut builders: HashMap<String, ModeTableBuilder> = HashMap::new();
+    let mut site_map = HashMap::new();
+
+    for section in sections {
+        for idx in referenced_sites(section) {
+            let decl = &section.sites[idx];
+            let builder = builders.entry(decl.class.clone()).or_insert_with(|| {
+                ModeTable::builder(
+                    registry.schema(&decl.class).clone(),
+                    registry.spec(&decl.class).clone(),
+                    phi,
+                )
+                .cap(cap)
+            });
+            let symset = decl
+                .symset
+                .clone()
+                .unwrap_or_else(|| SymbolicSet::all_operations(registry.schema(&decl.class)));
+            let site_id = builder.add_site(symset);
+            site_map.insert((section.name.clone(), idx), site_id);
+        }
+    }
+
+    let tables = builders
+        .into_iter()
+        .map(|(class, b)| (class, b.build()))
+        .collect();
+    ClassTables { tables, site_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::insert_locking;
+    use crate::ir::fig1_section;
+    use crate::order::LockOrder;
+    use crate::restrictions::RestrictionsGraph;
+    use semlock::schema::AdtSchema;
+    use semlock::spec::CommutSpec;
+
+    fn registry() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        let map = AdtSchema::builder("Map")
+            .method("get", 1)
+            .method("put", 2)
+            .method("remove", 1)
+            .build();
+        let map_spec = CommutSpec::builder(map.clone())
+            .always("get", "get")
+            .differ("get", 0, "put", 0)
+            .differ("get", 0, "remove", 0)
+            .differ("put", 0, "put", 0)
+            .differ("put", 0, "remove", 0)
+            .differ("remove", 0, "remove", 0)
+            .build();
+        r.register("Map", map, map_spec);
+        let set = AdtSchema::builder("Set").method("add", 1).build();
+        let set_spec = CommutSpec::builder(set.clone()).always("add", "add").build();
+        r.register("Set", set, set_spec);
+        let q = AdtSchema::builder("Queue").method("enqueue", 1).build();
+        let q_spec = CommutSpec::builder(q.clone())
+            .never("enqueue", "enqueue")
+            .build();
+        r.register("Queue", q, q_spec);
+        r
+    }
+
+    #[test]
+    fn tables_built_for_all_locked_classes() {
+        let s = fig1_section();
+        let g = RestrictionsGraph::build(std::slice::from_ref(&s));
+        let o = LockOrder::compute(&g);
+        let mut inst = insert_locking(&s, &g, &o);
+        crate::opt::optimize(&mut inst);
+        let r = registry();
+        crate::future::refine_sites(&mut inst, g.classes(), &r);
+        let tables = build_tables(std::slice::from_ref(&inst), &r, Phi::modulo(4), 4096);
+        for class in ["Map", "Set", "Queue"] {
+            assert!(tables.contains(class), "missing table for {class}");
+        }
+        // Every surviving site maps to a runtime site id.
+        for idx in referenced_sites(&inst) {
+            let _ = tables.site(&inst.name, idx);
+        }
+        // Map's table uses the refined {get(v0),put(v0,*),remove(v0)} site:
+        // 4 modes (one per abstract key class).
+        let map_table = tables.table("Map");
+        assert_eq!(map_table.mode_count(), 4);
+    }
+
+    #[test]
+    fn unrefined_sites_get_all_operations() {
+        let s = fig1_section();
+        let g = RestrictionsGraph::build(std::slice::from_ref(&s));
+        let o = LockOrder::compute(&g);
+        let inst = insert_locking(&s, &g, &o); // no refinement
+        let r = registry();
+        let tables = build_tables(std::slice::from_ref(&inst), &r, Phi::modulo(4), 4096);
+        // All-ops mode: a single self-conflicting mode per class.
+        let map_table = tables.table("Map");
+        assert_eq!(map_table.mode_count(), 1);
+        let m = semlock::mode::ModeId(0);
+        assert!(!map_table.fc(m, m));
+    }
+
+    #[test]
+    #[should_panic(expected = "no mode table")]
+    fn missing_class_panics() {
+        let tables = ClassTables {
+            tables: HashMap::new(),
+            site_map: HashMap::new(),
+        };
+        let _ = tables.table("Nope");
+    }
+}

@@ -1,0 +1,132 @@
+//! Topological lock ordering (§3.3).
+//!
+//! Sorting the (acyclic) restrictions-graph topologically yields a total
+//! order `<ts` on equivalence classes; the derived preorder `<` on pointer
+//! variables statically determines the order in which instances of
+//! *different* classes are locked, while same-class instances are ordered
+//! dynamically by unique id (Fig. 12).
+
+use crate::classes::ClassId;
+use crate::restrictions::RestrictionsGraph;
+
+/// A total order on equivalence classes produced by topological sorting.
+#[derive(Debug, Clone)]
+pub struct LockOrder {
+    /// `rank[c]` = position of class `c` in the order (lower locks first).
+    rank: Vec<usize>,
+    /// Classes in lock order.
+    sequence: Vec<ClassId>,
+}
+
+impl LockOrder {
+    /// Topologically sort the graph. Panics if the graph is cyclic — the
+    /// §3.4 rewrite must run first.
+    pub fn compute(graph: &RestrictionsGraph) -> LockOrder {
+        assert!(
+            graph.is_acyclic(),
+            "restrictions-graph has cycles; apply rewrite_cycles first"
+        );
+        let n = graph.classes().len();
+        let mut indeg = vec![0usize; n];
+        for u in 0..n {
+            for v in graph.succ(u) {
+                indeg[v] += 1;
+            }
+        }
+        // Kahn's algorithm with a deterministic tie break: among ready
+        // classes, the one whose first call appears earliest in the program
+        // locks first. This reproduces the orders the paper's figures use
+        // (e.g. map < set < queue for Fig. 1).
+        let mut ready: std::collections::BTreeSet<(usize, ClassId)> = (0..n)
+            .filter(|&c| indeg[c] == 0)
+            .map(|c| (graph.first_use(c), c))
+            .collect();
+        let mut sequence = Vec::with_capacity(n);
+        while let Some(&(fu, u)) = ready.iter().next() {
+            ready.remove(&(fu, u));
+            sequence.push(u);
+            for v in graph.succ(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.insert((graph.first_use(v), v));
+                }
+            }
+        }
+        assert_eq!(sequence.len(), n, "cycle slipped through");
+        let mut rank = vec![0; n];
+        for (i, &c) in sequence.iter().enumerate() {
+            rank[c] = i;
+        }
+        LockOrder { rank, sequence }
+    }
+
+    /// Rank of a class (lower ranks lock first).
+    pub fn rank(&self, c: ClassId) -> usize {
+        self.rank[c]
+    }
+
+    /// `a < b`: instances of `a` must be locked before instances of `b`
+    /// when both are needed. Classes are never `<`-related to themselves.
+    pub fn lt(&self, a: ClassId, b: ClassId) -> bool {
+        a != b && self.rank[a] < self.rank[b]
+    }
+
+    /// `a ≤ b`: `a < b` or same class.
+    pub fn le(&self, a: ClassId, b: ClassId) -> bool {
+        a == b || self.rank[a] < self.rank[b]
+    }
+
+    /// Classes in lock order.
+    pub fn sequence(&self) -> &[ClassId] {
+        &self.sequence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, fig7_section};
+
+    #[test]
+    fn respects_edges() {
+        let sections = [fig1_section(), fig7_section()];
+        let g = RestrictionsGraph::build(&sections);
+        let order = LockOrder::compute(&g);
+        let map = g.classes().id("Map");
+        let set = g.classes().id("Set");
+        // Map → Set edge forces Map before Set.
+        assert!(order.lt(map, set));
+        assert!(!order.lt(set, map));
+        assert!(order.le(map, map));
+        assert!(!order.lt(map, map));
+    }
+
+    #[test]
+    fn total_order_covers_all_classes() {
+        let sections = [fig1_section(), fig7_section()];
+        let g = RestrictionsGraph::build(&sections);
+        let order = LockOrder::compute(&g);
+        assert_eq!(order.sequence().len(), g.classes().len());
+        // Ranks are a permutation.
+        let mut ranks: Vec<usize> = (0..g.classes().len()).map(|c| order.rank(c)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..g.classes().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycles")]
+    fn cyclic_graph_rejected() {
+        let s = crate::ir::fig9_section();
+        let g = RestrictionsGraph::build(std::slice::from_ref(&s));
+        let _ = LockOrder::compute(&g);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let sections = [fig1_section(), fig7_section()];
+        let g = RestrictionsGraph::build(&sections);
+        let a = LockOrder::compute(&g);
+        let b = LockOrder::compute(&g);
+        assert_eq!(a.sequence(), b.sequence());
+    }
+}

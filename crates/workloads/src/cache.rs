@@ -1,0 +1,347 @@
+//! The Cache benchmark (§6.1, Fig. 23): Tomcat's `ConcurrentCache`,
+//! implemented with a Map (`eden`) and a WeakMap (`longterm`).
+//!
+//! Two procedures, each an atomic section:
+//!
+//! ```text
+//! Get(k):  v = eden.get(k);
+//!          if (v == null) { v = longterm.get(k);
+//!                           if (v != null) eden.put(k, v); }
+//!          return v;
+//! Put(k,v): if (eden.size() >= size) { longterm.putAll(eden);
+//!                                      eden.clear(); }
+//!           eden.put(k, v);
+//! ```
+//!
+//! Note Get is *not* read-only (it may promote an entry into eden), which
+//! is why data-agnostic locking serializes it. The benchmark runs 90% Get
+//! / 10% Put with `size = 5000K` (scaled down by default here).
+//!
+//! **Mode-table note**: `putAll` iterates the eden map, which the scalar
+//! IR cannot express, so the symbolic sets below are written out by hand —
+//! they are exactly what the §4 analysis infers for the expressible part:
+//! Get locks eden with `{get(k), put(k,*)}` and longterm with `{get(k)}`;
+//! Put locks eden with `{size(), clear(), put(k,*)}` (self-conflicting:
+//! `size`/`clear` commute with nothing mutating) and longterm with
+//! `{put(*,*)}` (the putAll loop's arguments are loop-carried → starred).
+
+use crate::sync_kind::SyncKind;
+use adts::{MapAdt, WeakMapAdt};
+use baselines::{GlobalLock, StripedLock, TplLock, TplTxn};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use semlock::manager::SemLock;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::spec::CommutSpec;
+use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::sync::Arc;
+
+struct SemanticState {
+    eden_table: Arc<ModeTable>,
+    lt_table: Arc<ModeTable>,
+    eden_lock: SemLock,
+    lt_lock: SemLock,
+    site_get_eden: LockSiteId,
+    site_get_lt: LockSiteId,
+    site_put_eden: LockSiteId,
+    site_put_lt: LockSiteId,
+}
+
+fn build_semantic(phi: Phi) -> SemanticState {
+    let eden_schema = adts::schema_of("Map");
+    let eden_spec: Arc<CommutSpec> = adts::spec_of("Map");
+    let m = |n: &str| eden_schema.method(n);
+    let mut eden_b = ModeTable::builder(eden_schema.clone(), eden_spec, phi);
+    // Get's eden site: {get(k), put(k,*)} — key slot 0 is k.
+    let site_get_eden = eden_b.add_site(SymbolicSet::new(vec![
+        SymOp::new(m("get"), vec![SymArg::Var(0)]),
+        SymOp::new(m("put"), vec![SymArg::Var(0), SymArg::Star]),
+    ]));
+    // Put's eden site: {size(), clear(), put(k,*)}.
+    let site_put_eden = eden_b.add_site(SymbolicSet::new(vec![
+        SymOp::new(m("size"), vec![]),
+        SymOp::new(m("clear"), vec![]),
+        SymOp::new(m("put"), vec![SymArg::Var(0), SymArg::Star]),
+    ]));
+    let eden_table = eden_b.build();
+
+    let lt_schema = adts::schema_of("WeakMap");
+    let lt_spec: Arc<CommutSpec> = adts::spec_of("WeakMap");
+    let lm = |n: &str| lt_schema.method(n);
+    let mut lt_b = ModeTable::builder(lt_schema.clone(), lt_spec, phi);
+    // Get's longterm site: {get(k)}.
+    let site_get_lt = lt_b.add_site(SymbolicSet::new(vec![SymOp::new(
+        lm("get"),
+        vec![SymArg::Var(0)],
+    )]));
+    // Put's longterm site: {put(*,*)} — the putAll loop.
+    let site_put_lt = lt_b.add_site(SymbolicSet::new(vec![SymOp::new(
+        lm("put"),
+        vec![SymArg::Star, SymArg::Star],
+    )]));
+    let lt_table = lt_b.build();
+
+    SemanticState {
+        eden_lock: SemLock::new(eden_table.clone()),
+        lt_lock: SemLock::new(lt_table.clone()),
+        eden_table,
+        lt_table,
+        site_get_eden,
+        site_get_lt,
+        site_put_eden,
+        site_put_lt,
+    }
+}
+
+/// The Tomcat-cache benchmark state.
+pub struct CacheBench {
+    kind: SyncKind,
+    key_range: u64,
+    size: usize,
+    eden: MapAdt,
+    longterm: WeakMapAdt,
+    sem: SemanticState,
+    global: GlobalLock,
+    tpl_eden: TplLock,
+    tpl_lt: TplLock,
+    striped: StripedLock,
+    /// Manual: serializes Put's overflow check-and-drain against other
+    /// Puts; Gets take only their stripe.
+    put_mutex: Mutex<()>,
+}
+
+/// Fig. 23's mix: 90% Get.
+pub const MIX_GET: u64 = 90;
+
+impl CacheBench {
+    /// Create with the paper's φ (n = 64).
+    pub fn new(kind: SyncKind, key_range: u64, size: usize) -> CacheBench {
+        Self::with_phi(kind, key_range, size, Phi::fib(64))
+    }
+
+    /// Create with an explicit φ.
+    pub fn with_phi(kind: SyncKind, key_range: u64, size: usize, phi: Phi) -> CacheBench {
+        CacheBench {
+            kind,
+            key_range,
+            size,
+            eden: MapAdt::new(),
+            longterm: WeakMapAdt::new(),
+            sem: build_semantic(phi),
+            global: GlobalLock::new(),
+            tpl_eden: TplLock::new(),
+            tpl_lt: TplLock::new(),
+            striped: StripedLock::paper_default(),
+            put_mutex: Mutex::new(()),
+        }
+    }
+
+    /// One random operation from the Fig. 23 mix.
+    pub fn op(&self, _tid: usize, rng: &mut SmallRng) {
+        let k = Value(rng.gen_range(0..self.key_range));
+        if rng.gen_range(0..100u64) < MIX_GET {
+            self.get(k);
+        } else {
+            self.put(k, Value(k.0 + 1));
+        }
+    }
+
+    /// The sequential Get body (used where a single lock already covers
+    /// both maps).
+    fn get_body(&self, k: Value) -> Value {
+        let mut v = self.eden.get(k);
+        if v.is_null() {
+            v = self.longterm.get(k);
+            if !v.is_null() {
+                self.eden.put(k, v);
+            }
+        }
+        v
+    }
+
+    /// The sequential Put body.
+    fn put_body(&self, k: Value, v: Value) {
+        if self.eden.size() >= self.size {
+            // longterm.putAll(eden); eden.clear();
+            for (ek, ev) in self.eden.drain_entries() {
+                self.longterm.put(ek, ev);
+            }
+        }
+        self.eden.put(k, v);
+    }
+
+    /// Cache `Get(k)`.
+    pub fn get(&self, k: Value) -> Value {
+        match self.kind {
+            SyncKind::Semantic => {
+                // Mirrors the compiled output: eden locked up front, the
+                // longterm lock acquired lazily on the miss path (eden
+                // precedes longterm in the lock order).
+                let mode = self.sem.eden_table.select(self.sem.site_get_eden, &[k]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.eden_lock, mode);
+                let mut v = self.eden.get(k);
+                if v.is_null() {
+                    let m = self.sem.lt_table.select(self.sem.site_get_lt, &[k]);
+                    txn.lv(&self.sem.lt_lock, m);
+                    v = self.longterm.get(k);
+                    if !v.is_null() {
+                        self.eden.put(k, v);
+                    }
+                }
+                txn.unlock_all();
+                v
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.get_body(k)
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_eden);
+                let mut v = self.eden.get(k);
+                if v.is_null() {
+                    txn.lv(&self.tpl_lt);
+                    v = self.longterm.get(k);
+                    if !v.is_null() {
+                        self.eden.put(k, v);
+                    }
+                }
+                txn.unlock_all();
+                v
+            }
+            SyncKind::Manual | SyncKind::V8 => self.striped.with_key(k, || self.get_body(k)),
+        }
+    }
+
+    /// Cache `Put(k, v)`.
+    pub fn put(&self, k: Value, v: Value) {
+        match self.kind {
+            SyncKind::Semantic => {
+                let mode = self.sem.eden_table.select(self.sem.site_put_eden, &[k]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.eden_lock, mode);
+                if self.eden.size() >= self.size {
+                    let lt_mode = self.sem.lt_table.select(self.sem.site_put_lt, &[]);
+                    txn.lv(&self.sem.lt_lock, lt_mode);
+                    for (ek, ev) in self.eden.drain_entries() {
+                        self.longterm.put(ek, ev);
+                    }
+                }
+                self.eden.put(k, v);
+                txn.unlock_all();
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.put_body(k, v);
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_eden);
+                if self.eden.size() >= self.size {
+                    txn.lv(&self.tpl_lt);
+                    for (ek, ev) in self.eden.drain_entries() {
+                        self.longterm.put(ek, ev);
+                    }
+                }
+                self.eden.put(k, v);
+                txn.unlock_all();
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                // Manual: a put mutex serializes the overflow
+                // check-and-drain against other Puts; the key's stripe
+                // orders the final insert against Gets of the same key.
+                let _pg = self.put_mutex.lock();
+                self.striped.with_key(k, || {
+                    self.put_body(k, v);
+                });
+            }
+        }
+    }
+
+    /// Validate: every cached value (eden or longterm) equals `k + 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (k, v) in self.eden.entries() {
+            if v != Value(k.0 + 1) {
+                return Err(format!("eden[{k}] corrupt: {v}"));
+            }
+        }
+        for k in 0..self.key_range {
+            let v = self.longterm.get(Value(k));
+            if !v.is_null() && v != Value(k + 1) {
+                return Err(format!("longterm[{k}] corrupt: {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_fixed_ops;
+
+    fn stress(kind: SyncKind) {
+        // Small size forces overflow drains during the run.
+        let bench = CacheBench::with_phi(kind, 128, 40, Phi::fib(8));
+        run_fixed_ops(4, 600, 11, &|t, rng| bench.op(t, rng));
+        bench.validate().unwrap();
+    }
+
+    #[test]
+    fn semantic_stress() {
+        stress(SyncKind::Semantic);
+    }
+
+    #[test]
+    fn global_stress() {
+        stress(SyncKind::Global);
+    }
+
+    #[test]
+    fn two_pl_stress() {
+        stress(SyncKind::TwoPl);
+    }
+
+    #[test]
+    fn manual_stress() {
+        stress(SyncKind::Manual);
+    }
+
+    #[test]
+    fn get_promotes_from_longterm() {
+        let bench = CacheBench::with_phi(SyncKind::Semantic, 64, 2, Phi::fib(8));
+        // Fill eden beyond size, forcing the next put to drain to longterm.
+        bench.put(Value(1), Value(2));
+        bench.put(Value(2), Value(3));
+        bench.put(Value(3), Value(4)); // drains 1,2 to longterm
+        assert_eq!(bench.eden.get(Value(1)), Value::NULL);
+        assert_eq!(bench.longterm.get(Value(1)), Value(2));
+        // Get(1) promotes back into eden.
+        assert_eq!(bench.get(Value(1)), Value(2));
+        assert_eq!(bench.eden.get(Value(1)), Value(2));
+        bench.validate().unwrap();
+    }
+
+    #[test]
+    fn miss_returns_null() {
+        let bench = CacheBench::with_phi(SyncKind::Global, 64, 10, Phi::fib(8));
+        assert_eq!(bench.get(Value(42)), Value::NULL);
+    }
+
+    #[test]
+    fn semantic_get_modes_scale_puts_serialize() {
+        let bench = CacheBench::with_phi(SyncKind::Semantic, 64, 1000, Phi::fib(8));
+        let t = &bench.sem.eden_table;
+        let g1 = t.select(bench.sem.site_get_eden, &[Value(1)]);
+        let g2 = t.select(bench.sem.site_get_eden, &[Value(2)]);
+        let p1 = t.select(bench.sem.site_put_eden, &[Value(1)]);
+        assert!(t.fc(g1, g2), "gets of distinct key classes commute");
+        assert!(!t.fc(g1, p1), "a put-site mode conflicts with gets");
+        assert!(!t.fc(p1, p1), "put-site modes self-conflict (size/clear)");
+    }
+}

@@ -1,0 +1,122 @@
+//! Benchmark driver helpers: fixed-op throughput runs and thread sweeps,
+//! following the methodology of §6.1 (each thread performs a fixed number
+//! of randomly chosen operations; several passes, the first warming up;
+//! averaged repetitions).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One measured point of a thread sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Operations per second across all threads.
+    pub ops_per_sec: f64,
+    /// Total operations performed.
+    pub total_ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Run `threads` workers, each performing `ops_per_thread` invocations of
+/// `op(thread_id, rng)`, and return the elapsed wall-clock time.
+pub fn run_fixed_ops<F>(threads: usize, ops_per_thread: u64, seed: u64, op: &F) -> Duration
+where
+    F: Fn(usize, &mut SmallRng) + Sync,
+{
+    let start_gate = std::sync::Barrier::new(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let gate = &start_gate;
+            handles.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                gate.wait();
+                for _ in 0..ops_per_thread {
+                    op(t, &mut rng);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    start.elapsed()
+}
+
+/// Measure throughput with the §6.1 methodology: `warmup` passes are
+/// discarded, then `passes` timed passes are averaged.
+pub fn measure<F>(
+    threads: usize,
+    ops_per_thread: u64,
+    warmup: usize,
+    passes: usize,
+    op: &F,
+) -> Measurement
+where
+    F: Fn(usize, &mut SmallRng) + Sync,
+{
+    for w in 0..warmup {
+        run_fixed_ops(threads, ops_per_thread, 0xC0FFEE + w as u64, op);
+    }
+    let mut total = Duration::ZERO;
+    for p in 0..passes {
+        total += run_fixed_ops(threads, ops_per_thread, 0xBEEF + p as u64, op);
+    }
+    let total_ops = ops_per_thread * threads as u64 * passes as u64;
+    let secs = total.as_secs_f64().max(1e-9);
+    Measurement {
+        threads,
+        ops_per_sec: total_ops as f64 / secs,
+        total_ops,
+        elapsed: total,
+    }
+}
+
+/// Default thread counts of the paper's figures.
+pub const PAPER_THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Per-thread operation count, overridable via `SEMLOCK_OPS` (the paper
+/// uses 10 million per thread; the default here is sized for CI-class
+/// machines).
+pub fn ops_per_thread() -> u64 {
+    std::env::var("SEMLOCK_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fixed_ops_runs_exact_count() {
+        let count = AtomicU64::new(0);
+        run_fixed_ops(3, 100, 42, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn measure_reports_sane_throughput() {
+        let m = measure(2, 1_000, 1, 2, &|_, _| {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.total_ops, 4_000);
+        assert!(m.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn ops_env_override() {
+        // Default (no env in test run unless set by CI).
+        let v = ops_per_thread();
+        assert!(v > 0);
+    }
+}

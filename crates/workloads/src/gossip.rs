@@ -1,0 +1,528 @@
+//! The GossipRouter benchmark (§6.2, Fig. 25).
+//!
+//! Models JGroups' GossipRouter: a routing server whose main state is a
+//! routing table consisting of an unbounded number of Map ADTs — an outer
+//! map from group names to per-group member maps. Routing a message looks
+//! up the group, then performs the I/O of sending to every member; the
+//! I/O is thread-local (never used to communicate between threads), which
+//! the paper highlights as safe *because* semantic locking never rolls
+//! back — the sends are irrevocable.
+//!
+//! **Substitution notes** (recorded in DESIGN.md):
+//! * JGroups' network stack and the MPerf tester are simulated: "clients"
+//!   are per-member message sinks (atomic counters plus a byte budget
+//!   standing in for socket writes), and the MPerf workload (16 clients ×
+//!   5000 messages) becomes a pre-generated operation list processed by
+//!   the router's worker threads.
+//! * The paper's compiler distinguishes the outer map from the inner maps
+//!   through its points-to analysis (different allocation sites). Our
+//!   type-based equivalence classes would merge them — and the resulting
+//!   restrictions-graph self-loop would demote everything into one global
+//!   ADT — so we model the points-to refinement by registering the outer
+//!   map as class `RoutingTable` and inner maps as class `MemberMap`
+//!   (both with the Map ADT's schema and commutativity specification).
+//!
+//! Mode tables are built from the symbolic sets the §4 analysis infers
+//! for the three atomic sections (spelled out below): `route` locks the
+//! table with `{get(g)}` and the member map with `{get(*)}` (it iterates
+//! all members — a starred read); `register` locks the table with
+//! `{get(g), put(g,*)}` and the member map with `{put(m,*)}`;
+//! `unregister` locks the table with `{get(g)}` and the member map with
+//! `{remove(m)}`.
+
+use crate::sync_kind::SyncKind;
+use adts::MapAdt;
+use baselines::{GlobalLock, TplLock, TplTxn, V8Map};
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use semlock::manager::SemLock;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A simulated client connection: the sink of routed messages.
+pub struct Sink {
+    /// Messages delivered to this member.
+    pub received: AtomicU64,
+    /// Bytes "sent" over the simulated socket.
+    pub bytes: AtomicU64,
+}
+
+/// One per-group member map plus its synchronization state.
+struct MemberMap {
+    map: MapAdt,
+    sem: SemLock,
+    tpl: TplLock,
+    rw: RwLock<()>,
+}
+
+struct SemanticState {
+    table_table: Arc<ModeTable>,
+    member_table: Arc<ModeTable>,
+    table_lock: SemLock,
+    site_route_table: LockSiteId,
+    site_route_member: LockSiteId,
+    site_reg_table: LockSiteId,
+    site_reg_member: LockSiteId,
+    site_unreg_table: LockSiteId,
+    site_unreg_member: LockSiteId,
+}
+
+fn build_semantic(phi: Phi) -> SemanticState {
+    use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+    let schema = adts::schema_of("Map");
+    let m = |n: &str| schema.method(n);
+
+    // Outer routing table (class RoutingTable).
+    let mut tb = ModeTable::builder(schema.clone(), adts::spec_of("Map"), phi);
+    let site_route_table = tb.add_site(SymbolicSet::new(vec![SymOp::new(
+        m("get"),
+        vec![SymArg::Var(0)],
+    )]));
+    let site_reg_table = tb.add_site(SymbolicSet::new(vec![
+        SymOp::new(m("get"), vec![SymArg::Var(0)]),
+        SymOp::new(m("put"), vec![SymArg::Var(0), SymArg::Star]),
+    ]));
+    let site_unreg_table = tb.add_site(SymbolicSet::new(vec![SymOp::new(
+        m("get"),
+        vec![SymArg::Var(0)],
+    )]));
+    let table_table = tb.build();
+
+    // Inner member maps (class MemberMap).
+    let mut mb = ModeTable::builder(schema.clone(), adts::spec_of("Map"), phi);
+    // route iterates all members: a starred read.
+    let site_route_member = mb.add_site(SymbolicSet::new(vec![SymOp::new(
+        m("get"),
+        vec![SymArg::Star],
+    )]));
+    let site_reg_member = mb.add_site(SymbolicSet::new(vec![SymOp::new(
+        m("put"),
+        vec![SymArg::Var(0), SymArg::Star],
+    )]));
+    let site_unreg_member = mb.add_site(SymbolicSet::new(vec![SymOp::new(
+        m("remove"),
+        vec![SymArg::Var(0)],
+    )]));
+    let member_table = mb.build();
+
+    SemanticState {
+        table_lock: SemLock::new(table_table.clone()),
+        table_table,
+        member_table,
+        site_route_table,
+        site_route_member,
+        site_reg_table,
+        site_reg_member,
+        site_unreg_table,
+        site_unreg_member,
+    }
+}
+
+/// The GossipRouter benchmark state.
+pub struct GossipBench {
+    kind: SyncKind,
+    /// Outer routing table: group id → member-map handle (index into
+    /// `members`).
+    table: MapAdt,
+    v8_table: V8Map,
+    /// Arena of member maps (handles are indices).
+    members: RwLock<Vec<Arc<MemberMap>>>,
+    /// Message sinks, one per member id.
+    sinks: Vec<Sink>,
+    sem: SemanticState,
+    global: GlobalLock,
+    tpl_table: TplLock,
+    groups: u64,
+    members_per_group: u64,
+    /// Per-message simulated payload size.
+    msg_bytes: u64,
+}
+
+impl GossipBench {
+    /// Create a router with `groups` groups, `members_per_group` members
+    /// each (member ids are dense), under the given strategy.
+    pub fn new(kind: SyncKind, groups: u64, members_per_group: u64) -> GossipBench {
+        Self::with_phi(kind, groups, members_per_group, Phi::fib(64))
+    }
+
+    /// Create with an explicit φ.
+    pub fn with_phi(
+        kind: SyncKind,
+        groups: u64,
+        members_per_group: u64,
+        phi: Phi,
+    ) -> GossipBench {
+        let bench = GossipBench {
+            kind,
+            table: MapAdt::new(),
+            v8_table: V8Map::new(64),
+            members: RwLock::new(Vec::new()),
+            // Room for the initial membership plus late registrations.
+            sinks: (0..groups * members_per_group + 512)
+                .map(|_| Sink {
+                    received: AtomicU64::new(0),
+                    bytes: AtomicU64::new(0),
+                })
+                .collect(),
+            sem: build_semantic(phi),
+            global: GlobalLock::new(),
+            tpl_table: TplLock::new(),
+            groups,
+            members_per_group,
+            msg_bytes: 1000,
+        };
+        // Setup phase: register the initial membership (single-threaded).
+        for g in 0..groups {
+            for m in 0..members_per_group {
+                bench.register(Value(g), Value(g * members_per_group + m));
+            }
+        }
+        bench
+    }
+
+    fn new_member_map(&self) -> Value {
+        let mm = Arc::new(MemberMap {
+            map: MapAdt::new(),
+            sem: SemLock::new(self.sem.member_table.clone()),
+            tpl: TplLock::new(),
+            rw: RwLock::new(()),
+        });
+        let mut arena = self.members.write();
+        arena.push(mm);
+        Value(arena.len() as u64 - 1)
+    }
+
+    fn member_map(&self, handle: Value) -> Arc<MemberMap> {
+        self.members.read()[handle.0 as usize].clone()
+    }
+
+    /// Simulated network send (the atomic section's thread-local I/O).
+    fn send(&self, member: Value) {
+        let sink = &self.sinks[member.0 as usize];
+        sink.received.fetch_add(1, Ordering::Relaxed);
+        sink.bytes.fetch_add(self.msg_bytes, Ordering::Relaxed);
+        // A short busy loop stands in for the socket write.
+        for i in 0..32u64 {
+            std::hint::black_box(i);
+        }
+    }
+
+    /// Route a message to every member of `group`.
+    pub fn route(&self, group: Value) -> u64 {
+        match self.kind {
+            SyncKind::Semantic => {
+                let tmode = self.sem.table_table.select(self.sem.site_route_table, &[group]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.table_lock, tmode);
+                let inner = self.table.get(group);
+                let mut delivered = 0;
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    let mmode = self.sem.member_table.select(self.sem.site_route_member, &[]);
+                    mm.sem.lock(mmode);
+                    for (m, _) in mm.map.entries() {
+                        self.send(m);
+                        delivered += 1;
+                    }
+                    mm.sem.unlock(mmode);
+                }
+                txn.unlock_all();
+                delivered
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.route_body(group)
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_table);
+                let inner = self.table.get(group);
+                let mut delivered = 0;
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    mm.tpl.lock();
+                    for (m, _) in mm.map.entries() {
+                        self.send(m);
+                        delivered += 1;
+                    }
+                    mm.tpl.unlock();
+                }
+                txn.unlock_all();
+                delivered
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                // Manual: sharded outer table + per-group read–write lock.
+                let inner = self.v8_table.get(group);
+                let mut delivered = 0;
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    let _r = mm.rw.read();
+                    for (m, _) in mm.map.entries() {
+                        self.send(m);
+                        delivered += 1;
+                    }
+                }
+                delivered
+            }
+        }
+    }
+
+    fn route_body(&self, group: Value) -> u64 {
+        let inner = self.table.get(group);
+        let mut delivered = 0;
+        if !inner.is_null() {
+            let mm = self.member_map(inner);
+            for (m, _) in mm.map.entries() {
+                self.send(m);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Register `member` in `group` (creating the group lazily).
+    pub fn register(&self, group: Value, member: Value) {
+        match self.kind {
+            SyncKind::Semantic => {
+                let tmode = self.sem.table_table.select(self.sem.site_reg_table, &[group]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.table_lock, tmode);
+                let mut inner = self.table.get(group);
+                if inner.is_null() {
+                    inner = self.new_member_map();
+                    self.table.put(group, inner);
+                }
+                let mm = self.member_map(inner);
+                let mmode = self.sem.member_table.select(self.sem.site_reg_member, &[member]);
+                mm.sem.lock(mmode);
+                mm.map.put(member, member);
+                mm.sem.unlock(mmode);
+                txn.unlock_all();
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                let mut inner = self.table.get(group);
+                if inner.is_null() {
+                    inner = self.new_member_map();
+                    self.table.put(group, inner);
+                }
+                self.member_map(inner).map.put(member, member);
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_table);
+                let mut inner = self.table.get(group);
+                if inner.is_null() {
+                    inner = self.new_member_map();
+                    self.table.put(group, inner);
+                }
+                let mm = self.member_map(inner);
+                mm.tpl.lock();
+                mm.map.put(member, member);
+                mm.tpl.unlock();
+                txn.unlock_all();
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                let inner = self.v8_table.compute_if_absent(group, || self.new_member_map());
+                let mm = self.member_map(inner);
+                let _w = mm.rw.write();
+                mm.map.put(member, member);
+            }
+        }
+    }
+
+    /// Unregister `member` from `group`.
+    pub fn unregister(&self, group: Value, member: Value) {
+        match self.kind {
+            SyncKind::Semantic => {
+                let tmode = self.sem.table_table.select(self.sem.site_unreg_table, &[group]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.table_lock, tmode);
+                let inner = self.table.get(group);
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    let mmode = self
+                        .sem
+                        .member_table
+                        .select(self.sem.site_unreg_member, &[member]);
+                    mm.sem.lock(mmode);
+                    mm.map.remove(member);
+                    mm.sem.unlock(mmode);
+                }
+                txn.unlock_all();
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                let inner = self.table.get(group);
+                if !inner.is_null() {
+                    self.member_map(inner).map.remove(member);
+                }
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_table);
+                let inner = self.table.get(group);
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    mm.tpl.lock();
+                    mm.map.remove(member);
+                    mm.tpl.unlock();
+                }
+                txn.unlock_all();
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                let inner = self.v8_table.get(group);
+                if !inner.is_null() {
+                    let mm = self.member_map(inner);
+                    let _w = mm.rw.write();
+                    mm.map.remove(member);
+                }
+            }
+        }
+    }
+
+    /// One MPerf-style operation: route a message to a random group.
+    pub fn op(&self, _tid: usize, rng: &mut SmallRng) {
+        let group = Value(rng.gen_range(0..self.groups));
+        self.route(group);
+    }
+
+    /// Total messages delivered across all sinks.
+    pub fn delivered(&self) -> u64 {
+        self.sinks
+            .iter()
+            .map(|s| s.received.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Validate after a pure-route run: every initial member of a group
+    /// received exactly the number of messages routed to that group, and
+    /// bytes are consistent with counts.
+    pub fn validate_routes(&self, routed_per_group: &[u64]) -> Result<(), String> {
+        let members_per_group = self.members_per_group;
+        for g in 0..self.groups {
+            for m in 0..members_per_group {
+                let id = g * members_per_group + m;
+                let got = self.sinks[id as usize].received.load(Ordering::SeqCst);
+                if got != routed_per_group[g as usize] {
+                    return Err(format!(
+                        "member {id} of group {g}: got {got}, expected {}",
+                        routed_per_group[g as usize]
+                    ));
+                }
+                let bytes = self.sinks[id as usize].bytes.load(Ordering::SeqCst);
+                if bytes != got * self.msg_bytes {
+                    return Err(format!("member {id}: inconsistent byte count"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn stress(kind: SyncKind) {
+        let bench = GossipBench::with_phi(kind, 4, 4, Phi::fib(8));
+        let routed = Mutex::new(vec![0u64; 4]);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let bench = &bench;
+                    let routed = &routed;
+                    s.spawn(move || {
+                        use rand::SeedableRng;
+                        let mut rng = SmallRng::seed_from_u64(t as u64);
+                        let mut local = vec![0u64; 4];
+                        for _ in 0..300 {
+                            let g = rng.gen_range(0..4u64);
+                            bench.route(Value(g));
+                            local[g as usize] += 1;
+                        }
+                        let mut r = routed.lock().unwrap();
+                        for (a, b) in r.iter_mut().zip(local) {
+                            *a += b;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        bench.validate_routes(&routed.lock().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn semantic_routing() {
+        stress(SyncKind::Semantic);
+    }
+
+    #[test]
+    fn global_routing() {
+        stress(SyncKind::Global);
+    }
+
+    #[test]
+    fn two_pl_routing() {
+        stress(SyncKind::TwoPl);
+    }
+
+    #[test]
+    fn manual_routing() {
+        stress(SyncKind::Manual);
+    }
+
+    #[test]
+    fn register_unregister_roundtrip() {
+        let bench = GossipBench::with_phi(SyncKind::Semantic, 2, 2, Phi::fib(8));
+        // New member joins group 0.
+        bench.register(Value(0), Value(100));
+        assert_eq!(bench.route(Value(0)), 3);
+        bench.unregister(Value(0), Value(100));
+        assert_eq!(bench.route(Value(0)), 2);
+        // Unknown group delivers nothing.
+        assert_eq!(bench.route(Value(99)), 0);
+    }
+
+    #[test]
+    fn concurrent_registration_monotone() {
+        // Routes run concurrently with registrations of NEW members;
+        // initial members must still see every message.
+        let bench = Arc::new(GossipBench::with_phi(SyncKind::Semantic, 2, 2, Phi::fib(8)));
+        let routes = 200u64;
+        let b2 = bench.clone();
+        let reg = std::thread::spawn(move || {
+            for i in 0..50u64 {
+                b2.register(Value(i % 2), Value(100 + i));
+            }
+        });
+        for _ in 0..routes {
+            bench.route(Value(0));
+        }
+        reg.join().unwrap();
+        // Initial members of group 0 (ids 0, 1) got all messages.
+        assert_eq!(bench.sinks[0].received.load(Ordering::SeqCst), routes);
+        assert_eq!(bench.sinks[1].received.load(Ordering::SeqCst), routes);
+    }
+
+    #[test]
+    fn semantic_route_modes_commute() {
+        // Two routes (starred reads) commute with each other but not with
+        // a registration of the member map.
+        let bench = GossipBench::with_phi(SyncKind::Semantic, 2, 2, Phi::fib(8));
+        let t = &bench.sem.member_table;
+        let r = t.select(bench.sem.site_route_member, &[]);
+        let w = t.select(bench.sem.site_reg_member, &[Value(5)]);
+        assert!(t.fc(r, r), "concurrent routes to one group commute");
+        assert!(!t.fc(r, w), "registration excludes routing");
+    }
+}

@@ -1,0 +1,321 @@
+//! The Graph benchmark (§6.1, Fig. 22).
+//!
+//! A directed graph implemented with two Multimap instances (successors
+//! and predecessors), exactly as in the concurrent-data-representation
+//! work the paper takes it from. Four procedures, each an atomic section:
+//! find successors (35%), find predecessors (35%), insert edge (20%),
+//! remove edge (10%).
+//!
+//! The interesting synchronization property: *insert/remove* must update
+//! both multimaps atomically, while *finds* on unrelated nodes commute
+//! with everything — semantic locking keys the modes on node ids, so the
+//! paper's approach admits concurrent finds and edge updates on disjoint
+//! nodes; 2PL serializes every mutation against every find.
+
+use crate::sync_kind::SyncKind;
+use crate::synthesis::{graph_sections, registry, runtime_site};
+use adts::MultimapAdt;
+use baselines::{GlobalLock, StripedLock, TplLock, TplTxn};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use semlock::manager::SemLock;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::sync::Arc;
+use synth::Synthesizer;
+
+/// Fig. 22's operation mix, in percent.
+pub const MIX_FIND_SUCC: u64 = 35;
+/// Find-predecessors share.
+pub const MIX_FIND_PRED: u64 = 35;
+/// Insert-edge share.
+pub const MIX_INSERT: u64 = 20;
+/// Remove-edge share (remainder).
+pub const MIX_REMOVE: u64 = 10;
+
+struct SemanticState {
+    table: Arc<ModeTable>,
+    succ_lock: SemLock,
+    pred_lock: SemLock,
+    site_find_succ: LockSiteId,
+    site_find_pred: LockSiteId,
+    site_insert_succ: LockSiteId,
+    site_insert_pred: LockSiteId,
+    site_remove_succ: LockSiteId,
+    site_remove_pred: LockSiteId,
+}
+
+/// The Graph benchmark state.
+pub struct GraphBench {
+    kind: SyncKind,
+    nodes: u64,
+    succ: MultimapAdt,
+    pred: MultimapAdt,
+    sem: SemanticState,
+    global: GlobalLock,
+    tpl_succ: TplLock,
+    tpl_pred: TplLock,
+    striped: StripedLock,
+}
+
+impl GraphBench {
+    /// Create with the paper's φ (64 abstract values; the builder coarsens
+    /// under the mode cap since edge sites have two key slots).
+    pub fn new(kind: SyncKind, nodes: u64) -> GraphBench {
+        Self::with_phi(kind, nodes, Phi::fib(64), 2048)
+    }
+
+    /// Create with explicit φ and mode cap (ablation hook).
+    pub fn with_phi(kind: SyncKind, nodes: u64, phi: Phi, cap: usize) -> GraphBench {
+        let out = Synthesizer::new(registry())
+            .phi(phi)
+            .cap(cap)
+            .synthesize(&graph_sections());
+        let table = out.tables.table("Multimap").clone();
+        let sem = SemanticState {
+            succ_lock: SemLock::new(table.clone()),
+            pred_lock: SemLock::new(table.clone()),
+            site_find_succ: runtime_site(&out, "find_successors", "succ").0,
+            site_find_pred: runtime_site(&out, "find_predecessors", "pred").0,
+            site_insert_succ: runtime_site(&out, "insert_edge", "succ").0,
+            site_insert_pred: runtime_site(&out, "insert_edge", "pred").0,
+            site_remove_succ: runtime_site(&out, "remove_edge", "succ").0,
+            site_remove_pred: runtime_site(&out, "remove_edge", "pred").0,
+            table,
+        };
+        GraphBench {
+            kind,
+            nodes,
+            succ: MultimapAdt::new(),
+            pred: MultimapAdt::new(),
+            sem,
+            global: GlobalLock::new(),
+            tpl_succ: TplLock::new(),
+            tpl_pred: TplLock::new(),
+            striped: StripedLock::paper_default(),
+        }
+    }
+
+    /// The synthesized Multimap mode table.
+    pub fn mode_table(&self) -> &Arc<ModeTable> {
+        &self.sem.table
+    }
+
+    /// One random operation drawn from the Fig. 22 mix.
+    pub fn op(&self, _tid: usize, rng: &mut SmallRng) {
+        let roll = rng.gen_range(0..100u64);
+        let a = Value(rng.gen_range(0..self.nodes));
+        let b = Value(rng.gen_range(0..self.nodes));
+        if roll < MIX_FIND_SUCC {
+            self.find_successors(a);
+        } else if roll < MIX_FIND_SUCC + MIX_FIND_PRED {
+            self.find_predecessors(a);
+        } else if roll < MIX_FIND_SUCC + MIX_FIND_PRED + MIX_INSERT {
+            self.insert_edge(a, b);
+        } else {
+            self.remove_edge(a, b);
+        }
+    }
+
+    /// Find successors of `n`.
+    pub fn find_successors(&self, n: Value) -> Vec<Value> {
+        match self.kind {
+            SyncKind::Semantic => {
+                let mode = self.sem.table.select(self.sem.site_find_succ, &[n]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.succ_lock, mode);
+                let r = self.succ.get(n);
+                txn.unlock_all();
+                r
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.succ.get(n)
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_succ);
+                let r = self.succ.get(n);
+                txn.unlock_all();
+                r
+            }
+            SyncKind::Manual | SyncKind::V8 => self.striped.with_key(n, || self.succ.get(n)),
+        }
+    }
+
+    /// Find predecessors of `n`.
+    pub fn find_predecessors(&self, n: Value) -> Vec<Value> {
+        match self.kind {
+            SyncKind::Semantic => {
+                let mode = self.sem.table.select(self.sem.site_find_pred, &[n]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.pred_lock, mode);
+                let r = self.pred.get(n);
+                txn.unlock_all();
+                r
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.pred.get(n)
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_pred);
+                let r = self.pred.get(n);
+                txn.unlock_all();
+                r
+            }
+            SyncKind::Manual | SyncKind::V8 => self.striped.with_key(n, || self.pred.get(n)),
+        }
+    }
+
+    /// Insert the edge `a → b` (updates both multimaps atomically).
+    pub fn insert_edge(&self, a: Value, b: Value) {
+        match self.kind {
+            SyncKind::Semantic => {
+                // Mirrors the compiled output: same-class instances are
+                // locked in dynamic unique-id order (LV2).
+                let keys = [a, b];
+                let m_succ = self.sem.table.select(self.sem.site_insert_succ, &keys);
+                let m_pred = self.sem.table.select(self.sem.site_insert_pred, &keys);
+                let mut txn = Txn::new();
+                txn.lv2(
+                    (&self.sem.succ_lock, m_succ),
+                    (&self.sem.pred_lock, m_pred),
+                );
+                self.succ.put(a, b);
+                self.pred.put(b, a);
+                txn.unlock_all();
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.succ.put(a, b);
+                self.pred.put(b, a);
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv_sorted(vec![&self.tpl_succ, &self.tpl_pred]);
+                self.succ.put(a, b);
+                self.pred.put(b, a);
+                txn.unlock_all();
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                let locked = self.striped.lock_keys(&[a, b]);
+                self.succ.put(a, b);
+                self.pred.put(b, a);
+                self.striped.unlock_indices(&locked);
+            }
+        }
+    }
+
+    /// Remove the edge `a → b`.
+    pub fn remove_edge(&self, a: Value, b: Value) {
+        match self.kind {
+            SyncKind::Semantic => {
+                let keys = [a, b];
+                let m_succ = self.sem.table.select(self.sem.site_remove_succ, &keys);
+                let m_pred = self.sem.table.select(self.sem.site_remove_pred, &keys);
+                let mut txn = Txn::new();
+                txn.lv2(
+                    (&self.sem.succ_lock, m_succ),
+                    (&self.sem.pred_lock, m_pred),
+                );
+                self.succ.remove(a, b);
+                self.pred.remove(b, a);
+                txn.unlock_all();
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.succ.remove(a, b);
+                self.pred.remove(b, a);
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv_sorted(vec![&self.tpl_succ, &self.tpl_pred]);
+                self.succ.remove(a, b);
+                self.pred.remove(b, a);
+                txn.unlock_all();
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                let locked = self.striped.lock_keys(&[a, b]);
+                self.succ.remove(a, b);
+                self.pred.remove(b, a);
+                self.striped.unlock_indices(&locked);
+            }
+        }
+    }
+
+    /// Validate the fundamental graph invariant: `b ∈ succ(a)` iff
+    /// `a ∈ pred(b)` — exactly the property that breaks when edge updates
+    /// are not atomic.
+    pub fn validate(&self) -> Result<(), String> {
+        for a in 0..self.nodes {
+            for b in self.succ.get(Value(a)) {
+                if !self.pred.contains_entry(b, Value(a)) {
+                    return Err(format!("edge {a}→{b} in succ but not in pred"));
+                }
+            }
+            for b in self.pred.get(Value(a)) {
+                if !self.succ.contains_entry(b, Value(a)) {
+                    return Err(format!("edge {b}→{a} in pred but not in succ"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_fixed_ops;
+
+    fn stress(kind: SyncKind) {
+        let bench = GraphBench::with_phi(kind, 32, Phi::fib(8), 512);
+        run_fixed_ops(4, 400, 3, &|t, rng| bench.op(t, rng));
+        bench.validate().unwrap();
+    }
+
+    #[test]
+    fn semantic_stress() {
+        stress(SyncKind::Semantic);
+    }
+
+    #[test]
+    fn global_stress() {
+        stress(SyncKind::Global);
+    }
+
+    #[test]
+    fn two_pl_stress() {
+        stress(SyncKind::TwoPl);
+    }
+
+    #[test]
+    fn manual_stress() {
+        stress(SyncKind::Manual);
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let bench = GraphBench::with_phi(SyncKind::Semantic, 16, Phi::fib(8), 512);
+        bench.insert_edge(Value(1), Value(2));
+        assert_eq!(bench.find_successors(Value(1)), vec![Value(2)]);
+        assert_eq!(bench.find_predecessors(Value(2)), vec![Value(1)]);
+        bench.remove_edge(Value(1), Value(2));
+        assert!(bench.find_successors(Value(1)).is_empty());
+        assert!(bench.find_predecessors(Value(2)).is_empty());
+        bench.validate().unwrap();
+    }
+
+    #[test]
+    fn semantic_find_modes_commute_across_nodes() {
+        let bench = GraphBench::with_phi(SyncKind::Semantic, 16, Phi::fib(8), 512);
+        let t = bench.mode_table();
+        let m1 = t.select(bench.sem.site_find_succ, &[Value(1)]);
+        let m2 = t.select(bench.sem.site_find_succ, &[Value(2)]);
+        assert!(t.fc(m1, m2));
+    }
+}

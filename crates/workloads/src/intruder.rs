@@ -1,0 +1,430 @@
+//! The Intruder benchmark (§6.2, Fig. 24).
+//!
+//! Emulates the STAMP `intruder` application: signature-based network
+//! intrusion detection over fragmented flows. Packets are captured from a
+//! shared input queue, reassembled through a shared fragment map, and
+//! complete flows are scanned for an attack signature.
+//!
+//! **Substitution note** (recorded in DESIGN.md): STAMP's generator and
+//! its Java port are reproduced synthetically — flows are split into
+//! random fragments, shuffled across the input queue, and a fixed
+//! percentage carries the attack signature (the paper's configuration
+//! `-a 10 -l 256 -n 16384 -s 1`: 10% attacks, ≤256-byte packets, 16384
+//! flows, seed 1). The shared-state shape and the atomic sections match
+//! the paper's Fig. 1 discussion: a Map of partially reassembled flows
+//! plus Queues, exercised by the same capture → reassemble → detect
+//! pipeline. Reported as *speedup over a single-threaded execution*.
+//!
+//! The reassembly transaction's locking comes from the real compiler
+//! (see `synthesis::intruder_sections`).
+
+use crate::sync_kind::SyncKind;
+use crate::synthesis::{intruder_sections, registry, runtime_site};
+use adts::{MapAdt, QueueAdt};
+use baselines::{GlobalLock, StripedLock, TplLock, TplTxn};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use semlock::manager::SemLock;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use synth::Synthesizer;
+
+/// The attack signature scanned for during detection.
+pub const SIGNATURE: &[u8] = b"ATTACK";
+
+/// One flow's pre-generated data.
+struct Flow {
+    fragments: Vec<Vec<u8>>,
+    has_attack: bool,
+}
+
+/// A packet: one fragment of one flow.
+#[derive(Clone, Copy)]
+struct Packet {
+    flow: u32,
+}
+
+/// Configuration mirroring STAMP's `-a/-l/-n/-s` flags.
+#[derive(Clone, Copy, Debug)]
+pub struct IntruderConfig {
+    /// Percentage of flows carrying the attack signature (`-a`).
+    pub attack_percent: u64,
+    /// Maximum flow payload length in bytes (`-l`).
+    pub max_length: usize,
+    /// Number of flows (`-n`).
+    pub num_flows: u32,
+    /// Generator seed (`-s`).
+    pub seed: u64,
+    /// Maximum fragments per flow.
+    pub max_fragments: usize,
+}
+
+impl IntruderConfig {
+    /// The paper's configuration, scaled by `scale` (1.0 = full 16384
+    /// flows).
+    pub fn paper(scale: f64) -> IntruderConfig {
+        IntruderConfig {
+            attack_percent: 10,
+            max_length: 256,
+            num_flows: ((16384.0 * scale) as u32).max(16),
+            seed: 1,
+            max_fragments: 10,
+        }
+    }
+}
+
+struct SemanticState {
+    map_table: Arc<ModeTable>,
+    q_table: Arc<ModeTable>,
+    frag_lock: SemLock,
+    decoded_lock: SemLock,
+    in_lock: SemLock,
+    site_frag: LockSiteId,
+    site_decoded: LockSiteId,
+    site_capture: LockSiteId,
+}
+
+/// The Intruder benchmark state.
+pub struct IntruderBench {
+    kind: SyncKind,
+    flows: Vec<Flow>,
+    in_q: QueueAdt,
+    frag_map: MapAdt,
+    decoded_q: QueueAdt,
+    sem: SemanticState,
+    global: GlobalLock,
+    tpl_in: TplLock,
+    tpl_frag: TplLock,
+    tpl_decoded: TplLock,
+    striped: StripedLock,
+    /// Attacks found by detection.
+    attacks_found: AtomicU64,
+    /// Flows fully reassembled.
+    flows_completed: AtomicU64,
+    attacks_planted: u64,
+    packets_total: u64,
+}
+
+impl IntruderBench {
+    /// Generate the workload and build the synchronization state.
+    pub fn new(kind: SyncKind, config: IntruderConfig) -> IntruderBench {
+        Self::with_phi(kind, config, Phi::fib(64))
+    }
+
+    /// Generate with an explicit φ.
+    pub fn with_phi(kind: SyncKind, config: IntruderConfig, phi: Phi) -> IntruderBench {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut flows = Vec::with_capacity(config.num_flows as usize);
+        let mut attacks_planted = 0;
+        for _ in 0..config.num_flows {
+            let has_attack = rng.gen_range(0..100) < config.attack_percent;
+            let len = rng.gen_range(SIGNATURE.len()..=config.max_length.max(SIGNATURE.len() + 1));
+            let mut payload: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+            if has_attack {
+                let pos = rng.gen_range(0..=(len - SIGNATURE.len()));
+                payload[pos..pos + SIGNATURE.len()].copy_from_slice(SIGNATURE);
+                attacks_planted += 1;
+            }
+            // Split into 1..=max_fragments fragments.
+            let nfrags = rng.gen_range(1..=config.max_fragments.min(len).max(1));
+            let mut fragments = Vec::with_capacity(nfrags);
+            let base = len / nfrags;
+            let mut off = 0;
+            for f in 0..nfrags {
+                let end = if f == nfrags - 1 { len } else { off + base };
+                fragments.push(payload[off..end].to_vec());
+                off = end;
+            }
+            flows.push(Flow {
+                fragments,
+                has_attack,
+            });
+        }
+
+        // Shuffle all packets into the input queue.
+        let mut packets: Vec<Packet> = flows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, f)| {
+                (0..f.fragments.len()).map(move |_| Packet { flow: i as u32 })
+            })
+            .collect();
+        // Fisher–Yates.
+        for i in (1..packets.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            packets.swap(i, j);
+        }
+        let packets_total = packets.len() as u64;
+        let in_q = QueueAdt::new();
+        for p in &packets {
+            in_q.enqueue(Value(p.flow as u64));
+        }
+
+        // Compile the atomic sections.
+        let out = Synthesizer::new(registry()).phi(phi).synthesize(&intruder_sections());
+        let map_table = out.tables.table("Map").clone();
+        let q_table = out.tables.table("Queue").clone();
+        let sem = SemanticState {
+            frag_lock: SemLock::new(map_table.clone()),
+            decoded_lock: SemLock::new(q_table.clone()),
+            in_lock: SemLock::new(q_table.clone()),
+            site_frag: runtime_site(&out, "reassemble", "fragMap").0,
+            site_decoded: runtime_site(&out, "reassemble", "decodedQ").0,
+            site_capture: runtime_site(&out, "capture", "inQ").0,
+            map_table,
+            q_table,
+        };
+
+        IntruderBench {
+            kind,
+            flows,
+            in_q,
+            frag_map: MapAdt::new(),
+            decoded_q: QueueAdt::new(),
+            sem,
+            global: GlobalLock::new(),
+            tpl_in: TplLock::new(),
+            tpl_frag: TplLock::new(),
+            tpl_decoded: TplLock::new(),
+            striped: StripedLock::paper_default(),
+            attacks_found: AtomicU64::new(0),
+            flows_completed: AtomicU64::new(0),
+            attacks_planted,
+            packets_total,
+        }
+    }
+
+    /// Total packet count (the fixed work of one run).
+    pub fn packets_total(&self) -> u64 {
+        self.packets_total
+    }
+
+    /// Capture one packet (atomic section over the input queue); NULL when
+    /// the input is drained.
+    fn capture(&self) -> Value {
+        match self.kind {
+            SyncKind::Semantic => {
+                let mode = self.sem.q_table.select(self.sem.site_capture, &[]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.in_lock, mode);
+                let p = self.in_q.dequeue();
+                txn.unlock_all();
+                p
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.in_q.dequeue()
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_in);
+                let p = self.in_q.dequeue();
+                txn.unlock_all();
+                p
+            }
+            // Manual: the queue is linearizable; a bare dequeue is atomic.
+            SyncKind::Manual | SyncKind::V8 => self.in_q.dequeue(),
+        }
+    }
+
+    /// Reassembly transaction: returns true when the flow completed.
+    fn reassemble(&self, flow: Value, nfrags: u64) -> bool {
+        match self.kind {
+            SyncKind::Semantic => {
+                // Mirrors the compiled `reassemble` section.
+                let mode = self.sem.map_table.select(self.sem.site_frag, &[flow]);
+                let mut txn = Txn::new();
+                txn.lv(&self.sem.frag_lock, mode);
+                let completed = {
+                    let c = self.frag_map.get(flow);
+                    let c = if c.is_null() { 0 } else { c.0 };
+                    let c = c + 1;
+                    if c == nfrags {
+                        self.frag_map.remove(flow);
+                        let qmode = self.sem.q_table.select(self.sem.site_decoded, &[flow]);
+                        txn.lv(&self.sem.decoded_lock, qmode);
+                        self.decoded_q.enqueue(flow);
+                        true
+                    } else {
+                        self.frag_map.put(flow, Value(c));
+                        false
+                    }
+                };
+                txn.unlock_all();
+                completed
+            }
+            SyncKind::Global => {
+                let _g = self.global.enter();
+                self.reassemble_body(flow, nfrags)
+            }
+            SyncKind::TwoPl => {
+                let mut txn = TplTxn::new();
+                txn.lv(&self.tpl_frag);
+                let c = self.frag_map.get(flow);
+                let c = if c.is_null() { 0 } else { c.0 } + 1;
+                let completed = if c == nfrags {
+                    self.frag_map.remove(flow);
+                    txn.lv(&self.tpl_decoded);
+                    self.decoded_q.enqueue(flow);
+                    true
+                } else {
+                    self.frag_map.put(flow, Value(c));
+                    false
+                };
+                txn.unlock_all();
+                completed
+            }
+            SyncKind::Manual | SyncKind::V8 => {
+                // Lock striping on the flow id; the decoded queue is
+                // linearizable on its own.
+                self.striped.lock_key(flow);
+                let c = self.frag_map.get(flow);
+                let c = if c.is_null() { 0 } else { c.0 } + 1;
+                let completed = if c == nfrags {
+                    self.frag_map.remove(flow);
+                    self.decoded_q.enqueue(flow);
+                    true
+                } else {
+                    self.frag_map.put(flow, Value(c));
+                    false
+                };
+                self.striped.unlock_key(flow);
+                completed
+            }
+        }
+    }
+
+    fn reassemble_body(&self, flow: Value, nfrags: u64) -> bool {
+        let c = self.frag_map.get(flow);
+        let c = if c.is_null() { 0 } else { c.0 } + 1;
+        if c == nfrags {
+            self.frag_map.remove(flow);
+            self.decoded_q.enqueue(flow);
+            true
+        } else {
+            self.frag_map.put(flow, Value(c));
+            false
+        }
+    }
+
+    /// Detection: scan the reassembled flow for the signature
+    /// (thread-local work).
+    fn detect(&self, flow: Value) {
+        self.flows_completed.fetch_add(1, Ordering::Relaxed);
+        let f = &self.flows[flow.0 as usize];
+        let mut payload = Vec::new();
+        for frag in &f.fragments {
+            payload.extend_from_slice(frag);
+        }
+        let found = payload
+            .windows(SIGNATURE.len())
+            .any(|w| w == SIGNATURE);
+        if found {
+            self.attacks_found.fetch_add(1, Ordering::Relaxed);
+        }
+        debug_assert_eq!(found, f.has_attack);
+    }
+
+    /// Process packets until the input queue drains. Returns the number of
+    /// packets this thread processed.
+    pub fn worker(&self) -> u64 {
+        let mut processed = 0;
+        loop {
+            let pkt = self.capture();
+            if pkt.is_null() {
+                return processed;
+            }
+            processed += 1;
+            let flow = pkt;
+            let nfrags = self.flows[flow.0 as usize].fragments.len() as u64;
+            if self.reassemble(flow, nfrags) {
+                self.detect(flow);
+            }
+        }
+    }
+
+    /// Validate: every flow reassembled exactly once and every planted
+    /// attack detected.
+    pub fn validate(&self) -> Result<(), String> {
+        let completed = self.flows_completed.load(Ordering::SeqCst);
+        if completed != self.flows.len() as u64 {
+            return Err(format!(
+                "{} of {} flows reassembled",
+                completed,
+                self.flows.len()
+            ));
+        }
+        let found = self.attacks_found.load(Ordering::SeqCst);
+        if found != self.attacks_planted {
+            return Err(format!(
+                "found {found} attacks, planted {}",
+                self.attacks_planted
+            ));
+        }
+        if self.frag_map.size() != 0 {
+            return Err(format!("{} stale flows in fragment map", self.frag_map.size()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: SyncKind, threads: usize) {
+        let cfg = IntruderConfig {
+            attack_percent: 10,
+            max_length: 64,
+            num_flows: 300,
+            seed: 1,
+            max_fragments: 6,
+        };
+        let bench = IntruderBench::with_phi(kind, cfg, Phi::fib(16));
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|_| s.spawn(|| bench.worker())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, bench.packets_total());
+        bench.validate().unwrap();
+    }
+
+    #[test]
+    fn semantic_multithreaded() {
+        run(SyncKind::Semantic, 4);
+    }
+
+    #[test]
+    fn global_multithreaded() {
+        run(SyncKind::Global, 4);
+    }
+
+    #[test]
+    fn two_pl_multithreaded() {
+        run(SyncKind::TwoPl, 4);
+    }
+
+    #[test]
+    fn manual_multithreaded() {
+        run(SyncKind::Manual, 4);
+    }
+
+    #[test]
+    fn single_thread_completes_all() {
+        run(SyncKind::Semantic, 1);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = IntruderConfig::paper(0.01);
+        let a = IntruderBench::with_phi(SyncKind::Global, cfg, Phi::fib(8));
+        let b = IntruderBench::with_phi(SyncKind::Global, cfg, Phi::fib(8));
+        assert_eq!(a.packets_total(), b.packets_total());
+        assert_eq!(a.attacks_planted, b.attacks_planted);
+        assert!(a.attacks_planted > 0, "10% attacks planted");
+    }
+}

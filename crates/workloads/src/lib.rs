@@ -1,0 +1,23 @@
+//! # workloads — the paper's evaluation benchmarks
+//!
+//! Faithful Rust ports of the five §6 benchmarks, each parameterized by a
+//! [`SyncKind`]: ComputeIfAbsent, Graph, Cache (composite modules), and
+//! Intruder, GossipRouter (applications).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cia;
+pub mod driver;
+pub mod gossip;
+pub mod graph;
+pub mod intruder;
+pub mod sync_kind;
+pub mod synthesis;
+
+pub use cache::CacheBench;
+pub use cia::ComputeIfAbsent;
+pub use gossip::GossipBench;
+pub use graph::GraphBench;
+pub use intruder::{IntruderBench, IntruderConfig};
+pub use sync_kind::SyncKind;

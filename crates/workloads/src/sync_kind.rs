@@ -1,0 +1,69 @@
+//! The synchronization strategies compared in §6.
+
+use std::fmt;
+
+/// Which synchronization implementation a workload instance uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SyncKind {
+    /// The synthesized semantic locking ("Ours").
+    Semantic,
+    /// One global lock for all atomic sections ("Global").
+    Global,
+    /// Ordered two-phase locking, one standard lock per ADT instance
+    /// ("2PL").
+    TwoPl,
+    /// Hand-crafted synchronization ("Manual").
+    Manual,
+    /// The `ConcurrentHashMapV8`-style concurrent map ("V8",
+    /// ComputeIfAbsent only).
+    V8,
+}
+
+impl SyncKind {
+    /// The strategies compared in most figures.
+    pub const STANDARD: [SyncKind; 4] = [
+        SyncKind::Semantic,
+        SyncKind::Global,
+        SyncKind::TwoPl,
+        SyncKind::Manual,
+    ];
+
+    /// The strategies of Fig. 21 (ComputeIfAbsent adds V8).
+    pub const WITH_V8: [SyncKind; 5] = [
+        SyncKind::Semantic,
+        SyncKind::Global,
+        SyncKind::TwoPl,
+        SyncKind::Manual,
+        SyncKind::V8,
+    ];
+
+    /// Label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncKind::Semantic => "Ours",
+            SyncKind::Global => "Global",
+            SyncKind::TwoPl => "2PL",
+            SyncKind::Manual => "Manual",
+            SyncKind::V8 => "V8",
+        }
+    }
+}
+
+impl fmt::Display for SyncKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SyncKind::Semantic.label(), "Ours");
+        assert_eq!(SyncKind::TwoPl.to_string(), "2PL");
+        assert_eq!(SyncKind::WITH_V8.len(), 5);
+        assert_eq!(SyncKind::STANDARD.len(), 4);
+    }
+}

@@ -1,0 +1,15 @@
+// The running example of the paper (Fig. 1), in semlockc's surface syntax.
+atomic fig1(map: Map, queue: Queue, id, x, y, flag) {
+  set: Set;
+  set = map.get(id);
+  if (set == null) {
+    set = new Set();
+    map.put(id, set);
+  }
+  set.add(x);
+  set.add(y);
+  if (flag) {
+    queue.enqueue(set);
+    map.remove(id);
+  }
+}

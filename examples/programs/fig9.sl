@@ -1,0 +1,15 @@
+// Fig. 9: the loop whose restrictions-graph is cyclic — the compiler
+// synthesizes a global wrapper ADT for the Set class.
+atomic fig9(map: Map, n) {
+  set: Set;
+  sum = 0;
+  i = 0;
+  while (i < n) {
+    set = map.get(i);
+    if (set != null) {
+      sz = set.size();
+      sum = sum + sz;
+    }
+    i = i + 1;
+  }
+}

@@ -1,0 +1,17 @@
+// Two atomic sections sharing two Sets: a transfer and an audit.
+// The compiler orders the same-class instances dynamically (LV2) and
+// keys the audit's contains-lock by value, so transfers of different
+// values run in parallel.
+atomic transfer(src: Set, dst: Set, v) {
+  c = src.contains(v);
+  if (c) {
+    src.remove(v);
+    dst.add(v);
+  }
+}
+
+atomic audit(src: Set, dst: Set, v) {
+  a = src.contains(v);
+  b = dst.contains(v);
+  both = a + b;
+}

@@ -1,0 +1,153 @@
+//! `semlockc` — the semantic-locking compiler driver.
+//!
+//! Reads a program of atomic sections in the surface language (see
+//! `synth::parse`), synthesizes deadlock-free semantic locking for it,
+//! and prints the instrumented sections plus the generated locking
+//! modes.
+//!
+//! ```text
+//! semlockc program.sl                # compile and print
+//! semlockc --no-opt program.sl      # skip Appendix-A optimizations
+//! semlockc --no-refine program.sl   # generic lock(+) sites (§3 only)
+//! semlockc --phi 16 program.sl      # abstract-value count (default 64)
+//! semlockc -                        # read from stdin
+//! ```
+//!
+//! Supported ADT classes: Map, Set, Queue, Multimap, WeakMap (and any
+//! number of instances of each).
+
+use std::io::Read;
+use std::process::ExitCode;
+use synth::restrictions::RestrictionsGraph;
+use synth::{ClassRegistry, Synthesizer};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: semlockc [--no-opt] [--no-refine] [--phi N] <program.sl | ->");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut no_opt = false;
+    let mut no_refine = false;
+    let mut phi_n: u16 = 64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-opt" => no_opt = true,
+            "--no-refine" => no_refine = true,
+            "--phi" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => phi_n = n,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if path.is_none() => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+
+    let src = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("semlockc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("semlockc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let sections = match synth::parse::parse_program(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("semlockc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Register every known ADT class; report unknown ones up front.
+    let known = ["Map", "Set", "Queue", "Multimap", "WeakMap"];
+    let mut registry = ClassRegistry::new();
+    for class in known {
+        registry.register(class, adts::schema_of(class), adts::spec_of(class));
+    }
+    for section in &sections {
+        for (var, class) in section.pointer_vars() {
+            if !registry.contains(class) {
+                eprintln!(
+                    "semlockc: section {}: variable {var} has unknown ADT class {class} \
+                     (supported: {})",
+                    section.name,
+                    known.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Diagnostics: restrictions-graph of the input.
+    let graph = RestrictionsGraph::build(&sections);
+    println!("// restrictions-graph:");
+    let classes = graph.classes();
+    if graph.edge_count() == 0 {
+        println!("//   (no ordering constraints)");
+    }
+    for u in 0..classes.len() {
+        for v in graph.succ(u) {
+            println!("//   [{}] -> [{}]", classes.name(u), classes.name(v));
+        }
+    }
+    for comp in graph.cyclic_components() {
+        let names: Vec<&str> = comp.iter().map(|&c| classes.name(c)).collect();
+        println!(
+            "//   cyclic component {{{}}} -> global wrapper",
+            names.join(", ")
+        );
+    }
+
+    let mut synth = Synthesizer::new(registry).phi(semlock::phi::Phi::fib(phi_n));
+    if no_opt {
+        synth = synth.without_optimizations();
+    }
+    if no_refine {
+        synth = synth.without_refinement();
+    }
+    let out = synth.synthesize(&sections);
+
+    println!("// lock order: {}", out.class_order.join(" < "));
+    for w in &out.wrappers {
+        println!(
+            "// wrapper {} (pointer {}) wraps {}",
+            w.name,
+            w.pointer,
+            w.wrapped_classes.join(", ")
+        );
+    }
+    println!();
+    for section in &out.sections {
+        print!("{section}");
+        println!();
+    }
+
+    println!("// locking modes:");
+    let mut classes: Vec<&str> = out.tables.classes().collect();
+    classes.sort();
+    for class in classes {
+        let t = out.tables.table(class);
+        println!(
+            "//   {class}: {} modes, {} partitions (φ n = {})",
+            t.mode_count(),
+            t.partition_count(),
+            t.phi().n()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,145 @@
+//! Golden tests: the synthesis pipeline's output on the paper's running
+//! example must match the paper's figures stage by stage.
+
+use synth::classes::Classes;
+use synth::insertion::insert_locking;
+use synth::ir::fig1_section;
+use synth::opt;
+use synth::order::LockOrder;
+use synth::restrictions::{ClassRegistry, RestrictionsGraph};
+use synth::Synthesizer;
+
+fn registry() -> ClassRegistry {
+    let mut r = ClassRegistry::new();
+    for class in ["Map", "Set", "Queue"] {
+        r.register(class, adts::schema_of(class), adts::spec_of(class));
+    }
+    r
+}
+
+fn normalize(s: &str) -> Vec<String> {
+    s.lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty() && !l.starts_with("atomic {") && *l != "}")
+        .collect()
+}
+
+#[test]
+fn fig14_naive_insertion_golden() {
+    let section = fig1_section();
+    let graph = RestrictionsGraph::build(std::slice::from_ref(&section));
+    let order = LockOrder::compute(&graph);
+    let inst = insert_locking(&section, &graph, &order);
+    let expected = "\
+atomic {
+  LV(map);
+  set = map.get(id);
+  if(set==null) {
+    set = new Set();
+    LV(map);
+    map.put(id,set);
+  }
+  LV(map);
+  LV(set);
+  set.add(x);
+  LV(map);
+  LV(set);
+  set.add(y);
+  if(flag) {
+    LV(map);
+    LV(queue);
+    queue.enqueue(set);
+    LV(map);
+    map.remove(id);
+  }
+  foreach(t : LOCAL_SET) t.unlockAll();
+}";
+    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+}
+
+#[test]
+fn fig17_optimized_golden() {
+    let section = fig1_section();
+    let graph = RestrictionsGraph::build(std::slice::from_ref(&section));
+    let order = LockOrder::compute(&graph);
+    let mut inst = insert_locking(&section, &graph, &order);
+    opt::optimize(&mut inst);
+    let expected = "\
+atomic {
+  map.lock(+);
+  set = map.get(id);
+  if(set==null) {
+    set = new Set();
+    map.put(id,set);
+  }
+  set.lock(+);
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    queue.lock(+);
+    queue.enqueue(set);
+    queue.unlockAll();
+    map.remove(id);
+  }
+  map.unlockAll();
+  set.unlockAll();
+}";
+    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+}
+
+#[test]
+fn fig2_refined_golden() {
+    let section = fig1_section();
+    let graph = RestrictionsGraph::build(std::slice::from_ref(&section));
+    let order = LockOrder::compute(&graph);
+    let mut inst = insert_locking(&section, &graph, &order);
+    opt::optimize(&mut inst);
+    let classes = Classes::collect(std::slice::from_ref(&inst));
+    synth::future::refine_sites(&mut inst, &classes, &registry());
+    let expected = "\
+atomic {
+  map.lock({get(id),put(id,*),remove(id)});
+  set = map.get(id);
+  if(set==null) {
+    set = new Set();
+    map.put(id,set);
+  }
+  set.lock({add(x),add(y)});
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    queue.lock({enqueue(set)});
+    queue.enqueue(set);
+    queue.unlockAll();
+    map.remove(id);
+  }
+  map.unlockAll();
+  set.unlockAll();
+}";
+    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+}
+
+#[test]
+fn full_pipeline_produces_fig2_directly() {
+    let out = Synthesizer::new(registry()).synthesize(&[fig1_section()]);
+    let text = out.sections[0].to_string();
+    assert!(text.contains("map.lock({get(id),put(id,*),remove(id)});"), "{text}");
+    assert!(text.contains("set.lock({add(x),add(y)});"), "{text}");
+    assert!(text.contains("queue.lock({enqueue(set)});"), "{text}");
+    // Early release of the queue inside the branch (Fig. 2 line 8).
+    assert!(text.contains("queue.unlockAll();"), "{text}");
+}
+
+#[test]
+fn fig15_global_wrapper_golden() {
+    // Fig. 9's loop section is rewritten to lock a single global wrapper
+    // (Fig. 15's GlobalWrapper1 / p1).
+    let out = Synthesizer::new(registry()).synthesize(&[synth::ir::fig9_section()]);
+    assert_eq!(out.wrappers.len(), 1);
+    let w = &out.wrappers[0];
+    assert_eq!(w.name, "GlobalWrapper1");
+    assert_eq!(w.pointer, "p1");
+    let text = out.sections[0].to_string();
+    assert!(text.contains("p1.Set_size(set)"), "{text}");
+    assert!(!text.contains("set.size()"), "{text}");
+}

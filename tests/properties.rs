@@ -1,0 +1,395 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * `F_c` is symmetric and sound (must-commute implies concrete
+//!   commutativity for all covered operation pairs);
+//! * mode selection covers exactly the operations of the instantiated
+//!   symbolic set;
+//! * φ is deterministic and total;
+//! * randomly generated atomic sections synthesize into programs whose
+//!   concurrent executions satisfy the OS2PL protocol and whose
+//!   single-threaded executions agree across all strategies.
+
+use proptest::prelude::*;
+use semlock::mode::{ModeTable, ModeTableBuilder};
+use semlock::phi::Phi;
+use semlock::symbolic::{Operation, SymArg, SymOp, SymbolicSet};
+use semlock::value::Value;
+use std::sync::Arc;
+
+fn map_table(symsets: Vec<SymbolicSet>, n: u16) -> (Arc<ModeTable>, Vec<semlock::mode::LockSiteId>) {
+    let schema = adts::schema_of("Map");
+    let spec = adts::spec_of("Map");
+    let mut b: ModeTableBuilder = ModeTable::builder(schema, spec, Phi::modulo(n));
+    let sites = symsets.into_iter().map(|s| b.add_site(s)).collect();
+    (b.build(), sites)
+}
+
+/// Strategy: a random symbolic set over the Map schema, with 0–2 variable
+/// slots.
+fn arb_symset() -> impl Strategy<Value = SymbolicSet> {
+    let schema = adts::schema_of("Map");
+    let arb_arg = prop_oneof![
+        Just(SymArg::Star),
+        (0u64..8).prop_map(|v| SymArg::Const(Value(v))),
+        (0usize..2).prop_map(SymArg::Var),
+    ];
+    let method_count = schema.method_count();
+    let arb_op = (0..method_count, proptest::collection::vec(arb_arg, 0..3)).prop_map(
+        move |(m, mut args)| {
+            let schema = adts::schema_of("Map");
+            let arity = schema.sig(m).arity;
+            args.resize(arity, SymArg::Star);
+            args.truncate(arity);
+            SymOp::new(m, args)
+        },
+    );
+    proptest::collection::vec(arb_op, 1..4).prop_map(SymbolicSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fc_is_symmetric(symsets in proptest::collection::vec(arb_symset(), 1..3), n in 1u16..6) {
+        let (t, _) = map_table(symsets, n);
+        for a in 0..t.mode_count() as u32 {
+            for b in 0..t.mode_count() as u32 {
+                let (ma, mb) = (semlock::mode::ModeId(a), semlock::mode::ModeId(b));
+                prop_assert_eq!(t.fc(ma, mb), t.fc(mb, ma));
+            }
+        }
+    }
+
+    #[test]
+    fn selected_mode_covers_instantiation(
+        symset in arb_symset(),
+        keys in proptest::collection::vec(0u64..32, 2),
+        probe in proptest::collection::vec(0u64..32, 2),
+    ) {
+        // Every concrete operation in [SY](σ) must be covered by the mode
+        // selected under σ.
+        let (t, sites) = map_table(vec![symset.clone()], 4);
+        let keyvals: Vec<Value> = keys.iter().map(|&k| Value(k)).collect();
+        let mode = t.select(sites[0], &keyvals);
+        let schema = adts::schema_of("Map");
+        for m in 0..schema.method_count() {
+            let arity = schema.sig(m).arity;
+            let args: Vec<Value> = probe.iter().take(arity).map(|&v| Value(v)).collect();
+            if args.len() < arity {
+                continue;
+            }
+            let op = Operation::new(m, args);
+            if symset.instantiate_covers(&op, &keyvals) {
+                prop_assert!(
+                    t.mode_covers(mode, &op),
+                    "mode must cover {:?} (symset {:?}, keys {:?})",
+                    op, symset, keyvals
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn must_commute_is_sound(
+        sy1 in arb_symset(),
+        sy2 in arb_symset(),
+        k1 in proptest::collection::vec(0u64..16, 2),
+        k2 in proptest::collection::vec(0u64..16, 2),
+        probe in proptest::collection::vec(0u64..16, 4),
+    ) {
+        // If F_c says two modes commute, then every pair of concrete
+        // operations covered by them must commute per the specification.
+        let (t, sites) = map_table(vec![sy1, sy2], 4);
+        let kv1: Vec<Value> = k1.iter().map(|&k| Value(k)).collect();
+        let kv2: Vec<Value> = k2.iter().map(|&k| Value(k)).collect();
+        let m1 = t.select(sites[0], &kv1);
+        let m2 = t.select(sites[1], &kv2);
+        if !t.fc(m1, m2) {
+            return Ok(());
+        }
+        let schema = adts::schema_of("Map");
+        let spec = adts::spec_of("Map");
+        for a in 0..schema.method_count() {
+            for b in 0..schema.method_count() {
+                let (ar_a, ar_b) = (schema.sig(a).arity, schema.sig(b).arity);
+                let op_a = Operation::new(a, probe.iter().take(ar_a).map(|&v| Value(v)).collect());
+                let op_b = Operation::new(b, probe.iter().rev().take(ar_b).map(|&v| Value(v)).collect());
+                if t.mode_covers(m1, &op_a) && t.mode_covers(m2, &op_b) {
+                    prop_assert!(
+                        spec.commutes(&op_a, &op_b),
+                        "F_c=true but {} and {} do not commute",
+                        op_a.display(&schema), op_b.display(&schema)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_total_and_deterministic(v in any::<u64>(), n in 1u16..512) {
+        let phi = Phi::fib(n);
+        let a = phi.apply(Value(v));
+        prop_assert!(a.0 < n);
+        prop_assert_eq!(a, phi.apply(Value(v)));
+        let pm = Phi::modulo(n);
+        prop_assert_eq!(pm.apply(Value(v)).0 as u64, v % n as u64);
+    }
+
+    #[test]
+    fn adts_specs_concretely_symmetric(
+        class_idx in 0usize..5,
+        m1 in 0usize..6,
+        m2 in 0usize..6,
+        args in proptest::collection::vec(0u64..6, 4),
+    ) {
+        let class = ["Map", "Set", "Queue", "Multimap", "WeakMap"][class_idx];
+        let schema = adts::schema_of(class);
+        let spec = adts::spec_of(class);
+        let (m1, m2) = (m1 % schema.method_count(), m2 % schema.method_count());
+        let a = Operation::new(m1, args.iter().take(schema.sig(m1).arity).map(|&v| Value(v)).collect());
+        let b = Operation::new(m2, args.iter().rev().take(schema.sig(m2).arity).map(|&v| Value(v)).collect());
+        prop_assert_eq!(spec.commutes(&a, &b), spec.commutes(&b, &a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-program synthesis properties
+// ---------------------------------------------------------------------
+
+mod random_programs {
+    use super::*;
+    use interp::{Env, Interp, Strategy as ExecStrategy};
+    
+    use semlock::protocol::ProtocolChecker;
+    use synth::ir::{AtomicSection, Body, Expr, VarType};
+    use synth::{ClassRegistry, Synthesizer};
+
+    /// A tiny random-program generator: straight-line and branched calls
+    /// over two Maps and a Set (all parameters, hence non-null), with
+    /// scalar keys `k0..k2`.
+    #[derive(Debug, Clone)]
+    enum GenStmt {
+        Call {
+            recv: u8,
+            method: u8,
+            key: u8,
+            ret: bool,
+        },
+        If {
+            key: u8,
+            then_branch: Vec<GenStmt>,
+            else_branch: Vec<GenStmt>,
+        },
+    }
+
+    fn arb_stmt(depth: u32) -> BoxedStrategy<GenStmt> {
+        let call = (0u8..3, 0u8..4, 0u8..3, any::<bool>()).prop_map(|(recv, method, key, ret)| {
+            GenStmt::Call {
+                recv,
+                method,
+                key,
+                ret,
+            }
+        });
+        if depth == 0 {
+            call.boxed()
+        } else {
+            prop_oneof![
+                3 => call,
+                1 => (
+                    0u8..3,
+                    proptest::collection::vec(arb_stmt(depth - 1), 1..3),
+                    proptest::collection::vec(arb_stmt(depth - 1), 0..2),
+                )
+                    .prop_map(|(key, then_branch, else_branch)| GenStmt::If {
+                        key,
+                        then_branch,
+                        else_branch
+                    }),
+            ]
+            .boxed()
+        }
+    }
+
+    fn lower(stmts: &[GenStmt], body: Body, tmp: &mut usize) -> Body {
+        let mut body = body;
+        for s in stmts {
+            body = match s {
+                GenStmt::Call {
+                    recv,
+                    method,
+                    key,
+                    ret,
+                } => {
+                    let key_var = format!("k{key}");
+                    let (recv_name, method_name, args): (&str, &str, Vec<Expr>) = match recv % 3 {
+                        0 | 1 => {
+                            let r = if recv % 3 == 0 { "m1" } else { "m2" };
+                            match method % 4 {
+                                0 => (r, "get", vec![Expr::Var(key_var)]),
+                                1 => (
+                                    r,
+                                    "put",
+                                    vec![Expr::Var(key_var), Expr::Const(Value(1))],
+                                ),
+                                2 => (r, "remove", vec![Expr::Var(key_var)]),
+                                _ => (r, "containsKey", vec![Expr::Var(key_var)]),
+                            }
+                        }
+                        _ => match method % 3 {
+                            0 => ("s", "add", vec![Expr::Var(key_var)]),
+                            1 => ("s", "remove", vec![Expr::Var(key_var)]),
+                            _ => ("s", "contains", vec![Expr::Var(key_var)]),
+                        },
+                    };
+                    if *ret {
+                        *tmp += 1;
+                        let t = format!("t{tmp}");
+                        body.call_into(&t, recv_name, method_name, args)
+                    } else {
+                        body.call(recv_name, method_name, args)
+                    }
+                }
+                GenStmt::If {
+                    key,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let cond = Expr::Var(format!("k{key}"));
+                    let tb = lower(then_branch, Body::new(), tmp);
+                    let eb = lower(else_branch, Body::new(), tmp);
+                    body.if_else(cond, tb, eb)
+                }
+            };
+        }
+        body
+    }
+
+    fn build_section(stmts: &[GenStmt]) -> AtomicSection {
+        let mut tmp = 0usize;
+        let body = lower(stmts, Body::new(), &mut tmp);
+        let mut decls: Vec<(String, VarType)> = vec![
+            ("m1".into(), VarType::Ptr("Map".into())),
+            ("m2".into(), VarType::Ptr("Map".into())),
+            ("s".into(), VarType::Ptr("Set".into())),
+        ];
+        for k in 0..3 {
+            decls.push((format!("k{k}"), VarType::Scalar));
+        }
+        for t in 1..=tmp {
+            decls.push((format!("t{t}"), VarType::Scalar));
+        }
+        AtomicSection::new("random", decls, body.build())
+    }
+
+    fn registry() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.register("Map", adts::schema_of("Map"), adts::spec_of("Map"));
+        r.register("Set", adts::schema_of("Set"), adts::spec_of("Set"));
+        r
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any generated section synthesizes, and its concurrent
+        /// executions follow OS2PL (no op without a covering lock, two-
+        /// phase, single lock per instance, acyclic lock order) and never
+        /// deadlock.
+        #[test]
+        fn random_sections_synthesize_and_follow_protocol(
+            stmts in proptest::collection::vec(arb_stmt(2), 1..6),
+            keys in proptest::collection::vec(0u64..6, 16),
+        ) {
+            let section = build_section(&stmts);
+            let program = Arc::new(
+                Synthesizer::new(registry())
+                    .phi(Phi::modulo(4))
+                    .synthesize(&[section]),
+            );
+            let env = Arc::new(Env::new(program));
+            let m1 = env.new_instance("Map");
+            let m2 = env.new_instance("Map");
+            let s = env.new_instance("Set");
+            let checker = Arc::new(ProtocolChecker::new());
+            let interp = Arc::new(
+                Interp::new(env.clone(), ExecStrategy::Semantic).with_checker(checker.clone()),
+            );
+            std::thread::scope(|scope| {
+                for t in 0..3usize {
+                    let interp = interp.clone();
+                    let keys = keys.clone();
+                    scope.spawn(move || {
+                        for (i, &k) in keys.iter().enumerate() {
+                            let k2 = keys[(i + t) % keys.len()];
+                            interp.run(
+                                "random",
+                                &[
+                                    ("m1", m1),
+                                    ("m2", m2),
+                                    ("s", s),
+                                    ("k0", Value(k)),
+                                    ("k1", Value(k2)),
+                                    ("k2", Value(k ^ k2)),
+                                ],
+                            );
+                        }
+                    });
+                }
+            });
+            let violations = checker.check();
+            prop_assert!(violations.is_empty(), "protocol violations: {violations:?}");
+        }
+
+        /// Single-threaded deterministic runs agree across strategies
+        /// (semantic locking must not change sequential semantics).
+        #[test]
+        fn random_sections_strategy_agreement(
+            stmts in proptest::collection::vec(arb_stmt(2), 1..6),
+            keys in proptest::collection::vec(0u64..6, 8),
+        ) {
+            let section = build_section(&stmts);
+            let mut snapshots = Vec::new();
+            for strategy in [ExecStrategy::Semantic, ExecStrategy::Global, ExecStrategy::TwoPhase] {
+                let program = Arc::new(
+                    Synthesizer::new(registry())
+                        .phi(Phi::modulo(4))
+                        .synthesize(std::slice::from_ref(&section)),
+                );
+                let env = Arc::new(Env::new(program));
+                let m1 = env.new_instance("Map");
+                let m2 = env.new_instance("Map");
+                let s = env.new_instance("Set");
+                let interp = Interp::new(env.clone(), strategy);
+                for (i, &k) in keys.iter().enumerate() {
+                    interp.run(
+                        "random",
+                        &[
+                            ("m1", m1),
+                            ("m2", m2),
+                            ("s", s),
+                            ("k0", Value(k)),
+                            ("k1", Value(keys[(i + 1) % keys.len()])),
+                            ("k2", Value(k + 1)),
+                        ],
+                    );
+                }
+                // Snapshot observable state.
+                let m1_adt = env.resolve(m1);
+                let m2_adt = env.resolve(m2);
+                let s_adt = env.resolve(s);
+                let get = m1_adt.obj.schema().method("get");
+                let contains = s_adt.obj.schema().method("contains");
+                let mut snap = Vec::new();
+                for k in 0..8u64 {
+                    snap.push(m1_adt.obj.invoke(get, &[Value(k)]));
+                    snap.push(m2_adt.obj.invoke(get, &[Value(k)]));
+                    snap.push(s_adt.obj.invoke(contains, &[Value(k)]));
+                }
+                snapshots.push(snap);
+            }
+            prop_assert_eq!(&snapshots[0], &snapshots[1]);
+            prop_assert_eq!(&snapshots[1], &snapshots[2]);
+        }
+    }
+}
