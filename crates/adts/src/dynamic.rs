@@ -219,10 +219,7 @@ mod tests {
         m.invoke(s.method("put"), &[Value(1), Value(10)]);
         assert_eq!(m.invoke(s.method("get"), &[Value(1)]), Value(10));
         assert_eq!(m.invoke(s.method("size"), &[]), Value(1));
-        assert_eq!(
-            m.invoke(s.method("containsKey"), &[Value(1)]),
-            Value::TRUE
-        );
+        assert_eq!(m.invoke(s.method("containsKey"), &[Value(1)]), Value::TRUE);
         m.invoke(s.method("remove"), &[Value(1)]);
         assert_eq!(m.invoke(s.method("size"), &[]), Value(0));
     }
@@ -251,8 +248,14 @@ mod tests {
     fn multimap_via_dyn() {
         let m = new_instance("Multimap");
         let s = m.schema().clone();
-        assert_eq!(m.invoke(s.method("put"), &[Value(1), Value(5)]), Value::TRUE);
-        assert_eq!(m.invoke(s.method("put"), &[Value(1), Value(6)]), Value::TRUE);
+        assert_eq!(
+            m.invoke(s.method("put"), &[Value(1), Value(5)]),
+            Value::TRUE
+        );
+        assert_eq!(
+            m.invoke(s.method("put"), &[Value(1), Value(6)]),
+            Value::TRUE
+        );
         assert_eq!(m.invoke(s.method("get"), &[Value(1)]), Value(2));
         assert_eq!(
             m.invoke(s.method("containsEntry"), &[Value(1), Value(5)]),

@@ -8,7 +8,7 @@
 //! which is always sound.
 
 use semlock::schema::{set_schema, AdtSchema};
-use semlock::spec::{Cond, CommutSpec};
+use semlock::spec::{CommutSpec, Cond};
 use std::sync::Arc;
 
 /// The Set commutativity specification — exactly Fig. 3(b).
@@ -234,14 +234,22 @@ mod tests {
 
     #[test]
     fn specs_are_symmetric_on_samples() {
-        for spec in [map_spec(), queue_spec(), multimap_spec(), weakmap_spec(), set_spec()] {
+        for spec in [
+            map_spec(),
+            queue_spec(),
+            multimap_spec(),
+            weakmap_spec(),
+            set_spec(),
+        ] {
             let schema = spec.schema().clone();
             for m1 in 0..schema.method_count() {
                 for m2 in 0..schema.method_count() {
                     for seed in 0..4u64 {
                         let a = Operation::new(
                             m1,
-                            (0..schema.sig(m1).arity).map(|i| Value(seed + i as u64)).collect(),
+                            (0..schema.sig(m1).arity)
+                                .map(|i| Value(seed + i as u64))
+                                .collect(),
                         );
                         let b = Operation::new(
                             m2,

@@ -37,12 +37,19 @@ impl V8Map {
 
     /// `get`.
     pub fn get(&self, key: Value) -> Value {
-        self.shard(key).lock().get(&key).copied().unwrap_or(Value::NULL)
+        self.shard(key)
+            .lock()
+            .get(&key)
+            .copied()
+            .unwrap_or(Value::NULL)
     }
 
     /// `put`; returns the previous value or NULL.
     pub fn put(&self, key: Value, value: Value) -> Value {
-        self.shard(key).lock().insert(key, value).unwrap_or(Value::NULL)
+        self.shard(key)
+            .lock()
+            .insert(key, value)
+            .unwrap_or(Value::NULL)
     }
 
     /// `remove`; returns the previous value or NULL.

@@ -141,9 +141,7 @@ fn fig25() {
         let bench = GossipBench::new(kind, groups, members);
         let per_thread = (total_msgs / threads as u64).max(1);
         let start = std::time::Instant::now();
-        workloads::driver::run_fixed_ops(threads, per_thread, 99, &|t, rng| {
-            bench.op(t, rng)
-        });
+        workloads::driver::run_fixed_ops(threads, per_thread, 99, &|t, rng| bench.op(t, rng));
         let secs = start.elapsed().as_secs_f64();
         assert!(bench.delivered() > 0);
         // Normalize per message since thread counts round the total.
@@ -179,8 +177,13 @@ fn compat() {
     let samples = 20_000usize;
     let mut rng = SmallRng::seed_from_u64(2026);
 
-    println!("\nAdmission compatibility — fraction of random transaction pairs that may overlap [%]");
-    println!("{:>24}{:>10}{:>10}{:>10}{:>10}", "workload", "Ours", "Global", "2PL", "Manual");
+    println!(
+        "\nAdmission compatibility — fraction of random transaction pairs that may overlap [%]"
+    );
+    println!(
+        "{:>24}{:>10}{:>10}{:>10}{:>10}",
+        "workload", "Ours", "Global", "2PL", "Manual"
+    );
 
     // ComputeIfAbsent: footprint = the map mode of a random key.
     {
@@ -238,13 +241,29 @@ fn compat() {
             let b = semlock::value::Value(rng.gen_range(0..nodes));
             let roll = rng.gen_range(0..100u64);
             if roll < 35 {
-                Fp { succ: true, pred: false, mode: t.select(s_fs, &[a]) }
+                Fp {
+                    succ: true,
+                    pred: false,
+                    mode: t.select(s_fs, &[a]),
+                }
             } else if roll < 70 {
-                Fp { succ: false, pred: true, mode: t.select(s_fp, &[a]) }
+                Fp {
+                    succ: false,
+                    pred: true,
+                    mode: t.select(s_fp, &[a]),
+                }
             } else if roll < 90 {
-                Fp { succ: true, pred: true, mode: t.select(s_ie, &[a, b]) }
+                Fp {
+                    succ: true,
+                    pred: true,
+                    mode: t.select(s_ie, &[a, b]),
+                }
             } else {
-                Fp { succ: true, pred: true, mode: t.select(s_re, &[a, b]) }
+                Fp {
+                    succ: true,
+                    pred: true,
+                    mode: t.select(s_re, &[a, b]),
+                }
             }
         };
         let mut ours = 0usize;

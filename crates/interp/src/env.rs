@@ -4,8 +4,8 @@
 //! Pointer values in the interpreter are [`Value`]s holding instance ids
 //! (or [`Value::NULL`]); the [`Registry`] resolves ids to live instances.
 
-use baselines::BinaryLock;
 use adts::AdtDyn;
+use baselines::BinaryLock;
 use parking_lot::RwLock;
 use semlock::manager::SemLock;
 use semlock::schema::{AdtSchema, MethodIdx};

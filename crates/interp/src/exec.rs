@@ -14,8 +14,8 @@
 //! unlock is recorded into a [`ProtocolChecker`] for post-hoc validation
 //! of the OS2PL rules.
 
-use baselines::BinaryLock;
 use crate::env::{Env, SharedAdt};
+use baselines::BinaryLock;
 use semlock::mode::ModeId;
 use semlock::protocol::ProtocolChecker;
 use semlock::symbolic::Operation;

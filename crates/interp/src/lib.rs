@@ -9,7 +9,6 @@
 
 #![warn(missing_docs)]
 
-
 pub mod env;
 pub mod exec;
 

@@ -222,8 +222,8 @@ mod tests {
         assert!(!fc(&m00, &m00));
         // Cross entries from the figure.
         assert!(!fc(&m11, &m10)); // add(α₁) vs remove(α₁)
-        // {add(α₁),remove(α₁)} vs {add(α₀),remove(α₀)}: all cross pairs
-        // involve distinct classes → commute.
+                                  // {add(α₁),remove(α₁)} vs {add(α₀),remove(α₀)}: all cross pairs
+                                  // involve distinct classes → commute.
         assert!(fc(&m11, &m00));
         // {add(α₁),remove(α₀)} vs {add(α₀),remove(α₁)}: add(α₁)/remove(α₁)
         // collide → false.

@@ -99,10 +99,7 @@ impl Mode {
         };
         let keep: Vec<bool> = ops
             .iter()
-            .map(|op| {
-                !ops.iter()
-                    .any(|other| other != op && subsumes(other, op))
-            })
+            .map(|op| !ops.iter().any(|other| other != op && subsumes(other, op)))
             .collect();
         let mut it = keep.iter();
         ops.retain(|_| *it.next().unwrap());
@@ -751,11 +748,7 @@ mod tests {
             .method("put", 2)
             .build();
         let spec = CommutSpec::builder(schema.clone())
-            .pair(
-                "containsKey",
-                "containsKey",
-                crate::spec::Cond::True,
-            )
+            .pair("containsKey", "containsKey", crate::spec::Cond::True)
             .differ("containsKey", 0, "put", 0)
             .differ("put", 0, "put", 0)
             .build();

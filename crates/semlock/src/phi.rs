@@ -44,13 +44,19 @@ impl Phi {
     /// A modulo hash with `n` abstract values.
     pub fn modulo(n: u16) -> Phi {
         assert!(n >= 1, "φ needs at least one abstract value");
-        Phi { n, kind: PhiKind::Mod }
+        Phi {
+            n,
+            kind: PhiKind::Mod,
+        }
     }
 
     /// A Fibonacci multiplicative hash with `n` abstract values.
     pub fn fib(n: u16) -> Phi {
         assert!(n >= 1, "φ needs at least one abstract value");
-        Phi { n, kind: PhiKind::Fib }
+        Phi {
+            n,
+            kind: PhiKind::Fib,
+        }
     }
 
     /// The paper's evaluation configuration: 64 abstract values.

@@ -99,13 +99,22 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::OpWithoutLock { txn, instance, op } => {
-                write!(f, "txn {txn}: op {op} on instance {instance} without covering lock")
+                write!(
+                    f,
+                    "txn {txn}: op {op} on instance {instance} without covering lock"
+                )
             }
             Violation::LockAfterUnlock { txn, instance } => {
-                write!(f, "txn {txn}: locked instance {instance} after unlocking (2PL)")
+                write!(
+                    f,
+                    "txn {txn}: locked instance {instance} after unlocking (2PL)"
+                )
             }
             Violation::DoubleLock { txn, instance } => {
-                write!(f, "txn {txn}: second locking operation on instance {instance}")
+                write!(
+                    f,
+                    "txn {txn}: second locking operation on instance {instance}"
+                )
             }
             Violation::CyclicLockOrder { cycle } => {
                 write!(f, "cyclic instance lock order: {cycle:?}")
@@ -139,7 +148,11 @@ impl ProtocolChecker {
 
     /// Record a lock acquisition.
     pub fn on_lock(&self, txn: TxnId, instance: u64, mode: ModeId) {
-        self.events.lock().push(Event::Lock { txn, instance, mode });
+        self.events.lock().push(Event::Lock {
+            txn,
+            instance,
+            mode,
+        });
     }
 
     /// Record a standard operation.
@@ -176,7 +189,11 @@ impl ProtocolChecker {
 
         for ev in events.iter() {
             match ev {
-                Event::Lock { txn, instance, mode } => {
+                Event::Lock {
+                    txn,
+                    instance,
+                    mode,
+                } => {
                     let st = txns.entry(*txn).or_insert_with(|| TxnState {
                         held: HashMap::new(),
                         ever_locked: HashSet::new(),
@@ -199,14 +216,15 @@ impl ProtocolChecker {
                     st.lock_order.push(*instance);
                 }
                 Event::Op { txn, instance, op } => {
-                    let covered = txns.get(txn).and_then(|st| st.held.get(instance)).map(
-                        |mode| {
+                    let covered = txns
+                        .get(txn)
+                        .and_then(|st| st.held.get(instance))
+                        .map(|mode| {
                             tables
                                 .get(instance)
                                 .map(|t| t.mode_covers(*mode, op))
                                 .unwrap_or(false)
-                        },
-                    );
+                        });
                     if covered != Some(true) {
                         let opstr = tables
                             .get(instance)
@@ -407,7 +425,11 @@ mod tests {
         c.on_unlock(10, 1);
         c.on_lock(10, 2, m);
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::LockAfterUnlock { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::LockAfterUnlock { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -419,7 +441,10 @@ mod tests {
         c.on_lock(10, 1, m);
         c.on_lock(10, 1, m);
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::DoubleLock { .. })), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::DoubleLock { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -435,7 +460,11 @@ mod tests {
         c.on_lock(11, 2, m);
         c.on_lock(11, 1, m);
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::CyclicLockOrder { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::CyclicLockOrder { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -148,12 +148,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate method")]
     fn duplicate_method_panics() {
-        let _ = AdtSchema::builder("X").method("m", 0).method("m", 1).build();
+        let _ = AdtSchema::builder("X")
+            .method("m", 0)
+            .method("m", 1)
+            .build();
     }
 
     #[test]
     fn display() {
-        let s = AdtSchema::builder("Q").method("enqueue", 1).method("size", 0).build();
+        let s = AdtSchema::builder("Q")
+            .method("enqueue", 1)
+            .method("size", 0)
+            .build();
         assert_eq!(format!("{s}"), "Q { enqueue/1, size/0 }");
     }
 }

@@ -382,7 +382,10 @@ mod tests {
     fn cond_display() {
         let c = Cond::And(vec![
             Cond::args_differ(0, 0),
-            Cond::Or(vec![Cond::True, Cond::Eq(ArgRef::Left(1), ArgRef::Const(Value(3)))]),
+            Cond::Or(vec![
+                Cond::True,
+                Cond::Eq(ArgRef::Left(1), ArgRef::Const(Value(3))),
+            ]),
         ]);
         assert_eq!(format!("{c}"), "(l0!=r0 && (true || l1==3))");
     }

@@ -182,10 +182,7 @@ impl SymbolicSet {
         };
         let keep: Vec<bool> = ops
             .iter()
-            .map(|op| {
-                !ops.iter()
-                    .any(|other| other != op && subsumes(other, op))
-            })
+            .map(|op| !ops.iter().any(|other| other != op && subsumes(other, op)))
             .collect();
         let mut it = keep.iter();
         ops.retain(|_| *it.next().unwrap());
@@ -305,9 +302,7 @@ mod tests {
         let env = [Value(7)];
         assert!(sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(7)]), &env));
         assert!(!sy.instantiate_covers(&Operation::new(s.method("add"), vec![Value(8)]), &env));
-        assert!(
-            !sy.instantiate_covers(&Operation::new(s.method("remove"), vec![Value(7)]), &env)
-        );
+        assert!(!sy.instantiate_covers(&Operation::new(s.method("remove"), vec![Value(7)]), &env));
     }
 
     #[test]

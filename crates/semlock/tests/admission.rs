@@ -49,12 +49,18 @@ fn zoo_table(n: u16) -> (Arc<ModeTable>, Vec<LockSiteId>) {
             SymOp::new(m("add"), vec![SymArg::Var(0)]),
             SymOp::new(m("remove"), vec![SymArg::Var(0)]),
         ])),
-        b.add_site(SymbolicSet::new(vec![SymOp::new(m("contains"), vec![SymArg::Star])])),
+        b.add_site(SymbolicSet::new(vec![SymOp::new(
+            m("contains"),
+            vec![SymArg::Star],
+        )])),
         b.add_site(SymbolicSet::new(vec![
             SymOp::new(m("size"), vec![]),
             SymOp::new(m("clear"), vec![]),
         ])),
-        b.add_site(SymbolicSet::new(vec![SymOp::new(m("add"), vec![SymArg::Star])])),
+        b.add_site(SymbolicSet::new(vec![SymOp::new(
+            m("add"),
+            vec![SymArg::Star],
+        )])),
     ];
     (b.build(), sites)
 }
@@ -225,7 +231,10 @@ fn rwlock_emerges_from_modes() {
         .never("write", "write")
         .build();
     let mut b = ModeTable::builder(schema.clone(), spec, Phi::modulo(4));
-    let r_site = b.add_site(SymbolicSet::new(vec![SymOp::new(schema.method("read"), vec![])]));
+    let r_site = b.add_site(SymbolicSet::new(vec![SymOp::new(
+        schema.method("read"),
+        vec![],
+    )]));
     let w_site = b.add_site(SymbolicSet::new(vec![SymOp::new(
         schema.method("write"),
         vec![SymArg::Star],

@@ -1,0 +1,834 @@
+//! Static OS2PL verifier and semantic-race lint pass over synthesized
+//! sections (`semlock-audit`).
+//!
+//! After the pipeline has instrumented, optimized, and refined a program,
+//! this pass re-derives the locking protocol the instrumentation realizes
+//! and checks it against the paper's invariants, reporting findings as
+//! [`Diagnostic`]s under the SL001–SL005 lint catalog (see
+//! [`crate::diag::Lint`]):
+//!
+//! * **SL001** — every ADT call is, on every path, dominated by a lock
+//!   site whose symbolic operation set covers the call (S2PL rule 1);
+//! * **SL002** — no lock acquisition is reachable after a release point
+//!   (S2PL rule 2; this validates the Appendix-A early release);
+//! * **SL003** — instances are acquired at most once per path and
+//!   consistently with the topological order `≤ts` (OS2PL);
+//! * **SL004** — the union over all sections of the observed per-class
+//!   acquisition orders is acyclic (a static deadlock-freedom proof);
+//! * **SL005** — every lock site's registered runtime symbolic set matches
+//!   the IR, and the mode the runtime selects covers the instantiated set
+//!   (§5.1 soundness).
+//!
+//! # Analysis
+//!
+//! The core is an *enumerated lock-state* forward analysis over the
+//! section CFG: the abstract value at a program point is the **set of
+//! distinct reachable lock states**, where one lock state is the set of
+//! held locks (variable, lock site, acquiring statement, plus a staleness
+//! bit set when the variable is reassigned after the acquisition) together
+//! with a released flag. Keeping whole states — rather than a must/may
+//! product — avoids path-correlation false positives: the idempotent
+//! in-loop `LV` of a rewritten Fig. 9 section is a skip in every state
+//! that actually holds the lock and a first acquisition in the state that
+//! does not, and neither triggers a lint. The state space is finite (all
+//! components are drawn from the section), so the fixpoint terminates; a
+//! per-node cap guards against pathological blowup and downgrades the
+//! analysis to a warning when hit.
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::ir::{AtomicSection, Expr, SiteIdx, Stmt, StmtId};
+use crate::modes::{referenced_sites, ClassTables};
+use crate::restrictions::ClassRegistry;
+use semlock::symbolic::{Operation, SymArg, SymbolicSet};
+use semlock::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Per-node cap on the number of distinct lock states tracked. Real
+/// pipeline outputs stay far below this; hitting it yields a warning and a
+/// truncated (still sound for the states kept) analysis.
+const STATE_CAP: usize = 128;
+
+/// One held lock: which variable acquired it, at which site/statement, and
+/// whether the variable has since been reassigned (the lock then covers
+/// the *old* instance, not the variable's current value).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Held {
+    var: String,
+    site: SiteIdx,
+    lock_stmt: StmtId,
+    stale: bool,
+}
+
+/// One reachable lock state: the set of held locks plus whether a release
+/// point has executed on the path.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+struct LockState {
+    released: bool,
+    held: BTreeSet<Held>,
+}
+
+/// The outcome of auditing a program: the collected diagnostics.
+pub struct AuditReport {
+    /// All findings, ordered by section, statement, then lint code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// No error-severity findings (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any finding carries the given lint code.
+    pub fn has_lint(&self, lint: Lint) -> bool {
+        self.diagnostics.iter().any(|d| d.lint == Some(lint))
+    }
+
+    /// Render all findings rustc-style, followed by a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        let (e, w) = (self.error_count(), self.warning_count());
+        if e == 0 && w == 0 {
+            out.push_str("audit clean: no semantic-locking violations found\n");
+        } else {
+            out.push_str(&format!("audit: {e} error(s), {w} warning(s)\n"));
+        }
+        out
+    }
+
+    /// Render as a JSON object `{"errors":N,"warnings":N,"diagnostics":[…]}`.
+    pub fn render_json(&self) -> String {
+        let diags: Vec<String> = self.diagnostics.iter().map(|d| d.render_json()).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            self.error_count(),
+            self.warning_count(),
+            diags.join(",")
+        )
+    }
+}
+
+/// Audit a synthesized program: instrumented `sections`, the runtime
+/// `tables` built from them, the class `registry` (including synthesized
+/// wrappers), and the topological lock order as a class-name sequence.
+pub fn audit_program(
+    sections: &[AtomicSection],
+    tables: &ClassTables,
+    registry: &ClassRegistry,
+    class_order: &[String],
+) -> AuditReport {
+    let rank: HashMap<&str, usize> = class_order
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+
+    let mut diagnostics = Vec::new();
+    let mut seen = BTreeSet::new();
+    // Observed cross-class acquisition orders: (held class, acquired class).
+    let mut order_edges: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for section in sections {
+        let mut audit = SectionAudit {
+            section,
+            cfg: Cfg::build(section),
+            registry,
+            rank: &rank,
+            findings: Vec::new(),
+            edges: BTreeSet::new(),
+        };
+        audit.run();
+        let SectionAudit {
+            findings, edges, ..
+        } = audit;
+        for d in findings {
+            push_unique(&mut diagnostics, &mut seen, d);
+        }
+        order_edges.extend(edges);
+        audit_sites(section, tables, registry, &mut diagnostics, &mut seen);
+    }
+
+    check_global_order(&order_edges, &mut diagnostics, &mut seen);
+
+    diagnostics.sort_by_key(|d| {
+        (
+            d.section.clone().unwrap_or_default(),
+            d.stmt.unwrap_or(u32::MAX),
+            d.lint.map(|l| l.code()).unwrap_or(""),
+        )
+    });
+    AuditReport { diagnostics }
+}
+
+fn push_unique(out: &mut Vec<Diagnostic>, seen: &mut BTreeSet<String>, d: Diagnostic) {
+    let key = format!(
+        "{}|{}|{}|{}",
+        d.lint.map(|l| l.code()).unwrap_or(""),
+        d.section.as_deref().unwrap_or(""),
+        d.stmt.map(|s| s.to_string()).unwrap_or_default(),
+        d.message
+    );
+    if seen.insert(key) {
+        out.push(d);
+    }
+}
+
+struct SectionAudit<'a> {
+    section: &'a AtomicSection,
+    cfg: Cfg,
+    registry: &'a ClassRegistry,
+    rank: &'a HashMap<&'a str, usize>,
+    findings: Vec<Diagnostic>,
+    edges: BTreeSet<(String, String)>,
+}
+
+impl SectionAudit<'_> {
+    fn run(&mut self) {
+        // Index statements by id for O(1) lookup during the fixpoint.
+        let mut by_id: BTreeMap<StmtId, Stmt> = BTreeMap::new();
+        self.section.for_each_stmt(|s| {
+            by_id.insert(s.id(), s.clone());
+        });
+
+        let total = (self.cfg.stmt_count() + 2) as usize;
+        let entry = self.cfg.entry();
+        let mut out: Vec<BTreeSet<LockState>> = vec![BTreeSet::new(); total];
+        out[entry as usize].insert(LockState::default());
+
+        let mut capped = false;
+        let mut work: VecDeque<u32> = self.cfg.rpo().into_iter().collect();
+        let mut queued = vec![true; total];
+        while let Some(n) = work.pop_front() {
+            queued[n as usize] = false;
+            if n == entry {
+                for &s in self.cfg.succ(n) {
+                    if !queued[s as usize] {
+                        queued[s as usize] = true;
+                        work.push_back(s);
+                    }
+                }
+                continue;
+            }
+            let mut inputs: BTreeSet<LockState> = BTreeSet::new();
+            for &p in self.cfg.pred(n) {
+                inputs.extend(out[p as usize].iter().cloned());
+            }
+            let mut next: BTreeSet<LockState> = BTreeSet::new();
+            for st in &inputs {
+                match by_id.get(&n) {
+                    Some(stmt) => next.insert(self.transfer(stmt, st)),
+                    None => next.insert(st.clone()), // virtual exit
+                };
+            }
+            if next.len() > STATE_CAP {
+                capped = true;
+                next = next.into_iter().take(STATE_CAP).collect();
+            }
+            if next != out[n as usize] {
+                out[n as usize] = next;
+                for &s in self.cfg.succ(n) {
+                    if !queued[s as usize] {
+                        queued[s as usize] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+
+        if capped {
+            self.findings.push(
+                Diagnostic::warning(format!(
+                    "lock-state analysis truncated at {STATE_CAP} states per program point; \
+                     findings remain sound for the states kept"
+                ))
+                .in_section(&self.section.name),
+            );
+        }
+
+        // Lock-leak check at the virtual exit.
+        for st in &out[self.cfg.exit() as usize] {
+            for h in &st.held {
+                self.findings.push(
+                    Diagnostic::warning(format!(
+                        "lock acquired via `{}` may still be held at section exit",
+                        h.var
+                    ))
+                    .with_lint(Lint::Sl002)
+                    .in_section(&self.section.name)
+                    .at_stmt(h.lock_stmt)
+                    .with_note("no release point (unlockAll or epilogue) reaches this lock"),
+                );
+            }
+        }
+    }
+
+    /// Apply one statement to one lock state, reporting violations found
+    /// along the way. Checks use the *incoming* state: a `Call`'s return
+    /// assignment takes effect only after the call executes.
+    fn transfer(&mut self, stmt: &Stmt, state: &LockState) -> LockState {
+        let mut st = state.clone();
+        match stmt {
+            Stmt::Call {
+                id,
+                recv,
+                method,
+                args,
+                ..
+            } => {
+                self.check_call(&st, *id, recv, method, args);
+                if let Some(v) = stmt.assigned_var() {
+                    mark_stale(&mut st, v);
+                }
+            }
+            Stmt::Assign { var, .. } | Stmt::New { var, .. } => mark_stale(&mut st, var),
+            Stmt::If { .. } | Stmt::While { .. } => {}
+            Stmt::Lv { id, recv, site } => {
+                self.acquire(&mut st, *id, &[(recv.clone(), *site)], false);
+            }
+            Stmt::LvGroup { id, entries } => {
+                self.acquire(&mut st, *id, entries, false);
+            }
+            Stmt::LockDirect { id, recv, site, .. } => {
+                self.acquire(&mut st, *id, &[(recv.clone(), *site)], true);
+            }
+            Stmt::UnlockAllOf { recv, .. } => {
+                st.held.retain(|h| h.var != *recv);
+                st.released = true;
+            }
+            Stmt::EpilogueUnlockAll { .. } => {
+                st.held.clear();
+                st.released = true;
+            }
+        }
+        st
+    }
+
+    /// SL001: the call must be covered by some held, non-stale lock.
+    fn check_call(&mut self, st: &LockState, id: StmtId, recv: &str, method: &str, args: &[Expr]) {
+        if st
+            .held
+            .iter()
+            .any(|h| self.entry_covers(h, id, recv, method, args))
+        {
+            return;
+        }
+        let rendered_args: Vec<String> = args.iter().map(crate::emit::emit_expr).collect();
+        let held: Vec<&str> = st.held.iter().map(|h| h.var.as_str()).collect();
+        let note = if held.is_empty() {
+            "no locks are held at this point on some path".to_string()
+        } else {
+            format!(
+                "locks held on the offending path: {} (none covers the call)",
+                held.join(", ")
+            )
+        };
+        self.findings.push(
+            Diagnostic::error(format!(
+                "semantic race: call {recv}.{method}({}) is not dominated by a covering lock \
+                 site on every path",
+                rendered_args.join(",")
+            ))
+            .with_lint(Lint::Sl001)
+            .in_section(&self.section.name)
+            .at_stmt(id)
+            .with_note(note)
+            .with_note(format!("required by {}", Lint::Sl001.paper_ref())),
+        );
+    }
+
+    /// Does the held lock `h` grant permission for the given call? The
+    /// site's symbolic set must contain an operation matching the call:
+    /// `*` covers anything, a constant covers the same literal, and key
+    /// variable `v` covers the argument expression `v` provided `v` cannot
+    /// be reassigned between the acquisition and the call (when it can,
+    /// the §4 refinement guarantees a starred variant exists instead).
+    fn entry_covers(
+        &self,
+        h: &Held,
+        call: StmtId,
+        recv: &str,
+        method: &str,
+        args: &[Expr],
+    ) -> bool {
+        if h.stale || h.var != recv {
+            return false;
+        }
+        let decl = &self.section.sites[h.site];
+        let Some(symset) = &decl.symset else {
+            return true; // unrefined lock(+) covers every operation
+        };
+        let Ok(schema) = self.registry.try_schema(&decl.class) else {
+            return false;
+        };
+        let Some(m) = schema.try_method(method) else {
+            return false;
+        };
+        symset.ops().iter().any(|op| {
+            op.method == m
+                && op.args.len() == args.len()
+                && op.args.iter().zip(args).all(|(sa, arg)| match sa {
+                    SymArg::Star => true,
+                    SymArg::Const(c) => match arg {
+                        Expr::Const(v) => v == c,
+                        Expr::Null => *c == Value::NULL,
+                        _ => false,
+                    },
+                    SymArg::Var(k) => decl.keys.get(*k).is_some_and(|kv| {
+                        arg.as_var() == Some(kv.as_str())
+                            && !self
+                                .cfg
+                                .may_assign_between(self.section, h.lock_stmt, call, kv)
+                    }),
+                })
+        })
+    }
+
+    /// Process one acquisition statement (`LV`, `LVn`, or a direct lock)
+    /// against one state. Entries already held non-stale are skipped —
+    /// `LV` is idempotent via `LOCAL_SET` — except at a direct lock,
+    /// where re-locking a held instance is an SL003 violation. Entries of
+    /// the same group statement are dynamically ordered among themselves
+    /// (Fig. 12) and therefore not checked against each other.
+    fn acquire(
+        &mut self,
+        st: &mut LockState,
+        id: StmtId,
+        entries: &[(String, SiteIdx)],
+        direct: bool,
+    ) {
+        for (var, site) in entries {
+            let class = &self.section.sites[*site].class;
+            if let Some(prev) = st.held.iter().find(|h| h.var == *var && !h.stale).cloned() {
+                if direct {
+                    self.findings.push(
+                        Diagnostic::error(format!(
+                            "instance `{var}` is locked directly while already held \
+                             (acquired at stmt #{})",
+                            prev.lock_stmt
+                        ))
+                        .with_lint(Lint::Sl003)
+                        .in_section(&self.section.name)
+                        .at_stmt(id)
+                        .with_note("a direct lock is not idempotent; only LV skips held instances"),
+                    );
+                }
+                continue; // LV over a held instance is a no-op
+            }
+
+            if st.released {
+                self.findings.push(
+                    Diagnostic::error(format!(
+                        "lock site for `{var}` is reachable after a release point \
+                         (two-phase violation)"
+                    ))
+                    .with_lint(Lint::Sl002)
+                    .in_section(&self.section.name)
+                    .at_stmt(id)
+                    .with_note(format!("required by {}", Lint::Sl002.paper_ref())),
+                );
+            }
+
+            for h in st.held.clone() {
+                let hclass = &self.section.sites[h.site].class;
+                if h.lock_stmt == id {
+                    continue; // same group statement: ordered dynamically
+                }
+                if hclass == class {
+                    let msg = if h.var == *var {
+                        format!(
+                            "receiver `{var}` was reassigned and is re-locked while the \
+                             previous {class} instance's lock is still held"
+                        )
+                    } else {
+                        format!(
+                            "instance `{var}` of class {class} is acquired while another \
+                             {class} instance (`{}`) is already locked outside a dynamically \
+                             ordered group",
+                            h.var
+                        )
+                    };
+                    self.findings.push(
+                        Diagnostic::error(msg)
+                            .with_lint(Lint::Sl003)
+                            .in_section(&self.section.name)
+                            .at_stmt(id)
+                            .with_note(
+                                "same-class instances must be acquired in dynamic \
+                                 unique-id order within one LVn group (Fig. 12)",
+                            ),
+                    );
+                } else {
+                    self.edges.insert((hclass.clone(), class.clone()));
+                    if let (Some(&rh), Some(&rn)) = (
+                        self.rank.get(hclass.as_str()),
+                        self.rank.get(class.as_str()),
+                    ) {
+                        if rh > rn {
+                            self.findings.push(
+                                Diagnostic::error(format!(
+                                    "acquisition of {class} (`{var}`) violates the topological \
+                                     lock order: {hclass} (`{}`) is already held but ranks \
+                                     after {class} in ≤ts",
+                                    h.var
+                                ))
+                                .with_lint(Lint::Sl003)
+                                .in_section(&self.section.name)
+                                .at_stmt(id)
+                                .with_note(format!("required by {}", Lint::Sl003.paper_ref())),
+                            );
+                        }
+                    }
+                }
+            }
+
+            st.held.insert(Held {
+                var: var.clone(),
+                site: *site,
+                lock_stmt: id,
+                stale: false,
+            });
+        }
+    }
+}
+
+fn mark_stale(st: &mut LockState, var: &str) {
+    if st.held.iter().any(|h| h.var == var && !h.stale) {
+        let updated: BTreeSet<Held> = st
+            .held
+            .iter()
+            .cloned()
+            .map(|mut h| {
+                if h.var == var {
+                    h.stale = true;
+                }
+                h
+            })
+            .collect();
+        st.held = updated;
+    }
+}
+
+/// SL005: every referenced lock site must be registered in its class's
+/// mode table with the exact symbolic set the IR declares, and the mode
+/// selected for sampled key environments must cover the instantiated set.
+fn audit_sites(
+    section: &AtomicSection,
+    tables: &ClassTables,
+    registry: &ClassRegistry,
+    out: &mut Vec<Diagnostic>,
+    seen: &mut BTreeSet<String>,
+) {
+    for idx in referenced_sites(section) {
+        let decl = &section.sites[idx];
+        let table = match tables.try_table(&decl.class) {
+            Ok(t) => t,
+            Err(e) => {
+                push_unique(
+                    out,
+                    seen,
+                    Diagnostic::error(format!(
+                        "lock site {idx} targets class {} but {e}",
+                        decl.class
+                    ))
+                    .with_lint(Lint::Sl005)
+                    .in_section(&section.name),
+                );
+                continue;
+            }
+        };
+        let rt_site = match tables.try_site(&section.name, idx) {
+            Ok(s) => s,
+            Err(e) => {
+                push_unique(
+                    out,
+                    seen,
+                    Diagnostic::error(format!("{e}"))
+                        .with_lint(Lint::Sl005)
+                        .in_section(&section.name),
+                );
+                continue;
+            }
+        };
+        let schema = match registry.try_schema(&decl.class) {
+            Ok(s) => s,
+            Err(e) => {
+                push_unique(
+                    out,
+                    seen,
+                    Diagnostic::error(format!("{e}"))
+                        .with_lint(Lint::Sl005)
+                        .in_section(&section.name),
+                );
+                continue;
+            }
+        };
+        let expected = decl
+            .symset
+            .clone()
+            .unwrap_or_else(|| SymbolicSet::all_operations(schema));
+        if table.site_symset(rt_site) != &expected {
+            push_unique(
+                out,
+                seen,
+                Diagnostic::error(format!(
+                    "lock site {idx} is registered in the {} mode table with a different \
+                     symbolic set than the IR declares",
+                    decl.class
+                ))
+                .with_lint(Lint::Sl005)
+                .in_section(&section.name)
+                .with_note(format!(
+                    "IR declares {}, table registered {}",
+                    expected.display(schema),
+                    table.site_symset(rt_site).display(schema)
+                ))
+                .with_note(format!("required by {}", Lint::Sl005.paper_ref())),
+            );
+            continue; // slot counts may differ; sampled check would misfire
+        }
+
+        // Sampled §5.1 soundness: for key environments σ, the selected
+        // mode must cover every operation of [SY](σ).
+        for env in sample_envs(expected.var_slots()) {
+            let mode = table.select(rt_site, &env);
+            for op in concrete_samples(&expected, &env) {
+                if !table.mode_covers(mode, &op) {
+                    push_unique(
+                        out,
+                        seen,
+                        Diagnostic::error(format!(
+                            "mode selected for lock site {idx} does not cover operation {} \
+                             of its instantiated symbolic set",
+                            op.display(schema)
+                        ))
+                        .with_lint(Lint::Sl005)
+                        .in_section(&section.name)
+                        .with_note(format!("required by {}", Lint::Sl005.paper_ref())),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Key-environment samples: small cartesian products over a few values.
+fn sample_envs(slots: usize) -> Vec<Vec<Value>> {
+    const SAMPLES: [u64; 3] = [0, 3, 6];
+    let mut envs = vec![Vec::new()];
+    for _ in 0..slots {
+        let mut next = Vec::new();
+        for env in &envs {
+            for &v in &SAMPLES {
+                let mut e = env.clone();
+                e.push(Value(v));
+                next.push(e);
+            }
+        }
+        envs = next;
+        if envs.len() > 128 {
+            envs.truncate(128);
+        }
+    }
+    envs
+}
+
+/// Concrete operations sampled from `[SY](σ)`: key variables take their
+/// environment value, constants themselves, and `*` a couple of probes.
+fn concrete_samples(symset: &SymbolicSet, env: &[Value]) -> Vec<Operation> {
+    const STAR_PROBES: [u64; 2] = [1, 4];
+    let mut ops = Vec::new();
+    for sym in symset.ops() {
+        for &probe in &STAR_PROBES {
+            let args: Vec<Value> = sym
+                .args
+                .iter()
+                .map(|a| match a {
+                    SymArg::Star => Value(probe),
+                    SymArg::Const(c) => *c,
+                    SymArg::Var(k) => env.get(*k).copied().unwrap_or(Value(0)),
+                })
+                .collect();
+            ops.push(Operation::new(sym.method, args));
+        }
+    }
+    ops
+}
+
+/// SL004: the union of observed cross-class acquisition orders must be
+/// acyclic; a cycle means two sections (or paths) can acquire classes in
+/// opposite orders and deadlock.
+fn check_global_order(
+    edges: &BTreeSet<(String, String)>,
+    out: &mut Vec<Diagnostic>,
+    seen: &mut BTreeSet<String>,
+) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+        adj.entry(b.as_str()).or_default();
+    }
+    // Iterative DFS three-color cycle detection, deterministic order.
+    let mut color: BTreeMap<&str, u8> = adj.keys().map(|&k| (k, 0u8)).collect();
+    for &start in adj.keys() {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        color.insert(start, 1);
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            if *i < adj[node].len() {
+                let next = adj[node][*i];
+                *i += 1;
+                match color[next] {
+                    0 => {
+                        color.insert(next, 1);
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        // Found a back edge: reconstruct the cycle.
+                        let mut cycle: Vec<&str> = stack.iter().map(|&(n, _)| n).collect();
+                        if let Some(pos) = cycle.iter().position(|&n| n == next) {
+                            cycle.drain(..pos);
+                        }
+                        cycle.push(next);
+                        push_unique(
+                            out,
+                            seen,
+                            Diagnostic::error(format!(
+                                "global acquisition order over equivalence classes is cyclic: {}",
+                                cycle.join(" -> ")
+                            ))
+                            .with_lint(Lint::Sl004)
+                            .with_note(
+                                "two sections can acquire these classes in opposite orders \
+                                 and deadlock",
+                            )
+                            .with_note(format!("required by {}", Lint::Sl004.paper_ref())),
+                        );
+                        return;
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fig1_section, fig7_section, fig9_section};
+    use crate::{ClassRegistry, Synthesizer};
+    use semlock::schema::AdtSchema;
+    use semlock::spec::CommutSpec;
+
+    fn registry() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        let map = AdtSchema::builder("Map")
+            .method("get", 1)
+            .method("put", 2)
+            .method("remove", 1)
+            .build();
+        let map_spec = CommutSpec::builder(map.clone())
+            .always("get", "get")
+            .differ("get", 0, "put", 0)
+            .differ("get", 0, "remove", 0)
+            .differ("put", 0, "put", 0)
+            .differ("put", 0, "remove", 0)
+            .differ("remove", 0, "remove", 0)
+            .build();
+        r.register("Map", map, map_spec);
+        let set = AdtSchema::builder("Set")
+            .method("add", 1)
+            .method("size", 0)
+            .build();
+        let set_spec = CommutSpec::builder(set.clone())
+            .always("add", "add")
+            .never("add", "size")
+            .always("size", "size")
+            .build();
+        r.register("Set", set, set_spec);
+        let q = AdtSchema::builder("Queue").method("enqueue", 1).build();
+        let q_spec = CommutSpec::builder(q.clone())
+            .never("enqueue", "enqueue")
+            .build();
+        r.register("Queue", q, q_spec);
+        r
+    }
+
+    #[test]
+    fn figures_audit_clean_in_all_configs() {
+        for make in [
+            || Synthesizer::new(registry()),
+            || Synthesizer::new(registry()).without_optimizations(),
+            || Synthesizer::new(registry()).without_refinement(),
+        ] {
+            for section in [fig1_section(), fig7_section(), fig9_section()] {
+                let name = section.name.clone();
+                let out = make()
+                    .phi(semlock::phi::Phi::modulo(4))
+                    .synthesize(&[section]);
+                let report = out.audit();
+                assert!(
+                    report.is_clean(),
+                    "{name} should audit clean:\n{}",
+                    report.render_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uninstrumented_section_races_everywhere() {
+        // Auditing the *raw* section (no lock insertion) must flag every
+        // call as a semantic race.
+        let section = fig1_section();
+        let out = Synthesizer::new(registry())
+            .phi(semlock::phi::Phi::modulo(4))
+            .synthesize(&[fig1_section()]);
+        let report = audit_program(
+            std::slice::from_ref(&section),
+            &out.tables,
+            &out.registry,
+            &out.class_order,
+        );
+        assert!(report.has_lint(Lint::Sl001), "{}", report.render_text());
+        let sl001 = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == Some(Lint::Sl001))
+            .count();
+        assert_eq!(sl001, 6, "one per call:\n{}", report.render_text());
+    }
+
+    #[test]
+    fn report_renders_both_ways() {
+        let out = Synthesizer::new(registry())
+            .phi(semlock::phi::Phi::modulo(4))
+            .synthesize(&[fig1_section()]);
+        let report = out.audit();
+        assert!(report.render_text().contains("audit clean"));
+        assert!(report.render_json().starts_with("{\"errors\":0"));
+    }
+}

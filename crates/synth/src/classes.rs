@@ -10,6 +10,7 @@
 //! finer-grained, analysis-supplied partition can be layered on by renaming
 //! classes before synthesis.
 
+use crate::diag::SynthError;
 use crate::ir::AtomicSection;
 use std::collections::HashMap;
 
@@ -52,12 +53,17 @@ impl Classes {
         i
     }
 
+    /// Id of a class name.
+    pub fn try_id(&self, name: &str) -> Result<ClassId, SynthError> {
+        self.idx
+            .get(name)
+            .copied()
+            .ok_or_else(|| SynthError::new(format!("unknown equivalence class {name}")))
+    }
+
     /// Id of a class name (panics if unknown).
     pub fn id(&self, name: &str) -> ClassId {
-        *self
-            .idx
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown equivalence class {name}"))
+        self.try_id(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Name of a class id.

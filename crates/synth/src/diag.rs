@@ -1,0 +1,369 @@
+//! Structured diagnostics shared by the parser, the synthesis pipeline's
+//! fallible lookups, the static audit pass ([`crate::audit`]), and the
+//! `semlockc` driver.
+//!
+//! A [`Diagnostic`] carries a severity, an optional lint code (the audit
+//! pass's SL001–SL005 catalog), the section/statement it anchors to, and
+//! free-form notes. Diagnostics render either as rustc-style text or as
+//! JSON (for tooling), with no external dependencies.
+
+use crate::ir::StmtId;
+use crate::parse::ParseError;
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Severity {
+    /// Suspicious but not a protocol violation.
+    Warning,
+    /// A definite violation of the synthesis invariants.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The audit lint catalog. Each lint checks one invariant the synthesized
+/// OS2PL instrumentation must satisfy (paper-section references in the
+/// descriptions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Lint {
+    /// Semantic race: an ADT call not dominated on every path by a lock
+    /// site whose symbolic operation set covers the call (S2PL rule 1,
+    /// §2.2.2/§3.1).
+    Sl001,
+    /// Two-phase violation: a lock site reachable after a release point
+    /// (S2PL rule 2, §2.2.2; validates the Appendix-A early release).
+    Sl002,
+    /// Ordered-acquisition violation: an instance acquired twice on a
+    /// path, or acquired inconsistently with the topological order ≤ts
+    /// (OS2PL, §3.1/§3.3).
+    Sl003,
+    /// Global deadlock risk: the union of the per-section acquisition
+    /// orders over equivalence classes is cyclic (§3.2–§3.4).
+    Sl004,
+    /// Mode-generation unsoundness: an operation reaching a lock site is
+    /// not subsumed by the locking modes generated for the site's class
+    /// (§5.1).
+    Sl005,
+}
+
+impl Lint {
+    /// Every lint, in catalog order.
+    pub const ALL: [Lint; 5] = [
+        Lint::Sl001,
+        Lint::Sl002,
+        Lint::Sl003,
+        Lint::Sl004,
+        Lint::Sl005,
+    ];
+
+    /// The stable lint code, e.g. `"SL001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::Sl001 => "SL001",
+            Lint::Sl002 => "SL002",
+            Lint::Sl003 => "SL003",
+            Lint::Sl004 => "SL004",
+            Lint::Sl005 => "SL005",
+        }
+    }
+
+    /// One-line description of the invariant the lint checks.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Lint::Sl001 => "every ADT call is dominated by a covering lock site on every path",
+            Lint::Sl002 => "no lock site is reachable after a release point (two-phase)",
+            Lint::Sl003 => "instances are acquired once per path, consistently with ≤ts",
+            Lint::Sl004 => "the global union of acquisition orders is acyclic",
+            Lint::Sl005 => "every operation reaching a lock site is subsumed by a generated mode",
+        }
+    }
+
+    /// The paper section the invariant comes from.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            Lint::Sl001 => "§2.2.2, §3.1 (S2PL rule 1)",
+            Lint::Sl002 => "§2.2.2 (S2PL rule 2), Appendix A",
+            Lint::Sl003 => "§3.1, §3.3 (OS2PL)",
+            Lint::Sl004 => "§3.2–§3.4 (restrictions-graph acyclicity)",
+            Lint::Sl005 => "§5.1 (mode generation)",
+        }
+    }
+}
+
+/// One finding: severity, optional lint code, location, message, notes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Lint code, when the finding belongs to the SL catalog.
+    pub lint: Option<Lint>,
+    /// The main message.
+    pub message: String,
+    /// Section the finding anchors to, if any.
+    pub section: Option<String>,
+    /// Statement id within the section, if any.
+    pub stmt: Option<StmtId>,
+    /// Source line, for parser diagnostics.
+    pub line: Option<usize>,
+    /// Rendered source snippet of the anchor statement, if available.
+    pub snippet: Option<String>,
+    /// Additional notes rendered as `= note:` lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic with just a message.
+    pub fn error(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            lint: None,
+            message: message.into(),
+            section: None,
+            stmt: None,
+            line: None,
+            snippet: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning diagnostic with just a message.
+    pub fn warning(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(message)
+        }
+    }
+
+    /// Attach a lint code.
+    pub fn with_lint(mut self, lint: Lint) -> Diagnostic {
+        self.lint = Some(lint);
+        self
+    }
+
+    /// Attach the section name.
+    pub fn in_section(mut self, section: impl Into<String>) -> Diagnostic {
+        self.section = Some(section.into());
+        self
+    }
+
+    /// Attach the anchor statement id.
+    pub fn at_stmt(mut self, stmt: StmtId) -> Diagnostic {
+        self.stmt = Some(stmt);
+        self
+    }
+
+    /// Attach a source line number.
+    pub fn at_line(mut self, line: usize) -> Diagnostic {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attach a rendered snippet of the anchor statement.
+    pub fn with_snippet(mut self, snippet: impl Into<String>) -> Diagnostic {
+        self.snippet = Some(snippet.into());
+        self
+    }
+
+    /// Append a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render rustc-style, e.g.
+    ///
+    /// ```text
+    /// error[SL001]: call set.add(x) is not dominated by a covering lock
+    ///   --> section fig1, stmt #7
+    ///   = note: S2PL rule 1 (§2.2.2, §3.1)
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(self.severity.label());
+        if let Some(l) = self.lint {
+            out.push_str(&format!("[{}]", l.code()));
+        }
+        out.push_str(": ");
+        out.push_str(&self.message);
+        let mut loc = Vec::new();
+        if let Some(s) = &self.section {
+            loc.push(format!("section {s}"));
+        }
+        if let Some(id) = self.stmt {
+            loc.push(format!("stmt #{id}"));
+        }
+        if let Some(line) = self.line {
+            loc.push(format!("line {line}"));
+        }
+        if !loc.is_empty() {
+            out.push_str(&format!("\n  --> {}", loc.join(", ")));
+        }
+        if let Some(sn) = &self.snippet {
+            out.push_str(&format!("\n   | {}", sn.trim()));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n  = note: {n}"));
+        }
+        out
+    }
+
+    /// Render as a single JSON object.
+    pub fn render_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"severity\":\"{}\"", self.severity.label()),
+            format!(
+                "\"code\":{}",
+                match self.lint {
+                    Some(l) => format!("\"{}\"", l.code()),
+                    None => "null".to_string(),
+                }
+            ),
+            format!("\"message\":\"{}\"", json_escape(&self.message)),
+        ];
+        if let Some(s) = &self.section {
+            fields.push(format!("\"section\":\"{}\"", json_escape(s)));
+        }
+        if let Some(id) = self.stmt {
+            fields.push(format!("\"stmt\":{id}"));
+        }
+        if let Some(line) = self.line {
+            fields.push(format!("\"line\":{line}"));
+        }
+        if let Some(sn) = &self.snippet {
+            fields.push(format!("\"snippet\":\"{}\"", json_escape(sn)));
+        }
+        if !self.notes.is_empty() {
+            let notes: Vec<String> = self
+                .notes
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            fields.push(format!("\"notes\":[{}]", notes.join(",")));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_text())
+    }
+}
+
+impl From<ParseError> for Diagnostic {
+    fn from(e: ParseError) -> Diagnostic {
+        Diagnostic::error(e.message).at_line(e.line)
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A structured error from a synthesis-pipeline lookup. Wraps a boxed
+/// [`Diagnostic`] (keeping `Result<_, SynthError>` pointer-sized);
+/// `Display` prints only the message so the panicking convenience
+/// wrappers keep their historical panic text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SynthError {
+    /// The underlying diagnostic.
+    pub diagnostic: Box<Diagnostic>,
+}
+
+impl SynthError {
+    /// An error with just a message.
+    pub fn new(message: impl Into<String>) -> SynthError {
+        SynthError {
+            diagnostic: Box::new(Diagnostic::error(message)),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.diagnostic.message)
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<SynthError> for Diagnostic {
+    fn from(e: SynthError) -> Diagnostic {
+        *e.diagnostic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering() {
+        let d = Diagnostic::error("call set.add(x) is not covered")
+            .with_lint(Lint::Sl001)
+            .in_section("fig1")
+            .at_stmt(7)
+            .with_note("S2PL rule 1");
+        let t = d.render_text();
+        assert!(t.starts_with("error[SL001]: call set.add(x)"), "{t}");
+        assert!(t.contains("--> section fig1, stmt #7"), "{t}");
+        assert!(t.contains("= note: S2PL rule 1"), "{t}");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic::warning("a \"quoted\"\nthing").with_lint(Lint::Sl005);
+        let j = d.render_json();
+        assert!(j.contains("\"severity\":\"warning\""), "{j}");
+        assert!(j.contains("\"code\":\"SL005\""), "{j}");
+        assert!(j.contains("a \\\"quoted\\\"\\nthing"), "{j}");
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let e = ParseError {
+            line: 3,
+            message: "expected statement".to_string(),
+        };
+        let d: Diagnostic = e.into();
+        assert_eq!(d.line, Some(3));
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn lint_catalog_is_stable() {
+        let codes: Vec<&str> = Lint::ALL.iter().map(|l| l.code()).collect();
+        assert_eq!(codes, ["SL001", "SL002", "SL003", "SL004", "SL005"]);
+        for l in Lint::ALL {
+            assert!(!l.summary().is_empty());
+            assert!(l.paper_ref().contains('§'));
+        }
+    }
+}

@@ -142,7 +142,11 @@ fn star_out(sets: &mut [NamedSet], v: &str) {
     for set in sets {
         let affected: Vec<NamedOp> = set
             .iter()
-            .filter(|op| op.args.iter().any(|a| matches!(a, NamedArg::Var(x) if x == v)))
+            .filter(|op| {
+                op.args
+                    .iter()
+                    .any(|a| matches!(a, NamedArg::Var(x) if x == v))
+            })
             .cloned()
             .collect();
         for op in affected {
@@ -248,9 +252,7 @@ pub fn refine_sites(section: &mut AtomicSection, classes: &Classes, registry: &C
                     .args
                     .iter()
                     .map(|a| match a {
-                        NamedArg::Var(v) => {
-                            SymArg::Var(keys.iter().position(|k| k == v).unwrap())
-                        }
+                        NamedArg::Var(v) => SymArg::Var(keys.iter().position(|k| k == v).unwrap()),
                         NamedArg::Const(c) => SymArg::Const(*c),
                         NamedArg::Star => SymArg::Star,
                     })

@@ -178,9 +178,7 @@ mod tests {
     use super::*;
     use crate::ir::{fig1_section, fig7_section};
 
-    fn setup(
-        sections: &[AtomicSection],
-    ) -> (RestrictionsGraph, LockOrder) {
+    fn setup(sections: &[AtomicSection]) -> (RestrictionsGraph, LockOrder) {
         let g = RestrictionsGraph::build(sections);
         let o = LockOrder::compute(&g);
         (g, o)
@@ -208,7 +206,10 @@ mod tests {
 
         // LS(m.get(key1)) = {m}.
         let get1 = call_id(&s, "get", 0);
-        assert_eq!(lock_set(&s, &cfg, &g, &o, get1, "m"), vec![vec!["m".to_string()]]);
+        assert_eq!(
+            lock_set(&s, &cfg, &g, &o, get1, "m"),
+            vec![vec!["m".to_string()]]
+        );
 
         // LS(s1.add(1)): s1 and s2 (same class, both used later), and m only
         // if a call via m is still reachable — it is not.

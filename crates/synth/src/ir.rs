@@ -12,6 +12,7 @@
 //! [`AtomicSection::renumber`]; the CFG (see [`crate::cfg`]) and all
 //! analyses are keyed by these ids.
 
+use crate::diag::SynthError;
 use semlock::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -335,18 +336,33 @@ impl AtomicSection {
     }
 
     /// The declared type of a variable.
+    pub fn try_var_type(&self, name: &str) -> Result<&VarType, SynthError> {
+        self.decls.get(name).ok_or_else(|| {
+            SynthError::new(format!(
+                "undeclared variable {name} in section {}",
+                self.name
+            ))
+        })
+    }
+
+    /// The declared type of a variable (panics if undeclared).
     pub fn var_type(&self, name: &str) -> &VarType {
-        self.decls
-            .get(name)
-            .unwrap_or_else(|| panic!("undeclared variable {name} in section {}", self.name))
+        self.try_var_type(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Class of a pointer variable.
+    pub fn try_class_of(&self, name: &str) -> Result<&str, SynthError> {
+        match self.try_var_type(name)? {
+            VarType::Ptr(c) => Ok(c),
+            VarType::Scalar => Err(SynthError::new(format!(
+                "variable {name} is scalar, expected pointer"
+            ))),
+        }
     }
 
     /// Class of a pointer variable (panics if scalar/undeclared).
     pub fn class_of(&self, name: &str) -> &str {
-        match self.var_type(name) {
-            VarType::Ptr(c) => c,
-            VarType::Scalar => panic!("variable {name} is scalar, expected pointer"),
-        }
+        self.try_class_of(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Pointer variables declared in this section.
@@ -496,13 +512,7 @@ impl Body {
         self.call_ret(Some(ret.to_string()), recv, method, args)
     }
 
-    fn call_ret(
-        mut self,
-        ret: Option<String>,
-        recv: &str,
-        method: &str,
-        args: Vec<Expr>,
-    ) -> Self {
+    fn call_ret(mut self, ret: Option<String>, recv: &str, method: &str, args: Vec<Expr>) -> Self {
         self.stmts.push(Stmt::Call {
             id: UNNUMBERED,
             ret,
@@ -597,9 +607,11 @@ pub fn fig1_section() -> AtomicSection {
             .call("set", "add", vec![var("y")])
             .if_then(
                 var("flag"),
-                Body::new()
-                    .call("queue", "enqueue", vec![var("set")])
-                    .call("map", "remove", vec![var("id")]),
+                Body::new().call("queue", "enqueue", vec![var("set")]).call(
+                    "map",
+                    "remove",
+                    vec![var("id")],
+                ),
             )
             .build(),
     )

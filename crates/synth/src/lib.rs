@@ -18,12 +18,18 @@
 //! * [`emit`] — a pretty-printer reproducing the paper's figures;
 //! * [`parse`] — a parser for the surface language (round-trips with
 //!   [`emit`]);
-//! * [`pipeline`] — the end-to-end [`pipeline::Synthesizer`].
+//! * [`pipeline`] — the end-to-end [`pipeline::Synthesizer`];
+//! * [`diag`] — structured diagnostics shared by the parser, pipeline, and
+//!   audit;
+//! * [`audit`] — the static OS2PL verifier and SL001–SL005 lint pass over
+//!   synthesized sections.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cfg;
 pub mod classes;
+pub mod diag;
 pub mod emit;
 pub mod future;
 pub mod insertion;
@@ -35,5 +41,7 @@ pub mod parse;
 pub mod pipeline;
 pub mod restrictions;
 
+pub use audit::{audit_program, AuditReport};
+pub use diag::{Diagnostic, Lint, Severity, SynthError};
 pub use pipeline::{SynthOutput, Synthesizer};
 pub use restrictions::ClassRegistry;

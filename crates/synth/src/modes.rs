@@ -6,6 +6,7 @@
 //! the same ADT type used differently in different classes gets specialized
 //! locking.
 
+use crate::diag::SynthError;
 use crate::ir::{AtomicSection, SiteIdx, Stmt};
 use crate::restrictions::ClassRegistry;
 use semlock::mode::{LockSiteId, ModeTable, ModeTableBuilder};
@@ -23,10 +24,15 @@ pub struct ClassTables {
 
 impl ClassTables {
     /// The mode table of an equivalence class.
-    pub fn table(&self, class: &str) -> &Arc<ModeTable> {
+    pub fn try_table(&self, class: &str) -> Result<&Arc<ModeTable>, SynthError> {
         self.tables
             .get(class)
-            .unwrap_or_else(|| panic!("no mode table for class {class}"))
+            .ok_or_else(|| SynthError::new(format!("no mode table for class {class}")))
+    }
+
+    /// The mode table of an equivalence class (panics if absent).
+    pub fn table(&self, class: &str) -> &Arc<ModeTable> {
+        self.try_table(class).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether a class has a table (it does iff some section locks it).
@@ -40,11 +46,19 @@ impl ClassTables {
     }
 
     /// Runtime site id for an IR site of a section.
-    pub fn site(&self, section: &str, site: SiteIdx) -> LockSiteId {
-        *self
-            .site_map
+    pub fn try_site(&self, section: &str, site: SiteIdx) -> Result<LockSiteId, SynthError> {
+        self.site_map
             .get(&(section.to_string(), site))
-            .unwrap_or_else(|| panic!("unmapped lock site {site} in section {section}"))
+            .copied()
+            .ok_or_else(|| {
+                SynthError::new(format!("unmapped lock site {site} in section {section}"))
+            })
+    }
+
+    /// Runtime site id for an IR site of a section (panics if unmapped).
+    pub fn site(&self, section: &str, site: SiteIdx) -> LockSiteId {
+        self.try_site(section, site)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -133,7 +147,9 @@ mod tests {
             .build();
         r.register("Map", map, map_spec);
         let set = AdtSchema::builder("Set").method("add", 1).build();
-        let set_spec = CommutSpec::builder(set.clone()).always("add", "add").build();
+        let set_spec = CommutSpec::builder(set.clone())
+            .always("add", "add")
+            .build();
         r.register("Set", set, set_spec);
         let q = AdtSchema::builder("Queue").method("enqueue", 1).build();
         let q_spec = CommutSpec::builder(q.clone())

@@ -221,10 +221,7 @@ where
 
     let mut result = HashMap::new();
     section.for_each_stmt(|s| {
-        result.insert(
-            s.id(),
-            ins[s.id() as usize].clone().unwrap_or_default(),
-        );
+        result.insert(s.id(), ins[s.id() as usize].clone().unwrap_or_default());
     });
     result
 }
@@ -312,9 +309,7 @@ pub fn remove_redundant_lv(section: &mut AtomicSection) {
         Stmt::LvGroup { id, entries } => {
             let keep: Vec<(String, usize)> = entries
                 .iter()
-                .filter(|(v, _)| {
-                    !locked[id].contains(v) && used_after(*id, section.class_of(v))
-                })
+                .filter(|(v, _)| !locked[id].contains(v) && used_after(*id, section.class_of(v)))
                 .cloned()
                 .collect();
             if keep.is_empty() {
@@ -401,9 +396,7 @@ pub fn remove_local_set(section: &mut AtomicSection) {
                 continue 'vars;
             }
             for (b, vars_b) in &lock_stmts {
-                let b_touches_class = vars_b
-                    .iter()
-                    .any(|(v, _)| section.class_of(v) == class_x);
+                let b_touches_class = vars_b.iter().any(|(v, _)| section.class_of(v) == class_x);
                 if !b_touches_class {
                     continue;
                 }
@@ -583,10 +576,7 @@ pub fn early_release(section: &mut AtomicSection) {
             // Candidate anchors: any statement (not sync-unlock/epilogue).
             let mut candidates: Vec<(usize, StmtId)> = Vec::new();
             section.for_each_stmt(|s| {
-                if matches!(
-                    s,
-                    Stmt::UnlockAllOf { .. } | Stmt::EpilogueUnlockAll { .. }
-                ) {
+                if matches!(s, Stmt::UnlockAllOf { .. } | Stmt::EpilogueUnlockAll { .. }) {
                     return;
                 }
                 let a = s.id();
@@ -834,16 +824,14 @@ pub fn remove_null_checks(section: &mut AtomicSection) {
     section.for_each_stmt(|s| match s {
         Stmt::LockDirect {
             id, recv, guarded, ..
-        } if *guarded
-            && (nonnull[id].contains(recv) || imminent.contains(id)) => {
-                unguard.push(*id);
-            }
+        } if *guarded && (nonnull[id].contains(recv) || imminent.contains(id)) => {
+            unguard.push(*id);
+        }
         Stmt::UnlockAllOf {
             id, recv, guarded, ..
-        } if *guarded
-            && nonnull[id].contains(recv) => {
-                unguard.push(*id);
-            }
+        } if *guarded && nonnull[id].contains(recv) => {
+            unguard.push(*id);
+        }
         _ => {}
     });
     for id in unguard {

@@ -78,7 +78,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -230,9 +234,7 @@ impl Parser {
     fn declare(&mut self, name: &str, ty: VarType) -> Result<(), ParseError> {
         if let Some(existing) = self.decls.get(name) {
             if *existing != ty {
-                return Err(self.error(format!(
-                    "variable {name} redeclared with a different type"
-                )));
+                return Err(self.error(format!("variable {name} redeclared with a different type")));
             }
             return Ok(());
         }

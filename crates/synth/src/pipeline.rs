@@ -10,6 +10,7 @@
 //! 5. backward symbolic-set refinement (§4);
 //! 6. locking-mode generation per equivalence class (§5).
 
+use crate::audit::{audit_program, AuditReport};
 use crate::future::refine_sites;
 use crate::insertion::insert_locking;
 use crate::ir::AtomicSection;
@@ -41,6 +42,19 @@ pub struct SynthOutput {
     pub class_order: Vec<String>,
     /// The class registry including synthesized wrappers.
     pub registry: ClassRegistry,
+}
+
+impl SynthOutput {
+    /// Run the static OS2PL audit ([`crate::audit`]) over the synthesized
+    /// program, verifying the SL001–SL005 invariants.
+    pub fn audit(&self) -> AuditReport {
+        audit_program(
+            &self.sections,
+            &self.tables,
+            &self.registry,
+            &self.class_order,
+        )
+    }
 }
 
 impl Synthesizer {
@@ -129,6 +143,13 @@ impl Synthesizer {
             registry,
         }
     }
+
+    /// Run the pipeline, then immediately audit the result.
+    pub fn synthesize_and_audit(&self, sections: &[AtomicSection]) -> (SynthOutput, AuditReport) {
+        let out = self.synthesize(sections);
+        let report = out.audit();
+        (out, report)
+    }
 }
 
 #[cfg(test)]
@@ -199,8 +220,7 @@ mod tests {
         });
         let decl = &s.sites[map_site.unwrap()];
         assert_eq!(decl.keys, vec!["id".to_string()]);
-        let rendered =
-            crate::emit::emit_site_named(decl, out.registry.schema("Map"));
+        let rendered = crate::emit::emit_site_named(decl, out.registry.schema("Map"));
         assert_eq!(rendered, "{get(id),put(id,*),remove(id)}");
         // Lock order: map before set before queue.
         assert_eq!(
@@ -221,9 +241,7 @@ mod tests {
         s.for_each_stmt(|x| {
             let vars = match x {
                 Stmt::Lv { recv, .. } | Stmt::LockDirect { recv, .. } => vec![recv.clone()],
-                Stmt::LvGroup { entries, .. } => {
-                    entries.iter().map(|(v, _)| v.clone()).collect()
-                }
+                Stmt::LvGroup { entries, .. } => entries.iter().map(|(v, _)| v.clone()).collect(),
                 _ => vec![],
             };
             if vars.contains(&w.pointer) {

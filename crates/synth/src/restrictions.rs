@@ -12,6 +12,7 @@
 
 use crate::cfg::Cfg;
 use crate::classes::{ClassId, Classes};
+use crate::diag::SynthError;
 use crate::ir::{AtomicSection, Stmt};
 use semlock::schema::{AdtSchema, MethodIdx};
 use semlock::spec::{ArgRef, CommutSpec, Cond};
@@ -225,18 +226,28 @@ impl ClassRegistry {
         self.specs.insert(class.to_string(), spec);
     }
 
-    /// Schema of a class (panics if unregistered).
-    pub fn schema(&self, class: &str) -> &Arc<AdtSchema> {
+    /// Schema of a class.
+    pub fn try_schema(&self, class: &str) -> Result<&Arc<AdtSchema>, SynthError> {
         self.schemas
             .get(class)
-            .unwrap_or_else(|| panic!("class {class} not registered"))
+            .ok_or_else(|| SynthError::new(format!("class {class} not registered")))
+    }
+
+    /// Schema of a class (panics if unregistered).
+    pub fn schema(&self, class: &str) -> &Arc<AdtSchema> {
+        self.try_schema(class).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Commutativity spec of a class.
+    pub fn try_spec(&self, class: &str) -> Result<&Arc<CommutSpec>, SynthError> {
+        self.specs
+            .get(class)
+            .ok_or_else(|| SynthError::new(format!("class {class} not registered")))
     }
 
     /// Commutativity spec of a class (panics if unregistered).
     pub fn spec(&self, class: &str) -> &Arc<CommutSpec> {
-        self.specs
-            .get(class)
-            .unwrap_or_else(|| panic!("class {class} not registered"))
+        self.try_spec(class).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether a class is registered.
@@ -366,10 +377,8 @@ pub fn rewrite_cycles(
             rewrite_stmts(&mut s.body, section, &wrapped, &wrappers, &mut used);
             for wi in used {
                 let w = &wrappers[wi];
-                s.decls.insert(
-                    w.pointer.clone(),
-                    crate::ir::VarType::Ptr(w.name.clone()),
-                );
+                s.decls
+                    .insert(w.pointer.clone(), crate::ir::VarType::Ptr(w.name.clone()));
             }
             s.renumber();
             s
@@ -430,11 +439,7 @@ mod tests {
 
     fn registry() -> ClassRegistry {
         let mut r = ClassRegistry::new();
-        r.register(
-            "Map",
-            adts_map_schema(),
-            adts_map_spec(),
-        );
+        r.register("Map", adts_map_schema(), adts_map_spec());
         r
     }
 
@@ -485,7 +490,10 @@ mod tests {
         assert!(!g.has_edge(q, m));
         assert!(!g.has_edge(set, q));
         assert!(!g.has_edge(q, set));
-        assert!(!g.has_edge(set, set), "s1/s2 are not reassigned between their calls");
+        assert!(
+            !g.has_edge(set, set),
+            "s1/s2 are not reassigned between their calls"
+        );
         assert!(g.is_acyclic());
     }
 
@@ -498,7 +506,10 @@ mod tests {
         let map = g.classes().id("Map");
         let set = g.classes().id("Set");
         assert!(g.has_edge(map, set));
-        assert!(g.has_edge(set, set), "loop-carried reassignment → self loop");
+        assert!(
+            g.has_edge(set, set),
+            "loop-carried reassignment → self loop"
+        );
         assert!(!g.is_acyclic());
         let cyc = g.cyclic_components();
         assert_eq!(cyc.len(), 1);
@@ -550,7 +561,10 @@ mod tests {
         // The set.size() call became p1.Set_size(set).
         let mut found = false;
         rw.sections[0].for_each_stmt(|st| {
-            if let Stmt::Call { recv, method, args, .. } = st {
+            if let Stmt::Call {
+                recv, method, args, ..
+            } = st
+            {
                 if method == "Set_size" {
                     assert_eq!(recv, "p1");
                     assert_eq!(args.len(), 1);

@@ -56,7 +56,9 @@ impl ComputeIfAbsent {
 
     /// Create with an explicit φ (used by the φ-resolution ablation).
     pub fn with_phi(kind: SyncKind, key_range: u64, phi: Phi) -> ComputeIfAbsent {
-        let out = Synthesizer::new(registry()).phi(phi).synthesize(&[cia_section()]);
+        let out = Synthesizer::new(registry())
+            .phi(phi)
+            .synthesize(&[cia_section()]);
         let (site, class) = runtime_site(&out, "cia", "map");
         debug_assert_eq!(class, "Map");
         let table = out.tables.table("Map").clone();

@@ -151,12 +151,7 @@ impl GossipBench {
     }
 
     /// Create with an explicit φ.
-    pub fn with_phi(
-        kind: SyncKind,
-        groups: u64,
-        members_per_group: u64,
-        phi: Phi,
-    ) -> GossipBench {
+    pub fn with_phi(kind: SyncKind, groups: u64, members_per_group: u64, phi: Phi) -> GossipBench {
         let bench = GossipBench {
             kind,
             table: MapAdt::new(),
@@ -216,14 +211,20 @@ impl GossipBench {
     pub fn route(&self, group: Value) -> u64 {
         match self.kind {
             SyncKind::Semantic => {
-                let tmode = self.sem.table_table.select(self.sem.site_route_table, &[group]);
+                let tmode = self
+                    .sem
+                    .table_table
+                    .select(self.sem.site_route_table, &[group]);
                 let mut txn = Txn::new();
                 txn.lv(&self.sem.table_lock, tmode);
                 let inner = self.table.get(group);
                 let mut delivered = 0;
                 if !inner.is_null() {
                     let mm = self.member_map(inner);
-                    let mmode = self.sem.member_table.select(self.sem.site_route_member, &[]);
+                    let mmode = self
+                        .sem
+                        .member_table
+                        .select(self.sem.site_route_member, &[]);
                     mm.sem.lock(mmode);
                     for (m, _) in mm.map.entries() {
                         self.send(m);
@@ -289,7 +290,10 @@ impl GossipBench {
     pub fn register(&self, group: Value, member: Value) {
         match self.kind {
             SyncKind::Semantic => {
-                let tmode = self.sem.table_table.select(self.sem.site_reg_table, &[group]);
+                let tmode = self
+                    .sem
+                    .table_table
+                    .select(self.sem.site_reg_table, &[group]);
                 let mut txn = Txn::new();
                 txn.lv(&self.sem.table_lock, tmode);
                 let mut inner = self.table.get(group);
@@ -298,7 +302,10 @@ impl GossipBench {
                     self.table.put(group, inner);
                 }
                 let mm = self.member_map(inner);
-                let mmode = self.sem.member_table.select(self.sem.site_reg_member, &[member]);
+                let mmode = self
+                    .sem
+                    .member_table
+                    .select(self.sem.site_reg_member, &[member]);
                 mm.sem.lock(mmode);
                 mm.map.put(member, member);
                 mm.sem.unlock(mmode);
@@ -328,7 +335,9 @@ impl GossipBench {
                 txn.unlock_all();
             }
             SyncKind::Manual | SyncKind::V8 => {
-                let inner = self.v8_table.compute_if_absent(group, || self.new_member_map());
+                let inner = self
+                    .v8_table
+                    .compute_if_absent(group, || self.new_member_map());
                 let mm = self.member_map(inner);
                 let _w = mm.rw.write();
                 mm.map.put(member, member);
@@ -340,7 +349,10 @@ impl GossipBench {
     pub fn unregister(&self, group: Value, member: Value) {
         match self.kind {
             SyncKind::Semantic => {
-                let tmode = self.sem.table_table.select(self.sem.site_unreg_table, &[group]);
+                let tmode = self
+                    .sem
+                    .table_table
+                    .select(self.sem.site_unreg_table, &[group]);
                 let mut txn = Txn::new();
                 txn.lv(&self.sem.table_lock, tmode);
                 let inner = self.table.get(group);

@@ -181,10 +181,7 @@ impl GraphBench {
                 let m_succ = self.sem.table.select(self.sem.site_insert_succ, &keys);
                 let m_pred = self.sem.table.select(self.sem.site_insert_pred, &keys);
                 let mut txn = Txn::new();
-                txn.lv2(
-                    (&self.sem.succ_lock, m_succ),
-                    (&self.sem.pred_lock, m_pred),
-                );
+                txn.lv2((&self.sem.succ_lock, m_succ), (&self.sem.pred_lock, m_pred));
                 self.succ.put(a, b);
                 self.pred.put(b, a);
                 txn.unlock_all();
@@ -218,10 +215,7 @@ impl GraphBench {
                 let m_succ = self.sem.table.select(self.sem.site_remove_succ, &keys);
                 let m_pred = self.sem.table.select(self.sem.site_remove_pred, &keys);
                 let mut txn = Txn::new();
-                txn.lv2(
-                    (&self.sem.succ_lock, m_succ),
-                    (&self.sem.pred_lock, m_pred),
-                );
+                txn.lv2((&self.sem.succ_lock, m_succ), (&self.sem.pred_lock, m_pred));
                 self.succ.remove(a, b);
                 self.pred.remove(b, a);
                 txn.unlock_all();

@@ -121,7 +121,7 @@ impl IntruderBench {
         let mut flows = Vec::with_capacity(config.num_flows as usize);
         let mut attacks_planted = 0;
         for _ in 0..config.num_flows {
-            let has_attack = rng.gen_range(0..100) < config.attack_percent;
+            let has_attack = rng.gen_range(0..100u64) < config.attack_percent;
             let len = rng.gen_range(SIGNATURE.len()..=config.max_length.max(SIGNATURE.len() + 1));
             let mut payload: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
             if has_attack {
@@ -149,9 +149,7 @@ impl IntruderBench {
         let mut packets: Vec<Packet> = flows
             .iter()
             .enumerate()
-            .flat_map(|(i, f)| {
-                (0..f.fragments.len()).map(move |_| Packet { flow: i as u32 })
-            })
+            .flat_map(|(i, f)| (0..f.fragments.len()).map(move |_| Packet { flow: i as u32 }))
             .collect();
         // Fisher–Yates.
         for i in (1..packets.len()).rev() {
@@ -165,7 +163,9 @@ impl IntruderBench {
         }
 
         // Compile the atomic sections.
-        let out = Synthesizer::new(registry()).phi(phi).synthesize(&intruder_sections());
+        let out = Synthesizer::new(registry())
+            .phi(phi)
+            .synthesize(&intruder_sections());
         let map_table = out.tables.table("Map").clone();
         let q_table = out.tables.table("Queue").clone();
         let sem = SemanticState {
@@ -320,9 +320,7 @@ impl IntruderBench {
         for frag in &f.fragments {
             payload.extend_from_slice(frag);
         }
-        let found = payload
-            .windows(SIGNATURE.len())
-            .any(|w| w == SIGNATURE);
+        let found = payload.windows(SIGNATURE.len()).any(|w| w == SIGNATURE);
         if found {
             self.attacks_found.fetch_add(1, Ordering::Relaxed);
         }
@@ -366,7 +364,10 @@ impl IntruderBench {
             ));
         }
         if self.frag_map.size() != 0 {
-            return Err(format!("{} stale flows in fragment map", self.frag_map.size()));
+            return Err(format!(
+                "{} stale flows in fragment map",
+                self.frag_map.size()
+            ));
         }
         Ok(())
     }

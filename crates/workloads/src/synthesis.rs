@@ -51,7 +51,12 @@ pub fn lock_site_of(section: &AtomicSection, recv: &str) -> SiteIdx {
             _ => {}
         }
     });
-    found.unwrap_or_else(|| panic!("no lock site for {recv} in section {}:\n{section}", section.name))
+    found.unwrap_or_else(|| {
+        panic!(
+            "no lock site for {recv} in section {}:\n{section}",
+            section.name
+        )
+    })
 }
 
 /// Runtime lock site for `recv` in the named section of a program.
@@ -171,7 +176,9 @@ pub fn intruder_sections() -> Vec<AtomicSection> {
     let capture = AtomicSection::new(
         "capture",
         [ptr("inQ", "Queue"), scalar("pkt")],
-        Body::new().call_into("pkt", "inQ", "dequeue", vec![]).build(),
+        Body::new()
+            .call_into("pkt", "inQ", "dequeue", vec![])
+            .build(),
     );
     vec![reassemble, capture]
 }

@@ -37,11 +37,11 @@ fn main() {
                     for _ in 0..per_thread {
                         // 97% routes, 3% membership churn (new members only,
                         // keeping delivery counts monotone and checkable).
-                        if rng.gen_range(0..100) < 97 {
+                        if rng.gen_range(0..100u64) < 97 {
                             bench.route(Value(rng.gen_range(0..groups)));
                         } else {
                             let g = rng.gen_range(0..groups);
-                            let m = groups * members + rng.gen_range(0..256);
+                            let m = groups * members + rng.gen_range(0..256u64);
                             bench.register(Value(g), Value(m));
                         }
                     }

@@ -10,10 +10,7 @@ use workloads::{IntruderBench, IntruderConfig, SyncKind};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let flows: u32 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4096);
+    let flows: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4096);
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
     let config = IntruderConfig {

@@ -86,5 +86,8 @@ fn main() {
     assert_eq!(total, threads * iters, "atomicity violated!");
 
     checker.assert_ok();
-    println!("OS2PL protocol check: OK ({} recorded events)", checker.event_count());
+    println!(
+        "OS2PL protocol check: OK ({} recorded events)",
+        checker.event_count()
+    );
 }

@@ -3,7 +3,9 @@
 //! Reads a program of atomic sections in the surface language (see
 //! `synth::parse`), synthesizes deadlock-free semantic locking for it,
 //! and prints the instrumented sections plus the generated locking
-//! modes.
+//! modes. With `check`, instead runs the static OS2PL audit
+//! (`synth::audit`) over the synthesized program and reports SL001–SL005
+//! findings.
 //!
 //! ```text
 //! semlockc program.sl                # compile and print
@@ -11,87 +13,197 @@
 //! semlockc --no-refine program.sl   # generic lock(+) sites (§3 only)
 //! semlockc --phi 16 program.sl      # abstract-value count (default 64)
 //! semlockc -                        # read from stdin
+//! semlockc check a.sl b.sl          # audit synthesized output
+//! semlockc check --json a.sl       # machine-readable findings
 //! ```
+//!
+//! Check-mode exit codes: 0 — audit clean (warnings allowed); 1 — lint
+//! errors found; 2 — usage, I/O, or parse errors.
 //!
 //! Supported ADT classes: Map, Set, Queue, Multimap, WeakMap (and any
 //! number of instances of each).
 
 use std::io::Read;
 use std::process::ExitCode;
+use synth::diag::Diagnostic;
 use synth::restrictions::RestrictionsGraph;
 use synth::{ClassRegistry, Synthesizer};
 
 fn usage() -> ExitCode {
     eprintln!("usage: semlockc [--no-opt] [--no-refine] [--phi N] <program.sl | ->");
+    eprintln!("       semlockc check [--json] [--no-opt] [--no-refine] [--phi N] <program.sl...>");
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let mut path: Option<String> = None;
-    let mut no_opt = false;
-    let mut no_refine = false;
-    let mut phi_n: u16 = 64;
+struct Options {
+    no_opt: bool,
+    no_refine: bool,
+    phi_n: u16,
+}
 
-    let mut args = std::env::args().skip(1);
+impl Options {
+    fn synthesizer(&self, registry: ClassRegistry) -> Synthesizer {
+        let mut synth = Synthesizer::new(registry).phi(semlock::phi::Phi::fib(self.phi_n));
+        if self.no_opt {
+            synth = synth.without_optimizations();
+        }
+        if self.no_refine {
+            synth = synth.without_refinement();
+        }
+        synth
+    }
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut check = false;
+    let mut json = false;
+    let mut opts = Options {
+        no_opt: false,
+        no_refine: false,
+        phi_n: 64,
+    };
+
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("check") {
+        check = true;
+        args.next();
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--no-opt" => no_opt = true,
-            "--no-refine" => no_refine = true,
+            "--check" => check = true,
+            "--json" if check => json = true,
+            "--no-opt" => opts.no_opt = true,
+            "--no-refine" => opts.no_refine = true,
             "--phi" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n >= 1 => phi_n = n,
+                Some(n) if n >= 1 => opts.phi_n = n,
                 _ => return usage(),
             },
             "--help" | "-h" => return usage(),
-            other if path.is_none() => path = Some(other.to_string()),
+            other if !other.starts_with('-') || other == "-" => paths.push(other.to_string()),
             _ => return usage(),
         }
     }
-    let Some(path) = path else { return usage() };
+    if paths.is_empty() || (!check && paths.len() > 1) {
+        return usage();
+    }
 
-    let src = if path == "-" {
+    if check {
+        check_files(&paths, &opts, json)
+    } else {
+        compile_one(&paths[0], &opts)
+    }
+}
+
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
             eprintln!("semlockc: failed to read stdin");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::from(2));
         }
-        buf
+        Ok(buf)
     } else {
-        match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("semlockc: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("semlockc: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    }
+}
 
-    let sections = match synth::parse::parse_program(&src) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("semlockc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    // Register every known ADT class; report unknown ones up front.
-    let known = ["Map", "Set", "Queue", "Multimap", "WeakMap"];
+fn registry() -> ClassRegistry {
     let mut registry = ClassRegistry::new();
-    for class in known {
+    for class in KNOWN {
         registry.register(class, adts::schema_of(class), adts::spec_of(class));
     }
+    registry
+}
+
+const KNOWN: [&str; 5] = ["Map", "Set", "Queue", "Multimap", "WeakMap"];
+
+/// Parse a source file and verify all its ADT classes are supported.
+fn load_sections(src: &str) -> Result<Vec<synth::ir::AtomicSection>, Box<Diagnostic>> {
+    let sections = synth::parse::parse_program(src).map_err(|e| Box::new(Diagnostic::from(e)))?;
+    let reg = registry();
     for section in &sections {
         for (var, class) in section.pointer_vars() {
-            if !registry.contains(class) {
-                eprintln!(
-                    "semlockc: section {}: variable {var} has unknown ADT class {class} \
-                     (supported: {})",
-                    section.name,
-                    known.join(", ")
-                );
-                return ExitCode::FAILURE;
+            if !reg.contains(class) {
+                return Err(Box::new(
+                    Diagnostic::error(format!(
+                        "variable {var} has unknown ADT class {class} (supported: {})",
+                        KNOWN.join(", ")
+                    ))
+                    .in_section(&section.name),
+                ));
             }
         }
     }
+    Ok(sections)
+}
+
+/// `semlockc check`: synthesize each file and audit the result.
+fn check_files(paths: &[String], opts: &Options, json: bool) -> ExitCode {
+    let mut worst = ExitCode::SUCCESS;
+    let mut json_entries = Vec::new();
+    for path in paths {
+        let src = match read_source(path) {
+            Ok(s) => s,
+            Err(c) => return c,
+        };
+        let sections = match load_sections(&src) {
+            Ok(s) => s,
+            Err(d) => {
+                if json {
+                    json_entries.push(format!(
+                        "{{\"file\":\"{}\",\"errors\":1,\"warnings\":0,\"diagnostics\":[{}]}}",
+                        synth::diag::json_escape(path),
+                        d.render_json()
+                    ));
+                } else {
+                    eprintln!("semlockc: {path}:\n{}", d.render_text());
+                }
+                worst = ExitCode::from(2);
+                continue;
+            }
+        };
+        let (_, report) = opts.synthesizer(registry()).synthesize_and_audit(&sections);
+        if json {
+            let diags: Vec<String> = report.diagnostics.iter().map(|d| d.render_json()).collect();
+            json_entries.push(format!(
+                "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+                synth::diag::json_escape(path),
+                report.error_count(),
+                report.warning_count(),
+                diags.join(",")
+            ));
+        } else if report.diagnostics.is_empty() {
+            println!("{path}: audit clean");
+        } else {
+            print!("{path}:\n{}", report.render_text());
+        }
+        if !report.is_clean() && worst == ExitCode::SUCCESS {
+            worst = ExitCode::FAILURE;
+        }
+    }
+    if json {
+        println!("[{}]", json_entries.join(","));
+    }
+    worst
+}
+
+/// Classic compile-and-print mode.
+fn compile_one(path: &str, opts: &Options) -> ExitCode {
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let sections = match load_sections(&src) {
+        Ok(s) => s,
+        Err(d) => {
+            eprintln!("semlockc: {path}:\n{}", d.render_text());
+            return ExitCode::from(2);
+        }
+    };
 
     // Diagnostics: restrictions-graph of the input.
     let graph = RestrictionsGraph::build(&sections);
@@ -113,14 +225,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let mut synth = Synthesizer::new(registry).phi(semlock::phi::Phi::fib(phi_n));
-    if no_opt {
-        synth = synth.without_optimizations();
-    }
-    if no_refine {
-        synth = synth.without_refinement();
-    }
-    let out = synth.synthesize(&sections);
+    let out = opts.synthesizer(registry()).synthesize(&sections);
 
     println!("// lock order: {}", out.class_order.join(" < "));
     for w in &out.wrappers {

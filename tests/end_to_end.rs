@@ -225,7 +225,13 @@ fn multi_section_program_cross_section_atomicity() {
     );
     let mv = AtomicSection::new(
         "mv",
-        [ptr("m", "Map"), scalar("from"), scalar("to"), scalar("v"), scalar("w")],
+        [
+            ptr("m", "Map"),
+            scalar("from"),
+            scalar("to"),
+            scalar("v"),
+            scalar("w"),
+        ],
         Body::new()
             .call_into("v", "m", "get", vec![var("from")])
             .if_then(

@@ -54,7 +54,11 @@ atomic {
   }
   foreach(t : LOCAL_SET) t.unlockAll();
 }";
-    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+    assert_eq!(
+        normalize(&inst.to_string()),
+        normalize(expected),
+        "\n{inst}"
+    );
 }
 
 #[test]
@@ -84,7 +88,11 @@ atomic {
   map.unlockAll();
   set.unlockAll();
 }";
-    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+    assert_eq!(
+        normalize(&inst.to_string()),
+        normalize(expected),
+        "\n{inst}"
+    );
 }
 
 #[test]
@@ -116,14 +124,21 @@ atomic {
   map.unlockAll();
   set.unlockAll();
 }";
-    assert_eq!(normalize(&inst.to_string()), normalize(expected), "\n{inst}");
+    assert_eq!(
+        normalize(&inst.to_string()),
+        normalize(expected),
+        "\n{inst}"
+    );
 }
 
 #[test]
 fn full_pipeline_produces_fig2_directly() {
     let out = Synthesizer::new(registry()).synthesize(&[fig1_section()]);
     let text = out.sections[0].to_string();
-    assert!(text.contains("map.lock({get(id),put(id,*),remove(id)});"), "{text}");
+    assert!(
+        text.contains("map.lock({get(id),put(id,*),remove(id)});"),
+        "{text}"
+    );
     assert!(text.contains("set.lock({add(x),add(y)});"), "{text}");
     assert!(text.contains("queue.lock({enqueue(set)});"), "{text}");
     // Early release of the queue inside the branch (Fig. 2 line 8).

@@ -16,7 +16,10 @@ use semlock::symbolic::{Operation, SymArg, SymOp, SymbolicSet};
 use semlock::value::Value;
 use std::sync::Arc;
 
-fn map_table(symsets: Vec<SymbolicSet>, n: u16) -> (Arc<ModeTable>, Vec<semlock::mode::LockSiteId>) {
+fn map_table(
+    symsets: Vec<SymbolicSet>,
+    n: u16,
+) -> (Arc<ModeTable>, Vec<semlock::mode::LockSiteId>) {
     let schema = adts::schema_of("Map");
     let spec = adts::spec_of("Map");
     let mut b: ModeTableBuilder = ModeTable::builder(schema, spec, Phi::modulo(n));
@@ -159,7 +162,7 @@ proptest! {
 mod random_programs {
     use super::*;
     use interp::{Env, Interp, Strategy as ExecStrategy};
-    
+
     use semlock::protocol::ProtocolChecker;
     use synth::ir::{AtomicSection, Body, Expr, VarType};
     use synth::{ClassRegistry, Synthesizer};
@@ -227,11 +230,7 @@ mod random_programs {
                             let r = if recv % 3 == 0 { "m1" } else { "m2" };
                             match method % 4 {
                                 0 => (r, "get", vec![Expr::Var(key_var)]),
-                                1 => (
-                                    r,
-                                    "put",
-                                    vec![Expr::Var(key_var), Expr::Const(Value(1))],
-                                ),
+                                1 => (r, "put", vec![Expr::Var(key_var), Expr::Const(Value(1))]),
                                 2 => (r, "remove", vec![Expr::Var(key_var)]),
                                 _ => (r, "containsKey", vec![Expr::Var(key_var)]),
                             }

@@ -87,11 +87,7 @@ fn emitted_output_reparses() {
     let sections = synth::parse::parse_program(&sample("fig1.sl")).unwrap();
     let emitted = sections[0].to_string();
     // Rebuild a parsable wrapper around the emitted body.
-    let body: Vec<&str> = emitted
-        .lines()
-        .skip(1)
-        .take_while(|l| *l != "}")
-        .collect();
+    let body: Vec<&str> = emitted.lines().skip(1).take_while(|l| *l != "}").collect();
     let src = format!(
         "atomic fig1(map: Map, queue: Queue, id, x, y, flag) {{\nset: Set;\n{}\n}}",
         body.join("\n")

@@ -1,0 +1,161 @@
+//! Minimal drop-in for the subset of `criterion` used by this
+//! workspace's micro-benchmarks: `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim. It performs a warm-up, then runs
+//! timed passes for roughly `measurement_time` and prints mean
+//! ns/iteration — adequate for eyeballing the micro-bench numbers,
+//! without criterion's statistical analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            filter: std::env::args().nth(1).filter(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{id:<48} {per_iter:>12.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{id:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: discover a per-batch iteration count that keeps
+        // clock overhead negligible.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let batch = (warm_iters / self.sample_size.max(1) as u64).max(1);
+
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+        }
+        self.report = Some((total_iters.max(1), total_time));
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_time += start.elapsed();
+            total_iters += 1;
+        }
+        self.report = Some((total_iters.max(1), total_time));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,497 @@
+//! Minimal drop-in for the subset of `proptest` used by this
+//! workspace: the `proptest!` test macro, `Strategy` with `prop_map` /
+//! `boxed`, `Just`, ranges and tuples as strategies, weighted
+//! `prop_oneof!`, `proptest::collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim. Semantics differ from upstream in one
+//! deliberate way: failing cases are reported with their deterministic
+//! case seed but are **not shrunk**. Each test still runs
+//! `ProptestConfig::cases` random cases, deterministically seeded per
+//! (test, case) so CI failures reproduce locally.
+
+pub mod test_runner {
+    /// Error produced by a failing `prop_assert!` inside a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng {
+        inner: rand::rngs::SmallRng,
+    }
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index, so
+            // every (test, case) pair draws an independent stream.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            use rand::SeedableRng;
+            TestRng {
+                inner: rand::rngs::SmallRng::seed_from_u64(
+                    h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                ),
+            }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree: `generate` produces the
+    /// final value directly and failures are not shrunk.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    #[doc(hidden)]
+    pub trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy, as returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted union over boxed alternatives — the desugaring of
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    }
+
+    /// Types with a canonical strategy, reachable through
+    /// [`crate::arbitrary::any`].
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub struct ArbFull<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for ArbFull<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = ArbFull<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    ArbFull(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ArbFull<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = ArbFull<bool>;
+        fn arbitrary() -> Self::Strategy {
+            ArbFull(PhantomData)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Arbitrary;
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact size or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, ys in proptest::collection::vec(any::<bool>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted or uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..5, 1..4), w in crate::collection::vec(0u8..5, 2)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(w.len(), 2);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![2 => Just(1u64), 1 => (5u64..7).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || (5..7).contains(&v));
+        }
+
+        #[test]
+        fn early_return_ok(x in any::<u64>()) {
+            if x.is_multiple_of(2) {
+                return Ok(());
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn runs_the_macro_tests() {
+        ranges_in_bounds();
+        vec_sizes();
+        oneof_and_map();
+        early_return_ok();
+    }
+}
