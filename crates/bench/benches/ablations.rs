@@ -215,6 +215,39 @@ fn ablation_opt() {
     t.print();
 }
 
+/// Ablation 6 — resilience under fault injection. Runs the chaos driver
+/// (seeded delays, forced timeouts, injected panics; two-map iterations in
+/// random order to provoke the deadlock watchdog) at each thread count and
+/// reports where the attempted iterations went: completed, timed out,
+/// aborted by the watchdog, or rejected by poisoning. Invariant checks
+/// (no mode leaks, atomicity accounting, poison discipline) run inside
+/// `run_chaos`; a row only prints if they held.
+fn ablation_chaos() {
+    use workloads::{run_chaos, ChaosConfig};
+    let mut t = Table::new(
+        "Ablation — fault-injected resilience (counts per run)",
+        "events",
+        &["Completed", "Timeout", "Deadlock", "PoisonRej", "Panics"],
+    );
+    for &threads in &thread_counts() {
+        let mut cfg = ChaosConfig::ci(0xC4A05);
+        cfg.threads = threads;
+        cfg.ops_per_thread = ops_per_thread().min(2_000);
+        let r = run_chaos(&cfg).expect("chaos invariants violated");
+        t.row(
+            threads,
+            vec![
+                r.completed as f64,
+                r.timeouts as f64,
+                r.deadlock_aborts as f64,
+                r.poison_rejections as f64,
+                r.injected_panics as f64,
+            ],
+        );
+    }
+    t.print();
+}
+
 fn main() {
     println!("semantic-locking ablations");
     if should_run("wait") {
@@ -231,5 +264,8 @@ fn main() {
     }
     if should_run("opt") {
         ablation_opt();
+    }
+    if should_run("chaos") {
+        ablation_chaos();
     }
 }

@@ -47,6 +47,32 @@ fn bench_txn_overhead(c: &mut Criterion) {
     });
 }
 
+/// The bounded-acquisition API on the uncontended happy path. These sit
+/// beside `txn_lv_unlock_all` so a regression of `try_lv`/`lv_deadline`
+/// relative to plain `lv` (the "happy-path tax") is visible at a glance;
+/// the fallible paths add only a poison check (`try_lv`) or one deadline
+/// computation (`lv_deadline`) before the same admission test.
+fn bench_bounded_api(c: &mut Criterion) {
+    let (table, site) = cia_table(64);
+    let lock = SemLock::new(table.clone());
+    let mode = table.select(site, &[Value(7)]);
+    c.bench_function("semlock/txn_try_lv_unlock_all", |b| {
+        b.iter(|| {
+            let mut txn = Txn::new();
+            txn.try_lv(&lock, mode).expect("uncontended");
+            txn.unlock_all();
+        })
+    });
+    c.bench_function("semlock/txn_lv_deadline_unlock_all", |b| {
+        b.iter(|| {
+            let mut txn = Txn::new();
+            txn.lv_timeout(&lock, mode, std::time::Duration::from_secs(1))
+                .expect("uncontended");
+            txn.unlock_all();
+        })
+    });
+}
+
 fn bench_mode_select(c: &mut Criterion) {
     let (table, site) = cia_table(64);
     let mut k = 0u64;
@@ -154,8 +180,8 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_lock_uncontended, bench_txn_overhead, bench_mode_select,
-              bench_spec_eval, bench_table_build, bench_synthesis,
-              bench_interp_txn, bench_adts
+    targets = bench_lock_uncontended, bench_txn_overhead, bench_bounded_api,
+              bench_mode_select, bench_spec_eval, bench_table_build,
+              bench_synthesis, bench_interp_txn, bench_adts
 }
 criterion_main!(benches);

@@ -13,16 +13,33 @@
 //! With [`Interp::with_checker`], every semantic lock, operation, and
 //! unlock is recorded into a [`ProtocolChecker`] for post-hoc validation
 //! of the OS2PL rules.
+//!
+//! ## Fault tolerance
+//!
+//! The executor is unwind-safe: a panic anywhere inside a section (an ADT
+//! operation bug, or an injected chaos fault) releases every lock the
+//! transaction holds before the unwind continues, and poisons any instance
+//! the transaction had already mutated — mirroring the abort policy of the
+//! `semlock` runtime (aborts are clean only *before* the first mutation).
+//! [`Interp::with_lock_timeout`] switches semantic acquisitions to the
+//! bounded, watchdog-armed [`semlock::manager::SemLock::lock_deadline`]
+//! path, and [`Interp::try_run`] surfaces acquisition failures as
+//! [`LockError`] instead of panicking. [`Interp::with_faults`] threads a
+//! deterministic [`FaultPlan`] through every lock / unlock / operation
+//! boundary.
 
 use crate::env::{Env, SharedAdt};
 use baselines::BinaryLock;
+use semlock::error::LockError;
+use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
 use semlock::mode::ModeId;
 use semlock::protocol::ProtocolChecker;
 use semlock::symbolic::Operation;
 use semlock::value::Value;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use synth::ir::{AtomicSection, Expr, Stmt};
 
 /// Synchronization strategy for executing atomic sections.
@@ -45,7 +62,8 @@ pub struct Interp {
     strategy: Strategy,
     global: BinaryLock,
     checker: Option<Arc<ProtocolChecker>>,
-    txn_counter: AtomicU64,
+    faults: Option<Arc<FaultPlan>>,
+    lock_timeout: Option<Duration>,
 }
 
 /// Final variable frame of a section run.
@@ -57,6 +75,12 @@ struct RunState {
     held_plain: Vec<Arc<SharedAdt>>,
     txn: u64,
     fuel: u64,
+    /// Per-transaction injection-point ordinal (chaos determinism).
+    step: u64,
+    /// Instance ids this transaction has already invoked operations on.
+    mutated: Vec<u64>,
+    /// Instance whose operation is currently executing, if any.
+    in_flight: Option<u64>,
 }
 
 impl Interp {
@@ -67,7 +91,8 @@ impl Interp {
             strategy,
             global: BinaryLock::new(),
             checker: None,
-            txn_counter: AtomicU64::new(1),
+            faults: None,
+            lock_timeout: None,
         }
     }
 
@@ -77,25 +102,67 @@ impl Interp {
         self
     }
 
+    /// Attach a deterministic fault plan: every lock, unlock, and operation
+    /// boundary consults it for injected delays, forced timeouts
+    /// (semantic lock sites only), and panics.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Interp {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Bound every semantic acquisition: waits use
+    /// [`semlock::manager::SemLock::lock_deadline`] with `now + timeout`,
+    /// arming the deadlock watchdog, and failures surface as [`LockError`]
+    /// through [`Interp::try_run`].
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Interp {
+        self.lock_timeout = Some(timeout);
+        self
+    }
+
     /// The environment.
     pub fn env(&self) -> &Arc<Env> {
         &self.env
     }
 
     /// Run a section by name with the given variable bindings; returns the
-    /// final frame.
+    /// final frame. Panics on acquisition failure (see [`Interp::try_run`]
+    /// for the fallible form).
     pub fn run(&self, section_name: &str, args: &[(&str, Value)]) -> Frame {
+        match self.try_run(section_name, args) {
+            Ok(frame) => frame,
+            Err(e) => panic!("section {section_name} aborted: {e}"),
+        }
+    }
+
+    /// Fallible [`Interp::run`]: a bounded acquisition that times out, hits
+    /// a poisoned instance, or would deadlock aborts the section — every
+    /// held lock is released (instances the transaction had already mutated
+    /// are poisoned first) and the error is returned.
+    pub fn try_run(&self, section_name: &str, args: &[(&str, Value)]) -> Result<Frame, LockError> {
         let program = self.env.program.clone();
         let section = program
             .sections
             .iter()
             .find(|s| s.name == section_name)
             .unwrap_or_else(|| panic!("no section named {section_name}"));
-        self.run_section(section, args)
+        self.try_run_section(section, args)
     }
 
-    /// Run a specific section with the given bindings.
+    /// Run a specific section with the given bindings. Panics on
+    /// acquisition failure.
     pub fn run_section(&self, section: &AtomicSection, args: &[(&str, Value)]) -> Frame {
+        match self.try_run_section(section, args) {
+            Ok(frame) => frame,
+            Err(e) => panic!("section {} aborted: {e}", section.name),
+        }
+    }
+
+    /// Fallible [`Interp::run_section`].
+    pub fn try_run_section(
+        &self,
+        section: &AtomicSection,
+        args: &[(&str, Value)],
+    ) -> Result<Frame, LockError> {
         // Initialize the frame: pointers null, scalars zero, args override.
         let mut frame: Frame = section
             .decls
@@ -122,22 +189,88 @@ impl Interp {
             frame,
             held_sem: Vec::new(),
             held_plain: Vec::new(),
-            txn: self.txn_counter.fetch_add(1, Ordering::Relaxed),
+            // Ids come from semlock's global allocator so registrations with
+            // the process-global deadlock watchdog never collide with other
+            // interpreters or native `Txn`s.
+            txn: semlock::txn::next_txn_id(),
             fuel: FUEL,
+            step: 0,
+            mutated: Vec::new(),
+            in_flight: None,
         };
 
         if self.strategy == Strategy::Global {
             self.global.lock();
         }
-        self.exec_block(section, &section.body, &mut st);
-        // Release anything still held (sections without explicit epilogue
-        // after optimization rely on trailing unlocks; leftovers are a
-        // compiler bug for Semantic — but always release defensively).
-        self.release_all(&mut st);
+        // Unwind safety: a panic inside the section (an ADT bug or an
+        // injected fault) must not leak locks or the global lock. The
+        // normal-path epilogue runs *inside* the catch so an injected
+        // unlock-boundary panic is also cleaned up.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.exec_block(section, &section.body, &mut st)?;
+            // Release anything still held (sections without explicit
+            // epilogue after optimization rely on trailing unlocks;
+            // leftovers are a compiler bug for Semantic — but always
+            // release defensively).
+            self.release_all(&mut st);
+            Ok(())
+        }));
+        let result = match outcome {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => {
+                self.abort_cleanup(&mut st);
+                Err(e)
+            }
+            Err(payload) => {
+                self.abort_cleanup(&mut st);
+                if self.strategy == Strategy::Global {
+                    self.global.unlock();
+                }
+                panic::resume_unwind(payload);
+            }
+        };
         if self.strategy == Strategy::Global {
             self.global.unlock();
         }
-        st.frame
+        result.map(|()| st.frame)
+    }
+
+    /// Abort path: poison every still-held instance the transaction already
+    /// mutated (or whose operation was in flight), then release everything.
+    /// Never consults the fault plan — injecting during cleanup of an abort
+    /// could double-panic.
+    fn abort_cleanup(&self, st: &mut RunState) {
+        for (adt, mode) in st.held_sem.drain(..) {
+            if st.mutated.contains(&adt.id) || st.in_flight == Some(adt.id) {
+                adt.sem().poison();
+            }
+            adt.sem().unlock(mode);
+            if let Some(c) = &self.checker {
+                c.on_unlock(st.txn, adt.id);
+            }
+        }
+        for adt in st.held_plain.drain(..) {
+            adt.plain.unlock();
+        }
+    }
+
+    /// Consult the fault plan at a boundary. Delays sleep in place; panics
+    /// unwind with an [`semlock::fault::InjectedPanic`] payload; a forced
+    /// `Timeout` decision is returned for the caller (only lock sites
+    /// convert it — the plan never emits it elsewhere).
+    fn fault_decision(&self, point: FaultPoint, st: &mut RunState, instance: u64) -> FaultAction {
+        let Some(plan) = &self.faults else {
+            return FaultAction::None;
+        };
+        st.step += 1;
+        match plan.decide(point, st.txn, instance, st.step) {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                FaultAction::None
+            }
+            FaultAction::Panic => fault::panic_now(point, st.txn, instance),
+            other => other,
+        }
     }
 
     fn eval(&self, e: &Expr, frame: &Frame) -> Value {
@@ -155,17 +288,28 @@ impl Interp {
         }
     }
 
-    fn exec_block(&self, section: &AtomicSection, stmts: &[Stmt], st: &mut RunState) {
+    fn exec_block(
+        &self,
+        section: &AtomicSection,
+        stmts: &[Stmt],
+        st: &mut RunState,
+    ) -> Result<(), LockError> {
         for s in stmts {
             st.fuel = st
                 .fuel
                 .checked_sub(1)
                 .expect("atomic section exceeded its fuel (runaway loop?)");
-            self.exec_stmt(section, s, st);
+            self.exec_stmt(section, s, st)?;
         }
+        Ok(())
     }
 
-    fn exec_stmt(&self, section: &AtomicSection, s: &Stmt, st: &mut RunState) {
+    fn exec_stmt(
+        &self,
+        section: &AtomicSection,
+        s: &Stmt,
+        st: &mut RunState,
+    ) -> Result<(), LockError> {
         match s {
             Stmt::Assign { var, expr, .. } => {
                 let v = self.eval(expr, &st.frame);
@@ -192,7 +336,17 @@ impl Interp {
                         c.on_op(st.txn, adt.id, Operation::new(midx, argv.clone()));
                     }
                 }
+                // An OpStart panic aborts *before* the operation touches
+                // the instance (clean unless earlier ops mutated); an
+                // OpEnd panic lands after the mutation and must poison.
+                self.fault_decision(FaultPoint::OpStart, st, adt.id);
+                st.in_flight = Some(adt.id);
                 let result = adt.obj.invoke(midx, &argv);
+                st.in_flight = None;
+                if !st.mutated.contains(&adt.id) {
+                    st.mutated.push(adt.id);
+                }
+                self.fault_decision(FaultPoint::OpEnd, st, adt.id);
                 if let Some(r) = ret {
                     st.frame.insert(r.clone(), result);
                 }
@@ -204,9 +358,9 @@ impl Interp {
                 ..
             } => {
                 if self.eval(cond, &st.frame).as_bool() {
-                    self.exec_block(section, then_branch, st);
+                    self.exec_block(section, then_branch, st)?;
                 } else {
-                    self.exec_block(section, else_branch, st);
+                    self.exec_block(section, else_branch, st)?;
                 }
             }
             Stmt::While { cond, body, .. } => {
@@ -215,15 +369,15 @@ impl Interp {
                         .fuel
                         .checked_sub(1)
                         .expect("atomic section exceeded its fuel (runaway loop?)");
-                    self.exec_block(section, body, st);
+                    self.exec_block(section, body, st)?;
                 }
             }
             Stmt::Lv { recv, site, .. } | Stmt::LockDirect { recv, site, .. } => {
                 let handle = st.frame[recv];
                 if handle.is_null() {
-                    return; // LV / guarded lock skips null pointers
+                    return Ok(()); // LV / guarded lock skips null pointers
                 }
-                self.acquire(section, handle, *site, st);
+                self.acquire(section, handle, *site, st)?;
             }
             Stmt::LvGroup { entries, .. } => {
                 // Dynamic ordering by unique instance id (Fig. 12).
@@ -240,13 +394,13 @@ impl Interp {
                     .collect();
                 targets.sort_by_key(|&(id, _, _)| id);
                 for (_, handle, site) in targets {
-                    self.acquire(section, handle, site, st);
+                    self.acquire(section, handle, site, st)?;
                 }
             }
             Stmt::UnlockAllOf { recv, .. } => {
                 let handle = st.frame[recv];
                 if handle.is_null() {
-                    return;
+                    return Ok(());
                 }
                 self.release_one(handle, st);
             }
@@ -254,6 +408,7 @@ impl Interp {
                 self.release_all(st);
             }
         }
+        Ok(())
     }
 
     fn register_with_checker(&self, handle: Value, class: &str) {
@@ -265,7 +420,13 @@ impl Interp {
     }
 
     /// Acquire per the active strategy, with LOCAL_SET skip semantics.
-    fn acquire(&self, section: &AtomicSection, handle: Value, site: usize, st: &mut RunState) {
+    fn acquire(
+        &self,
+        section: &AtomicSection,
+        handle: Value,
+        site: usize,
+        st: &mut RunState,
+    ) -> Result<(), LockError> {
         let adt = self.env.resolve(handle);
         match self.strategy {
             Strategy::Global => {}
@@ -277,7 +438,7 @@ impl Interp {
             }
             Strategy::Semantic => {
                 if st.held_sem.iter().any(|(a, _)| a.id == adt.id) {
-                    return;
+                    return Ok(());
                 }
                 let decl = &section.sites[site];
                 let table = self.env.program.tables.table(&decl.class);
@@ -285,13 +446,31 @@ impl Interp {
                 let keys: Vec<Value> = decl.keys.iter().map(|k| st.frame[k]).collect();
                 let mode = table.select(rt_site, &keys);
                 self.register_with_checker(handle, &decl.class);
-                adt.sem().lock(mode);
+                if self.fault_decision(FaultPoint::Lock, st, adt.id) == FaultAction::Timeout {
+                    return Err(LockError::Timeout {
+                        instance: adt.id,
+                        mode,
+                        waited: Duration::ZERO,
+                    });
+                }
+                if let Some(timeout) = self.lock_timeout {
+                    let held: Vec<(u64, ModeId)> = st
+                        .held_sem
+                        .iter()
+                        .map(|(a, m)| (a.sem().unique(), *m))
+                        .collect();
+                    adt.sem()
+                        .lock_deadline(mode, Instant::now() + timeout, st.txn, &held)?;
+                } else {
+                    adt.sem().lock(mode);
+                }
                 if let Some(c) = &self.checker {
                     c.on_lock(st.txn, adt.id, mode);
                 }
                 st.held_sem.push((adt, mode));
             }
         }
+        Ok(())
     }
 
     fn release_one(&self, handle: Value, st: &mut RunState) {
@@ -305,6 +484,10 @@ impl Interp {
             }
             Strategy::Semantic => {
                 if let Some(pos) = st.held_sem.iter().position(|(a, _)| a.id == handle.0) {
+                    // Consult faults *before* removing the entry: an
+                    // injected panic here must leave the lock in `held_sem`
+                    // so `abort_cleanup` still releases it.
+                    self.fault_decision(FaultPoint::Unlock, st, handle.0);
                     let (adt, mode) = st.held_sem.swap_remove(pos);
                     adt.sem().unlock(mode);
                     if let Some(c) = &self.checker {
@@ -316,7 +499,12 @@ impl Interp {
     }
 
     fn release_all(&self, st: &mut RunState) {
-        for (adt, mode) in st.held_sem.drain(..) {
+        while !st.held_sem.is_empty() {
+            let id = st.held_sem.last().expect("non-empty").0.id;
+            // As in `release_one`: fault before popping, so an injected
+            // panic cannot leak the about-to-be-released lock.
+            self.fault_decision(FaultPoint::Unlock, st, id);
+            let (adt, mode) = st.held_sem.pop().expect("entry still present");
             adt.sem().unlock(mode);
             if let Some(c) = &self.checker {
                 c.on_unlock(st.txn, adt.id);
@@ -466,7 +654,7 @@ mod tests {
             .sum();
         assert_eq!(total, threads * iters, "lost updates under {strategy:?}");
         if check_protocol {
-            checker.assert_ok();
+            checker.ensure_ok().unwrap();
         }
     }
 
@@ -516,7 +704,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        checker.assert_ok();
+        checker.ensure_ok().unwrap();
     }
 
     #[test]
@@ -541,6 +729,109 @@ mod tests {
         let interp = Interp::new(env.clone(), Strategy::Semantic);
         let frame = interp.run("fig9", &[("map", map), ("n", Value(3))]);
         assert_eq!(frame["sum"], Value(1 + 2 + 3));
+    }
+
+    #[test]
+    fn try_run_surfaces_timeout_and_leaves_no_residue() {
+        let program = compile(vec![counter_section()]);
+        let env = Arc::new(Env::new(program.clone()));
+        let map = env.new_instance("Map");
+        // Hold the exact mode the section will request, directly on the
+        // instance's SemLock, so the bounded acquisition must time out.
+        let table = program.tables.table("Map");
+        let site = program.tables.site("counter", 0);
+        let adt = env.resolve(map);
+        let mode = {
+            let keys = vec![Value(1)];
+            table.select(site, &keys)
+        };
+        adt.sem().lock(mode);
+        let interp = Arc::new(
+            Interp::new(env.clone(), Strategy::Semantic)
+                .with_lock_timeout(Duration::from_millis(25)),
+        );
+        let err = interp
+            .try_run("counter", &[("map", map), ("k", Value(1))])
+            .unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }), "{err}");
+        // Nothing ran, nothing mutated: no poison, and the aborted txn
+        // released everything it (briefly) held.
+        assert!(!adt.sem().is_poisoned());
+        adt.sem().unlock(mode);
+        assert_eq!(adt.sem().total_holds(), 0);
+        // With the conflict gone the same call succeeds.
+        interp
+            .try_run("counter", &[("map", map), ("k", Value(1))])
+            .unwrap();
+        assert_eq!(adt.sem().total_holds(), 0);
+    }
+
+    #[test]
+    fn forced_timeouts_abort_before_first_mutation() {
+        let program = compile(vec![counter_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let plan = Arc::new(semlock::fault::FaultPlan::new(11).with_timeouts(400_000));
+        let interp =
+            Arc::new(Interp::new(env.clone(), Strategy::Semantic).with_faults(plan.clone()));
+        let mut timeouts = 0u64;
+        let mut oks = 0u64;
+        for i in 0..200u64 {
+            match interp.try_run("counter", &[("map", map), ("k", Value(i % 4))]) {
+                Ok(_) => oks += 1,
+                Err(LockError::Timeout { .. }) => timeouts += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(timeouts > 0, "plan injected no timeouts");
+        assert!(oks > 0, "every run timed out");
+        let adt = env.resolve(map);
+        // The section locks the map before its first operation, so a forced
+        // timeout always lands pre-mutation: clean abort, no poison.
+        assert!(!adt.sem().is_poisoned());
+        assert_eq!(adt.sem().total_holds(), 0);
+    }
+
+    #[test]
+    fn injected_panics_never_leak_locks() {
+        let program = compile(vec![counter_section()]);
+        let env = Arc::new(Env::new(program));
+        let map = env.new_instance("Map");
+        let plan = Arc::new(semlock::fault::FaultPlan::new(5).with_panics(150_000));
+        let interp =
+            Arc::new(Interp::new(env.clone(), Strategy::Semantic).with_faults(plan.clone()));
+        let adt = env.resolve(map);
+        let mut panics = 0u64;
+        let mut poisonings = 0u64;
+        for i in 0..300u64 {
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                interp.run("counter", &[("map", map), ("k", Value(i % 4))])
+            }));
+            if let Err(payload) = r {
+                assert!(
+                    fault::injected(&*payload).is_some(),
+                    "a genuine (non-injected) panic escaped the executor"
+                );
+                panics += 1;
+            }
+            // Invariant: whatever happened, the transaction is gone and its
+            // modes are released.
+            assert_eq!(adt.sem().total_holds(), 0, "mode leak after run {i}");
+            if adt.sem().is_poisoned() {
+                poisonings += 1;
+                adt.sem().clear_poison();
+            }
+        }
+        assert!(panics > 0, "plan injected no panics");
+        // Panics after the first mutation must have poisoned the instance
+        // at least once across 300 runs.
+        assert!(poisonings > 0, "no injected panic landed post-mutation");
+        assert_eq!(
+            plan.stats()
+                .panics
+                .load(std::sync::atomic::Ordering::Relaxed),
+            panics
+        );
     }
 
     #[test]

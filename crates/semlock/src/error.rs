@@ -1,0 +1,123 @@
+//! Structured failures of the bounded acquisition API.
+//!
+//! The paper's protocol is deadlock-free *by construction* when every lock
+//! site was emitted by the compiler (§3). The runtime is also a public API,
+//! though, and hand-written callers can violate the ordering discipline or
+//! panic mid-operation. The bounded entry points ([`crate::txn::Txn::try_lv`],
+//! [`crate::txn::Txn::lv_deadline`], [`crate::manager::SemLock::lock_deadline`])
+//! surface those failures as a [`LockError`] instead of hanging forever or
+//! silently handing a half-mutated instance to the next transaction.
+
+use crate::mode::ModeId;
+use crate::watchdog::TxnId;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a bounded lock acquisition failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// The deadline elapsed before the requested mode could be admitted
+    /// (all conflicting holders kept their modes for the whole wait).
+    Timeout {
+        /// Instance whose mode could not be acquired.
+        instance: u64,
+        /// The requested mode.
+        mode: ModeId,
+        /// How long the acquirer waited before giving up.
+        waited: Duration,
+    },
+    /// The instance is poisoned: a transaction panicked *during* an ADT
+    /// operation (or aborted after its first mutation), so the structure may
+    /// be torn. Acquisitions fail fast until
+    /// [`crate::manager::SemLock::clear_poison`] is called.
+    Poisoned {
+        /// The poisoned instance.
+        instance: u64,
+    },
+    /// The deadlock watchdog found a waits-for cycle through this
+    /// acquisition; the youngest waiter of the cycle aborts with this error
+    /// so the remaining transactions can make progress.
+    WouldDeadlock {
+        /// Instance the aborting transaction was waiting on.
+        instance: u64,
+        /// The requested mode.
+        mode: ModeId,
+        /// Transactions participating in the detected cycle (sorted).
+        cycle: Vec<TxnId>,
+    },
+}
+
+impl LockError {
+    /// The ADT instance the failed acquisition targeted.
+    pub fn instance(&self) -> u64 {
+        match self {
+            LockError::Timeout { instance, .. }
+            | LockError::Poisoned { instance }
+            | LockError::WouldDeadlock { instance, .. } => *instance,
+        }
+    }
+
+    /// Is this a poisoning failure?
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, LockError::Poisoned { .. })
+    }
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout {
+                instance,
+                mode,
+                waited,
+            } => write!(
+                f,
+                "timed out after {waited:?} acquiring mode m{} on instance {instance}",
+                mode.0
+            ),
+            LockError::Poisoned { instance } => write!(
+                f,
+                "instance {instance} is poisoned (a transaction panicked mid-operation)"
+            ),
+            LockError::WouldDeadlock {
+                instance,
+                mode,
+                cycle,
+            } => write!(
+                f,
+                "acquiring mode m{} on instance {instance} would deadlock (waits-for cycle {cycle:?})",
+                mode.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Result alias for the bounded acquisition API.
+pub type LockResult<T> = Result<T, LockError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = LockError::Timeout {
+            instance: 7,
+            mode: ModeId(3),
+            waited: Duration::from_millis(10),
+        };
+        assert!(e.to_string().contains("instance 7"));
+        assert_eq!(e.instance(), 7);
+        let p = LockError::Poisoned { instance: 9 };
+        assert!(p.is_poisoned());
+        assert!(p.to_string().contains("poisoned"));
+        let d = LockError::WouldDeadlock {
+            instance: 1,
+            mode: ModeId(0),
+            cycle: vec![4, 5],
+        };
+        assert!(d.to_string().contains("deadlock"));
+    }
+}

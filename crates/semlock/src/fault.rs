@@ -1,0 +1,285 @@
+//! Deterministic, seeded fault injection for chaos testing the runtime.
+//!
+//! A [`FaultPlan`] decides — as a pure function of its seed and the
+//! injection coordinates (point, transaction, instance, step) — whether to
+//! inject a delay, a forced acquisition timeout, or a panic at a lock,
+//! unlock, or ADT-operation boundary. The interp executor
+//! (`interp::Interp::with_faults`) and the `workloads` chaos driver thread
+//! the plan through every boundary; soak tests then assert the runtime's
+//! global invariants survive every injected schedule.
+//!
+//! Injected panics carry an [`InjectedPanic`] payload so harnesses can tell
+//! them apart from genuine bugs and re-raise the latter.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where in the protocol a fault may be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Immediately before a lock acquisition.
+    Lock,
+    /// Immediately before an unlock.
+    Unlock,
+    /// Immediately before an ADT operation runs.
+    OpStart,
+    /// Immediately after an ADT operation returned (the operation's effect
+    /// is already applied — a panic here exercises the poisoning path).
+    OpEnd,
+}
+
+/// What the plan decided for one boundary crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Sleep for the given duration before proceeding.
+    Delay(Duration),
+    /// Fail the acquisition as if its deadline had already elapsed
+    /// (only produced at [`FaultPoint::Lock`]).
+    Timeout,
+    /// Panic with an [`InjectedPanic`] payload.
+    Panic,
+}
+
+/// Injection counters (relaxed; read by chaos reports).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Delays injected.
+    pub delays: AtomicU64,
+    /// Forced timeouts injected.
+    pub timeouts: AtomicU64,
+    /// Panics injected.
+    pub panics: AtomicU64,
+}
+
+/// A deterministic seeded fault plan.
+///
+/// Probabilities are expressed in parts-per-million of boundary crossings.
+/// `decide` is a pure function of `(seed, point, txn, instance, step)`, so
+/// a fixed transaction replaying the same steps sees the same faults.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    delay_ppm: u32,
+    timeout_ppm: u32,
+    panic_ppm: u32,
+    max_delay_us: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (configure with the builder methods).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay_ppm: 0,
+            timeout_ppm: 0,
+            panic_ppm: 0,
+            max_delay_us: 200,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Inject delays of up to `max` with probability `ppm` / 1e6.
+    pub fn with_delays(mut self, ppm: u32, max: Duration) -> FaultPlan {
+        self.delay_ppm = ppm;
+        self.max_delay_us = max.as_micros().max(1) as u64;
+        self
+    }
+
+    /// Force acquisition timeouts with probability `ppm` / 1e6.
+    pub fn with_timeouts(mut self, ppm: u32) -> FaultPlan {
+        self.timeout_ppm = ppm;
+        self
+    }
+
+    /// Inject panics with probability `ppm` / 1e6.
+    pub fn with_panics(mut self, ppm: u32) -> FaultPlan {
+        self.panic_ppm = ppm;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Decide the fault (if any) for one boundary crossing. `step` is a
+    /// caller-maintained per-transaction ordinal so successive crossings of
+    /// the same boundary draw independent decisions.
+    pub fn decide(&self, point: FaultPoint, txn: u64, instance: u64, step: u64) -> FaultAction {
+        let h = mix(&[
+            self.seed,
+            point_tag(point),
+            txn.wrapping_mul(0x9E3779B97F4A7C15),
+            instance,
+            step,
+        ]);
+        let roll = (h % 1_000_000) as u32;
+        // Bands: [0, panic) panic; [panic, panic+timeout) forced timeout
+        // (lock sites only); then a delay band; everything else passes.
+        let mut hi = self.panic_ppm;
+        if roll < hi {
+            self.stats.panics.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Panic;
+        }
+        if point == FaultPoint::Lock {
+            hi += self.timeout_ppm;
+            if roll < hi {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return FaultAction::Timeout;
+            }
+        }
+        hi += self.delay_ppm;
+        if roll < hi {
+            self.stats.delays.fetch_add(1, Ordering::Relaxed);
+            let us = 1 + (h >> 20) % self.max_delay_us;
+            return FaultAction::Delay(Duration::from_micros(us));
+        }
+        FaultAction::None
+    }
+}
+
+fn point_tag(p: FaultPoint) -> u64 {
+    match p {
+        FaultPoint::Lock => 0x10C4,
+        FaultPoint::Unlock => 0x0431,
+        FaultPoint::OpStart => 0x0905,
+        FaultPoint::OpEnd => 0x09E0,
+    }
+}
+
+/// SplitMix64 finalizer-based mixing of the decision coordinates.
+fn mix(vals: &[u64]) -> u64 {
+    let mut x: u64 = 0x243F6A8885A308D3;
+    for &v in vals {
+        x ^= splitmix64(v ^ x);
+    }
+    x
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Panic payload identifying an injected (as opposed to genuine) panic.
+#[derive(Clone, Debug)]
+pub struct InjectedPanic {
+    /// Where the panic was injected.
+    pub point: FaultPoint,
+    /// The transaction it was injected into.
+    pub txn: u64,
+    /// The instance at the boundary.
+    pub instance: u64,
+}
+
+/// Raise an injected panic carrying an [`InjectedPanic`] payload.
+pub fn panic_now(point: FaultPoint, txn: u64, instance: u64) -> ! {
+    std::panic::panic_any(InjectedPanic {
+        point,
+        txn,
+        instance,
+    })
+}
+
+/// Downcast a caught panic payload to an [`InjectedPanic`], if it is one.
+pub fn injected(payload: &(dyn Any + Send)) -> Option<&InjectedPanic> {
+    payload.downcast_ref::<InjectedPanic>()
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report and backtrace for [`InjectedPanic`] payloads,
+/// delegating every other panic to the previous hook. Chaos harnesses call
+/// this so thousands of injected panics don't drown genuine failures in
+/// their output; it is idempotent and safe with concurrent tests.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(42)
+            .with_delays(100_000, Duration::from_micros(50))
+            .with_timeouts(50_000)
+            .with_panics(20_000);
+        let b = FaultPlan::new(42)
+            .with_delays(100_000, Duration::from_micros(50))
+            .with_timeouts(50_000)
+            .with_panics(20_000);
+        for step in 0..500 {
+            assert_eq!(
+                a.decide(FaultPoint::Lock, 7, 3, step),
+                b.decide(FaultPoint::Lock, 7, 3, step)
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = FaultPlan::new(1).with_panics(500_000);
+        let b = FaultPlan::new(2).with_panics(500_000);
+        let mismatch = (0..200)
+            .filter(|&s| {
+                a.decide(FaultPoint::OpEnd, 1, 1, s) != b.decide(FaultPoint::OpEnd, 1, 1, s)
+            })
+            .count();
+        assert!(mismatch > 0, "seeds produced identical schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = FaultPlan::new(9).with_delays(250_000, Duration::from_micros(10));
+        let delays = (0..10_000)
+            .filter(|&s| {
+                matches!(
+                    p.decide(FaultPoint::OpStart, 1, 1, s),
+                    FaultAction::Delay(_)
+                )
+            })
+            .count();
+        assert!(
+            (1_500..3_500).contains(&delays),
+            "expected ~25% delays, got {delays}/10000"
+        );
+        assert_eq!(p.stats().delays.load(Ordering::Relaxed), delays as u64);
+    }
+
+    #[test]
+    fn timeout_band_only_at_lock_points() {
+        let p = FaultPlan::new(3).with_timeouts(1_000_000);
+        assert_eq!(p.decide(FaultPoint::Lock, 1, 1, 1), FaultAction::Timeout);
+        assert_eq!(p.decide(FaultPoint::OpEnd, 1, 1, 1), FaultAction::None);
+    }
+
+    #[test]
+    fn injected_payload_roundtrip() {
+        let r = std::panic::catch_unwind(|| panic_now(FaultPoint::OpEnd, 5, 6));
+        let payload = r.unwrap_err();
+        let inj = injected(&*payload).expect("payload is InjectedPanic");
+        assert_eq!(inj.txn, 5);
+        assert_eq!(inj.instance, 6);
+    }
+}

@@ -23,7 +23,13 @@
 //! * [`txn::Txn`] — transaction contexts (`LOCAL_SET`, `LV`, `LV2`,
 //!   epilogue, early release);
 //! * [`protocol::ProtocolChecker`] — a runtime validator for the S2PL /
-//!   OS2PL protocol rules, used heavily by the test suites.
+//!   OS2PL protocol rules, used heavily by the test suites;
+//! * [`error::LockError`], [`txn::Txn::try_lv`], [`txn::Txn::lv_deadline`] —
+//!   bounded acquisition with structured failures;
+//! * [`watchdog`] — the off-hot-path deadlock watchdog backing
+//!   [`error::LockError::WouldDeadlock`];
+//! * [`fault::FaultPlan`] — deterministic seeded fault injection for the
+//!   chaos/soak harnesses.
 //!
 //! ## Quick example
 //!
@@ -69,6 +75,8 @@
 #![warn(missing_docs)]
 
 pub mod commut;
+pub mod error;
+pub mod fault;
 pub mod manager;
 pub mod mech;
 pub mod mode;
@@ -80,9 +88,12 @@ pub mod spec;
 pub mod symbolic;
 pub mod txn;
 pub mod value;
+pub mod watchdog;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
+    pub use crate::error::{LockError, LockResult};
+    pub use crate::fault::{FaultAction, FaultPlan, FaultPoint};
     pub use crate::manager::SemLock;
     pub use crate::mech::WaitStrategy;
     pub use crate::mode::{LockSiteId, Mode, ModeArg, ModeId, ModeOp, ModeTable};
@@ -91,6 +102,7 @@ pub mod prelude {
     pub use crate::schema::{AdtSchema, MethodIdx};
     pub use crate::spec::{ArgRef, CommutSpec, Cond};
     pub use crate::symbolic::{Operation, SymArg, SymOp, SymbolicSet};
-    pub use crate::txn::{atomic_section, Txn};
+    pub use crate::txn::{atomic_section, next_txn_id, OpGuard, Txn};
     pub use crate::value::Value;
+    pub use crate::watchdog::TxnId;
 }

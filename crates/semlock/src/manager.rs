@@ -7,16 +7,27 @@
 //! for the dynamic ordering of same-equivalence-class acquisitions
 //! (`unique(x)` in Fig. 12) and by the protocol checker.
 
-use crate::mech::{Mech, WaitStrategy};
+use crate::error::LockError;
+use crate::mech::{Acquire, Mech, Wait, WaitStrategy};
 use crate::mode::{ModeId, ModeTable};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::watchdog::{self, TxnId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide count of poisoning events (reported by the bench harness).
+static POISON_EVENTS: AtomicU64 = AtomicU64::new(0);
 
 /// Allocate a fresh process-unique ADT instance identifier.
 pub fn fresh_instance_id() -> u64 {
     NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Total instance-poisoning events since process start.
+pub fn poison_events() -> u64 {
+    POISON_EVENTS.load(Ordering::Relaxed)
 }
 
 /// The semantic lock of one ADT instance.
@@ -24,6 +35,10 @@ pub struct SemLock {
     table: Arc<ModeTable>,
     mechs: Box<[Mech]>,
     id: u64,
+    /// Set when a transaction panicked during an ADT operation on this
+    /// instance (or aborted after mutating it): the structure may be torn,
+    /// so acquisitions fail fast until [`SemLock::clear_poison`].
+    poisoned: AtomicBool,
 }
 
 impl SemLock {
@@ -44,6 +59,7 @@ impl SemLock {
             table,
             mechs,
             id: fresh_instance_id(),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -59,21 +75,184 @@ impl SemLock {
 
     /// Acquire a locking mode. Blocks while any transaction holds a
     /// non-commuting mode on this instance.
+    ///
+    /// Panics if the instance is poisoned — the infallible API has no error
+    /// channel, and proceeding onto possibly-torn state would be worse. Use
+    /// [`SemLock::try_lock_checked`] or [`SemLock::lock_deadline`] to
+    /// observe poisoning as a structured [`LockError::Poisoned`].
     pub fn lock(&self, mode: ModeId) {
+        if self.is_poisoned() {
+            panic!(
+                "SemLock#{}: instance is poisoned (a transaction panicked \
+                 mid-operation); acquire through try_lock_checked/lock_deadline \
+                 or call clear_poison",
+                self.id
+            );
+        }
         let p = self.table.placement(mode);
         if p.free {
             return; // commutes with everything: admission can never fail
         }
         self.mechs[p.part as usize].lock(p.local, &p.local_conflicts);
+        // Re-check after admission: the instance may have been poisoned by
+        // a holder that panicked while we were blocked.
+        if self.is_poisoned() {
+            self.mechs[p.part as usize].unlock(p.local);
+            panic!(
+                "SemLock#{}: instance was poisoned while this acquisition waited",
+                self.id
+            );
+        }
     }
 
-    /// Try to acquire without blocking.
+    /// Try to acquire without blocking. Returns `false` for both a
+    /// conflicting hold and a poisoned instance; use
+    /// [`SemLock::try_lock_checked`] to distinguish them.
     pub fn try_lock(&self, mode: ModeId) -> bool {
+        self.try_lock_checked(mode).is_ok()
+    }
+
+    /// Try to acquire without blocking, reporting *why* the acquisition
+    /// failed: [`LockError::Poisoned`] for a poisoned instance,
+    /// [`LockError::Timeout`] (with a zero wait) for a conflicting hold.
+    pub fn try_lock_checked(&self, mode: ModeId) -> Result<(), LockError> {
+        if self.is_poisoned() {
+            return Err(LockError::Poisoned { instance: self.id });
+        }
         let p = self.table.placement(mode);
         if p.free {
-            return true;
+            return Ok(());
         }
-        self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts)
+        if self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts) {
+            if self.is_poisoned() {
+                self.mechs[p.part as usize].unlock(p.local);
+                return Err(LockError::Poisoned { instance: self.id });
+            }
+            Ok(())
+        } else {
+            Err(LockError::Timeout {
+                instance: self.id,
+                mode,
+                waited: std::time::Duration::ZERO,
+            })
+        }
+    }
+
+    /// Bounded acquisition with deadlock detection: wait for admission
+    /// until `deadline`, probing the deadlock watchdog while blocked.
+    ///
+    /// `txn` identifies the acquiring transaction and `held` is the set of
+    /// `(instance id, mode)` pairs it already holds — both feed the
+    /// watchdog's waits-for graph. The watchdog is registered only after
+    /// the wait has lasted one probe slice, so the uncontended path touches
+    /// nothing beyond the poison flag. A waits-for cycle sighted on two
+    /// consecutive probes aborts the **youngest** member (largest `txn`)
+    /// with [`LockError::WouldDeadlock`].
+    pub fn lock_deadline(
+        &self,
+        mode: ModeId,
+        deadline: Instant,
+        txn: TxnId,
+        held: &[(u64, ModeId)],
+    ) -> Result<(), LockError> {
+        if self.is_poisoned() {
+            return Err(LockError::Poisoned { instance: self.id });
+        }
+        let p = self.table.placement(mode);
+        if p.free {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let wd = watchdog::global();
+        let mut registered = false;
+        let mut pending: Option<Vec<TxnId>> = None;
+        let mut abort_cycle: Vec<TxnId> = Vec::new();
+        let outcome = self.mechs[p.part as usize].lock_deadline(
+            p.local,
+            &p.local_conflicts,
+            deadline,
+            &mut || {
+                if !registered {
+                    wd.register(txn, self.id, mode, self.table.clone(), held.to_vec());
+                    registered = true;
+                    return Wait::Continue;
+                }
+                match wd.cycle_through(txn) {
+                    // Only the youngest member aborts; a cycle must be
+                    // sighted twice in a row to rule out stale entries from
+                    // waiters that just acquired but have not deregistered.
+                    Some(cycle) if cycle.iter().max() == Some(&txn) => {
+                        if pending.as_ref() == Some(&cycle) {
+                            abort_cycle = cycle;
+                            return Wait::Abandon;
+                        }
+                        pending = Some(cycle);
+                    }
+                    _ => pending = None,
+                }
+                Wait::Continue
+            },
+        );
+        if registered {
+            wd.deregister(txn);
+        }
+        match outcome {
+            Acquire::Acquired => {
+                // Re-check after admission: a holder may have poisoned the
+                // instance (panic mid-operation) while we were blocked.
+                if self.is_poisoned() {
+                    self.mechs[p.part as usize].unlock(p.local);
+                    return Err(LockError::Poisoned { instance: self.id });
+                }
+                Ok(())
+            }
+            Acquire::TimedOut => Err(LockError::Timeout {
+                instance: self.id,
+                mode,
+                waited: start.elapsed(),
+            }),
+            Acquire::Abandoned => {
+                wd.note_deadlock();
+                Err(LockError::WouldDeadlock {
+                    instance: self.id,
+                    mode,
+                    cycle: abort_cycle,
+                })
+            }
+        }
+    }
+
+    /// Mark the instance poisoned: its invariants may be torn. All
+    /// subsequent acquisitions fail fast until [`SemLock::clear_poison`].
+    pub fn poison(&self) {
+        if !self.poisoned.swap(true, Ordering::SeqCst) {
+            POISON_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Is the instance poisoned?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Explicit escape hatch mirroring `std::sync::Mutex::clear_poison`:
+    /// the caller asserts it has repaired (or accepts) the instance state.
+    pub fn clear_poison(&self) {
+        self.poisoned.store(false, Ordering::SeqCst);
+    }
+
+    /// Sum of hold counts over every mode (quiescence checks: zero means
+    /// no transaction holds any mode on this instance).
+    pub fn total_holds(&self) -> u64 {
+        self.mechs.iter().map(|m| m.held_total()).sum()
+    }
+
+    /// Bounded acquisitions that timed out, summed over all partitions.
+    pub fn timeout_count(&self) -> u64 {
+        self.mechs
+            .iter()
+            .map(|m| m.stats().timeouts.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Release one hold of a locking mode.
@@ -203,6 +382,124 @@ mod tests {
         lock.unlock(m);
         h.join().unwrap();
         assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn poisoned_instance_rejects_until_cleared() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        lock.poison();
+        assert!(lock.is_poisoned());
+        assert!(!lock.try_lock(m));
+        assert!(matches!(
+            lock.try_lock_checked(m),
+            Err(crate::error::LockError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            lock.lock_deadline(m, std::time::Instant::now(), 1, &[]),
+            Err(crate::error::LockError::Poisoned { .. })
+        ));
+        lock.clear_poison();
+        assert!(!lock.is_poisoned());
+        assert!(lock.try_lock(m));
+        lock.unlock(m);
+        assert_eq!(lock.total_holds(), 0);
+    }
+
+    #[test]
+    fn lock_deadline_times_out_against_conflicting_hold() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(3)]);
+        lock.lock(m);
+        let start = std::time::Instant::now();
+        let err = lock
+            .lock_deadline(m, start + Duration::from_millis(25), 99, &[])
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::error::LockError::Timeout { .. }),
+            "{err}"
+        );
+        assert!(lock.timeout_count() >= 1);
+        lock.unlock(m);
+        assert_eq!(lock.total_holds(), 0);
+    }
+
+    #[test]
+    fn waiter_observes_poison_applied_while_blocked() {
+        let (t, site) = table();
+        let lock = Arc::new(SemLock::new(t.clone()));
+        let m = t.select(site, &[Value(3)]);
+        lock.lock(m);
+        let h = {
+            let lock = lock.clone();
+            std::thread::spawn(move || {
+                lock.lock_deadline(
+                    m,
+                    std::time::Instant::now() + Duration::from_secs(5),
+                    7,
+                    &[],
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // Simulate a holder panicking mid-operation: poison, then release.
+        lock.poison();
+        lock.unlock(m);
+        let res = h.join().unwrap();
+        assert!(matches!(res, Err(crate::error::LockError::Poisoned { .. })));
+        assert_eq!(lock.total_holds(), 0, "rejected waiter must not leak");
+        lock.clear_poison();
+    }
+
+    #[test]
+    fn deadlock_cycle_aborts_youngest_waiter() {
+        // Classic two-instance cycle through the bounded API: txn 1 holds
+        // `a` and wants `b`; txn 2 holds `b` and wants `a`. The watchdog
+        // must abort the youngest (larger txn id) well before the 10 s
+        // deadline; the older waiter then acquires.
+        let (t, site) = table();
+        let a = Arc::new(SemLock::new(t.clone()));
+        let b = Arc::new(SemLock::new(t.clone()));
+        let m = t.select(site, &[Value(3)]); // self-conflicting mode
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let mk =
+            |hold: Arc<SemLock>, want: Arc<SemLock>, txn: u64, gate: Arc<std::sync::Barrier>| {
+                std::thread::spawn(move || {
+                    hold.lock(m);
+                    gate.wait();
+                    let held = [(hold.unique(), m)];
+                    let res = want.lock_deadline(
+                        m,
+                        std::time::Instant::now() + Duration::from_secs(10),
+                        txn,
+                        &held,
+                    );
+                    if res.is_ok() {
+                        want.unlock(m);
+                    }
+                    hold.unlock(m);
+                    res
+                })
+            };
+        let start = std::time::Instant::now();
+        let h1 = mk(a.clone(), b.clone(), 1001, gate.clone());
+        let h2 = mk(b.clone(), a.clone(), 1002, gate.clone());
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "watchdog did not break the deadlock before the deadline"
+        );
+        let aborted: Vec<_> = [(1001u64, &r1), (1002u64, &r2)]
+            .into_iter()
+            .filter(|(_, r)| matches!(r, Err(crate::error::LockError::WouldDeadlock { .. })))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(aborted, vec![1002], "exactly the youngest waiter aborts");
+        assert!(r1.is_ok(), "the older waiter proceeds: {r1:?}");
+        assert_eq!(a.total_holds() + b.total_holds(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// How acquirers wait for conflicting modes to drain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -36,7 +37,34 @@ pub struct MechStats {
     pub acquisitions: AtomicU64,
     /// Acquisitions that had to wait at least once.
     pub contended: AtomicU64,
+    /// Bounded acquisitions that gave up at their deadline.
+    pub timeouts: AtomicU64,
 }
+
+/// Outcome of a bounded acquisition ([`Mech::lock_deadline`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Acquire {
+    /// The mode was taken.
+    Acquired,
+    /// The deadline elapsed while a conflicting mode stayed held.
+    TimedOut,
+    /// The caller's probe asked to abandon the wait (deadlock detected).
+    Abandoned,
+}
+
+/// Caller decision returned from a wait probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wait {
+    /// Keep waiting.
+    Continue,
+    /// Give up immediately (reported as [`Acquire::Abandoned`]).
+    Abandon,
+}
+
+/// How long a blocked bounded acquisition sleeps between probes. Probes are
+/// where the deadlock watchdog registers and checks for cycles, so this
+/// bounds detection latency without touching the uncontended path.
+pub const PROBE_INTERVAL: Duration = Duration::from_millis(2);
 
 /// One locking mechanism: the counters for the modes of one partition.
 pub struct Mech {
@@ -131,10 +159,114 @@ impl Mech {
         true
     }
 
+    /// Bounded acquisition: like [`Mech::lock`], but gives up once
+    /// `deadline` passes. While waiting, `probe` is invoked roughly every
+    /// [`PROBE_INTERVAL`] (after the wait has already lasted one slice);
+    /// returning [`Wait::Abandon`] cancels the acquisition — this is the
+    /// hook the deadlock watchdog uses. The uncontended path never calls
+    /// `probe`.
+    ///
+    /// Waiting is strategy-aware: the blocking strategy sleeps on the
+    /// condvar in timed slices, the spinning strategy backs off
+    /// exponentially (spin hints, then yields) between admission re-checks.
+    pub fn lock_deadline(
+        &self,
+        local: u32,
+        conflicts: &[u32],
+        deadline: Instant,
+        probe: &mut dyn FnMut() -> Wait,
+    ) -> Acquire {
+        let mut waited = false;
+        let outcome = match self.strategy {
+            WaitStrategy::Block => {
+                let mut guard = self.internal.lock();
+                loop {
+                    self.waiters.fetch_add(1, Ordering::SeqCst);
+                    if !self.conflicted(conflicts) {
+                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+                        break Acquire::Acquired;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        break Acquire::TimedOut;
+                    }
+                    waited = true;
+                    let slice = PROBE_INTERVAL.min(deadline - now);
+                    self.cond.wait_for(&mut guard, slice);
+                    self.waiters.fetch_sub(1, Ordering::SeqCst);
+                    if probe() == Wait::Abandon {
+                        break Acquire::Abandoned;
+                    }
+                }
+            }
+            WaitStrategy::Spin => 'outer: loop {
+                let mut backoff: u32 = 1;
+                let mut next_probe = Instant::now() + PROBE_INTERVAL;
+                while self.conflicted(conflicts) {
+                    waited = true;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break 'outer Acquire::TimedOut;
+                    }
+                    for _ in 0..backoff {
+                        std::hint::spin_loop();
+                    }
+                    if backoff < 1 << 12 {
+                        backoff <<= 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    if now >= next_probe {
+                        if probe() == Wait::Abandon {
+                            break 'outer Acquire::Abandoned;
+                        }
+                        next_probe = now + PROBE_INTERVAL;
+                    }
+                }
+                let guard = self.internal.lock();
+                if !self.conflicted(conflicts) {
+                    self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+                    drop(guard);
+                    break Acquire::Acquired;
+                }
+                drop(guard);
+            },
+        };
+        match outcome {
+            Acquire::Acquired => {
+                self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+                if waited {
+                    self.stats.contended.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Acquire::TimedOut => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Acquire::Abandoned => {}
+        }
+        outcome
+    }
+
     /// Release one hold on the mode with local index `local`.
+    ///
+    /// A release that would underflow the counter (double unlock) is
+    /// refused: the counter is restored, and in debug builds the call
+    /// panics with a diagnostic instead of silently wrapping to `u32::MAX`
+    /// (which would deny every future conflicting admission).
     pub fn unlock(&self, local: u32) {
         let prev = self.counts[local as usize].fetch_sub(1, Ordering::SeqCst);
-        debug_assert!(prev > 0, "unlock of mode not held");
+        if prev == 0 {
+            self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+            if cfg!(debug_assertions) {
+                panic!(
+                    "Mech::unlock: double unlock of local mode {local} — \
+                     hold counter would underflow"
+                );
+            }
+            return;
+        }
         if self.waiters.load(Ordering::SeqCst) > 0 {
             // Serialize with waiters' register-then-check so the notify
             // cannot slip between their check and their wait.
@@ -146,6 +278,15 @@ impl Mech {
     /// Current hold count of a mode (diagnostics / tests).
     pub fn count(&self, local: u32) -> u32 {
         self.counts[local as usize].load(Ordering::SeqCst)
+    }
+
+    /// Sum of all mode hold counts (quiescence checks: zero means no
+    /// transaction holds any mode of this mechanism).
+    pub fn held_total(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst) as u64)
+            .sum()
     }
 
     /// Contention statistics.
@@ -254,6 +395,89 @@ mod tests {
             m.stats().acquisitions.load(Ordering::Relaxed),
             2 * iters as u64
         );
+    }
+
+    #[test]
+    fn lock_deadline_times_out_and_counts() {
+        for strategy in [WaitStrategy::Block, WaitStrategy::Spin] {
+            let m = Mech::new(1, strategy);
+            m.lock(0, &[0]);
+            let start = std::time::Instant::now();
+            let out = m.lock_deadline(0, &[0], start + Duration::from_millis(30), &mut || {
+                Wait::Continue
+            });
+            assert_eq!(out, Acquire::TimedOut, "{strategy:?}");
+            assert!(start.elapsed() >= Duration::from_millis(25), "{strategy:?}");
+            assert_eq!(m.stats().timeouts.load(Ordering::Relaxed), 1);
+            assert_eq!(m.count(0), 1, "failed acquisition must not leak holds");
+            m.unlock(0);
+            assert_eq!(m.held_total(), 0);
+        }
+    }
+
+    #[test]
+    fn lock_deadline_acquires_uncontended_without_probing() {
+        let m = Mech::new(1, WaitStrategy::Block);
+        let mut probed = false;
+        let out = m.lock_deadline(
+            0,
+            &[0],
+            std::time::Instant::now() + Duration::from_secs(1),
+            &mut || {
+                probed = true;
+                Wait::Continue
+            },
+        );
+        assert_eq!(out, Acquire::Acquired);
+        assert!(!probed, "uncontended path must not consult the probe");
+        m.unlock(0);
+    }
+
+    #[test]
+    fn lock_deadline_succeeds_once_conflicting_mode_drains() {
+        let m = Arc::new(Mech::new(2, WaitStrategy::Block));
+        let (c0, _) = cross_conflict();
+        m.lock(0, &c0);
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            m2.lock_deadline(
+                1,
+                &[0],
+                std::time::Instant::now() + Duration::from_secs(5),
+                &mut || Wait::Continue,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        m.unlock(0);
+        assert_eq!(t.join().unwrap(), Acquire::Acquired);
+        m.unlock(1);
+        assert_eq!(m.held_total(), 0);
+    }
+
+    #[test]
+    fn lock_deadline_abandons_on_probe_request() {
+        let m = Mech::new(1, WaitStrategy::Block);
+        m.lock(0, &[0]);
+        let out = m.lock_deadline(
+            0,
+            &[0],
+            std::time::Instant::now() + Duration::from_secs(5),
+            &mut || Wait::Abandon,
+        );
+        assert_eq!(out, Acquire::Abandoned);
+        m.unlock(0);
+        assert_eq!(m.held_total(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn double_unlock_panics_in_debug() {
+        let m = Mech::new(1, WaitStrategy::Block);
+        m.lock(0, &[]);
+        m.unlock(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.unlock(0)));
+        assert!(r.is_err(), "double unlock must panic in debug builds");
+        assert_eq!(m.count(0), 0, "counter must not underflow");
     }
 
     #[test]

@@ -274,16 +274,44 @@ impl ProtocolChecker {
         violations
     }
 
-    /// Convenience: panic with a readable message if any violation exists.
-    pub fn assert_ok(&self) {
+    /// Fallible twin of [`ProtocolChecker::assert_ok`]: `Err` carries every
+    /// violation found, so harnesses can report or count them instead of
+    /// unwinding.
+    pub fn ensure_ok(&self) -> Result<(), ProtocolViolations> {
         let v = self.check();
-        assert!(
-            v.is_empty(),
-            "protocol violations:\n{}",
-            v.iter().map(|x| format!("  {x}\n")).collect::<String>()
-        );
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolViolations(v))
+        }
+    }
+
+    /// Convenience: panic with a readable message if any violation exists.
+    /// Prefer [`ProtocolChecker::ensure_ok`] anywhere a panic is not the
+    /// right failure mode (long-running harnesses, chaos soaks).
+    pub fn assert_ok(&self) {
+        if let Err(v) = self.ensure_ok() {
+            panic!("{v}");
+        }
     }
 }
+
+/// The non-empty set of violations returned by
+/// [`ProtocolChecker::ensure_ok`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolViolations(pub Vec<Violation>);
+
+impl fmt::Display for ProtocolViolations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "protocol violations:")?;
+        for v in &self.0 {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ProtocolViolations {}
 
 /// Find a cycle in a directed graph, if any, returning its nodes.
 fn find_cycle(edges: &HashMap<u64, HashSet<u64>>) -> Option<Vec<u64>> {
@@ -387,7 +415,7 @@ mod tests {
         c.on_op(10, 1, add_op(&t, 5));
         c.on_unlock(10, 1);
         assert!(c.check().is_empty());
-        c.assert_ok();
+        c.ensure_ok().unwrap();
     }
 
     #[test]
@@ -483,7 +511,18 @@ mod tests {
                 c.on_unlock(txn, inst);
             }
         }
-        c.assert_ok();
+        c.ensure_ok().unwrap();
+    }
+
+    #[test]
+    fn ensure_ok_reports_violations_without_panicking() {
+        let (t, _) = table();
+        let c = ProtocolChecker::new();
+        c.register_instance(1, t.clone());
+        c.on_op(10, 1, add_op(&t, 5));
+        let err = c.ensure_ok().unwrap_err();
+        assert_eq!(err.0.len(), 1);
+        assert!(err.to_string().contains("protocol violations"));
     }
 
     #[test]

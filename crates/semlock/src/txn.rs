@@ -7,8 +7,27 @@
 //! epilogue (or early, for the Appendix-A early-release optimization), and —
 //! in debug builds — enforces the OS2PL single-lock-per-instance rule.
 
+use crate::error::LockError;
 use crate::manager::SemLock;
 use crate::mode::ModeId;
+use crate::watchdog::TxnId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide transaction id counter. Ids only need to be unique and
+/// monotone (the deadlock watchdog aborts the *youngest* cycle member, i.e.
+/// the largest id, so the oldest waiter always survives and the system makes
+/// progress).
+static NEXT_TXN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh transaction id from the process-wide counter.
+///
+/// [`Txn::new`] draws from the same counter; external executors that manage
+/// their own transaction state (e.g. the IR interpreter) must use this too,
+/// so ids registered with the [`crate::watchdog`] never collide.
+pub fn next_txn_id() -> TxnId {
+    NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The runtime context of one transaction (execution of an atomic section).
 ///
@@ -19,12 +38,22 @@ pub struct Txn<'a> {
     /// Transactions touch a handful of ADTs, so a linear-scan vector beats
     /// any hash structure here.
     held: Vec<(&'a SemLock, ModeId)>,
+    /// Unique monotone transaction id (used by the deadlock watchdog).
+    id: TxnId,
 }
 
 impl<'a> Txn<'a> {
     /// Prologue: begin a transaction with an empty `LOCAL_SET`.
     pub fn new() -> Txn<'a> {
-        Txn { held: Vec::new() }
+        Txn {
+            held: Vec::new(),
+            id: next_txn_id(),
+        }
+    }
+
+    /// This transaction's unique id.
+    pub fn id(&self) -> TxnId {
+        self.id
     }
 
     /// The `LV(x)` macro of Fig. 5: lock `adt` in `mode` unless this
@@ -39,6 +68,57 @@ impl<'a> Txn<'a> {
         }
         adt.lock(mode);
         self.held.push((adt, mode));
+    }
+
+    /// Non-blocking `LV`: acquire `mode` on `adt` only if it is admissible
+    /// right now. Already-held instances succeed immediately (the `LV`
+    /// skip rule). Fails with [`LockError::Timeout`] (zero wait) on
+    /// conflict or [`LockError::Poisoned`] on a poisoned instance.
+    pub fn try_lv(&mut self, adt: &'a SemLock, mode: ModeId) -> Result<(), LockError> {
+        if self.holds(adt) {
+            return Ok(());
+        }
+        adt.try_lock_checked(mode)?;
+        self.held.push((adt, mode));
+        Ok(())
+    }
+
+    /// Bounded `LV`: wait for admission until `deadline`, with the deadlock
+    /// watchdog armed. On failure ([`LockError::Timeout`],
+    /// [`LockError::Poisoned`], [`LockError::WouldDeadlock`]) the
+    /// transaction still holds everything it held before the call; the
+    /// caller decides whether to retry, back off, or drop the `Txn` (which
+    /// releases the rest).
+    pub fn lv_deadline(
+        &mut self,
+        adt: &'a SemLock,
+        mode: ModeId,
+        deadline: Instant,
+    ) -> Result<(), LockError> {
+        if self.holds(adt) {
+            return Ok(());
+        }
+        // Uncontended fast path: admissible right now means no snapshot
+        // allocation, no deadline bookkeeping, no watchdog involvement.
+        if adt.try_lock_checked(mode).is_ok() {
+            self.held.push((adt, mode));
+            return Ok(());
+        }
+        // Snapshot of current holds for the watchdog's waits-for edges.
+        let held: Vec<(u64, ModeId)> = self.held.iter().map(|&(l, m)| (l.unique(), m)).collect();
+        adt.lock_deadline(mode, deadline, self.id, &held)?;
+        self.held.push((adt, mode));
+        Ok(())
+    }
+
+    /// [`Txn::lv_deadline`] with a relative timeout.
+    pub fn lv_timeout(
+        &mut self,
+        adt: &'a SemLock,
+        mode: ModeId,
+        timeout: Duration,
+    ) -> Result<(), LockError> {
+        self.lv_deadline(adt, mode, Instant::now() + timeout)
     }
 
     /// The `LV2(x, y)` macro of Fig. 12: lock two instances of the same
@@ -98,6 +178,44 @@ impl<'a> Txn<'a> {
     pub fn unlock_all(&mut self) {
         for (l, m) in self.held.drain(..) {
             l.unlock(m);
+        }
+    }
+
+    /// Mark that an ADT operation on `adt` is in flight. If the returned
+    /// guard is dropped by an unwind (the operation panicked), `adt` is
+    /// poisoned: the structure may be torn, so later acquisitions fail fast
+    /// with [`LockError::Poisoned`] until
+    /// [`SemLock::clear_poison`](crate::manager::SemLock::clear_poison).
+    ///
+    /// Mirrors `std::sync::Mutex` poisoning, scoped to the operation rather
+    /// than the whole critical section: panics *between* operations (before
+    /// the first mutation) abort cleanly without poisoning.
+    pub fn in_op(&self, adt: &'a SemLock) -> OpGuard<'a> {
+        debug_assert!(
+            self.holds(adt),
+            "in_op on an instance the transaction has not locked"
+        );
+        OpGuard { adt }
+    }
+
+    /// Run one ADT operation under an [`OpGuard`]: if `f` panics, `adt` is
+    /// poisoned before the unwind continues.
+    pub fn with_op<R>(&self, adt: &'a SemLock, f: impl FnOnce() -> R) -> R {
+        let _guard = self.in_op(adt);
+        f()
+    }
+}
+
+/// Marker that an ADT operation is executing (see [`Txn::in_op`]). Poisons
+/// the instance if dropped during a panic unwind.
+pub struct OpGuard<'a> {
+    adt: &'a SemLock,
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.adt.poison();
         }
     }
 }
@@ -268,6 +386,96 @@ mod tests {
             txn.lv(&lock, m);
         });
         assert_eq!(lock.hold_count(m), 0);
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_monotone() {
+        let a = Txn::new();
+        let b = Txn::new();
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn try_lv_succeeds_then_skips_then_conflicts() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(3)]);
+        let mut txn = Txn::new();
+        txn.try_lv(&lock, m).unwrap();
+        // Second call on a held instance is the LV skip rule, not a retry.
+        txn.try_lv(&lock, m).unwrap();
+        assert_eq!(txn.held_count(), 1);
+        // A second transaction conflicts (self-conflicting mode) and must
+        // fail immediately with a zero-wait timeout.
+        let mut other = Txn::new();
+        let err = other.try_lv(&lock, m).unwrap_err();
+        assert!(matches!(err, LockError::Timeout { waited, .. } if waited == Duration::ZERO));
+        assert_eq!(other.held_count(), 0);
+    }
+
+    #[test]
+    fn lv_deadline_times_out_and_preserves_prior_holds() {
+        let (t, site) = table();
+        let a = SemLock::new(t.clone());
+        let b = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(3)]);
+        let mut holder = Txn::new();
+        holder.lv(&b, m);
+        let mut txn = Txn::new();
+        txn.lv(&a, m);
+        let err = txn
+            .lv_timeout(&b, m, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }), "{err}");
+        // The failed acquisition must not disturb what the txn already held.
+        assert!(txn.holds(&a) && !txn.holds(&b));
+        holder.unlock_all();
+        txn.lv_timeout(&b, m, Duration::from_secs(5)).unwrap();
+        assert!(txn.holds(&b));
+    }
+
+    #[test]
+    fn op_guard_poisons_on_panic_only() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        // Normal completion: no poisoning.
+        let mut txn = Txn::new();
+        txn.lv(&lock, m);
+        txn.with_op(&lock, || 1 + 1);
+        assert!(!lock.is_poisoned());
+        txn.unlock_all();
+        // Panic inside the operation: instance poisoned, locks released by
+        // the Txn drop, next acquisition rejected until clear_poison.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut txn = Txn::new();
+            txn.lv(&lock, m);
+            txn.with_op(&lock, || panic!("boom mid-operation"));
+        }));
+        assert!(r.is_err());
+        assert!(lock.is_poisoned());
+        assert_eq!(lock.total_holds(), 0, "panicking txn must not leak modes");
+        let mut txn = Txn::new();
+        assert!(txn.try_lv(&lock, m).unwrap_err().is_poisoned());
+        lock.clear_poison();
+        txn.try_lv(&lock, m).unwrap();
+    }
+
+    #[test]
+    fn panic_between_operations_does_not_poison() {
+        let (t, site) = table();
+        let lock = SemLock::new(t.clone());
+        let m = t.select(site, &[Value(1)]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut txn = Txn::new();
+            txn.lv(&lock, m);
+            // No op in flight: this models an abort before the first
+            // mutation, which the paper's protocol survives rollback-free.
+            panic!("boom between operations");
+        }));
+        assert!(r.is_err());
+        assert!(!lock.is_poisoned());
+        assert_eq!(lock.total_holds(), 0);
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! The chaos driver: a fault-injected soak workload over the native
+//! `semlock` transaction API.
+//!
+//! `threads` workers hammer a pool of counter maps, each map guarded by its
+//! own [`SemLock`] with the paper's ComputeIfAbsent mode table (per-key-class
+//! modes). Every iteration increments a key in one or two maps — two-map
+//! iterations deliberately acquire in **random** order, violating the §3
+//! ordering discipline so genuine waits-for cycles arise and the deadlock
+//! watchdog has real work. A seeded [`FaultPlan`] injects delays, forced
+//! timeouts, and panics at every lock / operation / unlock boundary; panics
+//! unwind through `catch_unwind` exactly as an application bug would.
+//!
+//! [`run_chaos`] returns a [`ChaosReport`] after checking the global
+//! invariants that define "the runtime survived":
+//!
+//! 1. **No mode leaks / no counter underflow** — every lock's hold count is
+//!    zero at quiescence.
+//! 2. **Atomicity (admission predicate)** — for every key `k` of every map,
+//!    `applied[k] ≤ map[k] ≤ applied[k] + interrupted[k]`, where `applied`
+//!    counts increments whose full read-modify-write completed and
+//!    `interrupted` counts iterations a panic tore out of mid-flight. A
+//!    lost update (two conflicting transactions admitted at once) shows up
+//!    as `map[k] < applied[k]`.
+//! 3. **Poisoning discipline** — a panic after the first mutation poisons
+//!    the instance; later acquirers observe [`LockError::Poisoned`] until
+//!    `clear_poison` (the driver recovers and counts each occurrence).
+
+use crate::synthesis::{cia_section, registry, runtime_site};
+use adts::MapAdt;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use semlock::error::LockError;
+use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
+use semlock::manager::SemLock;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synth::Synthesizer;
+
+/// Configuration of one chaos soak run.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the fault plan and the per-thread op streams.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Iterations per thread.
+    pub ops_per_thread: u64,
+    /// Shared counter maps (two-map iterations pick a random pair).
+    pub maps: usize,
+    /// Distinct keys per map.
+    pub key_range: u64,
+    /// Deadline for every bounded acquisition.
+    pub lock_timeout: Duration,
+    /// Injected-delay probability, parts per million of boundary crossings.
+    pub delay_ppm: u32,
+    /// Forced-timeout probability (lock boundaries only), ppm.
+    pub timeout_ppm: u32,
+    /// Injected-panic probability, ppm.
+    pub panic_ppm: u32,
+}
+
+impl ChaosConfig {
+    /// A soak sized for CI: every fault class enabled, 8 threads.
+    pub fn ci(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            threads: 8,
+            ops_per_thread: 400,
+            maps: 4,
+            key_range: 16,
+            lock_timeout: Duration::from_millis(250),
+            delay_ppm: 30_000,
+            timeout_ppm: 20_000,
+            panic_ppm: 20_000,
+        }
+    }
+}
+
+/// What happened during a chaos run (totals across threads).
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Iterations attempted.
+    pub attempted: u64,
+    /// Iterations whose every increment completed.
+    pub completed: u64,
+    /// Acquisitions that gave up at their deadline (incl. forced timeouts).
+    pub timeouts: u64,
+    /// Acquisitions aborted by the deadlock watchdog.
+    pub deadlock_aborts: u64,
+    /// Acquisitions rejected because the instance was poisoned.
+    pub poison_rejections: u64,
+    /// Poisoned instances recovered via `clear_poison`.
+    pub poison_clears: u64,
+    /// Panics injected and caught.
+    pub injected_panics: u64,
+}
+
+/// One guarded counter map plus its per-key accounting.
+struct ChaosMap {
+    map: MapAdt,
+    lock: SemLock,
+    /// Increments whose read-modify-write fully completed, per key.
+    applied: Vec<AtomicU64>,
+    /// Iterations torn out of this map mid-flight by a panic, per key
+    /// (an upper bound: charged to every map of a panicking iteration).
+    interrupted: Vec<AtomicU64>,
+}
+
+#[derive(Default)]
+struct Totals {
+    attempted: AtomicU64,
+    completed: AtomicU64,
+    timeouts: AtomicU64,
+    deadlock_aborts: AtomicU64,
+    poison_rejections: AtomicU64,
+    poison_clears: AtomicU64,
+}
+
+/// Run one seeded chaos soak; `Err` describes the first violated invariant.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    assert!(cfg.maps >= 1 && cfg.key_range >= 1);
+    fault::silence_injected_panics();
+    let out = Synthesizer::new(registry())
+        .phi(Phi::fib(16))
+        .synthesize(&[cia_section()]);
+    let (site, class) = runtime_site(&out, "cia", "map");
+    debug_assert_eq!(class, "Map");
+    let table = out.tables.table("Map").clone();
+    let maps: Vec<ChaosMap> = (0..cfg.maps)
+        .map(|_| ChaosMap {
+            map: MapAdt::new(),
+            lock: SemLock::new(table.clone()),
+            applied: (0..cfg.key_range).map(|_| AtomicU64::new(0)).collect(),
+            interrupted: (0..cfg.key_range).map(|_| AtomicU64::new(0)).collect(),
+        })
+        .collect();
+    let plan = FaultPlan::new(cfg.seed)
+        .with_delays(cfg.delay_ppm, Duration::from_micros(150))
+        .with_timeouts(cfg.timeout_ppm)
+        .with_panics(cfg.panic_ppm);
+    let totals = Totals::default();
+
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let worker = Worker {
+                cfg,
+                table: &table,
+                site,
+                maps: &maps,
+                plan: &plan,
+                totals: &totals,
+                tid: t as u64,
+            };
+            scope.spawn(move || worker.run());
+        }
+    });
+
+    // Invariant 1: quiescence — every mode released, no counter underflow.
+    for (i, cm) in maps.iter().enumerate() {
+        if cm.lock.total_holds() != 0 {
+            return Err(format!(
+                "map {i}: {} mode holds leaked at quiescence",
+                cm.lock.total_holds()
+            ));
+        }
+        // Leftover poison (a panic near the end with no later acquirer) is
+        // legal; note and clear it so the final reads below are honest.
+        if cm.lock.is_poisoned() {
+            cm.lock.clear_poison();
+        }
+    }
+    // Invariant 2: atomicity bounds per key.
+    for (i, cm) in maps.iter().enumerate() {
+        for k in 0..cfg.key_range as usize {
+            let v = cm.map.get(Value(k as u64));
+            let count = if v.is_null() { 0 } else { v.0 };
+            let applied = cm.applied[k].load(Ordering::Relaxed);
+            let slack = cm.interrupted[k].load(Ordering::Relaxed);
+            if count < applied {
+                return Err(format!(
+                    "map {i} key {k}: lost update — {count} stored < {applied} applied"
+                ));
+            }
+            if count > applied + slack {
+                return Err(format!(
+                    "map {i} key {k}: over-count — {count} stored > \
+                     {applied} applied + {slack} interrupted"
+                ));
+            }
+        }
+    }
+    Ok(ChaosReport {
+        attempted: totals.attempted.load(Ordering::Relaxed),
+        completed: totals.completed.load(Ordering::Relaxed),
+        timeouts: totals.timeouts.load(Ordering::Relaxed),
+        deadlock_aborts: totals.deadlock_aborts.load(Ordering::Relaxed),
+        poison_rejections: totals.poison_rejections.load(Ordering::Relaxed),
+        poison_clears: totals.poison_clears.load(Ordering::Relaxed),
+        injected_panics: plan.stats().panics.load(Ordering::Relaxed),
+    })
+}
+
+struct Worker<'a> {
+    cfg: &'a ChaosConfig,
+    table: &'a Arc<ModeTable>,
+    site: LockSiteId,
+    maps: &'a [ChaosMap],
+    plan: &'a FaultPlan,
+    totals: &'a Totals,
+    tid: u64,
+}
+
+/// Charges one `interrupted` slot per target map if dropped by an unwind.
+struct TearGuard<'a> {
+    maps: &'a [ChaosMap],
+    targets: [usize; 2],
+    ntargets: usize,
+    key: usize,
+}
+
+impl Drop for TearGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for &mi in &self.targets[..self.ntargets] {
+                self.maps[mi].interrupted[self.key].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Worker<'_> {
+    fn run(&self) {
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed ^ self.tid.wrapping_mul(0x9E3779B9));
+        // Per-thread injection ordinal: each decision is a pure function of
+        // (seed, point, tid, map, step). The step stream — and hence the
+        // whole run — replays exactly for single-threaded runs; with
+        // concurrency, cross-thread aborts (contention timeouts, poison)
+        // can skip boundaries, so only the per-crossing decisions are
+        // deterministic, not the global counts.
+        let mut step: u64 = 0;
+        for _ in 0..self.cfg.ops_per_thread {
+            self.totals.attempted.fetch_add(1, Ordering::Relaxed);
+            let k = rng.gen_range(0..self.cfg.key_range) as usize;
+            let a = rng.gen_range(0..self.maps.len());
+            let (targets, ntargets) = if self.maps.len() > 1 && rng.gen_range(0..2) == 0 {
+                let mut b = rng.gen_range(0..self.maps.len());
+                if b == a {
+                    b = (b + 1) % self.maps.len();
+                }
+                // Deliberately unordered: ~half the pairs acquire against
+                // the unique-id order, manufacturing waits-for cycles.
+                ([a, b], 2)
+            } else {
+                ([a, a], 1)
+            };
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                let _tear = TearGuard {
+                    maps: self.maps,
+                    targets,
+                    ntargets,
+                    key: k,
+                };
+                self.attempt(&targets[..ntargets], k, &mut step)
+            }));
+            match outcome {
+                Ok(Ok(())) => {
+                    self.totals.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(LockError::Timeout { .. })) => {
+                    self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(LockError::WouldDeadlock { .. })) => {
+                    self.totals.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(LockError::Poisoned { instance })) => {
+                    self.totals
+                        .poison_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Recover: find the poisoned map and clear it so the
+                    // soak keeps exercising it.
+                    for cm in self.maps {
+                        if cm.lock.unique() == instance && cm.lock.is_poisoned() {
+                            cm.lock.clear_poison();
+                            self.totals.poison_clears.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(payload) => {
+                    if fault::injected(&*payload).is_none() {
+                        // A genuine bug must fail the soak loudly.
+                        panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One iteration: bounded-lock every target (in the given, possibly
+    /// discipline-violating order), then increment `k` in each.
+    fn attempt(&self, targets: &[usize], k: usize, step: &mut u64) -> Result<(), LockError> {
+        let mode = self.table.select(self.site, &[Value(k as u64)]);
+        let deadline = Instant::now() + self.cfg.lock_timeout;
+        let mut txn = Txn::new();
+        for &mi in targets {
+            let cm = &self.maps[mi];
+            if self.fault(FaultPoint::Lock, mi, step) == FaultAction::Timeout {
+                return Err(LockError::Timeout {
+                    instance: cm.lock.unique(),
+                    mode,
+                    waited: Duration::ZERO,
+                });
+            }
+            txn.lv_deadline(&cm.lock, mode, deadline)?;
+        }
+        for &mi in targets {
+            let cm = &self.maps[mi];
+            self.fault(FaultPoint::OpStart, mi, step);
+            txn.with_op(&cm.lock, || {
+                let v = cm.map.get(Value(k as u64));
+                let next = if v.is_null() { 1 } else { v.0 + 1 };
+                cm.map.put(Value(k as u64), Value(next));
+                // A panic here lands after the mutation: the OpGuard
+                // poisons the instance on the way out.
+                self.fault(FaultPoint::OpEnd, mi, step);
+            });
+            cm.applied[k].fetch_add(1, Ordering::Relaxed);
+        }
+        for &mi in targets {
+            self.fault(FaultPoint::Unlock, mi, step);
+        }
+        txn.unlock_all();
+        Ok(())
+    }
+
+    /// Consult the plan at one boundary: sleeps on `Delay`, unwinds on
+    /// `Panic`, and hands `Timeout` back for the lock path to convert.
+    fn fault(&self, point: FaultPoint, map_idx: usize, step: &mut u64) -> FaultAction {
+        *step += 1;
+        match self.plan.decide(point, self.tid, map_idx as u64, *step) {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                FaultAction::None
+            }
+            FaultAction::Panic => fault::panic_now(point, self.tid, map_idx as u64),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_completes_everything() {
+        let mut cfg = ChaosConfig::ci(1);
+        cfg.threads = 4;
+        cfg.ops_per_thread = 100;
+        cfg.delay_ppm = 0;
+        cfg.timeout_ppm = 0;
+        cfg.panic_ppm = 0;
+        let r = run_chaos(&cfg).unwrap();
+        assert_eq!(r.attempted, 400);
+        // Without injected faults the only aborts are genuine deadlocks
+        // from the deliberately unordered pairs, which the watchdog breaks.
+        assert_eq!(r.completed + r.deadlock_aborts + r.timeouts, 400);
+        assert_eq!(r.injected_panics, 0);
+        assert_eq!(r.poison_rejections, 0);
+    }
+
+    #[test]
+    fn full_chaos_holds_invariants() {
+        let mut cfg = ChaosConfig::ci(0xC0FFEE);
+        cfg.threads = 4;
+        cfg.ops_per_thread = 150;
+        let r = run_chaos(&cfg).unwrap();
+        assert_eq!(r.attempted, 600);
+        assert!(r.completed > 0, "chaos starved every iteration: {r:?}");
+        assert!(r.injected_panics > 0, "plan injected nothing: {r:?}");
+    }
+
+    #[test]
+    fn poisoning_is_observed_and_recovered() {
+        // Panic-heavy plan on a single map: poison rejections must occur
+        // and be cleared, and the invariants must still hold.
+        let cfg = ChaosConfig {
+            seed: 7,
+            threads: 4,
+            ops_per_thread: 200,
+            maps: 1,
+            key_range: 4,
+            lock_timeout: Duration::from_millis(250),
+            delay_ppm: 0,
+            timeout_ppm: 0,
+            panic_ppm: 60_000,
+        };
+        let r = run_chaos(&cfg).unwrap();
+        assert!(r.injected_panics > 0);
+        assert!(
+            r.poison_rejections > 0,
+            "no acquirer ever saw poison: {r:?}"
+        );
+        assert!(r.poison_clears <= r.poison_rejections, "{r:?}");
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod cia;
 pub mod driver;
 pub mod gossip;
@@ -16,6 +17,7 @@ pub mod sync_kind;
 pub mod synthesis;
 
 pub use cache::CacheBench;
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use cia::ComputeIfAbsent;
 pub use gossip::GossipBench;
 pub use graph::GraphBench;

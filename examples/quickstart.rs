@@ -85,7 +85,7 @@ fn main() {
     println!("sum of counters:      {total}");
     assert_eq!(total, threads * iters, "atomicity violated!");
 
-    checker.assert_ok();
+    checker.ensure_ok().unwrap();
     println!(
         "OS2PL protocol check: OK ({} recorded events)",
         checker.event_count()

@@ -86,7 +86,7 @@ fn transfer_preserves_exactly_one_invariant() {
             "value {v} in_a={in_a} in_b={in_b}: atomicity violated"
         );
     }
-    checker.assert_ok();
+    checker.ensure_ok().unwrap();
 }
 
 #[test]
@@ -167,7 +167,7 @@ fn fig7_compiled_and_executed_concurrently() {
             });
         }
     });
-    checker.assert_ok();
+    checker.ensure_ok().unwrap();
     // Every enqueued handle refers to a live set.
     let q_adt = env.resolve(q);
     let size = q_adt.obj.schema().method("size");
@@ -284,7 +284,7 @@ fn multi_section_program_cross_section_atomicity() {
         })
         .sum();
     assert_eq!(total, 4 * incs_per_thread, "moves must preserve the total");
-    checker.assert_ok();
+    checker.ensure_ok().unwrap();
 }
 
 #[test]

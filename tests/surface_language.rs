@@ -49,7 +49,7 @@ fn fig1_sl_parses_synthesizes_and_runs() {
             });
         }
     });
-    checker.assert_ok();
+    checker.ensure_ok().unwrap();
 }
 
 #[test]
