@@ -1,0 +1,498 @@
+//! Machine-readable benchmark runner: emits `BENCH_PR3.json` with
+//! micro-benchmark latencies (telemetry off vs on), workload throughput
+//! sweeps, lock-contention counters, and telemetry summaries.
+//!
+//! ```text
+//! cargo run --release --bin bench_json -- --out BENCH_PR3.json
+//! cargo run --release --bin bench_json -- --ops 5000 --threads 1,4 \
+//!     --against BENCH_PR3.json --tolerance 0.10
+//! ```
+//!
+//! With `--against`, the telemetry-off micro benches are compared to the
+//! baseline file and the process exits non-zero if any regresses by more
+//! than `--tolerance` (default 10%). Comparison uses `rel` — each
+//! latency normalized by an in-process arithmetic calibration loop — so
+//! the gate is about the runtime's relative cost, not the machine CI
+//! happens to land on.
+
+use semlock::manager::SemLock;
+use semlock::mode::ModeTable;
+use semlock::phi::Phi;
+use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+use semlock::telemetry;
+use semlock::txn::Txn;
+use semlock::value::Value;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workloads::driver::measure;
+use workloads::{ComputeIfAbsent, SyncKind};
+
+struct Config {
+    ops: u64,
+    threads: Vec<usize>,
+    out: Option<String>,
+    against: Option<String>,
+    tolerance: f64,
+    telemetry_workloads: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_json [--ops N] [--threads 1,2,4] [--out FILE] \
+         [--against FILE] [--tolerance F] [--telemetry]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        ops: 20_000,
+        threads: vec![1, 2, 4],
+        out: None,
+        against: None,
+        tolerance: 0.10,
+        telemetry_workloads: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(v) => v,
+            None => usage(),
+        };
+        match a.as_str() {
+            "--ops" => cfg.ops = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                cfg.threads = val(&mut args)
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&t| t > 0)
+                    .collect();
+                if cfg.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--out" => cfg.out = Some(val(&mut args)),
+            "--against" => cfg.against = Some(val(&mut args)),
+            "--tolerance" => cfg.tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--telemetry" => cfg.telemetry_workloads = true,
+            _ => usage(),
+        }
+    }
+    // The environment toggle composes with the flag (CI sets the env var).
+    if workloads::driver::telemetry_from_env() {
+        cfg.telemetry_workloads = true;
+    }
+    cfg
+}
+
+/// The ComputeIfAbsent mode table used by every micro loop.
+fn cia_table(n: u16) -> (Arc<ModeTable>, semlock::mode::LockSiteId) {
+    let schema = adts::schema_of("Map");
+    let spec = adts::spec_of("Map");
+    let mut b = ModeTable::builder(schema.clone(), spec, Phi::fib(n));
+    let site = b.add_site(SymbolicSet::new(vec![
+        SymOp::new(schema.method("containsKey"), vec![SymArg::Var(0)]),
+        SymOp::new(schema.method("put"), vec![SymArg::Var(0), SymArg::Star]),
+    ]));
+    (b.build(), site)
+}
+
+/// Median-of-5 ns/op of `op` over `iters` iterations per pass.
+fn time_ns_per_op<F: FnMut()>(iters: u64, mut op: F) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[2]
+}
+
+/// Machine-speed proxy: ns/op of a fixed arithmetic loop. Micro results
+/// are reported as multiples of this so baselines transfer across hosts.
+fn calibrate() -> f64 {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    time_ns_per_op(200_000, || {
+        for _ in 0..16 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(17);
+        }
+        std::hint::black_box(x);
+    })
+}
+
+struct MicroResult {
+    name: &'static str,
+    off_ns: f64,
+    on_ns: f64,
+}
+
+fn run_micros(ops: u64) -> Vec<MicroResult> {
+    let (table, site) = cia_table(64);
+    let lock = SemLock::new(table.clone());
+    let mode = table.select(site, &[Value(7)]);
+    let iters = ops.max(1000);
+    let mut results = Vec::new();
+    type Micro<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+    let micros: Vec<Micro> = vec![
+        (
+            "lv_unlock_all",
+            Box::new({
+                let lock = &lock;
+                move || {
+                    let mut txn = Txn::new();
+                    txn.lv(lock, mode);
+                    txn.unlock_all();
+                }
+            }),
+        ),
+        (
+            "try_lv_unlock_all",
+            Box::new({
+                let lock = &lock;
+                move || {
+                    let mut txn = Txn::new();
+                    txn.try_lv(lock, mode).expect("uncontended");
+                    txn.unlock_all();
+                }
+            }),
+        ),
+        (
+            "lv_deadline_unlock_all",
+            Box::new({
+                let lock = &lock;
+                move || {
+                    let mut txn = Txn::new();
+                    txn.lv_timeout(lock, mode, Duration::from_secs(1))
+                        .expect("uncontended");
+                    txn.unlock_all();
+                }
+            }),
+        ),
+    ];
+    for (name, mut op) in micros {
+        telemetry::set_enabled(false);
+        let off_ns = time_ns_per_op(iters, &mut op);
+        telemetry::set_enabled(true);
+        let on_ns = time_ns_per_op(iters, &mut op);
+        telemetry::set_enabled(false);
+        telemetry::reset();
+        results.push(MicroResult {
+            name,
+            off_ns,
+            on_ns,
+        });
+    }
+    results
+}
+
+struct WorkloadResult {
+    name: String,
+    threads: usize,
+    ops_per_sec: f64,
+    acquisitions: u64,
+    contended: u64,
+    telemetry: Option<TelemetrySummary>,
+}
+
+struct TelemetrySummary {
+    events: u64,
+    dropped: u64,
+    sites: usize,
+    contended_acquires: u64,
+    total_wait_ns: u64,
+    max_wait_ns: u64,
+}
+
+fn summarize_telemetry(m: &semlock::telemetry::Metrics) -> TelemetrySummary {
+    let mut contended = 0;
+    let mut total_wait = 0;
+    let mut max_wait = 0;
+    for s in m.per_site.values() {
+        contended += s.contended;
+        total_wait += s.total_wait_ns;
+        max_wait = max_wait.max(s.max_wait_ns);
+    }
+    TelemetrySummary {
+        events: m.total_events,
+        dropped: m.dropped,
+        sites: m.per_site.len(),
+        contended_acquires: contended,
+        total_wait_ns: total_wait,
+        max_wait_ns: max_wait,
+    }
+}
+
+fn run_workloads(cfg: &Config) -> Vec<WorkloadResult> {
+    let mut results = Vec::new();
+    let kinds = [
+        (SyncKind::Semantic, "cia_semantic"),
+        (SyncKind::Global, "cia_global"),
+        (SyncKind::TwoPl, "cia_2pl"),
+        (SyncKind::Manual, "cia_manual"),
+    ];
+    for &threads in &cfg.threads {
+        for (kind, name) in kinds {
+            let bench = ComputeIfAbsent::new(kind, 8192);
+            let with_tel = cfg.telemetry_workloads && kind == SyncKind::Semantic;
+            if with_tel {
+                telemetry::reset();
+                telemetry::set_enabled(true);
+            }
+            let m = measure(threads, cfg.ops, 1, 1, &|t, rng| bench.op(t, rng));
+            let tel = if with_tel {
+                telemetry::set_enabled(false);
+                let metrics = semlock::telemetry::Metrics::collect();
+                telemetry::reset();
+                Some(summarize_telemetry(&metrics))
+            } else {
+                None
+            };
+            bench.validate().expect("ComputeIfAbsent invariant");
+            let (acq, cont) = bench.contention();
+            results.push(WorkloadResult {
+                name: name.to_string(),
+                threads,
+                ops_per_sec: m.ops_per_sec,
+                acquisitions: acq,
+                contended: cont,
+                telemetry: tel,
+            });
+        }
+        // One interpreted workload: the ComputeIfAbsent-with-counter
+        // section running through the full IR executor.
+        results.push(run_interp_workload(cfg, threads));
+    }
+    results
+}
+
+fn run_interp_workload(cfg: &Config, threads: usize) -> WorkloadResult {
+    use interp::{Env, Interp, Strategy};
+    use rand::Rng;
+    use synth::ir::{e::*, ptr, scalar, AtomicSection, Body};
+    use synth::{ClassRegistry, Synthesizer};
+    let mut registry = ClassRegistry::new();
+    registry.register("Map", adts::schema_of("Map"), adts::spec_of("Map"));
+    let section = AtomicSection::new(
+        "counter",
+        [ptr("map", "Map"), scalar("k"), scalar("v")],
+        Body::new()
+            .call_into("v", "map", "get", vec![var("k")])
+            .if_else(
+                is_null(var("v")),
+                Body::new().call("map", "put", vec![var("k"), konst(1)]),
+                Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
+            )
+            .build(),
+    );
+    let program = Arc::new(
+        Synthesizer::new(registry)
+            .phi(Phi::fib(64))
+            .synthesize(&[section]),
+    );
+    let env = Arc::new(Env::new(program));
+    let map = env.new_instance("Map");
+    let interp = Interp::new(env.clone(), Strategy::Semantic);
+    let with_tel = cfg.telemetry_workloads;
+    if with_tel {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+    }
+    let m = measure(threads, cfg.ops.min(20_000), 1, 1, &|_, rng| {
+        let k = Value(rng.gen_range(0..1024u64));
+        interp.run("counter", &[("map", map), ("k", k)]);
+    });
+    let tel = if with_tel {
+        telemetry::set_enabled(false);
+        let metrics = semlock::telemetry::Metrics::collect();
+        telemetry::reset();
+        Some(summarize_telemetry(&metrics))
+    } else {
+        None
+    };
+    let (acq, cont) = env.resolve(map).sem().contention();
+    WorkloadResult {
+        name: "interp_counter_semantic".to_string(),
+        threads,
+        ops_per_sec: m.ops_per_sec,
+        acquisitions: acq,
+        contended: cont,
+        telemetry: tel,
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(
+    cal: f64,
+    micros: &[MicroResult],
+    workloads: &[WorkloadResult],
+    cfg: &Config,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"semlock-bench/v1\",\n");
+    out.push_str("  \"pr\": 3,\n");
+    let threads: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"ops\": {}, \"threads\": [{}]}},",
+        cfg.ops,
+        threads.join(", ")
+    );
+    let _ = writeln!(out, "  \"calibration_ns_per_op\": {},", fmt_f(cal));
+    out.push_str("  \"micro\": [\n");
+    for (i, m) in micros.iter().enumerate() {
+        let overhead_pct = (m.on_ns - m.off_ns) / m.off_ns * 100.0;
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"telemetry\": \"off\", \"ns_per_op\": {}, \"rel\": {}}},",
+            m.name,
+            fmt_f(m.off_ns),
+            fmt_f(m.off_ns / cal)
+        );
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"telemetry\": \"on\", \"ns_per_op\": {}, \"rel\": {}, \
+             \"overhead_pct\": {}}}{}",
+            m.name,
+            fmt_f(m.on_ns),
+            fmt_f(m.on_ns / cal),
+            fmt_f(overhead_pct),
+            if i + 1 == micros.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let tel = match &w.telemetry {
+            None => "null".to_string(),
+            Some(t) => format!(
+                "{{\"events\": {}, \"dropped\": {}, \"site_modes\": {}, \"contended_acquires\": {}, \
+                 \"total_wait_ns\": {}, \"max_wait_ns\": {}}}",
+                t.events, t.dropped, t.sites, t.contended_acquires, t.total_wait_ns, t.max_wait_ns
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"ops_per_sec\": {}, \
+             \"contention\": {{\"acquisitions\": {}, \"contended\": {}}}, \"telemetry\": {}}}{}",
+            w.name,
+            w.threads,
+            fmt_f(w.ops_per_sec),
+            w.acquisitions,
+            w.contended,
+            tel,
+            if i + 1 == workloads.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `(name, rel)` for every telemetry-off micro entry out of a
+/// baseline file written by this runner (line-oriented scan; each micro
+/// entry is one line).
+fn parse_baseline_micros(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\":") || !line.contains("\"telemetry\": \"off\"") {
+            continue;
+        }
+        let name = match line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let rel = line
+            .split("\"rel\": ")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches(&['}', ','][..]).parse::<f64>().ok());
+        if let Some(rel) = rel {
+            out.push((name, rel));
+        }
+    }
+    out
+}
+
+fn check_regressions(cfg: &Config, cal: f64, micros: &[MicroResult]) -> bool {
+    let Some(path) = &cfg.against else {
+        return true;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_json: cannot read baseline {path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_baseline_micros(&text);
+    if baseline.is_empty() {
+        eprintln!("bench_json: baseline {path} has no telemetry-off micro entries");
+        return false;
+    }
+    let mut ok = true;
+    for (name, base_rel) in &baseline {
+        let Some(m) = micros.iter().find(|m| m.name == name.as_str()) else {
+            eprintln!("bench_json: baseline micro {name} no longer measured");
+            ok = false;
+            continue;
+        };
+        let rel = m.off_ns / cal;
+        let limit = base_rel * (1.0 + cfg.tolerance);
+        if rel > limit {
+            eprintln!(
+                "bench_json: REGRESSION {name}: rel {rel:.3} > baseline {base_rel:.3} \
+                 (+{:.1}% allowed)",
+                cfg.tolerance * 100.0
+            );
+            ok = false;
+        } else {
+            eprintln!("bench_json: {name}: rel {rel:.3} vs baseline {base_rel:.3} — ok");
+        }
+    }
+    ok
+}
+
+fn main() {
+    let cfg = parse_args();
+    telemetry::set_enabled(false);
+    let cal = calibrate();
+    eprintln!("bench_json: calibration {cal:.3} ns/op");
+    let micros = run_micros(cfg.ops);
+    for m in &micros {
+        eprintln!(
+            "bench_json: micro {}: off {:.1} ns, on {:.1} ns ({:+.1}%)",
+            m.name,
+            m.off_ns,
+            m.on_ns,
+            (m.on_ns - m.off_ns) / m.off_ns * 100.0
+        );
+    }
+    let workloads = run_workloads(&cfg);
+    let json = render_json(cal, &micros, &workloads, &cfg);
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write output file");
+            eprintln!("bench_json: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if !check_regressions(&cfg, cal, &micros) {
+        std::process::exit(1);
+    }
+}

@@ -35,6 +35,7 @@ use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
 use semlock::mode::ModeId;
 use semlock::protocol::ProtocolChecker;
 use semlock::symbolic::Operation;
+use semlock::telemetry;
 use semlock::value::Value;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -71,7 +72,9 @@ pub type Frame = HashMap<String, Value>;
 
 struct RunState {
     frame: Frame,
-    held_sem: Vec<(Arc<SharedAdt>, ModeId)>,
+    /// Held semantic locks with the stable site id of the acquiring
+    /// `LS(l)` statement (for telemetry attribution on release).
+    held_sem: Vec<(Arc<SharedAdt>, ModeId, u32)>,
     held_plain: Vec<Arc<SharedAdt>>,
     txn: u64,
     fuel: u64,
@@ -240,9 +243,12 @@ impl Interp {
     /// Never consults the fault plan — injecting during cleanup of an abort
     /// could double-panic.
     fn abort_cleanup(&self, st: &mut RunState) {
-        for (adt, mode) in st.held_sem.drain(..) {
+        for (adt, mode, site) in st.held_sem.drain(..) {
             if st.mutated.contains(&adt.id) || st.in_flight == Some(adt.id) {
                 adt.sem().poison();
+            }
+            if telemetry::enabled() {
+                telemetry::set_context(st.txn, site);
             }
             adt.sem().unlock(mode);
             if let Some(c) = &self.checker {
@@ -437,7 +443,7 @@ impl Interp {
                 }
             }
             Strategy::Semantic => {
-                if st.held_sem.iter().any(|(a, _)| a.id == adt.id) {
+                if st.held_sem.iter().any(|(a, _, _)| a.id == adt.id) {
                     return Ok(());
                 }
                 let decl = &section.sites[site];
@@ -453,11 +459,15 @@ impl Interp {
                         waited: Duration::ZERO,
                     });
                 }
+                let site_id = decl.stable_id;
+                if telemetry::enabled() {
+                    telemetry::set_context(st.txn, site_id);
+                }
                 if let Some(timeout) = self.lock_timeout {
                     let held: Vec<(u64, ModeId)> = st
                         .held_sem
                         .iter()
-                        .map(|(a, m)| (a.sem().unique(), *m))
+                        .map(|(a, m, _)| (a.sem().unique(), *m))
                         .collect();
                     adt.sem()
                         .lock_deadline(mode, Instant::now() + timeout, st.txn, &held)?;
@@ -467,7 +477,7 @@ impl Interp {
                 if let Some(c) = &self.checker {
                     c.on_lock(st.txn, adt.id, mode);
                 }
-                st.held_sem.push((adt, mode));
+                st.held_sem.push((adt, mode, site_id));
             }
         }
         Ok(())
@@ -483,12 +493,15 @@ impl Interp {
                 }
             }
             Strategy::Semantic => {
-                if let Some(pos) = st.held_sem.iter().position(|(a, _)| a.id == handle.0) {
+                if let Some(pos) = st.held_sem.iter().position(|(a, _, _)| a.id == handle.0) {
                     // Consult faults *before* removing the entry: an
                     // injected panic here must leave the lock in `held_sem`
                     // so `abort_cleanup` still releases it.
                     self.fault_decision(FaultPoint::Unlock, st, handle.0);
-                    let (adt, mode) = st.held_sem.swap_remove(pos);
+                    let (adt, mode, site) = st.held_sem.swap_remove(pos);
+                    if telemetry::enabled() {
+                        telemetry::set_context(st.txn, site);
+                    }
                     adt.sem().unlock(mode);
                     if let Some(c) = &self.checker {
                         c.on_unlock(st.txn, adt.id);
@@ -504,7 +517,10 @@ impl Interp {
             // As in `release_one`: fault before popping, so an injected
             // panic cannot leak the about-to-be-released lock.
             self.fault_decision(FaultPoint::Unlock, st, id);
-            let (adt, mode) = st.held_sem.pop().expect("entry still present");
+            let (adt, mode, site) = st.held_sem.pop().expect("entry still present");
+            if telemetry::enabled() {
+                telemetry::set_context(st.txn, site);
+            }
             adt.sem().unlock(mode);
             if let Some(c) = &self.checker {
                 c.on_unlock(st.txn, adt.id);

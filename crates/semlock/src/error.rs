@@ -45,6 +45,16 @@ pub enum LockError {
         /// Transactions participating in the detected cycle (sorted).
         cycle: Vec<TxnId>,
     },
+    /// A release was refused because the mode's hold counter would have
+    /// underflowed — a double unlock, necessarily a caller bug. The
+    /// counter is left untouched and the instance is poisoned (its
+    /// lock/unlock bookkeeping can no longer be trusted).
+    UnlockUnderflow {
+        /// The instance whose release was refused (now poisoned).
+        instance: u64,
+        /// The mode the caller tried to release.
+        mode: ModeId,
+    },
 }
 
 impl LockError {
@@ -53,7 +63,8 @@ impl LockError {
         match self {
             LockError::Timeout { instance, .. }
             | LockError::Poisoned { instance }
-            | LockError::WouldDeadlock { instance, .. } => *instance,
+            | LockError::WouldDeadlock { instance, .. }
+            | LockError::UnlockUnderflow { instance, .. } => *instance,
         }
     }
 
@@ -86,6 +97,12 @@ impl fmt::Display for LockError {
             } => write!(
                 f,
                 "acquiring mode m{} on instance {instance} would deadlock (waits-for cycle {cycle:?})",
+                mode.0
+            ),
+            LockError::UnlockUnderflow { instance, mode } => write!(
+                f,
+                "refused double unlock of mode m{} on instance {instance} \
+                 (hold counter would underflow; instance poisoned)",
                 mode.0
             ),
         }

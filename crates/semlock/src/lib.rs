@@ -29,7 +29,11 @@
 //! * [`watchdog`] — the off-hot-path deadlock watchdog backing
 //!   [`error::LockError::WouldDeadlock`];
 //! * [`fault::FaultPlan`] — deterministic seeded fault injection for the
-//!   chaos/soak harnesses.
+//!   chaos/soak harnesses;
+//! * [`telemetry`] — opt-in contention telemetry: per-thread lock-site
+//!   event rings, wait histograms, conflict-pair matrices, Chrome-trace
+//!   and JSON exporters. Off by default; the disabled path costs one
+//!   branch on a static flag.
 //!
 //! ## Quick example
 //!
@@ -86,6 +90,7 @@ pub mod protocol;
 pub mod schema;
 pub mod spec;
 pub mod symbolic;
+pub mod telemetry;
 pub mod txn;
 pub mod value;
 pub mod watchdog;
@@ -102,6 +107,7 @@ pub mod prelude {
     pub use crate::schema::{AdtSchema, MethodIdx};
     pub use crate::spec::{ArgRef, CommutSpec, Cond};
     pub use crate::symbolic::{Operation, SymArg, SymOp, SymbolicSet};
+    pub use crate::telemetry::{self, CycleRecord, Event, EventKind, Metrics, WaitCause};
     pub use crate::txn::{atomic_section, next_txn_id, OpGuard, Txn};
     pub use crate::value::Value;
     pub use crate::watchdog::TxnId;

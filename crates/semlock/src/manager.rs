@@ -9,11 +9,19 @@
 
 use crate::error::LockError;
 use crate::mech::{Acquire, Mech, Wait, WaitStrategy};
-use crate::mode::{ModeId, ModeTable};
+use crate::mode::{ModeId, ModePlacement, ModeTable};
+use crate::telemetry::{self, EventKind, WaitCause};
 use crate::watchdog::{self, TxnId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Elapsed nanoseconds since `t0` (telemetry helper; `t0` is only taken
+/// on traced paths).
+#[inline]
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos() as u64
+}
 
 static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -81,13 +89,15 @@ impl SemLock {
     /// [`SemLock::try_lock_checked`] or [`SemLock::lock_deadline`] to
     /// observe poisoning as a structured [`LockError::Poisoned`].
     pub fn lock(&self, mode: ModeId) {
+        // The traced variant is outlined and `#[cold]` so that with
+        // telemetry off this body stays as small as the pre-telemetry
+        // code and keeps inlining into callers; the whole disabled-path
+        // cost is the one relaxed load + branch.
+        if telemetry::enabled() {
+            return self.lock_traced(mode);
+        }
         if self.is_poisoned() {
-            panic!(
-                "SemLock#{}: instance is poisoned (a transaction panicked \
-                 mid-operation); acquire through try_lock_checked/lock_deadline \
-                 or call clear_poison",
-                self.id
-            );
+            self.panic_poisoned_at_entry();
         }
         let p = self.table.placement(mode);
         if p.free {
@@ -97,12 +107,65 @@ impl SemLock {
         // Re-check after admission: the instance may have been poisoned by
         // a holder that panicked while we were blocked.
         if self.is_poisoned() {
-            self.mechs[p.part as usize].unlock(p.local);
-            panic!(
-                "SemLock#{}: instance was poisoned while this acquisition waited",
-                self.id
-            );
+            let _ = self.mechs[p.part as usize].unlock(p.local);
+            self.panic_poisoned_while_waiting();
         }
+    }
+
+    /// [`SemLock::lock`] with telemetry recording.
+    #[cold]
+    fn lock_traced(&self, mode: ModeId) {
+        let ctx = telemetry::take_context();
+        let t0 = Instant::now();
+        self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+        if self.is_poisoned() {
+            self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+            self.panic_poisoned_at_entry();
+        }
+        let p = self.table.placement(mode);
+        if p.free {
+            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            return;
+        }
+        self.tele_sample_conflicts(ctx, mode, p);
+        let waited = self.mechs[p.part as usize].lock(p.local, &p.local_conflicts);
+        if self.is_poisoned() {
+            let _ = self.mechs[p.part as usize].unlock(p.local);
+            self.tele(
+                EventKind::PoisonRejected,
+                WaitCause::Poison,
+                ctx,
+                mode,
+                elapsed_ns(t0),
+            );
+            self.panic_poisoned_while_waiting();
+        }
+        let (cause, wait) = if waited {
+            (WaitCause::Conflict, elapsed_ns(t0))
+        } else {
+            (WaitCause::Uncontended, 0)
+        };
+        self.tele(EventKind::Admit, cause, ctx, mode, wait);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn panic_poisoned_at_entry(&self) -> ! {
+        panic!(
+            "SemLock#{}: instance is poisoned (a transaction panicked \
+             mid-operation); acquire through try_lock_checked/lock_deadline \
+             or call clear_poison",
+            self.id
+        );
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn panic_poisoned_while_waiting(&self) -> ! {
+        panic!(
+            "SemLock#{}: instance was poisoned while this acquisition waited",
+            self.id
+        );
     }
 
     /// Try to acquire without blocking. Returns `false` for both a
@@ -116,6 +179,10 @@ impl SemLock {
     /// failed: [`LockError::Poisoned`] for a poisoned instance,
     /// [`LockError::Timeout`] (with a zero wait) for a conflicting hold.
     pub fn try_lock_checked(&self, mode: ModeId) -> Result<(), LockError> {
+        // Outlined traced variant for the same reason as [`SemLock::lock`].
+        if telemetry::enabled() {
+            return self.try_lock_checked_traced(mode);
+        }
         if self.is_poisoned() {
             return Err(LockError::Poisoned { instance: self.id });
         }
@@ -125,11 +192,44 @@ impl SemLock {
         }
         if self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts) {
             if self.is_poisoned() {
-                self.mechs[p.part as usize].unlock(p.local);
+                let _ = self.mechs[p.part as usize].unlock(p.local);
                 return Err(LockError::Poisoned { instance: self.id });
             }
             Ok(())
         } else {
+            Err(LockError::Timeout {
+                instance: self.id,
+                mode,
+                waited: std::time::Duration::ZERO,
+            })
+        }
+    }
+
+    /// [`SemLock::try_lock_checked`] with telemetry recording.
+    #[cold]
+    fn try_lock_checked_traced(&self, mode: ModeId) -> Result<(), LockError> {
+        let ctx = telemetry::take_context();
+        self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+        if self.is_poisoned() {
+            self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+            return Err(LockError::Poisoned { instance: self.id });
+        }
+        let p = self.table.placement(mode);
+        if p.free {
+            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            return Ok(());
+        }
+        if self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts) {
+            if self.is_poisoned() {
+                let _ = self.mechs[p.part as usize].unlock(p.local);
+                self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+                return Err(LockError::Poisoned { instance: self.id });
+            }
+            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            Ok(())
+        } else {
+            self.tele_sample_conflicts(ctx, mode, p);
+            self.tele(EventKind::Timeout, WaitCause::Conflict, ctx, mode, 0);
             Err(LockError::Timeout {
                 instance: self.id,
                 mode,
@@ -155,14 +255,29 @@ impl SemLock {
         txn: TxnId,
         held: &[(u64, ModeId)],
     ) -> Result<(), LockError> {
+        let tel = telemetry::enabled();
+        let mut ctx = (txn, telemetry::SITE_NONE);
+        if tel {
+            // The caller's txn parameter is authoritative; only the pending
+            // site comes from the thread-local context.
+            ctx.1 = telemetry::take_context().1;
+            self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+        }
         if self.is_poisoned() {
+            if tel {
+                self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+            }
             return Err(LockError::Poisoned { instance: self.id });
         }
         let p = self.table.placement(mode);
         if p.free {
+            if tel {
+                self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            }
             return Ok(());
         }
         let start = Instant::now();
+        let contended_entry = tel && self.tele_sample_conflicts(ctx, mode, p);
         let wd = watchdog::global();
         let mut registered = false;
         let mut pending: Option<Vec<TxnId>> = None;
@@ -201,18 +316,55 @@ impl SemLock {
                 // Re-check after admission: a holder may have poisoned the
                 // instance (panic mid-operation) while we were blocked.
                 if self.is_poisoned() {
-                    self.mechs[p.part as usize].unlock(p.local);
+                    let _ = self.mechs[p.part as usize].unlock(p.local);
+                    if tel {
+                        self.tele(
+                            EventKind::PoisonRejected,
+                            WaitCause::Poison,
+                            ctx,
+                            mode,
+                            start.elapsed().as_nanos() as u64,
+                        );
+                    }
                     return Err(LockError::Poisoned { instance: self.id });
+                }
+                if tel {
+                    let (cause, wait) = if contended_entry || registered {
+                        (WaitCause::Conflict, start.elapsed().as_nanos() as u64)
+                    } else {
+                        (WaitCause::Uncontended, 0)
+                    };
+                    self.tele(EventKind::Admit, cause, ctx, mode, wait);
                 }
                 Ok(())
             }
-            Acquire::TimedOut => Err(LockError::Timeout {
-                instance: self.id,
-                mode,
-                waited: start.elapsed(),
-            }),
+            Acquire::TimedOut => {
+                if tel {
+                    self.tele(
+                        EventKind::Timeout,
+                        WaitCause::Conflict,
+                        ctx,
+                        mode,
+                        start.elapsed().as_nanos() as u64,
+                    );
+                }
+                Err(LockError::Timeout {
+                    instance: self.id,
+                    mode,
+                    waited: start.elapsed(),
+                })
+            }
             Acquire::Abandoned => {
-                wd.note_deadlock();
+                wd.note_deadlock(txn, self.id, mode, ctx.1, &abort_cycle);
+                if tel {
+                    self.tele(
+                        EventKind::CycleAborted,
+                        WaitCause::Deadlock,
+                        ctx,
+                        mode,
+                        start.elapsed().as_nanos() as u64,
+                    );
+                }
                 Err(LockError::WouldDeadlock {
                     instance: self.id,
                     mode,
@@ -256,12 +408,114 @@ impl SemLock {
     }
 
     /// Release one hold of a locking mode.
+    ///
+    /// A refused double release (see [`SemLock::unlock_checked`]) is
+    /// logged to stderr here — the infallible signature has no error
+    /// channel, and the instance has already been poisoned.
     pub fn unlock(&self, mode: ModeId) {
+        if let Err(e) = self.unlock_checked(mode) {
+            eprintln!("semlock: {e}");
+        }
+    }
+
+    /// Release one hold of a locking mode, reporting a refused release.
+    ///
+    /// A release that would underflow the mode's hold counter (a double
+    /// unlock — necessarily a caller bug) is refused by the mechanism in
+    /// every build; this wrapper then **poisons the instance** (its
+    /// bookkeeping can no longer be trusted) and returns
+    /// [`LockError::UnlockUnderflow`].
+    pub fn unlock_checked(&self, mode: ModeId) -> Result<(), LockError> {
+        // Outlined traced variant for the same reason as [`SemLock::lock`].
+        if telemetry::enabled() {
+            return self.unlock_checked_traced(mode);
+        }
         let p = self.table.placement(mode);
         if p.free {
-            return;
+            return Ok(());
         }
-        self.mechs[p.part as usize].unlock(p.local);
+        if self.mechs[p.part as usize].unlock(p.local) {
+            Ok(())
+        } else {
+            self.poison();
+            Err(LockError::UnlockUnderflow {
+                instance: self.id,
+                mode,
+            })
+        }
+    }
+
+    /// [`SemLock::unlock_checked`] with telemetry recording.
+    #[cold]
+    fn unlock_checked_traced(&self, mode: ModeId) -> Result<(), LockError> {
+        let ctx = telemetry::take_context();
+        let p = self.table.placement(mode);
+        if p.free {
+            self.tele(EventKind::Release, WaitCause::None, ctx, mode, 0);
+            return Ok(());
+        }
+        if self.mechs[p.part as usize].unlock(p.local) {
+            self.tele(EventKind::Release, WaitCause::None, ctx, mode, 0);
+            Ok(())
+        } else {
+            self.poison();
+            self.tele(EventKind::UnlockUnderflow, WaitCause::None, ctx, mode, 0);
+            Err(LockError::UnlockUnderflow {
+                instance: self.id,
+                mode,
+            })
+        }
+    }
+
+    /// Releases refused because they would have underflowed a hold
+    /// counter, summed over all partitions.
+    pub fn underflow_count(&self) -> u64 {
+        self.mechs
+            .iter()
+            .map(|m| m.stats().underflows.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Record one telemetry event for this instance (caller has already
+    /// checked [`telemetry::enabled`]).
+    #[inline]
+    fn tele(&self, kind: EventKind, cause: WaitCause, ctx: (u64, u32), mode: ModeId, wait_ns: u64) {
+        telemetry::record(
+            kind,
+            cause,
+            ctx.0,
+            ctx.1,
+            self.id,
+            mode.0,
+            telemetry::MODE_NONE,
+            wait_ns,
+        );
+    }
+
+    /// Sample currently-held conflicting modes and record one
+    /// [`EventKind::Blocked`] observation per holder (feeds the
+    /// conflict-pair matrix). Racy by design — a sample, not an admission
+    /// decision. Returns whether any conflicting hold was observed.
+    fn tele_sample_conflicts(&self, ctx: (u64, u32), mode: ModeId, p: &ModePlacement) -> bool {
+        let held = self.mechs[p.part as usize].held_conflicting(&p.local_conflicts);
+        for &local in &held {
+            let other = self
+                .table
+                .mode_for_local(p.part, local)
+                .map(|m| m.0)
+                .unwrap_or(telemetry::MODE_NONE);
+            telemetry::record(
+                EventKind::Blocked,
+                WaitCause::Conflict,
+                ctx.0,
+                ctx.1,
+                self.id,
+                mode.0,
+                other,
+                0,
+            );
+        }
+        !held.is_empty()
     }
 
     /// Current hold count of a mode (diagnostics / tests).

@@ -39,6 +39,9 @@ pub struct MechStats {
     pub contended: AtomicU64,
     /// Bounded acquisitions that gave up at their deadline.
     pub timeouts: AtomicU64,
+    /// Releases refused because the hold counter would have underflowed
+    /// (double unlock; see [`Mech::unlock`]).
+    pub underflows: AtomicU64,
 }
 
 /// Outcome of a bounded acquisition ([`Mech::lock_deadline`]).
@@ -104,7 +107,9 @@ impl Mech {
     /// Acquire the mode with local index `local`, whose conflicting local
     /// modes are `conflicts` (symmetric lists precomputed by the
     /// [`crate::mode::ModeTable`]). Blocks until admission is legal.
-    pub fn lock(&self, local: u32, conflicts: &[u32]) {
+    /// Returns whether the acquisition had to wait (used by the telemetry
+    /// layer to classify the admission; ignorable otherwise).
+    pub fn lock(&self, local: u32, conflicts: &[u32]) -> bool {
         let mut waited = false;
         match self.strategy {
             WaitStrategy::Block => {
@@ -145,6 +150,7 @@ impl Mech {
         if waited {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
+        waited
     }
 
     /// Try to acquire without waiting; returns whether the mode was taken.
@@ -252,20 +258,19 @@ impl Mech {
     /// Release one hold on the mode with local index `local`.
     ///
     /// A release that would underflow the counter (double unlock) is
-    /// refused: the counter is restored, and in debug builds the call
-    /// panics with a diagnostic instead of silently wrapping to `u32::MAX`
-    /// (which would deny every future conflicting admission).
-    pub fn unlock(&self, local: u32) {
+    /// **refused in every build**: the counter is restored (instead of
+    /// silently wrapping to `u32::MAX`, which would deny every future
+    /// conflicting admission), the refusal is counted in
+    /// [`MechStats::underflows`], and `false` is returned so the caller
+    /// can poison the instance and surface a structured error
+    /// ([`crate::error::LockError::UnlockUnderflow`]).
+    #[must_use = "a false return means a refused double unlock; the caller must poison/report"]
+    pub fn unlock(&self, local: u32) -> bool {
         let prev = self.counts[local as usize].fetch_sub(1, Ordering::SeqCst);
         if prev == 0 {
             self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
-            if cfg!(debug_assertions) {
-                panic!(
-                    "Mech::unlock: double unlock of local mode {local} — \
-                     hold counter would underflow"
-                );
-            }
-            return;
+            self.stats.underflows.fetch_add(1, Ordering::Relaxed);
+            return false;
         }
         if self.waiters.load(Ordering::SeqCst) > 0 {
             // Serialize with waiters' register-then-check so the notify
@@ -273,6 +278,19 @@ impl Mech {
             let _g = self.internal.lock();
             self.cond.notify_all();
         }
+        true
+    }
+
+    /// Local indices among `conflicts` whose hold counter is currently
+    /// positive — a racy sample of who this acquisition would wait for.
+    /// Telemetry-only (feeds the conflict-pair matrix); never consulted
+    /// for admission decisions.
+    pub fn held_conflicting(&self, conflicts: &[u32]) -> Vec<u32> {
+        conflicts
+            .iter()
+            .copied()
+            .filter(|&c| self.counts[c as usize].load(Ordering::Relaxed) > 0)
+            .collect()
     }
 
     /// Current hold count of a mode (diagnostics / tests).
@@ -315,8 +333,8 @@ mod tests {
         m.lock(0, &[]);
         m.lock(0, &[]);
         assert_eq!(m.count(0), 2);
-        m.unlock(0);
-        m.unlock(0);
+        assert!(m.unlock(0));
+        assert!(m.unlock(0));
         assert_eq!(m.count(0), 0);
     }
 
@@ -325,9 +343,9 @@ mod tests {
         let m = Arc::new(Mech::new(1, WaitStrategy::Block));
         m.lock(0, &[0]);
         assert!(!m.try_lock(0, &[0]));
-        m.unlock(0);
+        assert!(m.unlock(0));
         assert!(m.try_lock(0, &[0]));
-        m.unlock(0);
+        assert!(m.unlock(0));
     }
 
     #[test]
@@ -343,12 +361,12 @@ mod tests {
             std::thread::spawn(move || {
                 m.lock(1, &c1);
                 got.store(true, Ordering::SeqCst);
-                m.unlock(1);
+                assert!(m.unlock(1));
             })
         };
         std::thread::sleep(Duration::from_millis(50));
         assert!(!got.load(Ordering::SeqCst), "mode 1 admitted while 0 held");
-        m.unlock(0);
+        assert!(m.unlock(0));
         t.join().unwrap();
         assert!(got.load(Ordering::SeqCst));
     }
@@ -360,10 +378,10 @@ mod tests {
         let m2 = m.clone();
         let t = std::thread::spawn(move || {
             m2.lock(0, &[0]);
-            m2.unlock(0);
+            assert!(m2.unlock(0));
         });
         std::thread::sleep(Duration::from_millis(20));
-        m.unlock(0);
+        assert!(m.unlock(0));
         t.join().unwrap();
         assert_eq!(m.count(0), 0);
     }
@@ -383,7 +401,7 @@ mod tests {
                 for _ in 0..iters {
                     m.lock(mode, &conflicts);
                     assert_eq!(m.count(1 - mode), 0, "both modes held at once");
-                    m.unlock(mode);
+                    assert!(m.unlock(mode));
                 }
             }));
         }
@@ -410,7 +428,7 @@ mod tests {
             assert!(start.elapsed() >= Duration::from_millis(25), "{strategy:?}");
             assert_eq!(m.stats().timeouts.load(Ordering::Relaxed), 1);
             assert_eq!(m.count(0), 1, "failed acquisition must not leak holds");
-            m.unlock(0);
+            assert!(m.unlock(0));
             assert_eq!(m.held_total(), 0);
         }
     }
@@ -430,7 +448,7 @@ mod tests {
         );
         assert_eq!(out, Acquire::Acquired);
         assert!(!probed, "uncontended path must not consult the probe");
-        m.unlock(0);
+        assert!(m.unlock(0));
     }
 
     #[test]
@@ -448,9 +466,9 @@ mod tests {
             )
         });
         std::thread::sleep(Duration::from_millis(20));
-        m.unlock(0);
+        assert!(m.unlock(0));
         assert_eq!(t.join().unwrap(), Acquire::Acquired);
-        m.unlock(1);
+        assert!(m.unlock(1));
         assert_eq!(m.held_total(), 0);
     }
 
@@ -465,19 +483,37 @@ mod tests {
             &mut || Wait::Abandon,
         );
         assert_eq!(out, Acquire::Abandoned);
-        m.unlock(0);
+        assert!(m.unlock(0));
         assert_eq!(m.held_total(), 0);
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    fn double_unlock_panics_in_debug() {
+    fn double_unlock_refused_in_every_build() {
+        // Regression: the underflow guard used to be debug-only (panic
+        // under `cfg!(debug_assertions)`, silent restore in release). It
+        // is now a checked decrement in all builds: refused, counted, and
+        // reported to the caller via the `false` return.
         let m = Mech::new(1, WaitStrategy::Block);
         m.lock(0, &[]);
-        m.unlock(0);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.unlock(0)));
-        assert!(r.is_err(), "double unlock must panic in debug builds");
+        assert!(m.unlock(0));
+        assert!(!m.unlock(0), "double unlock must be refused");
         assert_eq!(m.count(0), 0, "counter must not underflow");
+        assert_eq!(m.stats().underflows.load(Ordering::Relaxed), 1);
+        // The mechanism stays usable after a refused release.
+        m.lock(0, &[0]);
+        assert_eq!(m.count(0), 1);
+        assert!(m.unlock(0));
+    }
+
+    #[test]
+    fn held_conflicting_samples_positive_counters() {
+        let m = Mech::new(3, WaitStrategy::Block);
+        m.lock(0, &[]);
+        m.lock(2, &[]);
+        assert_eq!(m.held_conflicting(&[0, 1, 2]), vec![0, 2]);
+        assert!(m.held_conflicting(&[1]).is_empty());
+        assert!(m.unlock(0));
+        assert!(m.unlock(2));
     }
 
     #[test]
@@ -489,7 +525,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..1_000 {
                     m.lock(0, &[]);
-                    m.unlock(0);
+                    assert!(m.unlock(0));
                 }
             }));
         }

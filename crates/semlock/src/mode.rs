@@ -265,6 +265,17 @@ impl ModeTable {
         &self.placement[id.0 as usize]
     }
 
+    /// Reverse placement lookup: the canonical mode at `(part, local)`, if
+    /// any. A linear scan over the (small) mode set — used by the
+    /// telemetry layer to attribute sampled conflicting holds back to
+    /// canonical mode ids, never on the admission path.
+    pub fn mode_for_local(&self, part: u32, local: u32) -> Option<ModeId> {
+        self.placement
+            .iter()
+            .position(|p| !p.free && p.part == part && p.local == local)
+            .map(|i| ModeId(i as u32))
+    }
+
     /// The commutativity function `F_c` between two canonical modes.
     pub fn fc(&self, a: ModeId, b: ModeId) -> bool {
         self.fc[a.0 as usize * self.modes.len() + b.0 as usize]

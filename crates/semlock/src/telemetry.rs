@@ -1,0 +1,1078 @@
+//! Contention telemetry: lock-site tracing, wait histograms, exporters.
+//!
+//! A low-overhead event layer recording what the semantic-lock runtime does
+//! at every acquisition boundary: acquire start, admission, release,
+//! timeout, poison rejection and deadlock abort, each stamped with the
+//! locking mode, ADT instance, transaction id, wait cause and — when the
+//! acquisition came from compiler-inserted code — the **stable lock-site
+//! id** the `synth` crate stamped on the `LS(l)` site, so contention
+//! attributes back to IR source lines.
+//!
+//! ## Design constraints
+//!
+//! * **Disabled-path cost is one branch on a static flag.** Every emission
+//!   point in [`crate::mech`] / [`crate::manager`] / [`crate::txn`] is
+//!   guarded by [`enabled`], a relaxed load of one process-global
+//!   `AtomicBool`. When the flag is off nothing allocates, no `Instant` is
+//!   read, and no atomics beyond the runtime's existing counters are
+//!   touched.
+//! * **Recording is lock-free and per-thread.** Each recording thread owns
+//!   a fixed-size ring of seqlock slots built from plain atomic words; a
+//!   write is a handful of relaxed stores bracketed by two release stores
+//!   of the slot sequence number. Readers ([`snapshot`]) may run
+//!   concurrently and simply discard torn slots. When a ring wraps, the
+//!   oldest events are overwritten and counted as dropped — recording
+//!   never blocks.
+//! * **Aggregation is offline.** Histograms, per-site counters and the
+//!   conflict-pair matrix are computed by [`Metrics::collect`] from a
+//!   snapshot, not maintained on the hot path.
+//!
+//! ## Event balance invariant
+//!
+//! For every `(txn, instance, mode, site)` key, the stream satisfies
+//! `AcquireStart count == Admit + Timeout + PoisonRejected + CycleAborted`
+//! and `Release count == Admit count` — every acquisition that starts ends
+//! in exactly one terminal, and only admitted acquisitions release.
+//! [`check_balanced`] verifies this; the property suite runs it over chaos
+//! and interpreter workloads. [`EventKind::Blocked`] (a conflict
+//! observation used for the conflict-pair matrix) and
+//! [`EventKind::UnlockUnderflow`] (a refused double release) sit outside
+//! the invariant.
+
+use parking_lot::Mutex;
+use std::cell::{Cell, OnceCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Sentinel site id for acquisitions not attributable to a compiler-
+/// inserted lock site (hand-written runtime calls, tests).
+pub const SITE_NONE: u32 = u32::MAX;
+
+/// Sentinel mode value for events without a secondary mode.
+pub const MODE_NONE: u32 = u32::MAX;
+
+/// Events retained per recording thread before the ring wraps and the
+/// oldest are dropped (counted, never blocking the writer).
+pub const RING_CAPACITY: usize = 1 << 14;
+
+// ---------------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is telemetry recording on? One relaxed atomic load — this is the whole
+/// disabled-path cost at every emission point.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Turn recording on ([`set_enabled`]`(true)`).
+pub fn enable() {
+    set_enabled(true);
+}
+
+/// Turn recording off ([`set_enabled`]`(false)`).
+pub fn disable() {
+    set_enabled(false);
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the telemetry epoch (first use in this process).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Event model
+// ---------------------------------------------------------------------------
+
+/// What happened at an acquisition boundary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A transaction asked for a mode (before any admission check).
+    AcquireStart = 0,
+    /// The mode was admitted (terminal of a successful acquisition).
+    Admit = 1,
+    /// An admitted mode was released.
+    Release = 2,
+    /// A bounded acquisition gave up at its deadline (terminal).
+    Timeout = 3,
+    /// The acquisition was rejected because the instance is poisoned
+    /// (terminal; `cause` says whether before or after admission).
+    PoisonRejected = 4,
+    /// The deadlock watchdog aborted this acquisition (terminal); the
+    /// cycle membership is in the matching [`CycleRecord`].
+    CycleAborted = 5,
+    /// Conflict observation: at acquire time some conflicting mode
+    /// (`other_mode`) was held. Feeds the conflict-pair matrix; not part
+    /// of the balance invariant.
+    Blocked = 6,
+    /// A release was refused because the hold counter would underflow
+    /// (double unlock). The instance is poisoned by the caller.
+    UnlockUnderflow = 7,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::AcquireStart,
+            1 => EventKind::Admit,
+            2 => EventKind::Release,
+            3 => EventKind::Timeout,
+            4 => EventKind::PoisonRejected,
+            5 => EventKind::CycleAborted,
+            6 => EventKind::Blocked,
+            7 => EventKind::UnlockUnderflow,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::AcquireStart => "acquire",
+            EventKind::Admit => "admit",
+            EventKind::Release => "release",
+            EventKind::Timeout => "timeout",
+            EventKind::PoisonRejected => "poison",
+            EventKind::CycleAborted => "cycle_abort",
+            EventKind::Blocked => "blocked",
+            EventKind::UnlockUnderflow => "unlock_underflow",
+        }
+    }
+}
+
+/// Why (or whether) an acquisition waited.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum WaitCause {
+    /// Not applicable (releases, underflow reports).
+    None = 0,
+    /// Admitted without observing any conflicting hold.
+    Uncontended = 1,
+    /// Blocked on (or rejected by) a conflicting hold.
+    Conflict = 2,
+    /// Rejected by instance poisoning.
+    Poison = 3,
+    /// Aborted by the deadlock watchdog.
+    Deadlock = 4,
+}
+
+impl WaitCause {
+    fn from_u8(v: u8) -> Option<WaitCause> {
+        Some(match v {
+            0 => WaitCause::None,
+            1 => WaitCause::Uncontended,
+            2 => WaitCause::Conflict,
+            3 => WaitCause::Poison,
+            4 => WaitCause::Deadlock,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitCause::None => "none",
+            WaitCause::Uncontended => "uncontended",
+            WaitCause::Conflict => "conflict",
+            WaitCause::Poison => "poison",
+            WaitCause::Deadlock => "deadlock",
+        }
+    }
+}
+
+/// One recorded lock-site event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Why the acquisition waited (or [`WaitCause::None`]).
+    pub cause: WaitCause,
+    /// Telemetry-local id of the recording thread.
+    pub thread: u32,
+    /// Transaction id ([`crate::txn::Txn::id`]); 0 when no transaction
+    /// context was stamped.
+    pub txn: u64,
+    /// ADT instance id ([`crate::manager::SemLock::unique`]).
+    pub instance: u64,
+    /// The requested/held canonical mode id.
+    pub mode: u32,
+    /// Secondary mode ([`MODE_NONE`] unless `kind` is
+    /// [`EventKind::Blocked`], where it is the conflicting held mode).
+    pub other_mode: u32,
+    /// Stable compiler-stamped lock-site id, or [`SITE_NONE`].
+    pub site: u32,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_ns: u64,
+    /// For terminal events: nanoseconds spent waiting since acquire start.
+    pub wait_ns: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local acquisition context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX_TXN: Cell<u64> = const { Cell::new(0) };
+    static CTX_SITE: Cell<u32> = const { Cell::new(SITE_NONE) };
+}
+
+/// Stamp the transaction id and lock-site id for the next acquisition or
+/// release performed by this thread. The site is consumed (reset to
+/// [`SITE_NONE`]) by [`take_context`] so it cannot leak onto an unrelated
+/// later acquisition.
+pub fn set_context(txn: u64, site: u32) {
+    CTX_TXN.with(|c| c.set(txn));
+    CTX_SITE.with(|c| c.set(site));
+}
+
+/// Stamp only the transaction id (keeps any pending site).
+pub fn set_txn(txn: u64) {
+    CTX_TXN.with(|c| c.set(txn));
+}
+
+/// Stamp only the pending lock-site id (keeps the transaction id).
+pub fn set_site(site: u32) {
+    CTX_SITE.with(|c| c.set(site));
+}
+
+/// Read and consume the pending context: returns `(txn, site)` and resets
+/// the site to [`SITE_NONE`]. Called once per runtime lock/unlock entry
+/// point.
+pub fn take_context() -> (u64, u32) {
+    let txn = CTX_TXN.with(|c| c.get());
+    let site = CTX_SITE.with(|c| c.replace(SITE_NONE));
+    (txn, site)
+}
+
+/// Read the pending context without consuming it.
+pub fn context() -> (u64, u32) {
+    (CTX_TXN.with(|c| c.get()), CTX_SITE.with(|c| c.get()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread seqlock rings
+// ---------------------------------------------------------------------------
+
+/// One ring slot: a seqlock sequence word plus the packed event words.
+/// The sequence is odd while the (single) writer is mid-update; readers
+/// retry/discard on a torn read. Atomics are used for the data words so
+/// concurrent reads are defined behaviour — there is no ordering
+/// requirement beyond the seq brackets.
+struct Slot {
+    seq: AtomicU32,
+    words: [AtomicU64; 7],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU32::new(0),
+            words: Default::default(),
+        }
+    }
+}
+
+fn pack(ev: &Event) -> [u64; 7] {
+    [
+        (ev.kind as u64) | ((ev.cause as u64) << 8) | ((ev.thread as u64) << 32),
+        (ev.mode as u64) | ((ev.other_mode as u64) << 32),
+        ev.site as u64,
+        ev.txn,
+        ev.instance,
+        ev.t_ns,
+        ev.wait_ns,
+    ]
+}
+
+fn unpack(w: &[u64; 7]) -> Option<Event> {
+    Some(Event {
+        kind: EventKind::from_u8((w[0] & 0xff) as u8)?,
+        cause: WaitCause::from_u8(((w[0] >> 8) & 0xff) as u8)?,
+        thread: (w[0] >> 32) as u32,
+        mode: w[1] as u32,
+        other_mode: (w[1] >> 32) as u32,
+        site: w[2] as u32,
+        txn: w[3],
+        instance: w[4],
+        t_ns: w[5],
+        wait_ns: w[6],
+    })
+}
+
+/// The per-thread ring. `head` counts events ever written by this thread;
+/// slot `head % RING_CAPACITY` is the next write position.
+struct Shard {
+    thread: u32,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Shard {
+    fn new(thread: u32) -> Shard {
+        Shard {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    /// Single-writer append ([`reset`] is the only other head writer, and
+    /// it requires quiescence).
+    fn push(&self, ev: &Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) % RING_CAPACITY];
+        let s = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(s.wrapping_add(1), Ordering::Release);
+        let packed = pack(ev);
+        for (w, v) in slot.words.iter().zip(packed) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(s.wrapping_add(2), Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Read every retained event in write order, skipping torn slots.
+    fn drain_into(&self, out: &mut Vec<Event>) -> u64 {
+        let h = self.head.load(Ordering::Acquire);
+        let dropped = h.saturating_sub(RING_CAPACITY as u64);
+        for i in dropped..h {
+            let slot = &self.slots[(i as usize) % RING_CAPACITY];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                continue;
+            }
+            let mut w = [0u64; 7];
+            for (dst, src) in w.iter_mut().zip(slot.words.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            if let Some(ev) = unpack(&w) {
+                out.push(ev);
+            }
+        }
+        dropped
+    }
+}
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SHARD: OnceCell<Arc<Shard>> = const { OnceCell::new() };
+}
+
+fn with_shard(f: impl FnOnce(&Shard)) {
+    SHARD.with(|cell| {
+        let shard = cell.get_or_init(|| {
+            let shard = Arc::new(Shard::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+            registry().lock().push(shard.clone());
+            shard
+        });
+        f(shard);
+    });
+}
+
+/// Record one event into this thread's ring. The caller must have checked
+/// [`enabled`]; `thread` and `t_ns` are filled in here.
+#[allow(clippy::too_many_arguments)]
+pub fn record(
+    kind: EventKind,
+    cause: WaitCause,
+    txn: u64,
+    site: u32,
+    instance: u64,
+    mode: u32,
+    other_mode: u32,
+    wait_ns: u64,
+) {
+    let t_ns = now_ns();
+    with_shard(|shard| {
+        shard.push(&Event {
+            kind,
+            cause,
+            thread: shard.thread,
+            txn,
+            instance,
+            mode,
+            other_mode,
+            site,
+            t_ns,
+            wait_ns,
+        })
+    });
+}
+
+/// Snapshot every thread's retained events, merged and sorted by
+/// timestamp. Returns `(events, dropped)` where `dropped` counts events
+/// lost to ring wrap-around since the last [`reset`].
+///
+/// Safe to call concurrently with writers (torn slots are discarded), but
+/// a consistent, complete stream — e.g. for [`check_balanced`] — requires
+/// the recording threads to be quiescent.
+pub fn snapshot() -> (Vec<Event>, u64) {
+    let shards = registry().lock();
+    let mut out = Vec::new();
+    let mut dropped = 0;
+    for shard in shards.iter() {
+        dropped += shard.drain_into(&mut out);
+    }
+    out.sort_by_key(|e| e.t_ns);
+    (out, dropped)
+}
+
+/// Discard all recorded events and cycle records. **Requires quiescence**:
+/// no thread may be concurrently recording (this is the one place a
+/// non-owner writes a shard's head).
+pub fn reset() {
+    let shards = registry().lock();
+    for shard in shards.iter() {
+        shard.head.store(0, Ordering::SeqCst);
+    }
+    cycles_store().lock().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Cycle records (variable-length; rare, so a plain mutexed vec suffices)
+// ---------------------------------------------------------------------------
+
+/// A watchdog-detected waits-for cycle converted into an abort. Ring
+/// events are fixed-size, so the variable-length member list lives here;
+/// the matching ring event is the [`EventKind::CycleAborted`] terminal
+/// with the same `(txn, instance, mode)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleRecord {
+    /// The aborted (youngest) transaction.
+    pub txn: u64,
+    /// Instance the aborted transaction was waiting on.
+    pub instance: u64,
+    /// The requested mode.
+    pub mode: u32,
+    /// Stable lock-site id of the aborted acquisition, or [`SITE_NONE`].
+    pub site: u32,
+    /// Sorted transaction ids of the detected cycle (the
+    /// [`crate::error::LockError::WouldDeadlock`] payload).
+    pub members: Vec<u64>,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_ns: u64,
+}
+
+fn cycles_store() -> &'static Mutex<Vec<CycleRecord>> {
+    static CYCLES: OnceLock<Mutex<Vec<CycleRecord>>> = OnceLock::new();
+    CYCLES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Record a deadlock-cycle abort (called by the watchdog path; caller must
+/// have checked [`enabled`]).
+pub fn record_cycle(txn: u64, instance: u64, mode: u32, site: u32, members: &[u64]) {
+    cycles_store().lock().push(CycleRecord {
+        txn,
+        instance,
+        mode,
+        site,
+        members: members.to_vec(),
+        t_ns: now_ns(),
+    });
+}
+
+/// All cycle records since the last [`reset`].
+pub fn cycles() -> Vec<CycleRecord> {
+    cycles_store().lock().clone()
+}
+
+// ---------------------------------------------------------------------------
+// Balance checking
+// ---------------------------------------------------------------------------
+
+/// Verify the event-balance invariant over a quiescent snapshot: per
+/// `(txn, instance, mode, site)`, acquire starts equal terminals
+/// (admit/timeout/poison/cycle-abort) and releases equal admits.
+pub fn check_balanced(events: &[Event]) -> Result<(), String> {
+    #[derive(Default)]
+    struct Counts {
+        starts: u64,
+        admits: u64,
+        releases: u64,
+        timeouts: u64,
+        poisons: u64,
+        aborts: u64,
+    }
+    let mut per_key: BTreeMap<(u64, u64, u32, u32), Counts> = BTreeMap::new();
+    for ev in events {
+        let c = per_key
+            .entry((ev.txn, ev.instance, ev.mode, ev.site))
+            .or_default();
+        match ev.kind {
+            EventKind::AcquireStart => c.starts += 1,
+            EventKind::Admit => c.admits += 1,
+            EventKind::Release => c.releases += 1,
+            EventKind::Timeout => c.timeouts += 1,
+            EventKind::PoisonRejected => c.poisons += 1,
+            EventKind::CycleAborted => c.aborts += 1,
+            EventKind::Blocked | EventKind::UnlockUnderflow => {}
+        }
+    }
+    for (key, c) in &per_key {
+        let terminals = c.admits + c.timeouts + c.poisons + c.aborts;
+        if c.starts != terminals {
+            return Err(format!(
+                "unbalanced acquisitions for (txn={}, instance={}, mode={}, site={}): \
+                 {} starts vs {} terminals ({} admits, {} timeouts, {} poisons, {} aborts)",
+                key.0,
+                key.1,
+                key.2,
+                key.3,
+                c.starts,
+                terminals,
+                c.admits,
+                c.timeouts,
+                c.poisons,
+                c.aborts
+            ));
+        }
+        if c.releases != c.admits {
+            return Err(format!(
+                "unbalanced releases for (txn={}, instance={}, mode={}, site={}): \
+                 {} releases vs {} admits",
+                key.0, key.1, key.2, key.3, c.releases, c.admits
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated metrics
+// ---------------------------------------------------------------------------
+
+/// Number of log2 wait-time histogram buckets (bucket `i` holds waits in
+/// `[2^(i-1), 2^i)` ns; bucket 0 holds zero-wait admissions).
+pub const WAIT_BUCKETS: usize = 32;
+
+/// The log2 histogram bucket for a wait of `ns` nanoseconds.
+pub fn wait_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(WAIT_BUCKETS - 1)
+    }
+}
+
+/// Aggregated contention statistics for one `(site, mode)` pair.
+#[derive(Clone, Debug, Default)]
+pub struct SiteStats {
+    /// Acquire starts.
+    pub acquires: u64,
+    /// Successful admissions.
+    pub admits: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Deadline expiries.
+    pub timeouts: u64,
+    /// Poison rejections.
+    pub poison_rejects: u64,
+    /// Deadlock-cycle aborts.
+    pub cycle_aborts: u64,
+    /// Terminals whose cause was a conflicting hold.
+    pub contended: u64,
+    /// Total nanoseconds spent waiting across all terminals.
+    pub total_wait_ns: u64,
+    /// Maximum single wait in nanoseconds.
+    pub max_wait_ns: u64,
+    /// Log2 wait-time histogram over terminals (see [`wait_bucket`]).
+    pub wait_hist: [u64; WAIT_BUCKETS],
+}
+
+/// Aggregated view of a telemetry snapshot: per-site/mode contention
+/// metrics, the conflict-pair matrix and the cycle records.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Per `(site, mode)` statistics (site [`SITE_NONE`] collects
+    /// acquisitions with no compiler-stamped site).
+    pub per_site: BTreeMap<(u32, u32), SiteStats>,
+    /// Conflict-pair matrix: `(requested mode, conflicting held mode)` →
+    /// number of [`EventKind::Blocked`] observations.
+    pub conflict_pairs: BTreeMap<(u32, u32), u64>,
+    /// Deadlock-cycle aborts with member lists.
+    pub cycles: Vec<CycleRecord>,
+    /// Refused double releases ([`EventKind::UnlockUnderflow`]).
+    pub unlock_underflows: u64,
+    /// Events in the snapshot.
+    pub total_events: u64,
+    /// Events lost to ring wrap-around.
+    pub dropped: u64,
+}
+
+impl Metrics {
+    /// Aggregate the current global snapshot (see [`snapshot`]).
+    pub fn collect() -> Metrics {
+        let (events, dropped) = snapshot();
+        Metrics::from_events(&events, cycles(), dropped)
+    }
+
+    /// Aggregate an explicit event stream.
+    pub fn from_events(events: &[Event], cycles: Vec<CycleRecord>, dropped: u64) -> Metrics {
+        let mut m = Metrics {
+            cycles,
+            dropped,
+            total_events: events.len() as u64,
+            ..Metrics::default()
+        };
+        for ev in events {
+            if ev.kind == EventKind::Blocked {
+                *m.conflict_pairs
+                    .entry((ev.mode, ev.other_mode))
+                    .or_insert(0) += 1;
+                continue;
+            }
+            if ev.kind == EventKind::UnlockUnderflow {
+                m.unlock_underflows += 1;
+                continue;
+            }
+            let s = m.per_site.entry((ev.site, ev.mode)).or_default();
+            let mut terminal = false;
+            match ev.kind {
+                EventKind::AcquireStart => s.acquires += 1,
+                EventKind::Admit => {
+                    s.admits += 1;
+                    terminal = true;
+                }
+                EventKind::Release => s.releases += 1,
+                EventKind::Timeout => {
+                    s.timeouts += 1;
+                    terminal = true;
+                }
+                EventKind::PoisonRejected => {
+                    s.poison_rejects += 1;
+                    terminal = true;
+                }
+                EventKind::CycleAborted => {
+                    s.cycle_aborts += 1;
+                    terminal = true;
+                }
+                EventKind::Blocked | EventKind::UnlockUnderflow => unreachable!(),
+            }
+            if terminal {
+                if ev.cause == WaitCause::Conflict || ev.cause == WaitCause::Deadlock {
+                    s.contended += 1;
+                }
+                s.total_wait_ns += ev.wait_ns;
+                s.max_wait_ns = s.max_wait_ns.max(ev.wait_ns);
+                s.wait_hist[wait_bucket(ev.wait_ns)] += 1;
+            }
+        }
+        m
+    }
+
+    /// Render as a self-describing JSON object (no external dependencies;
+    /// stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"semlock-telemetry/v1\",\n");
+        out.push_str(&format!("  \"total_events\": {},\n", self.total_events));
+        out.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        out.push_str(&format!(
+            "  \"unlock_underflows\": {},\n",
+            self.unlock_underflows
+        ));
+        out.push_str("  \"sites\": [");
+        for (i, ((site, mode), s)) in self.per_site.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let site_str = if *site == SITE_NONE {
+                "null".to_string()
+            } else {
+                format!("{site}")
+            };
+            out.push_str(&format!(
+                "\n    {{\"site\": {site_str}, \"mode\": {mode}, \"acquires\": {}, \
+                 \"admits\": {}, \"releases\": {}, \"timeouts\": {}, \"poison_rejects\": {}, \
+                 \"cycle_aborts\": {}, \"contended\": {}, \"total_wait_ns\": {}, \
+                 \"max_wait_ns\": {}, \"wait_hist_log2\": {}}}",
+                s.acquires,
+                s.admits,
+                s.releases,
+                s.timeouts,
+                s.poison_rejects,
+                s.cycle_aborts,
+                s.contended,
+                s.total_wait_ns,
+                s.max_wait_ns,
+                json_u64_array(&s.wait_hist)
+            ));
+        }
+        out.push_str("\n  ],\n  \"conflict_pairs\": [");
+        for (i, ((req, held), n)) in self.conflict_pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"requested_mode\": {req}, \"held_mode\": {held}, \"count\": {n}}}"
+            ));
+        }
+        out.push_str("\n  ],\n  \"cycles\": [");
+        for (i, c) in self.cycles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let site_str = if c.site == SITE_NONE {
+                "null".to_string()
+            } else {
+                format!("{}", c.site)
+            };
+            out.push_str(&format!(
+                "\n    {{\"txn\": {}, \"instance\": {}, \"mode\": {}, \"site\": {site_str}, \
+                 \"members\": {}, \"t_ns\": {}}}",
+                c.txn,
+                c.instance,
+                c.mode,
+                json_u64_array(&c.members),
+                c.t_ns
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&x.to_string());
+    }
+    s.push(']');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace exporter
+// ---------------------------------------------------------------------------
+
+/// Export an event stream in the Chrome trace event format (load the
+/// result in `chrome://tracing` or Perfetto). Wait intervals become
+/// complete ("X") spans from acquire start to the terminal; hold intervals
+/// span admit to release; blocked observations and underflows become
+/// instant events.
+pub fn chrome_trace(events: &[Event]) -> String {
+    fn label(prefix: &str, ev: &Event) -> String {
+        if ev.site == SITE_NONE {
+            format!("{prefix} m{} #{}", ev.mode, ev.instance)
+        } else {
+            format!(
+                "{prefix} site {:#010x} m{} #{}",
+                ev.site, ev.mode, ev.instance
+            )
+        }
+    }
+    let mut spans: BTreeMap<(u32, u64, u64, u32), u64> = BTreeMap::new(); // wait starts
+    let mut holds: BTreeMap<(u32, u64, u64, u32), u64> = BTreeMap::new(); // admit times
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+    let mut first = true;
+    let mut emit = |out: &mut String, body: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&body);
+    };
+    for ev in events {
+        let key = (ev.thread, ev.txn, ev.instance, ev.mode);
+        let ts = ev.t_ns as f64 / 1000.0;
+        match ev.kind {
+            EventKind::AcquireStart => {
+                spans.insert(key, ev.t_ns);
+            }
+            EventKind::Admit
+            | EventKind::Timeout
+            | EventKind::PoisonRejected
+            | EventKind::CycleAborted => {
+                if let Some(start) = spans.remove(&key) {
+                    let dur = ev.t_ns.saturating_sub(start) as f64 / 1000.0;
+                    emit(
+                        &mut out,
+                        format!(
+                            "{{\"name\": \"{}\", \"cat\": \"wait\", \"ph\": \"X\", \"pid\": 1, \
+                             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": \
+                             {{\"outcome\": \"{}\", \"cause\": \"{}\", \"txn\": {}}}}}",
+                            label("wait", ev),
+                            ev.thread,
+                            start as f64 / 1000.0,
+                            dur,
+                            ev.kind.name(),
+                            ev.cause.name(),
+                            ev.txn
+                        ),
+                    );
+                }
+                if ev.kind == EventKind::Admit {
+                    holds.insert(key, ev.t_ns);
+                }
+            }
+            EventKind::Release => {
+                // The releasing thread may differ bookkeeping-wise only in
+                // site (consumed at admit); match on (thread,txn,instance,mode).
+                if let Some(admit) = holds.remove(&key) {
+                    let dur = ev.t_ns.saturating_sub(admit) as f64 / 1000.0;
+                    emit(
+                        &mut out,
+                        format!(
+                            "{{\"name\": \"{}\", \"cat\": \"hold\", \"ph\": \"X\", \"pid\": 1, \
+                             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"txn\": {}}}}}",
+                            label("hold", ev),
+                            ev.thread,
+                            admit as f64 / 1000.0,
+                            dur,
+                            ev.txn
+                        ),
+                    );
+                }
+            }
+            EventKind::Blocked | EventKind::UnlockUnderflow => {
+                emit(
+                    &mut out,
+                    format!(
+                        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"pid\": 1, \
+                         \"tid\": {}, \"ts\": {:.3}, \"s\": \"t\", \"args\": {{\"txn\": {}, \
+                         \"other_mode\": {}}}}}",
+                        label(ev.kind.name(), ev),
+                        ev.kind.name(),
+                        ev.thread,
+                        ts,
+                        ev.txn,
+                        ev.other_mode
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global flag or reset global state.
+    fn serial() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    fn ev(kind: EventKind, txn: u64, instance: u64, mode: u32, wait_ns: u64) -> Event {
+        Event {
+            kind,
+            cause: WaitCause::Uncontended,
+            thread: 0,
+            txn,
+            instance,
+            mode,
+            other_mode: MODE_NONE,
+            site: 7,
+            t_ns: 0,
+            wait_ns,
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = Event {
+            kind: EventKind::CycleAborted,
+            cause: WaitCause::Deadlock,
+            thread: 12,
+            txn: u64::MAX - 3,
+            instance: 999,
+            mode: 41,
+            other_mode: MODE_NONE,
+            site: 0xdead_beef,
+            t_ns: 123_456_789,
+            wait_ns: 42,
+        };
+        let w = pack(&e);
+        let d = unpack(&w).unwrap();
+        assert_eq!(d.kind, e.kind);
+        assert_eq!(d.cause, e.cause);
+        assert_eq!(d.thread, e.thread);
+        assert_eq!(d.txn, e.txn);
+        assert_eq!(d.instance, e.instance);
+        assert_eq!(d.mode, e.mode);
+        assert_eq!(d.other_mode, e.other_mode);
+        assert_eq!(d.site, e.site);
+        assert_eq!(d.t_ns, e.t_ns);
+        assert_eq!(d.wait_ns, e.wait_ns);
+    }
+
+    #[test]
+    fn wait_bucket_is_log2() {
+        assert_eq!(wait_bucket(0), 0);
+        assert_eq!(wait_bucket(1), 1);
+        assert_eq!(wait_bucket(2), 2);
+        assert_eq!(wait_bucket(3), 2);
+        assert_eq!(wait_bucket(1024), 11);
+        assert_eq!(wait_bucket(u64::MAX), WAIT_BUCKETS - 1);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_dropped() {
+        let shard = Shard::new(999);
+        let total = RING_CAPACITY + 100;
+        for i in 0..total {
+            shard.push(&ev(EventKind::Admit, i as u64, 1, 0, 0));
+        }
+        let mut out = Vec::new();
+        let dropped = shard.drain_into(&mut out);
+        assert_eq!(dropped, 100);
+        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(out.first().unwrap().txn, 100);
+        assert_eq!(out.last().unwrap().txn, total as u64 - 1);
+    }
+
+    #[test]
+    fn balance_checker_accepts_and_rejects() {
+        let ok = vec![
+            ev(EventKind::AcquireStart, 1, 5, 0, 0),
+            ev(EventKind::Admit, 1, 5, 0, 0),
+            ev(EventKind::Release, 1, 5, 0, 0),
+            ev(EventKind::AcquireStart, 2, 5, 0, 0),
+            ev(EventKind::Timeout, 2, 5, 0, 10),
+            ev(EventKind::Blocked, 2, 5, 0, 0), // outside the invariant
+        ];
+        check_balanced(&ok).unwrap();
+        let missing_terminal = vec![ev(EventKind::AcquireStart, 1, 5, 0, 0)];
+        assert!(check_balanced(&missing_terminal).is_err());
+        let double_release = vec![
+            ev(EventKind::AcquireStart, 1, 5, 0, 0),
+            ev(EventKind::Admit, 1, 5, 0, 0),
+            ev(EventKind::Release, 1, 5, 0, 0),
+            ev(EventKind::Release, 1, 5, 0, 0),
+        ];
+        assert!(check_balanced(&double_release).is_err());
+    }
+
+    #[test]
+    fn metrics_aggregate_histograms_and_conflicts() {
+        let mut blocked = ev(EventKind::Blocked, 2, 5, 3, 0);
+        blocked.other_mode = 9;
+        let events = vec![
+            ev(EventKind::AcquireStart, 1, 5, 3, 0),
+            ev(EventKind::Admit, 1, 5, 3, 1500),
+            ev(EventKind::Release, 1, 5, 3, 0),
+            blocked,
+        ];
+        let m = Metrics::from_events(&events, Vec::new(), 2);
+        let s = &m.per_site[&(7, 3)];
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.admits, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.total_wait_ns, 1500);
+        assert_eq!(s.wait_hist[wait_bucket(1500)], 1);
+        assert_eq!(m.conflict_pairs[&(3, 9)], 1);
+        assert_eq!(m.dropped, 2);
+        let json = m.to_json();
+        assert!(json.contains("\"schema\": \"semlock-telemetry/v1\""));
+        assert!(json.contains("\"dropped\": 2"));
+        assert!(json.contains("\"requested_mode\": 3"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_wait_and_hold_spans() {
+        let mut events = vec![
+            ev(EventKind::AcquireStart, 1, 5, 3, 0),
+            ev(EventKind::Admit, 1, 5, 3, 0),
+            ev(EventKind::Release, 1, 5, 3, 0),
+        ];
+        events[0].t_ns = 1_000;
+        events[1].t_ns = 3_000;
+        events[2].t_ns = 9_000;
+        let trace = chrome_trace(&events);
+        assert!(trace.contains("\"cat\": \"wait\""));
+        assert!(trace.contains("\"cat\": \"hold\""));
+        assert!(trace.contains("\"dur\": 2.000"));
+        assert!(trace.contains("\"dur\": 6.000"));
+    }
+
+    #[test]
+    fn disabled_by_default_and_toggle_works() {
+        let _g = serial();
+        assert!(!enabled());
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn record_snapshot_reset_roundtrip() {
+        let _g = serial();
+        reset();
+        record(
+            EventKind::AcquireStart,
+            WaitCause::Uncontended,
+            77,
+            3,
+            123,
+            1,
+            MODE_NONE,
+            0,
+        );
+        record(
+            EventKind::Admit,
+            WaitCause::Uncontended,
+            77,
+            3,
+            123,
+            1,
+            MODE_NONE,
+            0,
+        );
+        record_cycle(77, 123, 1, 3, &[42, 77]);
+        let (events, dropped) = snapshot();
+        assert_eq!(dropped, 0);
+        let mine: Vec<_> = events.iter().filter(|e| e.txn == 77).collect();
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].kind, EventKind::AcquireStart);
+        assert_eq!(mine[1].kind, EventKind::Admit);
+        assert!(cycles().iter().any(|c| c.members == vec![42, 77]));
+        reset();
+        let (events, dropped) = snapshot();
+        assert!(events.iter().all(|e| e.txn != 77));
+        assert_eq!(dropped, 0);
+        assert!(cycles().is_empty());
+    }
+
+    #[test]
+    fn context_take_consumes_site_keeps_txn() {
+        set_context(9, 4);
+        assert_eq!(context(), (9, 4));
+        assert_eq!(take_context(), (9, 4));
+        assert_eq!(take_context(), (9, SITE_NONE));
+        set_site(6);
+        assert_eq!(context(), (9, 6));
+        set_txn(2);
+        assert_eq!(context(), (2, 6));
+        let _ = take_context();
+    }
+}

@@ -10,6 +10,7 @@
 use crate::error::LockError;
 use crate::manager::SemLock;
 use crate::mode::ModeId;
+use crate::telemetry;
 use crate::watchdog::TxnId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -34,10 +35,12 @@ pub fn next_txn_id() -> TxnId {
 /// Dropping a `Txn` releases every lock it still holds, so a panicking
 /// atomic section cannot leak locks.
 pub struct Txn<'a> {
-    /// `LOCAL_SET`: instances currently locked, with the mode held.
-    /// Transactions touch a handful of ADTs, so a linear-scan vector beats
-    /// any hash structure here.
-    held: Vec<(&'a SemLock, ModeId)>,
+    /// `LOCAL_SET`: instances currently locked, with the mode held and the
+    /// telemetry site id stamped at acquisition ([`telemetry::SITE_NONE`]
+    /// when telemetry was off or no site was pending). Transactions touch
+    /// a handful of ADTs, so a linear-scan vector beats any hash structure
+    /// here.
+    held: Vec<(&'a SemLock, ModeId, u32)>,
     /// Unique monotone transaction id (used by the deadlock watchdog).
     id: TxnId,
 }
@@ -66,8 +69,32 @@ impl<'a> Txn<'a> {
         if self.holds(adt) {
             return;
         }
+        let site = self.tele_enter();
         adt.lock(mode);
-        self.held.push((adt, mode));
+        self.held.push((adt, mode, site));
+    }
+
+    /// Telemetry prologue for an acquisition: stamp this transaction's id
+    /// into the thread context and return the pending site id (which the
+    /// runtime entry point will consume). Free when telemetry is off.
+    #[inline]
+    fn tele_enter(&self) -> u32 {
+        if telemetry::enabled() {
+            telemetry::set_txn(self.id);
+            telemetry::context().1
+        } else {
+            telemetry::SITE_NONE
+        }
+    }
+
+    /// Telemetry prologue for a release: re-stamp the context with this
+    /// transaction's id and the site recorded at acquisition, so the
+    /// `Release` event pairs with its `Admit`. Free when telemetry is off.
+    #[inline]
+    fn tele_release(&self, site: u32) {
+        if telemetry::enabled() {
+            telemetry::set_context(self.id, site);
+        }
     }
 
     /// Non-blocking `LV`: acquire `mode` on `adt` only if it is admissible
@@ -78,8 +105,9 @@ impl<'a> Txn<'a> {
         if self.holds(adt) {
             return Ok(());
         }
+        let site = self.tele_enter();
         adt.try_lock_checked(mode)?;
-        self.held.push((adt, mode));
+        self.held.push((adt, mode, site));
         Ok(())
     }
 
@@ -98,16 +126,22 @@ impl<'a> Txn<'a> {
         if self.holds(adt) {
             return Ok(());
         }
+        let site = self.tele_enter();
         // Uncontended fast path: admissible right now means no snapshot
         // allocation, no deadline bookkeeping, no watchdog involvement.
         if adt.try_lock_checked(mode).is_ok() {
-            self.held.push((adt, mode));
+            self.held.push((adt, mode, site));
             return Ok(());
         }
+        // The fast path consumed the pending site; re-stamp it for the
+        // bounded acquisition so its events carry the same attribution.
+        if site != telemetry::SITE_NONE {
+            telemetry::set_site(site);
+        }
         // Snapshot of current holds for the watchdog's waits-for edges.
-        let held: Vec<(u64, ModeId)> = self.held.iter().map(|&(l, m)| (l.unique(), m)).collect();
+        let held: Vec<(u64, ModeId)> = self.held.iter().map(|&(l, m, _)| (l.unique(), m)).collect();
         adt.lock_deadline(mode, deadline, self.id, &held)?;
-        self.held.push((adt, mode));
+        self.held.push((adt, mode, site));
         Ok(())
     }
 
@@ -145,15 +179,15 @@ impl<'a> Txn<'a> {
 
     /// Does this transaction currently hold a lock on `adt`?
     pub fn holds(&self, adt: &SemLock) -> bool {
-        self.held.iter().any(|(l, _)| l.unique() == adt.unique())
+        self.held.iter().any(|(l, _, _)| l.unique() == adt.unique())
     }
 
     /// The mode held on `adt`, if any.
     pub fn held_mode(&self, adt: &SemLock) -> Option<ModeId> {
         self.held
             .iter()
-            .find(|(l, _)| l.unique() == adt.unique())
-            .map(|&(_, m)| m)
+            .find(|(l, _, _)| l.unique() == adt.unique())
+            .map(|&(_, m, _)| m)
     }
 
     /// Number of instances currently locked.
@@ -167,16 +201,21 @@ impl<'a> Txn<'a> {
         if let Some(pos) = self
             .held
             .iter()
-            .position(|(l, _)| l.unique() == adt.unique())
+            .position(|(l, _, _)| l.unique() == adt.unique())
         {
-            let (l, m) = self.held.swap_remove(pos);
+            let (l, m, site) = self.held.swap_remove(pos);
+            self.tele_release(site);
             l.unlock(m);
         }
     }
 
     /// Epilogue: `foreach(t : LOCAL_SET) t.unlockAll()`.
     pub fn unlock_all(&mut self) {
-        for (l, m) in self.held.drain(..) {
+        let id = self.id;
+        for (l, m, site) in self.held.drain(..) {
+            if telemetry::enabled() {
+                telemetry::set_context(id, site);
+            }
             l.unlock(m);
         }
     }

@@ -25,6 +25,7 @@
 //! their deadline.
 
 use crate::mode::{ModeId, ModeTable};
+use crate::telemetry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,9 +110,24 @@ impl Watchdog {
         &self.stats
     }
 
-    /// Record that a detected cycle was converted into an abort.
-    pub fn note_deadlock(&self) {
+    /// Record that a detected cycle was converted into an abort: `txn`
+    /// (the youngest member) gave up acquiring `mode` on `instance`;
+    /// `cycle` is the sorted member list that becomes the
+    /// [`crate::error::LockError::WouldDeadlock`] payload. With telemetry
+    /// on, the same data is recorded as a [`telemetry::CycleRecord`] so
+    /// the exported member list always matches the error payload.
+    pub fn note_deadlock(
+        &self,
+        txn: TxnId,
+        instance: u64,
+        mode: ModeId,
+        site: u32,
+        cycle: &[TxnId],
+    ) {
         self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::record_cycle(txn, instance, mode.0, site, cycle);
+        }
     }
 
     /// Find a waits-for cycle through `txn`, returning the sorted member

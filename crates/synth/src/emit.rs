@@ -242,6 +242,7 @@ mod tests {
             symset: None,
             keys: vec![],
             rendered: None,
+            stable_id: 0,
         });
         s.body.insert(
             0,

@@ -89,6 +89,7 @@ pub fn insert_locking(
                         symset: None,
                         keys: Vec::new(),
                         rendered: None,
+                        stable_id: 0,
                     });
                     entries.push((var, site));
                 }
@@ -114,7 +115,53 @@ pub fn insert_locking(
     out.body.push(Stmt::EpilogueUnlockAll { id: UNNUMBERED });
     out.sites = sites;
     out.renumber();
+    stamp_site_ids(&mut out);
     out
+}
+
+/// Stamp every lock site of `section` with its stable id: an FNV-1a
+/// content hash over `(section name, site index, class, rendered symbolic
+/// set)`. The hash depends only on the synthesized program — never on
+/// addresses, iteration order of hash maps, or wall time — so recompiling
+/// the same sections yields identical ids, and the runtime telemetry of
+/// one run attributes to the same sites as the next.
+///
+/// Called at the end of [`insert_locking`] (over the generic `+` sites)
+/// and again by the pipeline after §4 refinement, when the refined
+/// rendering is available and becomes part of the identity.
+pub fn stamp_site_ids(section: &mut AtomicSection) {
+    let name = section.name.clone();
+    for idx in 0..section.sites.len() {
+        let id = stable_site_id(&name, idx, &section.sites[idx]);
+        section.sites[idx].stable_id = id;
+    }
+}
+
+/// The stable id for one site (see [`stamp_site_ids`]). Never returns 0
+/// ("unstamped") or `u32::MAX` (the runtime telemetry's "no site"
+/// sentinel).
+pub fn stable_site_id(section: &str, index: usize, site: &LockSiteDecl) -> u32 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Field separator so ("ab","c") and ("a","bc") hash differently.
+        h ^= 0xff;
+        h.wrapping_mul(FNV_PRIME)
+    }
+    let mut h = FNV_OFFSET;
+    h = fold(h, section.as_bytes());
+    h = fold(h, &(index as u64).to_le_bytes());
+    h = fold(h, site.class.as_bytes());
+    h = fold(h, crate::emit::emit_site(site).as_bytes());
+    match (h ^ (h >> 32)) as u32 {
+        0 => 1,
+        u32::MAX => u32::MAX - 1,
+        v => v,
+    }
 }
 
 /// Rebuild a statement list, inserting the planned statements before each

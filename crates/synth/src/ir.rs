@@ -316,6 +316,13 @@ pub struct LockSiteDecl {
     /// (filled by the §4 refinement, which has the schema at hand); used
     /// by the pretty-printer.
     pub rendered: Option<String>,
+    /// Stable site identifier: a content hash over (section name, site
+    /// index, class, rendered symbolic set), stamped by
+    /// [`crate::insertion::stamp_site_ids`]. Deterministic across
+    /// compilations of the same program, so runtime contention telemetry
+    /// attributes back to the same IR lock site run over run. Zero means
+    /// "not yet stamped".
+    pub stable_id: u32,
 }
 
 impl AtomicSection {

@@ -1017,6 +1017,7 @@ mod tests {
             symset: None,
             keys: vec![],
             rendered: None,
+            stable_id: 0,
         });
         // Insert LV(set) before the size call inside the loop.
         fn insert_lv(stmts: &mut Vec<S>) {

@@ -123,6 +123,10 @@ impl Synthesizer {
             if self.refine {
                 refine_sites(&mut inst, graph.classes(), &registry);
             }
+            // Re-stamp stable site ids now that optimization/refinement
+            // have settled each site's final rendering (insert_locking
+            // stamped the generic `+` form).
+            crate::insertion::stamp_site_ids(&mut inst);
             out_sections.push(inst);
         }
 

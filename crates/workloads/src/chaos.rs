@@ -25,7 +25,7 @@
 //!    the instance; later acquirers observe [`LockError::Poisoned`] until
 //!    `clear_poison` (the driver recovers and counts each occurrence).
 
-use crate::synthesis::{cia_section, registry, runtime_site};
+use crate::synthesis::{cia_section, registry, runtime_site, stable_site};
 use adts::MapAdt;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +131,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         .synthesize(&[cia_section()]);
     let (site, class) = runtime_site(&out, "cia", "map");
     debug_assert_eq!(class, "Map");
+    let site_id = stable_site(&out, "cia", "map");
     let table = out.tables.table("Map").clone();
     let maps: Vec<ChaosMap> = (0..cfg.maps)
         .map(|_| ChaosMap {
@@ -152,6 +153,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 cfg,
                 table: &table,
                 site,
+                site_id,
                 maps: &maps,
                 plan: &plan,
                 totals: &totals,
@@ -210,6 +212,8 @@ struct Worker<'a> {
     cfg: &'a ChaosConfig,
     table: &'a Arc<ModeTable>,
     site: LockSiteId,
+    /// Stable telemetry site id of the section's map acquisition.
+    site_id: u32,
     maps: &'a [ChaosMap],
     plan: &'a FaultPlan,
     totals: &'a Totals,
@@ -291,6 +295,11 @@ impl Worker<'_> {
                         }
                     }
                 }
+                Ok(Err(e @ LockError::UnlockUnderflow { .. })) => {
+                    // `attempt` never double-unlocks; reaching here means
+                    // the runtime refused a release it should have granted.
+                    panic!("chaos surfaced an unexpected unlock underflow: {e}");
+                }
                 Err(payload) => {
                     if fault::injected(&*payload).is_none() {
                         // A genuine bug must fail the soak loudly.
@@ -315,6 +324,9 @@ impl Worker<'_> {
                     mode,
                     waited: Duration::ZERO,
                 });
+            }
+            if semlock::telemetry::enabled() {
+                semlock::telemetry::set_site(self.site_id);
             }
             txn.lv_deadline(&cm.lock, mode, deadline)?;
         }

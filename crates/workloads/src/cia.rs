@@ -12,7 +12,7 @@
 //! concurrent map).
 
 use crate::sync_kind::SyncKind;
-use crate::synthesis::{cia_section, registry, runtime_site};
+use crate::synthesis::{cia_section, registry, runtime_site, stable_site};
 use adts::MapAdt;
 use baselines::{GlobalLock, StripedLock, TplLock, TplTxn, V8Map};
 use rand::rngs::SmallRng;
@@ -43,6 +43,8 @@ pub struct ComputeIfAbsent {
     sem_lock: SemLock,
     sem_table: Arc<ModeTable>,
     sem_site: LockSiteId,
+    /// Stable telemetry site id of the section's map acquisition.
+    sem_site_id: u32,
     global: GlobalLock,
     tpl: TplLock,
     striped: StripedLock,
@@ -61,6 +63,7 @@ impl ComputeIfAbsent {
             .synthesize(&[cia_section()]);
         let (site, class) = runtime_site(&out, "cia", "map");
         debug_assert_eq!(class, "Map");
+        let site_id = stable_site(&out, "cia", "map");
         let table = out.tables.table("Map").clone();
         ComputeIfAbsent {
             kind,
@@ -70,6 +73,7 @@ impl ComputeIfAbsent {
             sem_lock: SemLock::new(table.clone()),
             sem_table: table,
             sem_site: site,
+            sem_site_id: site_id,
             global: GlobalLock::new(),
             tpl: TplLock::new(),
             striped: StripedLock::paper_default(),
@@ -101,6 +105,9 @@ impl ComputeIfAbsent {
                 // site's key environment, lock, run the section, unlock.
                 let mode = self.sem_table.select(self.sem_site, &[k]);
                 let mut txn = Txn::new();
+                if semlock::telemetry::enabled() {
+                    semlock::telemetry::set_site(self.sem_site_id);
+                }
                 txn.lv(&self.sem_lock, mode);
                 if !self.map.contains_key(k) {
                     self.map.put(k, compute_value(k));

@@ -89,6 +89,21 @@ pub fn ops_per_thread() -> u64 {
         .unwrap_or(50_000)
 }
 
+/// Apply the `SEMLOCK_TELEMETRY` environment toggle to the `semlock`
+/// telemetry layer: `1`/`true`/`on`/`yes` enables it, any other value
+/// disables it, and an unset variable leaves the current state alone.
+/// Returns whether telemetry is enabled afterwards.
+pub fn telemetry_from_env() -> bool {
+    match std::env::var("SEMLOCK_TELEMETRY") {
+        Ok(v) => {
+            let on = matches!(v.as_str(), "1" | "true" | "on" | "yes");
+            semlock::telemetry::set_enabled(on);
+            on
+        }
+        Err(_) => semlock::telemetry::enabled(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,6 +75,20 @@ pub fn runtime_site(
     (out.tables.site(section_name, idx), class)
 }
 
+/// Stable telemetry site id for `recv` in the named section: the content
+/// hash `synth::insertion::stamp_site_ids` stamped at compile time. Used
+/// by the native benchmark transactions to attribute their hand-written
+/// acquisitions to the same site the compiled output would.
+pub fn stable_site(out: &SynthOutput, section_name: &str, recv: &str) -> u32 {
+    let section = out
+        .sections
+        .iter()
+        .find(|s| s.name == section_name)
+        .unwrap_or_else(|| panic!("no section {section_name}"));
+    let idx = lock_site_of(section, recv);
+    section.sites[idx].stable_id
+}
+
 /// ComputeIfAbsent (§6.1): the pattern
 /// `if (!map.containsKey(key)) { value = …; map.put(key, value); }`.
 pub fn cia_section() -> AtomicSection {
