@@ -4,11 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use semlock::manager::SemLock;
+use semlock::mech::MechLayout;
 use semlock::mode::ModeTable;
 use semlock::phi::Phi;
 use semlock::symbolic::{Operation, SymArg, SymOp, SymbolicSet};
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::{AcquireSpec, WaitStrategy};
 use std::sync::Arc;
 
 fn cia_table(n: u16) -> (Arc<ModeTable>, semlock::mode::LockSiteId) {
@@ -32,6 +34,25 @@ fn bench_lock_uncontended(c: &mut Criterion) {
             lock.unlock(mode);
         })
     });
+    // The packed-vs-wide admission A/B: identical call shape, counter
+    // representation forced either way. The packed path is a single CAS;
+    // the wide path round-trips the internal mutex.
+    let packed = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Packed);
+    c.bench_function("semlock/admission_packed_uncontended", |b| {
+        b.iter(|| {
+            packed
+                .acquire(&AcquireSpec::new(mode))
+                .expect("uncontended");
+            packed.unlock(mode);
+        })
+    });
+    let wide = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Wide);
+    c.bench_function("semlock/admission_wide_uncontended", |b| {
+        b.iter(|| {
+            wide.acquire(&AcquireSpec::new(mode)).expect("uncontended");
+            wide.unlock(mode);
+        })
+    });
 }
 
 fn bench_txn_overhead(c: &mut Criterion) {
@@ -42,6 +63,14 @@ fn bench_txn_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut txn = Txn::new();
             txn.lv(&lock, mode);
+            txn.unlock_all();
+        })
+    });
+    c.bench_function("semlock/txn_acquire_unlock_all", |b| {
+        b.iter(|| {
+            let mut txn = Txn::new();
+            txn.acquire(&lock, &AcquireSpec::new(mode))
+                .expect("uncontended");
             txn.unlock_all();
         })
     });

@@ -1,27 +1,32 @@
-//! Machine-readable benchmark runner: emits `BENCH_PR3.json` with
-//! micro-benchmark latencies (telemetry off vs on), workload throughput
-//! sweeps, lock-contention counters, and telemetry summaries.
+//! Machine-readable benchmark runner: emits `BENCH_PR4.json` with
+//! micro-benchmark latencies (telemetry off vs on), the packed-vs-wide
+//! admission A/B, workload throughput sweeps, lock-contention counters,
+//! and telemetry summaries.
 //!
 //! ```text
-//! cargo run --release --bin bench_json -- --out BENCH_PR3.json
+//! cargo run --release --bin bench_json -- --out BENCH_PR4.json
 //! cargo run --release --bin bench_json -- --ops 5000 --threads 1,4 \
-//!     --against BENCH_PR3.json --tolerance 0.10
+//!     --against BENCH_PR3.json --against BENCH_PR4.json --tolerance 0.10
 //! ```
 //!
-//! With `--against`, the telemetry-off micro benches are compared to the
-//! baseline file and the process exits non-zero if any regresses by more
-//! than `--tolerance` (default 10%). Comparison uses `rel` — each
-//! latency normalized by an in-process arithmetic calibration loop — so
-//! the gate is about the runtime's relative cost, not the machine CI
-//! happens to land on.
+//! With `--against` (repeatable), the telemetry-off micro benches are
+//! compared to each baseline file and the process exits non-zero if any
+//! regresses by more than `--tolerance` (default 10%). Comparison uses
+//! `rel` — each latency normalized by an in-process arithmetic
+//! calibration loop — so the gate is about the runtime's relative cost,
+//! not the machine CI happens to land on. Baselines only gate micro
+//! names they contain, so an older baseline (PR 3) and a newer one
+//! (PR 4, which adds the admission A/B entries) compose.
 
 use semlock::manager::SemLock;
+use semlock::mech::MechLayout;
 use semlock::mode::ModeTable;
 use semlock::phi::Phi;
 use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
 use semlock::telemetry;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::{AcquireSpec, WaitStrategy};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,7 +37,7 @@ struct Config {
     ops: u64,
     threads: Vec<usize>,
     out: Option<String>,
-    against: Option<String>,
+    against: Vec<String>,
     tolerance: f64,
     telemetry_workloads: bool,
 }
@@ -40,7 +45,7 @@ struct Config {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_json [--ops N] [--threads 1,2,4] [--out FILE] \
-         [--against FILE] [--tolerance F] [--telemetry]"
+         [--against FILE]... [--tolerance F] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -50,7 +55,7 @@ fn parse_args() -> Config {
         ops: 20_000,
         threads: vec![1, 2, 4],
         out: None,
-        against: None,
+        against: Vec::new(),
         tolerance: 0.10,
         telemetry_workloads: false,
     };
@@ -73,7 +78,7 @@ fn parse_args() -> Config {
                 }
             }
             "--out" => cfg.out = Some(val(&mut args)),
-            "--against" => cfg.against = Some(val(&mut args)),
+            "--against" => cfg.against.push(val(&mut args)),
             "--tolerance" => cfg.tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--telemetry" => cfg.telemetry_workloads = true,
             _ => usage(),
@@ -124,10 +129,64 @@ fn calibrate() -> f64 {
     })
 }
 
+/// One timed pass (no median): the admission A/B takes min-of-N over
+/// *interleaved* passes instead, so frequency drift hits both sides.
+fn one_pass_ns<F: FnMut()>(iters: u64, op: &mut F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
 struct MicroResult {
     name: &'static str,
     off_ns: f64,
     on_ns: f64,
+}
+
+/// Uncontended-admission A/B: the same `acquire`/`unlock` loop against
+/// two instances of the same mode table, one forced to the packed-word
+/// counter representation (single-CAS fast path), one forced to the
+/// counters-under-mutex representation. `ROUNDS` alternating
+/// packed/wide passes, min per side — the headline number the PR 4
+/// acceptance gate checks (`packed_rel <= wide_rel` within tolerance).
+struct AdmissionAb {
+    rounds: u32,
+    packed_ns: f64,
+    wide_ns: f64,
+}
+
+fn run_admission_ab(ops: u64) -> AdmissionAb {
+    const ROUNDS: u32 = 8;
+    let (table, site) = cia_table(64);
+    let mode = table.select(site, &[Value(7)]);
+    // `MechLayout::Packed` (not `Auto`) so the build asserts every
+    // partition really fits the packed word — an Auto that silently fell
+    // back to wide would make the A/B compare wide against wide.
+    let packed = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Packed);
+    let wide = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Wide);
+    let spec = AcquireSpec::new(mode);
+    let iters = ops.max(1000);
+    let pass = |lock: &SemLock| {
+        one_pass_ns(iters, &mut || {
+            lock.acquire(&spec).expect("uncontended admission");
+            lock.unlock(mode);
+        })
+    };
+    // Warm both sides once before timing.
+    pass(&packed);
+    pass(&wide);
+    let (mut packed_ns, mut wide_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        packed_ns = packed_ns.min(pass(&packed));
+        wide_ns = wide_ns.min(pass(&wide));
+    }
+    AdmissionAb {
+        rounds: ROUNDS,
+        packed_ns,
+        wide_ns,
+    }
 }
 
 fn run_micros(ops: u64) -> Vec<MicroResult> {
@@ -335,13 +394,14 @@ fn fmt_f(v: f64) -> String {
 fn render_json(
     cal: f64,
     micros: &[MicroResult],
+    admission: &AdmissionAb,
     workloads: &[WorkloadResult],
     cfg: &Config,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"semlock-bench/v1\",\n");
-    out.push_str("  \"pr\": 3,\n");
+    out.push_str("  \"pr\": 4,\n");
     let threads: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
     let _ = writeln!(
         out,
@@ -372,6 +432,22 @@ fn render_json(
         );
     }
     out.push_str("  ],\n");
+    // The admission A/B is gated on its *ratio* (packed vs wide measured
+    // back-to-back in the same process), not on calibration-normalized
+    // `rel`: an interleaved same-moment comparison is immune to the
+    // machine-speed drift that makes absolute admission latencies too
+    // noisy for a 10% cross-run gate.
+    let _ = writeln!(
+        out,
+        "  \"admission\": {{\"rounds\": {}, \"packed_ns_per_op\": {}, \"wide_ns_per_op\": {}, \
+         \"packed_rel\": {}, \"wide_rel\": {}, \"packed_over_wide\": {}}},",
+        admission.rounds,
+        fmt_f(admission.packed_ns),
+        fmt_f(admission.wide_ns),
+        fmt_f(admission.packed_ns / cal),
+        fmt_f(admission.wide_ns / cal),
+        fmt_f(admission.packed_ns / admission.wide_ns)
+    );
     out.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         let tel = match &w.telemetry {
@@ -429,43 +505,77 @@ fn parse_baseline_micros(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn check_regressions(cfg: &Config, cal: f64, micros: &[MicroResult]) -> bool {
-    let Some(path) = &cfg.against else {
-        return true;
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench_json: cannot read baseline {path}: {e}");
-            return false;
-        }
-    };
-    let baseline = parse_baseline_micros(&text);
-    if baseline.is_empty() {
-        eprintln!("bench_json: baseline {path} has no telemetry-off micro entries");
-        return false;
-    }
+/// Every telemetry-off micro this run produced, as `(name, rel)`. The
+/// admission A/B is deliberately absent: it is gated by ratio (see
+/// [`check_admission`]), not against checked-in absolute values.
+fn measured_rels(cal: f64, micros: &[MicroResult]) -> Vec<(String, f64)> {
+    micros
+        .iter()
+        .map(|m| (m.name.to_string(), m.off_ns / cal))
+        .collect()
+}
+
+fn check_regressions(cfg: &Config, measured: &[(String, f64)]) -> bool {
     let mut ok = true;
-    for (name, base_rel) in &baseline {
-        let Some(m) = micros.iter().find(|m| m.name == name.as_str()) else {
-            eprintln!("bench_json: baseline micro {name} no longer measured");
+    for path in &cfg.against {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_json: cannot read baseline {path}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let baseline = parse_baseline_micros(&text);
+        if baseline.is_empty() {
+            eprintln!("bench_json: baseline {path} has no telemetry-off micro entries");
             ok = false;
             continue;
-        };
-        let rel = m.off_ns / cal;
-        let limit = base_rel * (1.0 + cfg.tolerance);
-        if rel > limit {
-            eprintln!(
-                "bench_json: REGRESSION {name}: rel {rel:.3} > baseline {base_rel:.3} \
-                 (+{:.1}% allowed)",
-                cfg.tolerance * 100.0
-            );
-            ok = false;
-        } else {
-            eprintln!("bench_json: {name}: rel {rel:.3} vs baseline {base_rel:.3} — ok");
+        }
+        for (name, base_rel) in &baseline {
+            let Some((_, rel)) = measured.iter().find(|(n, _)| n == name) else {
+                eprintln!("bench_json: baseline micro {name} no longer measured");
+                ok = false;
+                continue;
+            };
+            let limit = base_rel * (1.0 + cfg.tolerance);
+            if *rel > limit {
+                eprintln!(
+                    "bench_json: REGRESSION {name}: rel {rel:.3} > baseline {base_rel:.3} \
+                     (+{:.1}% allowed) [{path}]",
+                    cfg.tolerance * 100.0
+                );
+                ok = false;
+            } else {
+                eprintln!("bench_json: {name}: rel {rel:.3} vs baseline {base_rel:.3} — ok");
+            }
         }
     }
     ok
+}
+
+/// PR 4 acceptance: the packed-word admission path must be at or below
+/// the counters-under-mutex path on the uncontended micro (min-of-N
+/// interleaved A/B), within the regression tolerance for noise headroom.
+fn check_admission(cfg: &Config, admission: &AdmissionAb) -> bool {
+    let ratio = admission.packed_ns / admission.wide_ns;
+    if ratio > 1.0 + cfg.tolerance {
+        eprintln!(
+            "bench_json: ADMISSION REGRESSION: packed {:.1} ns vs wide {:.1} ns \
+             (ratio {ratio:.3} > {:.3})",
+            admission.packed_ns,
+            admission.wide_ns,
+            1.0 + cfg.tolerance
+        );
+        false
+    } else {
+        eprintln!(
+            "bench_json: admission A/B: packed {:.1} ns, wide {:.1} ns \
+             (ratio {ratio:.3}, min of {} interleaved rounds) — ok",
+            admission.packed_ns, admission.wide_ns, admission.rounds
+        );
+        true
+    }
 }
 
 fn main() {
@@ -483,8 +593,9 @@ fn main() {
             (m.on_ns - m.off_ns) / m.off_ns * 100.0
         );
     }
+    let admission = run_admission_ab(cfg.ops);
     let workloads = run_workloads(&cfg);
-    let json = render_json(cal, &micros, &workloads, &cfg);
+    let json = render_json(cal, &micros, &admission, &workloads, &cfg);
     match &cfg.out {
         Some(path) => {
             std::fs::write(path, &json).expect("write output file");
@@ -492,7 +603,9 @@ fn main() {
         }
         None => print!("{json}"),
     }
-    if !check_regressions(&cfg, cal, &micros) {
+    let measured = measured_rels(cal, &micros);
+    let ok = check_admission(&cfg, &admission) & check_regressions(&cfg, &measured);
+    if !ok {
         std::process::exit(1);
     }
 }

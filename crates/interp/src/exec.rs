@@ -30,6 +30,7 @@
 
 use crate::env::{Env, SharedAdt};
 use baselines::BinaryLock;
+use semlock::acquire::AcquireSpec;
 use semlock::error::LockError;
 use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
 use semlock::mode::ModeId;
@@ -40,7 +41,7 @@ use semlock::value::Value;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use synth::ir::{AtomicSection, Expr, Stmt};
 
 /// Synchronization strategy for executing atomic sections.
@@ -463,16 +464,19 @@ impl Interp {
                 if telemetry::enabled() {
                     telemetry::set_context(st.txn, site_id);
                 }
+                // The interpreter manages its own transaction state (ids,
+                // held set), so it routes through the unified SemLock
+                // acquisition entry points rather than `Txn::acquire`.
                 if let Some(timeout) = self.lock_timeout {
                     let held: Vec<(u64, ModeId)> = st
                         .held_sem
                         .iter()
                         .map(|(a, m, _)| (a.sem().unique(), *m))
                         .collect();
-                    adt.sem()
-                        .lock_deadline(mode, Instant::now() + timeout, st.txn, &held)?;
+                    let spec = AcquireSpec::new(mode).timeout(timeout);
+                    adt.sem().acquire_as(&spec, st.txn, &held)?;
                 } else {
-                    adt.sem().lock(mode);
+                    adt.sem().acquire(&AcquireSpec::new(mode))?;
                 }
                 if let Some(c) = &self.checker {
                     c.on_lock(st.txn, adt.id, mode);
@@ -761,7 +765,7 @@ mod tests {
             let keys = vec![Value(1)];
             table.select(site, &keys)
         };
-        adt.sem().lock(mode);
+        adt.sem().acquire(&AcquireSpec::new(mode)).unwrap();
         let interp = Arc::new(
             Interp::new(env.clone(), Strategy::Semantic)
                 .with_lock_timeout(Duration::from_millis(25)),

@@ -14,7 +14,13 @@ use std::fmt;
 use std::time::Duration;
 
 /// Why a bounded lock acquisition failed.
+///
+/// `#[non_exhaustive]`: future runtime features (e.g. cancellation or
+/// admission-quota failures) may add variants, so downstream matches keep a
+/// wildcard arm rather than calcifying the current failure taxonomy into
+/// the API.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LockError {
     /// The deadline elapsed before the requested mode could be admitted
     /// (all conflicting holders kept their modes for the whole wait).

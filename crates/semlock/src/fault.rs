@@ -8,6 +8,11 @@
 //! the plan through every boundary; soak tests then assert the runtime's
 //! global invariants survive every injected schedule.
 //!
+//! Boundary decisions are made by the *callers*, before the runtime entry
+//! point is invoked — so they fire identically whether the acquisition
+//! then takes the lock-free admission fast path or parks on the slow path
+//! ([`crate::mech`]): the fast path cannot skip an injected fault.
+//!
 //! Injected panics carry an [`InjectedPanic`] payload so harnesses can tell
 //! them apart from genuine bugs and re-raise the latter.
 

@@ -78,6 +78,7 @@
 
 #![warn(missing_docs)]
 
+pub mod acquire;
 pub mod commut;
 pub mod error;
 pub mod fault;
@@ -95,8 +96,20 @@ pub mod txn;
 pub mod value;
 pub mod watchdog;
 
+// The acquisition surface at the crate root: everything a caller needs to
+// take and release modes without reaching into submodules. (The
+// schema/spec/synthesis machinery stays behind its modules — that surface
+// is compiler-facing, not caller-facing.)
+pub use crate::acquire::{AcquireSpec, WaitBudget};
+pub use crate::error::{LockError, LockResult};
+pub use crate::manager::SemLock;
+pub use crate::mech::WaitStrategy;
+pub use crate::mode::ModeId;
+pub use crate::txn::Txn;
+
 /// Convenient re-exports of the most used types.
 pub mod prelude {
+    pub use crate::acquire::{AcquireSpec, WaitBudget};
     pub use crate::error::{LockError, LockResult};
     pub use crate::fault::{FaultAction, FaultPlan, FaultPoint};
     pub use crate::manager::SemLock;

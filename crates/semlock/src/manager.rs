@@ -7,8 +7,9 @@
 //! for the dynamic ordering of same-equivalence-class acquisitions
 //! (`unique(x)` in Fig. 12) and by the protocol checker.
 
+use crate::acquire::{AcquireSpec, WaitBudget};
 use crate::error::LockError;
-use crate::mech::{Acquire, Mech, Wait, WaitStrategy};
+use crate::mech::{Acquire, Mech, MechLayout, Wait, WaitStrategy};
 use crate::mode::{ModeId, ModePlacement, ModeTable};
 use crate::telemetry::{self, EventKind, WaitCause};
 use crate::watchdog::{self, TxnId};
@@ -38,6 +39,16 @@ pub fn poison_events() -> u64 {
     POISON_EVENTS.load(Ordering::Relaxed)
 }
 
+/// Stage at which an unbounded acquisition detected poisoning — decides
+/// which of the two panic messages the infallible [`SemLock::lock`] keeps.
+enum PoisonStage {
+    /// Poisoned before admission was attempted.
+    Entry,
+    /// Poisoned by a holder while this acquisition waited (the admission
+    /// has already been rolled back when this is returned).
+    AfterWait,
+}
+
 /// The semantic lock of one ADT instance.
 pub struct SemLock {
     table: Arc<ModeTable>,
@@ -58,10 +69,21 @@ impl SemLock {
 
     /// Create with an explicit wait strategy (used by the ablation bench).
     pub fn with_strategy(table: Arc<ModeTable>, strategy: WaitStrategy) -> SemLock {
+        SemLock::with_mech_layout(table, strategy, MechLayout::Auto)
+    }
+
+    /// Create with an explicit counter representation per mechanism. Only
+    /// the equivalence tests and the packed-vs-wide A/B benchmark force a
+    /// layout; [`MechLayout::Auto`] is right everywhere else.
+    pub fn with_mech_layout(
+        table: Arc<ModeTable>,
+        strategy: WaitStrategy,
+        layout: MechLayout,
+    ) -> SemLock {
         let mechs = table
             .partition_sizes()
             .iter()
-            .map(|&sz| Mech::new(sz as usize, strategy))
+            .map(|&sz| Mech::with_layout(sz as usize, strategy, layout))
             .collect();
         SemLock {
             table,
@@ -86,49 +108,74 @@ impl SemLock {
     ///
     /// Panics if the instance is poisoned — the infallible API has no error
     /// channel, and proceeding onto possibly-torn state would be worse. Use
-    /// [`SemLock::try_lock_checked`] or [`SemLock::lock_deadline`] to
-    /// observe poisoning as a structured [`LockError::Poisoned`].
+    /// [`SemLock::lock_checked`] (or [`SemLock::acquire`]) to observe
+    /// poisoning as a structured [`LockError::Poisoned`] instead.
     pub fn lock(&self, mode: ModeId) {
+        if let Err(stage) = self.lock_impl(mode) {
+            match stage {
+                PoisonStage::Entry => self.panic_poisoned_at_entry(),
+                PoisonStage::AfterWait => self.panic_poisoned_while_waiting(),
+            }
+        }
+    }
+
+    /// Unbounded acquisition with a structured error channel: identical to
+    /// [`SemLock::lock`] except that a poisoned instance is reported as
+    /// [`LockError::Poisoned`] rather than a panic. This is what
+    /// [`SemLock::acquire`] compiles an unbounded [`AcquireSpec`] down to.
+    pub fn lock_checked(&self, mode: ModeId) -> Result<(), LockError> {
+        self.lock_impl(mode)
+            .map_err(|_| LockError::Poisoned { instance: self.id })
+    }
+
+    /// Shared core of [`SemLock::lock`]/[`SemLock::lock_checked`]. The
+    /// error distinguishes *when* poisoning was detected so the infallible
+    /// wrapper can keep its two distinct panic messages.
+    #[inline]
+    fn lock_impl(&self, mode: ModeId) -> Result<(), PoisonStage> {
         // The traced variant is outlined and `#[cold]` so that with
         // telemetry off this body stays as small as the pre-telemetry
         // code and keeps inlining into callers; the whole disabled-path
-        // cost is the one relaxed load + branch.
+        // cost is the one relaxed load + branch. On the packed-word
+        // mechanism the uncontended body below is: poison load, placement
+        // lookup, one admission CAS, poison re-check — no mutex.
         if telemetry::enabled() {
-            return self.lock_traced(mode);
+            return self.lock_impl_traced(mode);
         }
         if self.is_poisoned() {
-            self.panic_poisoned_at_entry();
+            return Err(PoisonStage::Entry);
         }
         let p = self.table.placement(mode);
         if p.free {
-            return; // commutes with everything: admission can never fail
+            return Ok(()); // commutes with everything: admission can never fail
         }
-        self.mechs[p.part as usize].lock(p.local, &p.local_conflicts);
+        self.mechs[p.part as usize].lock(p.local, p.conflicts());
         // Re-check after admission: the instance may have been poisoned by
         // a holder that panicked while we were blocked.
         if self.is_poisoned() {
             let _ = self.mechs[p.part as usize].unlock(p.local);
-            self.panic_poisoned_while_waiting();
+            return Err(PoisonStage::AfterWait);
         }
+        Ok(())
     }
 
-    /// [`SemLock::lock`] with telemetry recording.
+    /// [`SemLock::lock_impl`] with telemetry recording.
     #[cold]
-    fn lock_traced(&self, mode: ModeId) {
+    fn lock_impl_traced(&self, mode: ModeId) -> Result<(), PoisonStage> {
         let ctx = telemetry::take_context();
         let t0 = Instant::now();
         self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
         if self.is_poisoned() {
             self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
-            self.panic_poisoned_at_entry();
+            return Err(PoisonStage::Entry);
         }
         let p = self.table.placement(mode);
         if p.free {
             self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
-            return;
+            return Ok(());
         }
         self.tele_sample_conflicts(ctx, mode, p);
-        let waited = self.mechs[p.part as usize].lock(p.local, &p.local_conflicts);
+        let waited = self.mechs[p.part as usize].lock(p.local, p.conflicts());
         if self.is_poisoned() {
             let _ = self.mechs[p.part as usize].unlock(p.local);
             self.tele(
@@ -138,7 +185,7 @@ impl SemLock {
                 mode,
                 elapsed_ns(t0),
             );
-            self.panic_poisoned_while_waiting();
+            return Err(PoisonStage::AfterWait);
         }
         let (cause, wait) = if waited {
             (WaitCause::Conflict, elapsed_ns(t0))
@@ -146,6 +193,49 @@ impl SemLock {
             (WaitCause::Uncontended, 0)
         };
         self.tele(EventKind::Admit, cause, ctx, mode, wait);
+        Ok(())
+    }
+
+    /// The unified acquisition entry point: compiles an [`AcquireSpec`]
+    /// down to the matching fixed-shape path. `lock`, `try_lock_checked`
+    /// and `lock_deadline` are the specialized forms this generalizes; all
+    /// behave identically to the equivalent spec.
+    ///
+    /// A bounded spec with the watchdog enabled registers under a fresh
+    /// transaction id holding nothing — right for standalone (non-[`crate::txn::Txn`])
+    /// acquisitions, which cannot be part of a waits-for cycle through
+    /// other instances. Acquisitions inside a transaction go through
+    /// [`crate::txn::Txn::acquire`], which routes here via
+    /// [`SemLock::acquire_as`] with its real id and held set.
+    pub fn acquire(&self, spec: &AcquireSpec) -> Result<(), LockError> {
+        match spec.wait {
+            WaitBudget::Forever => self.lock_checked(spec.mode),
+            WaitBudget::DontWait => self.try_lock_checked(spec.mode),
+            WaitBudget::Until(deadline) => self.lock_deadline_impl(
+                spec.mode,
+                deadline,
+                crate::txn::next_txn_id(),
+                &[],
+                spec.watchdog,
+            ),
+        }
+    }
+
+    /// [`SemLock::acquire`] on behalf of transaction `txn` already holding
+    /// `held` — the watchdog-aware form [`crate::txn::Txn::acquire`] uses.
+    pub fn acquire_as(
+        &self,
+        spec: &AcquireSpec,
+        txn: TxnId,
+        held: &[(u64, ModeId)],
+    ) -> Result<(), LockError> {
+        match spec.wait {
+            WaitBudget::Forever => self.lock_checked(spec.mode),
+            WaitBudget::DontWait => self.try_lock_checked(spec.mode),
+            WaitBudget::Until(deadline) => {
+                self.lock_deadline_impl(spec.mode, deadline, txn, held, spec.watchdog)
+            }
+        }
     }
 
     #[cold]
@@ -190,7 +280,7 @@ impl SemLock {
         if p.free {
             return Ok(());
         }
-        if self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts) {
+        if self.mechs[p.part as usize].try_lock(p.local, p.conflicts()) {
             if self.is_poisoned() {
                 let _ = self.mechs[p.part as usize].unlock(p.local);
                 return Err(LockError::Poisoned { instance: self.id });
@@ -219,7 +309,7 @@ impl SemLock {
             self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
             return Ok(());
         }
-        if self.mechs[p.part as usize].try_lock(p.local, &p.local_conflicts) {
+        if self.mechs[p.part as usize].try_lock(p.local, p.conflicts()) {
             if self.is_poisoned() {
                 let _ = self.mechs[p.part as usize].unlock(p.local);
                 self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
@@ -255,6 +345,22 @@ impl SemLock {
         txn: TxnId,
         held: &[(u64, ModeId)],
     ) -> Result<(), LockError> {
+        self.lock_deadline_impl(mode, deadline, txn, held, true)
+    }
+
+    /// [`SemLock::lock_deadline`] with the watchdog participation made
+    /// explicit ([`AcquireSpec::no_watchdog`]): with `watchdog` false the
+    /// wait still times out at its deadline but never registers in the
+    /// waits-for graph, so it can neither sight a cycle nor be aborted as
+    /// one's victim.
+    fn lock_deadline_impl(
+        &self,
+        mode: ModeId,
+        deadline: Instant,
+        txn: TxnId,
+        held: &[(u64, ModeId)],
+        watchdog: bool,
+    ) -> Result<(), LockError> {
         let tel = telemetry::enabled();
         let mut ctx = (txn, telemetry::SITE_NONE);
         if tel {
@@ -284,9 +390,12 @@ impl SemLock {
         let mut abort_cycle: Vec<TxnId> = Vec::new();
         let outcome = self.mechs[p.part as usize].lock_deadline(
             p.local,
-            &p.local_conflicts,
+            p.conflicts(),
             deadline,
             &mut || {
+                if !watchdog {
+                    return Wait::Continue;
+                }
                 if !registered {
                     wd.register(txn, self.id, mode, self.table.clone(), held.to_vec());
                     registered = true;

@@ -1,11 +1,53 @@
-//! The per-partition locking mechanism of Fig. 20.
+//! The per-partition locking mechanism of Fig. 20, with a lock-free
+//! admission fast path.
 //!
-//! Each locking mode is represented by an atomic counter holding the number
-//! of transactions currently holding the ADT in that mode. A transaction may
+//! Each locking mode is represented by a hold counter: the number of
+//! transactions currently holding the ADT in that mode. A transaction may
 //! acquire mode `l` only when no conflicting mode `l'` (one with
-//! `F_c(l, l') = false`) has a positive counter; the check-and-increment is
-//! made atomic by a short internal lock, exactly as in the paper's pseudo
-//! code. Two waiting strategies are provided:
+//! `F_c(l, l') = false`) has a positive counter. The paper makes the
+//! check-and-increment atomic with "a short internal lock"; this module
+//! keeps that scheme as the *wide* fallback but serves partitions with at
+//! most [`PACKED_MODE_LIMIT`] modes — every shipped ADT schema — from a
+//! **packed word**: all hold counts live in one `AtomicU64` (eight 7-bit
+//! fields plus a waiter-summary bit), and admission is a single CAS that
+//! checks the conflicting-mode mask and increments the local count in one
+//! try-update. Uncontended acquire and release never touch the internal
+//! mutex; it exists only to park conflicted waiters and to hand off
+//! wakeups on release.
+//!
+//! ## Packed-word layout
+//!
+//! ```text
+//! bit 63  bits 56..63    bits 49..56   ...   bits 7..14   bits 0..7
+//! WAITERS (reserved)     count[7]            count[1]     count[0]
+//! ```
+//!
+//! Each count field is [`FIELD_BITS`] = 7 bits wide, so one mode supports
+//! up to 127 simultaneous holders; an admission that would overflow the
+//! field parks until a release frees capacity (it can never corrupt a
+//! neighbouring field). The `WAITERS` bit mirrors "at least one thread is
+//! parked on the condvar"; because it lives in the same word as the
+//! counts, a releaser learns about waiters from the very CAS that
+//! publishes its decrement — no separate flag load, and no `SeqCst`
+//! fences: the word's single modification order settles every
+//! check-vs-decrement race (see the release protocol below).
+//!
+//! ## Release / wakeup protocol (no lost wakeups)
+//!
+//! A parking waiter, holding the internal mutex, first sets `WAITERS`
+//! (`fetch_or` on the word), then re-checks admission, then parks on the
+//! condvar. A releaser CAS-decrements its count field and, if the value it
+//! wrote still carries `WAITERS`, takes the internal mutex and
+//! `notify_all`s. Both operations target the same atomic word, so they are
+//! totally ordered: if the release lands *before* the waiter's `fetch_or`,
+//! the waiter's re-check (a later access of the same word, ordered by
+//! coherence) observes the freed count and admits without parking; if it
+//! lands *after*, the releaser observes the bit and takes the mutex —
+//! which the waiter holds until it is safely inside `condvar.wait` — so
+//! the notification cannot slip into the window between the waiter's
+//! re-check and its park.
+//!
+//! Two waiting strategies are provided:
 //!
 //! * [`WaitStrategy::Block`] — waiters sleep on a condvar and are woken by
 //!   the releasing transaction. This is the default: it behaves well on
@@ -28,6 +70,95 @@ pub enum WaitStrategy {
     Spin,
 }
 
+/// Which counter representation a [`Mech`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum MechLayout {
+    /// Pick automatically: packed when the partition has at most
+    /// [`PACKED_MODE_LIMIT`] modes, wide otherwise.
+    #[default]
+    Auto,
+    /// Force the packed single-word representation (panics at construction
+    /// if the partition is too wide).
+    Packed,
+    /// Force the counters-under-mutex fallback (used by the equivalence
+    /// tests and the A/B benchmark; never required for correctness).
+    Wide,
+}
+
+/// Largest partition the packed single-word representation can serve.
+pub const PACKED_MODE_LIMIT: usize = 8;
+
+/// Width of one packed hold-count field.
+pub const FIELD_BITS: u32 = 7;
+
+/// Largest hold count one packed field can represent (admissions beyond
+/// this park until a release frees capacity).
+pub const FIELD_MAX: u64 = (1 << FIELD_BITS) - 1;
+
+/// Waiter-summary bit: set while at least one thread is parked on the
+/// condvar, so releasers know to take the internal mutex and notify.
+const WAITERS_BIT: u64 = 1 << 63;
+
+#[inline]
+fn field_shift(local: u32) -> u32 {
+    local * FIELD_BITS
+}
+
+#[inline]
+fn field_of(word: u64, local: u32) -> u64 {
+    (word >> field_shift(local)) & FIELD_MAX
+}
+
+/// The packed-word field mask covering the given conflicting local modes:
+/// `word & mask != 0` iff some conflicting mode has a positive count.
+/// Meaningful only for partitions within [`PACKED_MODE_LIMIT`]; wider
+/// partitions never consult the mask.
+pub fn packed_conflict_mask(locals: &[u32]) -> u64 {
+    locals
+        .iter()
+        .filter(|&&c| (c as usize) < PACKED_MODE_LIMIT)
+        .fold(0, |m, &c| m | (FIELD_MAX << field_shift(c)))
+}
+
+/// The conflict set of one mode: the local indices of the modes it does
+/// not commute with, plus the precomputed packed-word mask over them.
+///
+/// [`crate::mode::ModePlacement`] precomputes and stores both at table
+/// build time so the admission fast path performs zero per-acquire setup;
+/// ad-hoc callers (tests, benches) build one with [`ConflictSet::new`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConflictSet<'a> {
+    locals: &'a [u32],
+    mask: u64,
+}
+
+impl<'a> ConflictSet<'a> {
+    /// Build a conflict set, computing the packed mask from the locals.
+    pub fn new(locals: &'a [u32]) -> ConflictSet<'a> {
+        ConflictSet {
+            locals,
+            mask: packed_conflict_mask(locals),
+        }
+    }
+
+    /// Rehydrate from parts precomputed at mode-table build time.
+    pub fn from_parts(locals: &'a [u32], mask: u64) -> ConflictSet<'a> {
+        debug_assert_eq!(mask, packed_conflict_mask(locals));
+        ConflictSet { locals, mask }
+    }
+
+    /// The conflicting local mode indices.
+    pub fn locals(&self) -> &'a [u32] {
+        self.locals
+    }
+
+    /// The packed-word field mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+}
+
 /// Contention statistics for one mechanism (relaxed counters; cheap enough
 /// to keep always on — they are read by the benchmark harness to report
 /// admission concurrency).
@@ -35,7 +166,9 @@ pub enum WaitStrategy {
 pub struct MechStats {
     /// Total successful acquisitions.
     pub acquisitions: AtomicU64,
-    /// Acquisitions that had to wait at least once.
+    /// Acquisitions that had to wait (parked or spun) at least once. An
+    /// acquisition that parks several times before admission still counts
+    /// once.
     pub contended: AtomicU64,
     /// Bounded acquisitions that gave up at their deadline.
     pub timeouts: AtomicU64,
@@ -46,6 +179,7 @@ pub struct MechStats {
 
 /// Outcome of a bounded acquisition ([`Mech::lock_deadline`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum Acquire {
     /// The mode was taken.
     Acquired,
@@ -69,25 +203,62 @@ pub enum Wait {
 /// bounds detection latency without touching the uncontended path.
 pub const PROBE_INTERVAL: Duration = Duration::from_millis(2);
 
+/// The two counter representations (see the module docs).
+enum Counts {
+    /// All hold counts in one word; admission is a lock-free CAS.
+    Packed(AtomicU64),
+    /// One counter per mode; check-and-increment under the internal mutex
+    /// (the paper's Fig. 20 scheme, kept for partitions wider than
+    /// [`PACKED_MODE_LIMIT`]).
+    Wide(Box<[AtomicU32]>),
+}
+
 /// One locking mechanism: the counters for the modes of one partition.
 pub struct Mech {
-    /// `C_l` of Fig. 20, indexed by the mode's local index in the partition.
-    counts: Box<[AtomicU32]>,
-    /// The internal lock making check-and-increment atomic.
+    /// `C_l` of Fig. 20 in one of two representations.
+    counts: Counts,
+    /// Parking lot for conflicted waiters. The packed path takes this only
+    /// to park and to hand off wakeups; the wide path also serializes its
+    /// check-and-increment here.
     internal: Mutex<()>,
     cond: Condvar,
-    /// Number of threads currently blocked waiting; lets the unlocker skip
-    /// the internal lock when nobody is waiting.
+    /// Number of threads currently parked. In the packed representation
+    /// this backs the `WAITERS` summary bit (set on 0→1, cleared on 1→0,
+    /// both under `internal`); in the wide representation the unlocker
+    /// reads it directly to skip the mutex when nobody waits.
     waiters: AtomicU32,
     strategy: WaitStrategy,
     stats: MechStats,
 }
 
 impl Mech {
-    /// Create a mechanism for a partition with `modes` locking modes.
+    /// Create a mechanism for a partition with `modes` locking modes,
+    /// automatically choosing the packed representation when it fits.
     pub fn new(modes: usize, strategy: WaitStrategy) -> Mech {
+        Mech::with_layout(modes, strategy, MechLayout::Auto)
+    }
+
+    /// Create with an explicit counter representation (tests and the A/B
+    /// benchmark; [`MechLayout::Auto`] is right everywhere else).
+    pub fn with_layout(modes: usize, strategy: WaitStrategy, layout: MechLayout) -> Mech {
+        let packed = match layout {
+            MechLayout::Auto => modes <= PACKED_MODE_LIMIT,
+            MechLayout::Packed => {
+                assert!(
+                    modes <= PACKED_MODE_LIMIT,
+                    "packed layout supports at most {PACKED_MODE_LIMIT} modes, got {modes}"
+                );
+                true
+            }
+            MechLayout::Wide => false,
+        };
+        let counts = if packed {
+            Counts::Packed(AtomicU64::new(0))
+        } else {
+            Counts::Wide((0..modes).map(|_| AtomicU32::new(0)).collect())
+        };
         Mech {
-            counts: (0..modes).map(|_| AtomicU32::new(0)).collect(),
+            counts,
             internal: Mutex::new(()),
             cond: Condvar::new(),
             waiters: AtomicU32::new(0),
@@ -96,30 +267,174 @@ impl Mech {
         }
     }
 
-    /// Is any conflicting mode currently held? (Fig. 20 lines 3–4 / 6–7.)
-    #[inline]
-    fn conflicted(&self, conflicts: &[u32]) -> bool {
-        conflicts
-            .iter()
-            .any(|&c| self.counts[c as usize].load(Ordering::SeqCst) > 0)
+    /// The counter representation in use (diagnostics / tests).
+    pub fn layout(&self) -> MechLayout {
+        match self.counts {
+            Counts::Packed(_) => MechLayout::Packed,
+            Counts::Wide(_) => MechLayout::Wide,
+        }
     }
 
-    /// Acquire the mode with local index `local`, whose conflicting local
-    /// modes are `conflicts` (symmetric lists precomputed by the
-    /// [`crate::mode::ModeTable`]). Blocks until admission is legal.
-    /// Returns whether the acquisition had to wait (used by the telemetry
-    /// layer to classify the admission; ignorable otherwise).
-    pub fn lock(&self, local: u32, conflicts: &[u32]) -> bool {
-        let mut waited = false;
-        match self.strategy {
-            WaitStrategy::Block => {
+    // ------------------------------------------------------------------
+    // Packed fast path
+    // ------------------------------------------------------------------
+
+    /// One lock-free admission attempt: check the conflict mask and
+    /// increment the local count in a single try-update. Returns `false`
+    /// if a conflicting mode is held (or the local field is saturated);
+    /// retries only on CAS contention, never on conflict.
+    #[inline]
+    fn try_admit_packed(word: &AtomicU64, local: u32, cs: ConflictSet<'_>) -> bool {
+        let one = 1u64 << field_shift(local);
+        // Ordering: the initial load may be Relaxed — admission is decided
+        // by the CAS below, which re-validates the whole word.
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            if cur & cs.mask != 0 || field_of(cur, local) == FIELD_MAX {
+                return false;
+            }
+            // Ordering: Acquire on success pairs with the Release CAS in
+            // `release_packed` — reading a word in which every conflicting
+            // count is zero happens-after the data writes of the holders
+            // that released them, so the critical section cannot observe
+            // torn state. Failure needs no ordering: we only retry.
+            match word.compare_exchange_weak(cur, cur + one, Ordering::Acquire, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Register as a parked waiter (caller holds `internal`). Sets the
+    /// `WAITERS` summary bit on the 0→1 transition. The `fetch_or` is
+    /// ordered before the caller's subsequent admission re-check in the
+    /// word's modification order, which is what makes the release protocol
+    /// lost-wakeup free (module docs).
+    fn waiter_begin(&self, word: &AtomicU64) {
+        // Ordering: `waiters` transitions happen only under `internal`, so
+        // Relaxed suffices for the counter; the bit update is ordered with
+        // releases by the word's own modification order.
+        if self.waiters.fetch_add(1, Ordering::Relaxed) == 0 {
+            word.fetch_or(WAITERS_BIT, Ordering::Relaxed);
+        }
+    }
+
+    /// Deregister a parked waiter (caller holds `internal`); clears the
+    /// `WAITERS` bit once the last waiter leaves.
+    fn waiter_end(&self, word: &AtomicU64) {
+        if self.waiters.fetch_sub(1, Ordering::Relaxed) == 1 {
+            word.fetch_and(!WAITERS_BIT, Ordering::Relaxed);
+        }
+    }
+
+    /// Packed release: CAS-decrement the local count (refusing underflow
+    /// without disturbing neighbouring fields), then hand off a wakeup if
+    /// the word carries the `WAITERS` bit.
+    fn release_packed(&self, word: &AtomicU64, local: u32) -> bool {
+        let one = 1u64 << field_shift(local);
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            if field_of(cur, local) == 0 {
+                self.stats.underflows.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            // Ordering: Release pairs with the Acquire admission CAS in
+            // `try_admit_packed` (data written under the mode is visible
+            // to the next conflicting admitter). The subtraction cannot
+            // borrow out of the field — the field was checked non-zero on
+            // this very value — so neighbouring counts and the WAITERS
+            // bit pass through untouched.
+            match word.compare_exchange_weak(cur, cur - one, Ordering::Release, Ordering::Relaxed) {
+                Ok(prev) => {
+                    if prev & WAITERS_BIT != 0 {
+                        // Serialize with the waiter's bit-set → re-check →
+                        // park sequence: the mutex is held by any waiter
+                        // between its re-check and its park, so the notify
+                        // cannot be lost (module docs).
+                        let _g = self.internal.lock();
+                        self.cond.notify_all();
+                    }
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Does the packed word show a conflicting hold (or a saturated local
+    /// field)? Advisory — used by the spin strategy between admission
+    /// attempts.
+    #[inline]
+    fn conflicted_packed(word: &AtomicU64, local: u32, cs: ConflictSet<'_>) -> bool {
+        let cur = word.load(Ordering::Relaxed);
+        cur & cs.mask != 0 || field_of(cur, local) == FIELD_MAX
+    }
+
+    // ------------------------------------------------------------------
+    // Wide fallback
+    // ------------------------------------------------------------------
+
+    /// Is any conflicting mode currently held? (Fig. 20 lines 3–4 / 6–7;
+    /// wide representation only.)
+    ///
+    /// Ordering: SeqCst, and genuinely so. In the blocking release
+    /// protocol the waiter performs `waiters.fetch_add` *then* loads the
+    /// counters here, while the releaser performs `counts.fetch_sub` *then*
+    /// loads `waiters` — the classic store-buffering shape. If either side
+    /// could reorder its two accesses, the waiter might read a stale
+    /// positive count while the releaser reads a stale zero waiter count,
+    /// and the wakeup would be lost. All four accesses are SeqCst so the
+    /// single total order forbids that outcome. (The packed path avoids
+    /// this entirely by keeping counts and the waiter bit in one word.)
+    #[inline]
+    fn conflicted_wide(counts: &[AtomicU32], cs: ConflictSet<'_>) -> bool {
+        cs.locals
+            .iter()
+            .any(|&c| counts[c as usize].load(Ordering::SeqCst) > 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Public acquisition API
+    // ------------------------------------------------------------------
+
+    /// Acquire the mode with local index `local`, whose conflict set `cs`
+    /// was precomputed by the [`crate::mode::ModeTable`]. Blocks until
+    /// admission is legal. Returns whether the acquisition had to wait
+    /// (used by the telemetry layer to classify the admission; ignorable
+    /// otherwise).
+    pub fn lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
+        let waited = match (&self.counts, self.strategy) {
+            (Counts::Packed(word), WaitStrategy::Block) => {
+                if Self::try_admit_packed(word, local, cs) {
+                    false
+                } else {
+                    self.lock_packed_block_slow(word, local, cs)
+                }
+            }
+            (Counts::Packed(word), WaitStrategy::Spin) => {
+                let mut waited = false;
+                loop {
+                    if Self::try_admit_packed(word, local, cs) {
+                        break;
+                    }
+                    waited = true;
+                    while Self::conflicted_packed(word, local, cs) {
+                        std::hint::spin_loop();
+                    }
+                }
+                waited
+            }
+            (Counts::Wide(counts), WaitStrategy::Block) => {
+                let mut waited = false;
                 let mut guard = self.internal.lock();
                 loop {
                     // Register as a waiter *before* the check so that an
-                    // unlocker that decrements after our check is guaranteed
-                    // to observe us and notify.
+                    // unlocker that decrements after our check is
+                    // guaranteed to observe us and notify. Ordering:
+                    // SeqCst — see `conflicted_wide` for the
+                    // store-buffering argument this participates in.
                     self.waiters.fetch_add(1, Ordering::SeqCst);
-                    if !self.conflicted(conflicts) {
+                    if !Self::conflicted_wide(counts, cs) {
                         self.waiters.fetch_sub(1, Ordering::SeqCst);
                         break;
                     }
@@ -127,25 +442,36 @@ impl Mech {
                     self.cond.wait(&mut guard);
                     self.waiters.fetch_sub(1, Ordering::SeqCst);
                 }
-                self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+                // Ordering: Relaxed — the increment is published to other
+                // admitters by the internal mutex (their checks run under
+                // it too), and releasers observe it through the atomic
+                // RMW in `unlock`, which always sees the latest value in
+                // the counter's modification order.
+                counts[local as usize].fetch_add(1, Ordering::Relaxed);
                 drop(guard);
+                waited
             }
-            WaitStrategy::Spin => loop {
-                // Optimistic pre-check outside the internal lock
-                // (Fig. 20 lines 3–4).
-                while self.conflicted(conflicts) {
-                    waited = true;
-                    std::hint::spin_loop();
-                }
-                let guard = self.internal.lock();
-                if !self.conflicted(conflicts) {
-                    self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+            (Counts::Wide(counts), WaitStrategy::Spin) => {
+                let mut waited = false;
+                loop {
+                    // Optimistic pre-check outside the internal lock
+                    // (Fig. 20 lines 3–4).
+                    while Self::conflicted_wide(counts, cs) {
+                        waited = true;
+                        std::hint::spin_loop();
+                    }
+                    let guard = self.internal.lock();
+                    if !Self::conflicted_wide(counts, cs) {
+                        // Ordering: Relaxed, as in the blocking arm.
+                        counts[local as usize].fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                        break;
+                    }
                     drop(guard);
-                    break;
                 }
-                drop(guard);
-            },
-        }
+                waited
+            }
+        };
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         if waited {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
@@ -153,16 +479,47 @@ impl Mech {
         waited
     }
 
-    /// Try to acquire without waiting; returns whether the mode was taken.
-    pub fn try_lock(&self, local: u32, conflicts: &[u32]) -> bool {
-        let guard = self.internal.lock();
-        if self.conflicted(conflicts) {
-            return false;
+    /// Packed blocking slow path: park under the internal mutex until the
+    /// CAS admission succeeds. Outlined so the uncontended `lock` body
+    /// stays small enough to inline.
+    #[cold]
+    fn lock_packed_block_slow(&self, word: &AtomicU64, local: u32, cs: ConflictSet<'_>) -> bool {
+        let mut waited = false;
+        let mut guard = self.internal.lock();
+        loop {
+            self.waiter_begin(word);
+            if Self::try_admit_packed(word, local, cs) {
+                self.waiter_end(word);
+                break;
+            }
+            waited = true;
+            self.cond.wait(&mut guard);
+            self.waiter_end(word);
         }
-        self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
         drop(guard);
-        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-        true
+        waited
+    }
+
+    /// Try to acquire without waiting; returns whether the mode was taken.
+    pub fn try_lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
+        let taken = match &self.counts {
+            Counts::Packed(word) => Self::try_admit_packed(word, local, cs),
+            Counts::Wide(counts) => {
+                let guard = self.internal.lock();
+                if Self::conflicted_wide(counts, cs) {
+                    false
+                } else {
+                    // Ordering: Relaxed — see `lock`'s wide arm.
+                    counts[local as usize].fetch_add(1, Ordering::Relaxed);
+                    drop(guard);
+                    true
+                }
+            }
+        };
+        if taken {
+            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        }
+        taken
     }
 
     /// Bounded acquisition: like [`Mech::lock`], but gives up once
@@ -170,7 +527,8 @@ impl Mech {
     /// [`PROBE_INTERVAL`] (after the wait has already lasted one slice);
     /// returning [`Wait::Abandon`] cancels the acquisition — this is the
     /// hook the deadlock watchdog uses. The uncontended path never calls
-    /// `probe`.
+    /// `probe` (on the packed representation it is a single CAS that never
+    /// touches the internal mutex).
     ///
     /// Waiting is strategy-aware: the blocking strategy sleeps on the
     /// condvar in timed slices, the spinning strategy backs off
@@ -178,19 +536,76 @@ impl Mech {
     pub fn lock_deadline(
         &self,
         local: u32,
-        conflicts: &[u32],
+        cs: ConflictSet<'_>,
         deadline: Instant,
         probe: &mut dyn FnMut() -> Wait,
     ) -> Acquire {
         let mut waited = false;
-        let outcome = match self.strategy {
-            WaitStrategy::Block => {
+        let outcome = match (&self.counts, self.strategy) {
+            (Counts::Packed(word), WaitStrategy::Block) => {
+                if Self::try_admit_packed(word, local, cs) {
+                    Acquire::Acquired
+                } else {
+                    let mut guard = self.internal.lock();
+                    loop {
+                        self.waiter_begin(word);
+                        if Self::try_admit_packed(word, local, cs) {
+                            self.waiter_end(word);
+                            break Acquire::Acquired;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            self.waiter_end(word);
+                            break Acquire::TimedOut;
+                        }
+                        waited = true;
+                        let slice = PROBE_INTERVAL.min(deadline - now);
+                        self.cond.wait_for(&mut guard, slice);
+                        self.waiter_end(word);
+                        if probe() == Wait::Abandon {
+                            break Acquire::Abandoned;
+                        }
+                    }
+                }
+            }
+            (Counts::Packed(word), WaitStrategy::Spin) => 'outer: loop {
+                if Self::try_admit_packed(word, local, cs) {
+                    break Acquire::Acquired;
+                }
+                let mut backoff: u32 = 1;
+                let mut next_probe = Instant::now() + PROBE_INTERVAL;
+                while Self::conflicted_packed(word, local, cs) {
+                    waited = true;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break 'outer Acquire::TimedOut;
+                    }
+                    for _ in 0..backoff {
+                        std::hint::spin_loop();
+                    }
+                    if backoff < 1 << 12 {
+                        backoff <<= 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    if now >= next_probe {
+                        if probe() == Wait::Abandon {
+                            break 'outer Acquire::Abandoned;
+                        }
+                        next_probe = now + PROBE_INTERVAL;
+                    }
+                }
+            },
+            (Counts::Wide(counts), WaitStrategy::Block) => {
                 let mut guard = self.internal.lock();
                 loop {
+                    // SeqCst: store-buffering pair with `unlock` — see
+                    // `conflicted_wide`.
                     self.waiters.fetch_add(1, Ordering::SeqCst);
-                    if !self.conflicted(conflicts) {
+                    if !Self::conflicted_wide(counts, cs) {
                         self.waiters.fetch_sub(1, Ordering::SeqCst);
-                        self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+                        // Ordering: Relaxed — see `lock`'s wide arm.
+                        counts[local as usize].fetch_add(1, Ordering::Relaxed);
                         break Acquire::Acquired;
                     }
                     let now = Instant::now();
@@ -207,10 +622,10 @@ impl Mech {
                     }
                 }
             }
-            WaitStrategy::Spin => 'outer: loop {
+            (Counts::Wide(counts), WaitStrategy::Spin) => 'outer: loop {
                 let mut backoff: u32 = 1;
                 let mut next_probe = Instant::now() + PROBE_INTERVAL;
-                while self.conflicted(conflicts) {
+                while Self::conflicted_wide(counts, cs) {
                     waited = true;
                     let now = Instant::now();
                     if now >= deadline {
@@ -232,8 +647,9 @@ impl Mech {
                     }
                 }
                 let guard = self.internal.lock();
-                if !self.conflicted(conflicts) {
-                    self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
+                if !Self::conflicted_wide(counts, cs) {
+                    // Ordering: Relaxed — see `lock`'s wide arm.
+                    counts[local as usize].fetch_add(1, Ordering::Relaxed);
                     drop(guard);
                     break Acquire::Acquired;
                 }
@@ -258,27 +674,44 @@ impl Mech {
     /// Release one hold on the mode with local index `local`.
     ///
     /// A release that would underflow the counter (double unlock) is
-    /// **refused in every build**: the counter is restored (instead of
-    /// silently wrapping to `u32::MAX`, which would deny every future
-    /// conflicting admission), the refusal is counted in
-    /// [`MechStats::underflows`], and `false` is returned so the caller
-    /// can poison the instance and surface a structured error
+    /// **refused in every build**: the counter is left untouched (instead
+    /// of silently wrapping, which would deny every future conflicting
+    /// admission), the refusal is counted in [`MechStats::underflows`],
+    /// and `false` is returned so the caller can poison the instance and
+    /// surface a structured error
     /// ([`crate::error::LockError::UnlockUnderflow`]).
     #[must_use = "a false return means a refused double unlock; the caller must poison/report"]
     pub fn unlock(&self, local: u32) -> bool {
-        let prev = self.counts[local as usize].fetch_sub(1, Ordering::SeqCst);
-        if prev == 0 {
-            self.counts[local as usize].fetch_add(1, Ordering::SeqCst);
-            self.stats.underflows.fetch_add(1, Ordering::Relaxed);
-            return false;
+        match &self.counts {
+            Counts::Packed(word) => self.release_packed(word, local),
+            Counts::Wide(counts) => {
+                // Ordering: SeqCst on the decrement — Release alone pairs
+                // with the Acquire-or-stronger loads in `conflicted_wide`
+                // for data visibility, but this RMW is also the first half
+                // of the store-buffering pair with the `waiters` load
+                // below (see `conflicted_wide`), which needs the total
+                // SeqCst order.
+                let prev = counts[local as usize].fetch_sub(1, Ordering::SeqCst);
+                if prev == 0 {
+                    // Ordering: Relaxed — merely restores the transient
+                    // wrap; the refused release publishes nothing.
+                    counts[local as usize].fetch_add(1, Ordering::Relaxed);
+                    self.stats.underflows.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                // Ordering: SeqCst — second half of the store-buffering
+                // pair (decrement-then-read-waiters vs the waiter's
+                // register-then-read-counts).
+                if self.waiters.load(Ordering::SeqCst) > 0 {
+                    // Serialize with waiters' register-then-check so the
+                    // notify cannot slip between their check and their
+                    // wait.
+                    let _g = self.internal.lock();
+                    self.cond.notify_all();
+                }
+                true
+            }
         }
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            // Serialize with waiters' register-then-check so the notify
-            // cannot slip between their check and their wait.
-            let _g = self.internal.lock();
-            self.cond.notify_all();
-        }
-        true
     }
 
     /// Local indices among `conflicts` whose hold counter is currently
@@ -286,25 +719,51 @@ impl Mech {
     /// Telemetry-only (feeds the conflict-pair matrix); never consulted
     /// for admission decisions.
     pub fn held_conflicting(&self, conflicts: &[u32]) -> Vec<u32> {
-        conflicts
-            .iter()
-            .copied()
-            .filter(|&c| self.counts[c as usize].load(Ordering::Relaxed) > 0)
-            .collect()
+        match &self.counts {
+            Counts::Packed(word) => {
+                let cur = word.load(Ordering::Relaxed);
+                conflicts
+                    .iter()
+                    .copied()
+                    .filter(|&c| field_of(cur, c) > 0)
+                    .collect()
+            }
+            Counts::Wide(counts) => conflicts
+                .iter()
+                .copied()
+                .filter(|&c| counts[c as usize].load(Ordering::Relaxed) > 0)
+                .collect(),
+        }
     }
 
     /// Current hold count of a mode (diagnostics / tests).
+    ///
+    /// Ordering: Acquire — pairs with the Release in the unlock paths so
+    /// a zero observed here happens-after the releasing holders' writes
+    /// (quiescence checks read data after checking this).
     pub fn count(&self, local: u32) -> u32 {
-        self.counts[local as usize].load(Ordering::SeqCst)
+        match &self.counts {
+            Counts::Packed(word) => field_of(word.load(Ordering::Acquire), local) as u32,
+            Counts::Wide(counts) => counts[local as usize].load(Ordering::Acquire),
+        }
     }
 
     /// Sum of all mode hold counts (quiescence checks: zero means no
     /// transaction holds any mode of this mechanism).
     pub fn held_total(&self) -> u64 {
-        self.counts
-            .iter()
-            .map(|c| c.load(Ordering::SeqCst) as u64)
-            .sum()
+        match &self.counts {
+            Counts::Packed(word) => {
+                // Ordering: Acquire, as in `count`.
+                let cur = word.load(Ordering::Acquire);
+                (0..PACKED_MODE_LIMIT as u32)
+                    .map(|l| field_of(cur, l))
+                    .sum()
+            }
+            Counts::Wide(counts) => counts
+                .iter()
+                .map(|c| c.load(Ordering::Acquire) as u64)
+                .sum(),
+        }
     }
 
     /// Contention statistics.
@@ -320,6 +779,12 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
+    /// Every test below runs against both representations: the packed
+    /// single-word fast path and the wide counters-under-mutex fallback.
+    fn layouts() -> [MechLayout; 2] {
+        [MechLayout::Packed, MechLayout::Wide]
+    }
+
     /// Two modes that conflict with each other but not themselves — like
     /// two halves of a read–write interaction.
     fn cross_conflict() -> (Vec<u32>, Vec<u32>) {
@@ -327,63 +792,80 @@ mod tests {
     }
 
     #[test]
+    fn auto_layout_packs_small_partitions() {
+        assert_eq!(
+            Mech::new(8, WaitStrategy::Block).layout(),
+            MechLayout::Packed
+        );
+        assert_eq!(Mech::new(9, WaitStrategy::Block).layout(), MechLayout::Wide);
+    }
+
+    #[test]
     fn compatible_modes_acquire_concurrently() {
-        let m = Mech::new(2, WaitStrategy::Block);
-        // Mode 0 conflicts with nothing here.
-        m.lock(0, &[]);
-        m.lock(0, &[]);
-        assert_eq!(m.count(0), 2);
-        assert!(m.unlock(0));
-        assert!(m.unlock(0));
-        assert_eq!(m.count(0), 0);
+        for layout in layouts() {
+            let m = Mech::with_layout(2, WaitStrategy::Block, layout);
+            // Mode 0 conflicts with nothing here.
+            m.lock(0, ConflictSet::new(&[]));
+            m.lock(0, ConflictSet::new(&[]));
+            assert_eq!(m.count(0), 2);
+            assert!(m.unlock(0));
+            assert!(m.unlock(0));
+            assert_eq!(m.count(0), 0);
+        }
     }
 
     #[test]
     fn self_conflicting_mode_is_exclusive() {
-        let m = Arc::new(Mech::new(1, WaitStrategy::Block));
-        m.lock(0, &[0]);
-        assert!(!m.try_lock(0, &[0]));
-        assert!(m.unlock(0));
-        assert!(m.try_lock(0, &[0]));
-        assert!(m.unlock(0));
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[0]));
+            assert!(!m.try_lock(0, ConflictSet::new(&[0])));
+            assert!(m.unlock(0));
+            assert!(m.try_lock(0, ConflictSet::new(&[0])));
+            assert!(m.unlock(0));
+        }
     }
 
     #[test]
     fn conflicting_mode_blocks_until_release() {
-        let m = Arc::new(Mech::new(2, WaitStrategy::Block));
-        let (c0, c1) = cross_conflict();
-        m.lock(0, &c0);
-        let got = Arc::new(AtomicBool::new(false));
-        let t = {
-            let m = m.clone();
-            let got = got.clone();
-            let c1 = c1.clone();
-            std::thread::spawn(move || {
-                m.lock(1, &c1);
-                got.store(true, Ordering::SeqCst);
-                assert!(m.unlock(1));
-            })
-        };
-        std::thread::sleep(Duration::from_millis(50));
-        assert!(!got.load(Ordering::SeqCst), "mode 1 admitted while 0 held");
-        assert!(m.unlock(0));
-        t.join().unwrap();
-        assert!(got.load(Ordering::SeqCst));
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+            let (c0, c1) = cross_conflict();
+            m.lock(0, ConflictSet::new(&c0));
+            let got = Arc::new(AtomicBool::new(false));
+            let t = {
+                let m = m.clone();
+                let got = got.clone();
+                let c1 = c1.clone();
+                std::thread::spawn(move || {
+                    m.lock(1, ConflictSet::new(&c1));
+                    got.store(true, Ordering::SeqCst);
+                    assert!(m.unlock(1));
+                })
+            };
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!got.load(Ordering::SeqCst), "mode 1 admitted while 0 held");
+            assert!(m.unlock(0));
+            t.join().unwrap();
+            assert!(got.load(Ordering::SeqCst));
+        }
     }
 
     #[test]
     fn spin_strategy_also_excludes() {
-        let m = Arc::new(Mech::new(1, WaitStrategy::Spin));
-        m.lock(0, &[0]);
-        let m2 = m.clone();
-        let t = std::thread::spawn(move || {
-            m2.lock(0, &[0]);
-            assert!(m2.unlock(0));
-        });
-        std::thread::sleep(Duration::from_millis(20));
-        assert!(m.unlock(0));
-        t.join().unwrap();
-        assert_eq!(m.count(0), 0);
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(1, WaitStrategy::Spin, layout));
+            m.lock(0, ConflictSet::new(&[0]));
+            let m2 = m.clone();
+            let t = std::thread::spawn(move || {
+                m2.lock(0, ConflictSet::new(&[0]));
+                assert!(m2.unlock(0));
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(m.unlock(0));
+            t.join().unwrap();
+            assert_eq!(m.count(0), 0);
+        }
     }
 
     #[test]
@@ -391,100 +873,116 @@ mod tests {
         // Two cross-conflicting modes: counts must never both be positive.
         // We can't observe both atomically from outside, so instead each
         // thread asserts the other's count is zero while it holds its mode.
-        let m = Arc::new(Mech::new(2, WaitStrategy::Block));
-        let iters = 2_000;
-        let mut handles = Vec::new();
-        for mode in 0..2u32 {
-            let m = m.clone();
-            handles.push(std::thread::spawn(move || {
-                let conflicts = [1 - mode];
-                for _ in 0..iters {
-                    m.lock(mode, &conflicts);
-                    assert_eq!(m.count(1 - mode), 0, "both modes held at once");
-                    assert!(m.unlock(mode));
-                }
-            }));
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+            let iters = 2_000;
+            let mut handles = Vec::new();
+            for mode in 0..2u32 {
+                let m = m.clone();
+                handles.push(std::thread::spawn(move || {
+                    let conflicts = [1 - mode];
+                    for _ in 0..iters {
+                        m.lock(mode, ConflictSet::new(&conflicts));
+                        assert_eq!(m.count(1 - mode), 0, "both modes held at once");
+                        assert!(m.unlock(mode));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(m.count(0) + m.count(1), 0);
+            assert_eq!(
+                m.stats().acquisitions.load(Ordering::Relaxed),
+                2 * iters as u64
+            );
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(m.count(0) + m.count(1), 0);
-        assert_eq!(
-            m.stats().acquisitions.load(Ordering::Relaxed),
-            2 * iters as u64
-        );
     }
 
     #[test]
     fn lock_deadline_times_out_and_counts() {
-        for strategy in [WaitStrategy::Block, WaitStrategy::Spin] {
-            let m = Mech::new(1, strategy);
-            m.lock(0, &[0]);
-            let start = std::time::Instant::now();
-            let out = m.lock_deadline(0, &[0], start + Duration::from_millis(30), &mut || {
-                Wait::Continue
-            });
-            assert_eq!(out, Acquire::TimedOut, "{strategy:?}");
-            assert!(start.elapsed() >= Duration::from_millis(25), "{strategy:?}");
-            assert_eq!(m.stats().timeouts.load(Ordering::Relaxed), 1);
-            assert_eq!(m.count(0), 1, "failed acquisition must not leak holds");
-            assert!(m.unlock(0));
-            assert_eq!(m.held_total(), 0);
+        for layout in layouts() {
+            for strategy in [WaitStrategy::Block, WaitStrategy::Spin] {
+                let m = Mech::with_layout(1, strategy, layout);
+                m.lock(0, ConflictSet::new(&[0]));
+                let start = std::time::Instant::now();
+                let out = m.lock_deadline(
+                    0,
+                    ConflictSet::new(&[0]),
+                    start + Duration::from_millis(30),
+                    &mut || Wait::Continue,
+                );
+                assert_eq!(out, Acquire::TimedOut, "{strategy:?} {layout:?}");
+                assert!(
+                    start.elapsed() >= Duration::from_millis(25),
+                    "{strategy:?} {layout:?}"
+                );
+                assert_eq!(m.stats().timeouts.load(Ordering::Relaxed), 1);
+                assert_eq!(m.count(0), 1, "failed acquisition must not leak holds");
+                assert!(m.unlock(0));
+                assert_eq!(m.held_total(), 0);
+            }
         }
     }
 
     #[test]
     fn lock_deadline_acquires_uncontended_without_probing() {
-        let m = Mech::new(1, WaitStrategy::Block);
-        let mut probed = false;
-        let out = m.lock_deadline(
-            0,
-            &[0],
-            std::time::Instant::now() + Duration::from_secs(1),
-            &mut || {
-                probed = true;
-                Wait::Continue
-            },
-        );
-        assert_eq!(out, Acquire::Acquired);
-        assert!(!probed, "uncontended path must not consult the probe");
-        assert!(m.unlock(0));
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            let mut probed = false;
+            let out = m.lock_deadline(
+                0,
+                ConflictSet::new(&[0]),
+                std::time::Instant::now() + Duration::from_secs(1),
+                &mut || {
+                    probed = true;
+                    Wait::Continue
+                },
+            );
+            assert_eq!(out, Acquire::Acquired);
+            assert!(!probed, "uncontended path must not consult the probe");
+            assert!(m.unlock(0));
+        }
     }
 
     #[test]
     fn lock_deadline_succeeds_once_conflicting_mode_drains() {
-        let m = Arc::new(Mech::new(2, WaitStrategy::Block));
-        let (c0, _) = cross_conflict();
-        m.lock(0, &c0);
-        let m2 = m.clone();
-        let t = std::thread::spawn(move || {
-            m2.lock_deadline(
-                1,
-                &[0],
-                std::time::Instant::now() + Duration::from_secs(5),
-                &mut || Wait::Continue,
-            )
-        });
-        std::thread::sleep(Duration::from_millis(20));
-        assert!(m.unlock(0));
-        assert_eq!(t.join().unwrap(), Acquire::Acquired);
-        assert!(m.unlock(1));
-        assert_eq!(m.held_total(), 0);
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+            let (c0, _) = cross_conflict();
+            m.lock(0, ConflictSet::new(&c0));
+            let m2 = m.clone();
+            let t = std::thread::spawn(move || {
+                m2.lock_deadline(
+                    1,
+                    ConflictSet::new(&[0]),
+                    std::time::Instant::now() + Duration::from_secs(5),
+                    &mut || Wait::Continue,
+                )
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(m.unlock(0));
+            assert_eq!(t.join().unwrap(), Acquire::Acquired);
+            assert!(m.unlock(1));
+            assert_eq!(m.held_total(), 0);
+        }
     }
 
     #[test]
     fn lock_deadline_abandons_on_probe_request() {
-        let m = Mech::new(1, WaitStrategy::Block);
-        m.lock(0, &[0]);
-        let out = m.lock_deadline(
-            0,
-            &[0],
-            std::time::Instant::now() + Duration::from_secs(5),
-            &mut || Wait::Abandon,
-        );
-        assert_eq!(out, Acquire::Abandoned);
-        assert!(m.unlock(0));
-        assert_eq!(m.held_total(), 0);
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[0]));
+            let out = m.lock_deadline(
+                0,
+                ConflictSet::new(&[0]),
+                std::time::Instant::now() + Duration::from_secs(5),
+                &mut || Wait::Abandon,
+            );
+            assert_eq!(out, Acquire::Abandoned);
+            assert!(m.unlock(0));
+            assert_eq!(m.held_total(), 0);
+        }
     }
 
     #[test]
@@ -492,46 +990,119 @@ mod tests {
         // Regression: the underflow guard used to be debug-only (panic
         // under `cfg!(debug_assertions)`, silent restore in release). It
         // is now a checked decrement in all builds: refused, counted, and
-        // reported to the caller via the `false` return.
-        let m = Mech::new(1, WaitStrategy::Block);
-        m.lock(0, &[]);
+        // reported to the caller via the `false` return. The packed
+        // representation additionally must not borrow into a neighbouring
+        // count field.
+        for layout in layouts() {
+            let m = Mech::with_layout(2, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[]));
+            m.lock(1, ConflictSet::new(&[]));
+            assert!(m.unlock(0));
+            assert!(!m.unlock(0), "double unlock must be refused");
+            assert_eq!(m.count(0), 0, "counter must not underflow");
+            assert_eq!(m.count(1), 1, "neighbouring field must be untouched");
+            assert_eq!(m.stats().underflows.load(Ordering::Relaxed), 1);
+            // The mechanism stays usable after a refused release.
+            m.lock(0, ConflictSet::new(&[0]));
+            assert_eq!(m.count(0), 1);
+            assert!(m.unlock(0));
+            assert!(m.unlock(1));
+        }
+    }
+
+    #[test]
+    fn packed_field_saturation_blocks_instead_of_corrupting() {
+        // 127 holders saturate a 7-bit field; the 128th try_lock must be
+        // refused (it would otherwise carry into the next field), and one
+        // release must re-admit.
+        let m = Mech::with_layout(2, WaitStrategy::Block, MechLayout::Packed);
+        for _ in 0..FIELD_MAX {
+            assert!(m.try_lock(0, ConflictSet::new(&[])));
+        }
+        assert_eq!(m.count(0), FIELD_MAX as u32);
+        assert!(
+            !m.try_lock(0, ConflictSet::new(&[])),
+            "saturated field must refuse admission"
+        );
+        assert_eq!(m.count(1), 0, "neighbour field untouched by saturation");
         assert!(m.unlock(0));
-        assert!(!m.unlock(0), "double unlock must be refused");
-        assert_eq!(m.count(0), 0, "counter must not underflow");
-        assert_eq!(m.stats().underflows.load(Ordering::Relaxed), 1);
-        // The mechanism stays usable after a refused release.
-        m.lock(0, &[0]);
-        assert_eq!(m.count(0), 1);
-        assert!(m.unlock(0));
+        assert!(m.try_lock(0, ConflictSet::new(&[])));
+        for _ in 0..FIELD_MAX {
+            assert!(m.unlock(0));
+        }
+        assert_eq!(m.held_total(), 0);
     }
 
     #[test]
     fn held_conflicting_samples_positive_counters() {
-        let m = Mech::new(3, WaitStrategy::Block);
-        m.lock(0, &[]);
-        m.lock(2, &[]);
-        assert_eq!(m.held_conflicting(&[0, 1, 2]), vec![0, 2]);
-        assert!(m.held_conflicting(&[1]).is_empty());
-        assert!(m.unlock(0));
-        assert!(m.unlock(2));
+        for layout in layouts() {
+            let m = Mech::with_layout(3, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[]));
+            m.lock(2, ConflictSet::new(&[]));
+            assert_eq!(m.held_conflicting(&[0, 1, 2]), vec![0, 2]);
+            assert!(m.held_conflicting(&[1]).is_empty());
+            assert!(m.unlock(0));
+            assert!(m.unlock(2));
+        }
     }
 
     #[test]
     fn many_threads_same_compatible_mode() {
-        let m = Arc::new(Mech::new(1, WaitStrategy::Block));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let m = m.clone();
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..1_000 {
-                    m.lock(0, &[]);
-                    assert!(m.unlock(0));
-                }
-            }));
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(1, WaitStrategy::Block, layout));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let m = m.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        m.lock(0, ConflictSet::new(&[]));
+                        assert!(m.unlock(0));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(m.count(0), 0);
         }
-        for h in handles {
-            h.join().unwrap();
+    }
+
+    #[test]
+    fn contended_counts_once_per_acquisition() {
+        // Regression for the MechStats::contended semantics: a waiter that
+        // parks several times during one acquisition (woken by releases
+        // that do not yet clear its conflicts) must count once. Two holds
+        // of mode 0 force the mode-1 waiter through two wakeups.
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+            m.lock(0, ConflictSet::new(&[]));
+            m.lock(0, ConflictSet::new(&[]));
+            let m2 = m.clone();
+            let t = std::thread::spawn(move || {
+                assert!(m2.lock(1, ConflictSet::new(&[0])), "waiter must park");
+                assert!(m2.unlock(1));
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(m.unlock(0)); // wakes the waiter into a still-conflicted check
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(m.unlock(0)); // now admissible
+            t.join().unwrap();
+            assert_eq!(
+                m.stats().contended.load(Ordering::Relaxed),
+                1,
+                "{layout:?}: one parked acquisition counts exactly once"
+            );
+            assert_eq!(m.held_total(), 0);
         }
-        assert_eq!(m.count(0), 0);
+    }
+
+    #[test]
+    fn packed_conflict_mask_covers_fields() {
+        assert_eq!(packed_conflict_mask(&[]), 0);
+        assert_eq!(packed_conflict_mask(&[0]), FIELD_MAX);
+        assert_eq!(packed_conflict_mask(&[1]), FIELD_MAX << FIELD_BITS);
+        let m = packed_conflict_mask(&[0, 7]);
+        assert_eq!(m, FIELD_MAX | (FIELD_MAX << (7 * FIELD_BITS)));
+        assert_eq!(m & WAITERS_BIT, 0, "mask must never cover the waiter bit");
     }
 }

@@ -185,9 +185,22 @@ pub struct ModePlacement {
     pub local: u32,
     /// Local indices (within the same partition) of conflicting modes.
     pub local_conflicts: Vec<u32>,
+    /// Packed-word field mask over `local_conflicts`, precomputed here so
+    /// the admission fast path ([`crate::mech::Mech`]) does zero per-acquire
+    /// setup. Covers only locals within [`crate::mech::PACKED_MODE_LIMIT`];
+    /// partitions wider than that use the mutex fallback and never consult
+    /// the mask.
+    pub conflict_mask: u64,
     /// True if the mode commutes with every mode including itself: locking
     /// it can never block nor be blocked, so acquisition is a no-op.
     pub free: bool,
+}
+
+impl ModePlacement {
+    /// The mode's conflict set in the borrowed form the mechanism consumes.
+    pub fn conflicts(&self) -> crate::mech::ConflictSet<'_> {
+        crate::mech::ConflictSet::from_parts(&self.local_conflicts, self.conflict_mask)
+    }
 }
 
 /// The compiled locking-mode table for one ADT equivalence class.
@@ -556,6 +569,7 @@ impl ModeTableBuilder {
                 part,
                 local,
                 local_conflicts: Vec::new(),
+                conflict_mask: 0,
                 free: false,
             });
         }
@@ -572,6 +586,7 @@ impl ModeTableBuilder {
             // single mechanism — that is precisely the bottleneck the
             // ablation measures.
             placement[a].free = partitioning && conflicts.is_empty();
+            placement[a].conflict_mask = crate::mech::packed_conflict_mask(&conflicts);
             placement[a].local_conflicts = conflicts;
         }
 

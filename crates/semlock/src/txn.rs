@@ -7,6 +7,7 @@
 //! epilogue (or early, for the Appendix-A early-release optimization), and —
 //! in debug builds — enforces the OS2PL single-lock-per-instance rule.
 
+use crate::acquire::{AcquireSpec, WaitBudget};
 use crate::error::LockError;
 use crate::manager::SemLock;
 use crate::mode::ModeId;
@@ -59,19 +60,69 @@ impl<'a> Txn<'a> {
         self.id
     }
 
-    /// The `LV(x)` macro of Fig. 5: lock `adt` in `mode` unless this
-    /// transaction already holds a lock on that instance.
+    /// The unified acquisition entry point: lock `adt` as described by
+    /// `spec`, unless this transaction already holds a lock on that
+    /// instance (the `LV` skip rule — the compiler guarantees the first
+    /// lock site reached for an instance requests a mode covering every
+    /// operation the section may still invoke on it, so skipping
+    /// subsequent sites is sound, whatever the spec's wait budget).
     ///
-    /// The compiler guarantees that the first lock site reached for an
-    /// instance requests a mode covering every operation the section may
-    /// still invoke on it, so skipping subsequent sites is sound.
-    pub fn lv(&mut self, adt: &'a SemLock, mode: ModeId) {
+    /// Every legacy entry point is a thin wrapper over this:
+    ///
+    /// | wrapper | equivalent spec |
+    /// |---|---|
+    /// | [`Txn::lv`] | `AcquireSpec::new(mode)` (+ panic on poison) |
+    /// | [`Txn::try_lv`] | `AcquireSpec::new(mode).no_wait()` |
+    /// | [`Txn::lv_deadline`] | `AcquireSpec::new(mode).deadline(d)` |
+    /// | [`Txn::lv_timeout`] | `AcquireSpec::new(mode).timeout(t)` |
+    ///
+    /// On failure the transaction still holds everything it held before
+    /// the call; the caller decides whether to retry, back off, or drop
+    /// the `Txn` (which releases the rest). Bounded specs register with
+    /// the deadlock watchdog while parked (unless
+    /// [`AcquireSpec::no_watchdog`]), carrying this transaction's id and
+    /// current holds into the waits-for graph.
+    pub fn acquire(&mut self, adt: &'a SemLock, spec: &AcquireSpec) -> Result<(), LockError> {
         if self.holds(adt) {
-            return;
+            return Ok(());
         }
         let site = self.tele_enter();
-        adt.lock(mode);
-        self.held.push((adt, mode, site));
+        match spec.wait {
+            WaitBudget::Forever => adt.lock_checked(spec.mode)?,
+            WaitBudget::DontWait => adt.try_lock_checked(spec.mode)?,
+            WaitBudget::Until(_) => {
+                // Uncontended fast path: admissible right now means no
+                // snapshot allocation, no deadline bookkeeping, no
+                // watchdog involvement.
+                if adt.try_lock_checked(spec.mode).is_err() {
+                    // The fast path consumed the pending site; re-stamp it
+                    // so the bounded acquisition's events carry the same
+                    // attribution.
+                    if site != telemetry::SITE_NONE {
+                        telemetry::set_site(site);
+                    }
+                    // Snapshot of current holds for the watchdog's
+                    // waits-for edges.
+                    let held: Vec<(u64, ModeId)> =
+                        self.held.iter().map(|&(l, m, _)| (l.unique(), m)).collect();
+                    adt.acquire_as(spec, self.id, &held)?;
+                }
+            }
+        }
+        self.held.push((adt, spec.mode, site));
+        Ok(())
+    }
+
+    /// The `LV(x)` macro of Fig. 5: lock `adt` in `mode` unless this
+    /// transaction already holds a lock on that instance. Equivalent to
+    /// [`Txn::acquire`] with `AcquireSpec::new(mode)`, with the one
+    /// possible failure (a poisoned instance) promoted to a panic — the
+    /// compiled-output API has no error channel, and proceeding onto
+    /// possibly-torn state would be worse.
+    pub fn lv(&mut self, adt: &'a SemLock, mode: ModeId) {
+        if let Err(e) = self.acquire(adt, &AcquireSpec::new(mode)) {
+            panic!("lv: {e}");
+        }
     }
 
     /// Telemetry prologue for an acquisition: stamp this transaction's id
@@ -101,58 +152,33 @@ impl<'a> Txn<'a> {
     /// right now. Already-held instances succeed immediately (the `LV`
     /// skip rule). Fails with [`LockError::Timeout`] (zero wait) on
     /// conflict or [`LockError::Poisoned`] on a poisoned instance.
+    /// Equivalent to [`Txn::acquire`] with `AcquireSpec::new(mode).no_wait()`.
     pub fn try_lv(&mut self, adt: &'a SemLock, mode: ModeId) -> Result<(), LockError> {
-        if self.holds(adt) {
-            return Ok(());
-        }
-        let site = self.tele_enter();
-        adt.try_lock_checked(mode)?;
-        self.held.push((adt, mode, site));
-        Ok(())
+        self.acquire(adt, &AcquireSpec::new(mode).no_wait())
     }
 
     /// Bounded `LV`: wait for admission until `deadline`, with the deadlock
-    /// watchdog armed. On failure ([`LockError::Timeout`],
-    /// [`LockError::Poisoned`], [`LockError::WouldDeadlock`]) the
-    /// transaction still holds everything it held before the call; the
-    /// caller decides whether to retry, back off, or drop the `Txn` (which
-    /// releases the rest).
+    /// watchdog armed. Equivalent to [`Txn::acquire`] with
+    /// `AcquireSpec::new(mode).deadline(deadline)`; see there for the
+    /// failure contract.
     pub fn lv_deadline(
         &mut self,
         adt: &'a SemLock,
         mode: ModeId,
         deadline: Instant,
     ) -> Result<(), LockError> {
-        if self.holds(adt) {
-            return Ok(());
-        }
-        let site = self.tele_enter();
-        // Uncontended fast path: admissible right now means no snapshot
-        // allocation, no deadline bookkeeping, no watchdog involvement.
-        if adt.try_lock_checked(mode).is_ok() {
-            self.held.push((adt, mode, site));
-            return Ok(());
-        }
-        // The fast path consumed the pending site; re-stamp it for the
-        // bounded acquisition so its events carry the same attribution.
-        if site != telemetry::SITE_NONE {
-            telemetry::set_site(site);
-        }
-        // Snapshot of current holds for the watchdog's waits-for edges.
-        let held: Vec<(u64, ModeId)> = self.held.iter().map(|&(l, m, _)| (l.unique(), m)).collect();
-        adt.lock_deadline(mode, deadline, self.id, &held)?;
-        self.held.push((adt, mode, site));
-        Ok(())
+        self.acquire(adt, &AcquireSpec::new(mode).deadline(deadline))
     }
 
-    /// [`Txn::lv_deadline`] with a relative timeout.
+    /// [`Txn::lv_deadline`] with a relative timeout. Equivalent to
+    /// [`Txn::acquire`] with `AcquireSpec::new(mode).timeout(timeout)`.
     pub fn lv_timeout(
         &mut self,
         adt: &'a SemLock,
         mode: ModeId,
         timeout: Duration,
     ) -> Result<(), LockError> {
-        self.lv_deadline(adt, mode, Instant::now() + timeout)
+        self.acquire(adt, &AcquireSpec::new(mode).timeout(timeout))
     }
 
     /// The `LV2(x, y)` macro of Fig. 12: lock two instances of the same

@@ -3,7 +3,11 @@
 //!
 //! The registry is **off the hot path**: a transaction registers only after
 //! a bounded acquisition has already waited one probe slice without
-//! admission, and uncontended acquisitions never touch it. Once registered,
+//! admission, and uncontended acquisitions never touch it. This holds by
+//! construction on the packed-word admission fast path
+//! ([`crate::mech`]) too — an admission that succeeds on the first CAS
+//! never reaches a probe slice, so watchdog registration remains strictly
+//! a slow-path (parked-waiter) affair. Once registered,
 //! each probe runs a cycle check over the waits-for graph: transaction `A`
 //! waits on transaction `B` when `B` (itself blocked, hence registered)
 //! holds a mode on the instance `A` is waiting for that does not commute

@@ -1,0 +1,379 @@
+//! Equivalence and liveness checks for the packed-word admission fast
+//! path (`mech.rs`): the packed representation must make *exactly* the
+//! same admission, refusal and balance decisions as the wide
+//! counters-under-mutex fallback, and its decrement-then-wake release
+//! protocol must never lose a wakeup.
+
+use proptest::prelude::*;
+use semlock::mech::{ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::phi::Phi;
+use semlock::schema::set_schema;
+use semlock::spec::CommutSpec;
+use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
+use semlock::value::Value;
+use semlock::{AcquireSpec, LockError, SemLock};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small random-but-symmetric conflict relation over `n` modes, seeded
+/// so packed and wide runs replay the identical relation.
+fn conflict_lists(n: usize, seed: u64) -> Vec<Vec<u32>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut conflicts = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in a..n {
+            if rng.gen_bool(0.4) {
+                conflicts[a].push(b as u32);
+                if b != a {
+                    conflicts[b].push(a as u32);
+                }
+            }
+        }
+    }
+    conflicts
+}
+
+/// One schedule step of the sequential equivalence check.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Non-blocking admission attempt.
+    TryLock(u32),
+    /// Release (may be a deliberate double unlock — both representations
+    /// must refuse it identically).
+    Unlock(u32),
+    /// Bounded admission with an already-expired deadline: admits iff
+    /// admissible right now, else times out without waiting.
+    Expired(u32),
+}
+
+/// Replay one seeded schedule against both representations, asserting
+/// identical outcomes at every step and identical final balance.
+fn replay_schedule(modes: usize, steps: &[Step]) {
+    let conflicts = conflict_lists(modes, 0xC0FFEE);
+    let packed = Mech::with_layout(modes, WaitStrategy::Block, MechLayout::Packed);
+    let wide = Mech::with_layout(modes, WaitStrategy::Block, MechLayout::Wide);
+    for (i, &step) in steps.iter().enumerate() {
+        match step {
+            Step::TryLock(m) => {
+                let cs = &conflicts[m as usize];
+                let p = packed.try_lock(m, ConflictSet::new(cs));
+                let w = wide.try_lock(m, ConflictSet::new(cs));
+                assert_eq!(p, w, "step {i}: try_lock({m}) diverged");
+            }
+            Step::Unlock(m) => {
+                let p = packed.unlock(m);
+                let w = wide.unlock(m);
+                assert_eq!(p, w, "step {i}: unlock({m}) diverged");
+            }
+            Step::Expired(m) => {
+                let cs = &conflicts[m as usize];
+                let deadline = Instant::now() - Duration::from_millis(1);
+                let p =
+                    packed.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
+                let w =
+                    wide.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
+                assert_eq!(p, w, "step {i}: expired lock_deadline({m}) diverged");
+            }
+        }
+        for m in 0..modes as u32 {
+            assert_eq!(
+                packed.count(m),
+                wide.count(m),
+                "step {i}: count({m}) diverged"
+            );
+        }
+    }
+    use std::sync::atomic::Ordering;
+    let (ps, ws) = (packed.stats(), wide.stats());
+    assert_eq!(
+        ps.acquisitions.load(Ordering::Relaxed),
+        ws.acquisitions.load(Ordering::Relaxed),
+        "acquisition totals diverged"
+    );
+    assert_eq!(
+        ps.timeouts.load(Ordering::Relaxed),
+        ws.timeouts.load(Ordering::Relaxed),
+        "timeout totals diverged"
+    );
+    assert_eq!(
+        ps.underflows.load(Ordering::Relaxed),
+        ws.underflows.load(Ordering::Relaxed),
+        "underflow totals diverged"
+    );
+    assert_eq!(packed.held_total(), wide.held_total());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical seeded schedules drive packed and wide mechanisms to
+    /// identical admission/refusal/balance outcomes, step by step.
+    #[test]
+    fn packed_and_wide_replay_identically(
+        modes in 1usize..=8,
+        raw in proptest::collection::vec((0u8..3, 0u32..8, any::<bool>()), 1..120),
+    ) {
+        let steps: Vec<Step> = raw
+            .iter()
+            .map(|&(kind, m, _)| {
+                let m = m % modes as u32;
+                match kind {
+                    0 => Step::TryLock(m),
+                    1 => Step::Unlock(m),
+                    _ => Step::Expired(m),
+                }
+            })
+            .collect();
+        replay_schedule(modes, &steps);
+    }
+}
+
+/// Threaded flavour of the equivalence check: the same seeded chaos
+/// schedule (per-thread RNG streams of lock/unlock pairs) runs against
+/// both representations; totals must balance identically even though
+/// interleavings differ.
+#[test]
+fn packed_and_wide_balance_under_threads() {
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::Ordering;
+    const THREADS: usize = 4;
+    const OPS: usize = 2_000;
+    let modes = 6usize;
+    let conflicts = Arc::new(conflict_lists(modes, 7));
+    let mut totals = Vec::new();
+    for layout in [MechLayout::Packed, MechLayout::Wide] {
+        let mech = Arc::new(Mech::with_layout(modes, WaitStrategy::Block, layout));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let mech = Arc::clone(&mech);
+                let conflicts = Arc::clone(&conflicts);
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..OPS {
+                        let m = rng.gen_range(0..modes) as u32;
+                        mech.lock(m, ConflictSet::new(&conflicts[m as usize]));
+                        assert!(mech.unlock(m));
+                    }
+                });
+            }
+        });
+        assert_eq!(mech.held_total(), 0, "{layout:?}: leaked holds");
+        let s = mech.stats();
+        assert_eq!(
+            s.acquisitions.load(Ordering::Relaxed),
+            (THREADS * OPS) as u64,
+            "{layout:?}: acquisition count off"
+        );
+        assert_eq!(s.underflows.load(Ordering::Relaxed), 0);
+        totals.push(s.acquisitions.load(Ordering::Relaxed));
+    }
+    assert_eq!(totals[0], totals[1]);
+}
+
+/// Targeted lost-wakeup regression: a releaser decrements while a waiter
+/// is between its admission re-check and its park. The packed release
+/// protocol (WAITERS bit in the count word + notify under the internal
+/// mutex) must never let the notification slip into that window; if it
+/// does, the ping-pong below deadlocks and the watchdog channel times out.
+#[test]
+fn release_wakeup_is_never_lost() {
+    const ROUNDS: usize = 3_000;
+    for layout in [MechLayout::Packed, MechLayout::Wide] {
+        let mech = Arc::new(Mech::with_layout(1, WaitStrategy::Block, layout));
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let mech = Arc::clone(&mech);
+                let done = done_tx.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        // Self-conflicting mode: exactly one thread in at a
+                        // time; every release must wake the parked peer.
+                        mech.lock(0, ConflictSet::new(&[0]));
+                        assert!(mech.unlock(0));
+                    }
+                    done.send(()).unwrap();
+                })
+            })
+            .collect();
+        drop(done_tx);
+        for _ in 0..workers.len() {
+            done_rx
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|_| {
+                    panic!("{layout:?}: lost wakeup — ping-pong worker never finished")
+                });
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(mech.held_total(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified acquisition API, exercised over both representations.
+// ---------------------------------------------------------------------
+
+fn table() -> (Arc<ModeTable>, LockSiteId) {
+    let s = set_schema();
+    let spec = CommutSpec::builder(s.clone())
+        .always("add", "add")
+        .differ("add", 0, "remove", 0)
+        .differ("add", 0, "contains", 0)
+        .never("add", "size")
+        .never("add", "clear")
+        .always("remove", "remove")
+        .differ("remove", 0, "contains", 0)
+        .never("remove", "size")
+        .never("remove", "clear")
+        .always("contains", "contains")
+        .always("contains", "size")
+        .never("contains", "clear")
+        .always("size", "size")
+        .never("size", "clear")
+        .always("clear", "clear")
+        .build();
+    let mut b = ModeTable::builder(s.clone(), spec, Phi::modulo(4));
+    let site = b.add_site(SymbolicSet::new(vec![
+        SymOp::new(s.method("add"), vec![SymArg::Var(0)]),
+        SymOp::new(s.method("remove"), vec![SymArg::Var(0)]),
+    ]));
+    (b.build(), site)
+}
+
+fn locks_for_both_layouts(t: &Arc<ModeTable>) -> [SemLock; 2] {
+    [
+        SemLock::with_mech_layout(t.clone(), WaitStrategy::Block, MechLayout::Auto),
+        SemLock::with_mech_layout(t.clone(), WaitStrategy::Block, MechLayout::Wide),
+    ]
+}
+
+#[test]
+fn acquire_spec_equivalences_hold_on_both_layouts() {
+    let (t, site) = table();
+    let m = t.select(site, &[Value(3)]); // self-conflicting mode
+    for lock in locks_for_both_layouts(&t) {
+        // Forever == lv.
+        let mut txn = semlock::Txn::new();
+        txn.acquire(&lock, &AcquireSpec::new(m)).unwrap();
+        assert_eq!(txn.held_mode(&lock), Some(m));
+        // Skip rule applies whatever the budget.
+        txn.acquire(&lock, &AcquireSpec::new(m).no_wait()).unwrap();
+        assert_eq!(txn.held_count(), 1);
+
+        // DontWait == try_lv: zero-wait timeout on conflict.
+        let mut other = semlock::Txn::new();
+        let err = other
+            .acquire(&lock, &AcquireSpec::new(m).no_wait())
+            .unwrap_err();
+        assert!(
+            matches!(err, LockError::Timeout { waited, .. } if waited == Duration::ZERO),
+            "{err}"
+        );
+
+        // Until == lv_deadline: bounded wait, then a timeout carrying the
+        // waited duration.
+        let start = Instant::now();
+        let err = other
+            .acquire(
+                &lock,
+                &AcquireSpec::new(m).timeout(Duration::from_millis(25)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }), "{err}");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(other.held_count(), 0);
+
+        drop(txn);
+        assert_eq!(lock.total_holds(), 0);
+    }
+}
+
+#[test]
+fn acquire_reports_poison_on_both_layouts() {
+    let (t, site) = table();
+    let m = t.select(site, &[Value(1)]);
+    for lock in locks_for_both_layouts(&t) {
+        lock.poison();
+        for spec in [
+            AcquireSpec::new(m),
+            AcquireSpec::new(m).no_wait(),
+            AcquireSpec::new(m).timeout(Duration::from_millis(10)),
+        ] {
+            let mut txn = semlock::Txn::new();
+            let err = txn.acquire(&lock, &spec).unwrap_err();
+            assert!(err.is_poisoned(), "{spec:?}: {err}");
+            assert_eq!(txn.held_count(), 0);
+        }
+        lock.clear_poison();
+        let mut txn = semlock::Txn::new();
+        txn.acquire(&lock, &AcquireSpec::new(m)).unwrap();
+        drop(txn);
+        assert_eq!(lock.total_holds(), 0);
+    }
+}
+
+#[test]
+fn no_watchdog_spec_still_times_out_but_never_aborts() {
+    // Two transactions in a genuine cycle, both opted out of the
+    // watchdog: neither may be chosen as a deadlock victim — both must
+    // escape through their deadlines instead.
+    let (t, site) = table();
+    let a = Arc::new(SemLock::new(t.clone()));
+    let b = Arc::new(SemLock::new(t.clone()));
+    let m = t.select(site, &[Value(3)]);
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let mk = |hold: Arc<SemLock>, want: Arc<SemLock>, gate: Arc<std::sync::Barrier>| {
+        std::thread::spawn(move || {
+            let mut txn = semlock::Txn::new();
+            txn.acquire(&hold, &AcquireSpec::new(m)).unwrap();
+            gate.wait();
+            let res = txn.acquire(
+                &want,
+                &AcquireSpec::new(m)
+                    .timeout(Duration::from_millis(300))
+                    .no_watchdog(),
+            );
+            drop(txn);
+            res
+        })
+    };
+    let h1 = mk(a.clone(), b.clone(), gate.clone());
+    let h2 = mk(b.clone(), a.clone(), gate.clone());
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    for r in [&r1, &r2] {
+        if let Err(e) = r {
+            assert!(
+                matches!(e, LockError::Timeout { .. }),
+                "opted-out waiter must only ever time out, got {e}"
+            );
+        }
+    }
+    assert!(
+        r1.is_err() || r2.is_err(),
+        "a genuine cycle cannot resolve without at least one timeout"
+    );
+    assert_eq!(a.total_holds() + b.total_holds(), 0);
+}
+
+#[test]
+fn standalone_semlock_acquire_mirrors_lock_variants() {
+    let (t, site) = table();
+    let m = t.select(site, &[Value(3)]);
+    for lock in locks_for_both_layouts(&t) {
+        lock.acquire(&AcquireSpec::new(m)).unwrap();
+        let err = lock.acquire(&AcquireSpec::new(m).no_wait()).unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+        let err = lock
+            .acquire(&AcquireSpec::new(m).timeout(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+        lock.unlock(m);
+        assert_eq!(lock.total_holds(), 0);
+    }
+}

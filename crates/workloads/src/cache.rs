@@ -38,6 +38,7 @@ use semlock::spec::CommutSpec;
 use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::sync::Arc;
 
 struct SemanticState {
@@ -183,11 +184,13 @@ impl CacheBench {
                 // precedes longterm in the lock order).
                 let mode = self.sem.eden_table.select(self.sem.site_get_eden, &[k]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.eden_lock, mode);
+                txn.acquire(&self.sem.eden_lock, &AcquireSpec::new(mode))
+                    .expect("cache: eden acquisition failed");
                 let mut v = self.eden.get(k);
                 if v.is_null() {
                     let m = self.sem.lt_table.select(self.sem.site_get_lt, &[k]);
-                    txn.lv(&self.sem.lt_lock, m);
+                    txn.acquire(&self.sem.lt_lock, &AcquireSpec::new(m))
+                        .expect("cache: longterm acquisition failed");
                     v = self.longterm.get(k);
                     if !v.is_null() {
                         self.eden.put(k, v);
@@ -224,10 +227,12 @@ impl CacheBench {
             SyncKind::Semantic => {
                 let mode = self.sem.eden_table.select(self.sem.site_put_eden, &[k]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.eden_lock, mode);
+                txn.acquire(&self.sem.eden_lock, &AcquireSpec::new(mode))
+                    .expect("cache: eden acquisition failed");
                 if self.eden.size() >= self.size {
                     let lt_mode = self.sem.lt_table.select(self.sem.site_put_lt, &[]);
-                    txn.lv(&self.sem.lt_lock, lt_mode);
+                    txn.acquire(&self.sem.lt_lock, &AcquireSpec::new(lt_mode))
+                        .expect("cache: longterm acquisition failed");
                     for (ek, ev) in self.eden.drain_entries() {
                         self.longterm.put(ek, ev);
                     }

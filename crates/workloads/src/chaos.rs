@@ -36,6 +36,7 @@ use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -300,6 +301,9 @@ impl Worker<'_> {
                     // the runtime refused a release it should have granted.
                     panic!("chaos surfaced an unexpected unlock underflow: {e}");
                 }
+                // `LockError` is non-exhaustive; any future failure kind is
+                // by definition not part of the soak's expected outcomes.
+                Ok(Err(e)) => panic!("chaos surfaced an unknown lock error: {e}"),
                 Err(payload) => {
                     if fault::injected(&*payload).is_none() {
                         // A genuine bug must fail the soak loudly.
@@ -328,7 +332,7 @@ impl Worker<'_> {
             if semlock::telemetry::enabled() {
                 semlock::telemetry::set_site(self.site_id);
             }
-            txn.lv_deadline(&cm.lock, mode, deadline)?;
+            txn.acquire(&cm.lock, &AcquireSpec::new(mode).deadline(deadline))?;
         }
         for &mi in targets {
             let cm = &self.maps[mi];

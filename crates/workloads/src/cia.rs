@@ -22,6 +22,7 @@ use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::sync::Arc;
 use synth::Synthesizer;
 
@@ -108,7 +109,8 @@ impl ComputeIfAbsent {
                 if semlock::telemetry::enabled() {
                     semlock::telemetry::set_site(self.sem_site_id);
                 }
-                txn.lv(&self.sem_lock, mode);
+                txn.acquire(&self.sem_lock, &AcquireSpec::new(mode))
+                    .expect("cia: semantic acquisition failed");
                 if !self.map.contains_key(k) {
                     self.map.put(k, compute_value(k));
                 }

@@ -41,6 +41,7 @@ use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -216,7 +217,8 @@ impl GossipBench {
                     .table_table
                     .select(self.sem.site_route_table, &[group]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.table_lock, tmode);
+                txn.acquire(&self.sem.table_lock, &AcquireSpec::new(tmode))
+                    .expect("gossip: table acquisition failed");
                 let inner = self.table.get(group);
                 let mut delivered = 0;
                 if !inner.is_null() {
@@ -225,7 +227,9 @@ impl GossipBench {
                         .sem
                         .member_table
                         .select(self.sem.site_route_member, &[]);
-                    mm.sem.lock(mmode);
+                    mm.sem
+                        .acquire(&AcquireSpec::new(mmode))
+                        .expect("gossip: member-map acquisition failed");
                     for (m, _) in mm.map.entries() {
                         self.send(m);
                         delivered += 1;
@@ -295,7 +299,8 @@ impl GossipBench {
                     .table_table
                     .select(self.sem.site_reg_table, &[group]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.table_lock, tmode);
+                txn.acquire(&self.sem.table_lock, &AcquireSpec::new(tmode))
+                    .expect("gossip: table acquisition failed");
                 let mut inner = self.table.get(group);
                 if inner.is_null() {
                     inner = self.new_member_map();
@@ -306,7 +311,9 @@ impl GossipBench {
                     .sem
                     .member_table
                     .select(self.sem.site_reg_member, &[member]);
-                mm.sem.lock(mmode);
+                mm.sem
+                    .acquire(&AcquireSpec::new(mmode))
+                    .expect("gossip: member-map acquisition failed");
                 mm.map.put(member, member);
                 mm.sem.unlock(mmode);
                 txn.unlock_all();
@@ -354,7 +361,8 @@ impl GossipBench {
                     .table_table
                     .select(self.sem.site_unreg_table, &[group]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.table_lock, tmode);
+                txn.acquire(&self.sem.table_lock, &AcquireSpec::new(tmode))
+                    .expect("gossip: table acquisition failed");
                 let inner = self.table.get(group);
                 if !inner.is_null() {
                     let mm = self.member_map(inner);
@@ -362,7 +370,9 @@ impl GossipBench {
                         .sem
                         .member_table
                         .select(self.sem.site_unreg_member, &[member]);
-                    mm.sem.lock(mmode);
+                    mm.sem
+                        .acquire(&AcquireSpec::new(mmode))
+                        .expect("gossip: member-map acquisition failed");
                     mm.map.remove(member);
                     mm.sem.unlock(mmode);
                 }

@@ -23,6 +23,7 @@ use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::sync::Arc;
 use synth::Synthesizer;
 
@@ -125,7 +126,8 @@ impl GraphBench {
             SyncKind::Semantic => {
                 let mode = self.sem.table.select(self.sem.site_find_succ, &[n]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.succ_lock, mode);
+                txn.acquire(&self.sem.succ_lock, &AcquireSpec::new(mode))
+                    .expect("graph: succ acquisition failed");
                 let r = self.succ.get(n);
                 txn.unlock_all();
                 r
@@ -151,7 +153,8 @@ impl GraphBench {
             SyncKind::Semantic => {
                 let mode = self.sem.table.select(self.sem.site_find_pred, &[n]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.pred_lock, mode);
+                txn.acquire(&self.sem.pred_lock, &AcquireSpec::new(mode))
+                    .expect("graph: pred acquisition failed");
                 let r = self.pred.get(n);
                 txn.unlock_all();
                 r

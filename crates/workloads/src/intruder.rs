@@ -29,6 +29,7 @@ use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
 use semlock::txn::Txn;
 use semlock::value::Value;
+use semlock::AcquireSpec;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use synth::Synthesizer;
@@ -210,7 +211,8 @@ impl IntruderBench {
             SyncKind::Semantic => {
                 let mode = self.sem.q_table.select(self.sem.site_capture, &[]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.in_lock, mode);
+                txn.acquire(&self.sem.in_lock, &AcquireSpec::new(mode))
+                    .expect("intruder: input acquisition failed");
                 let p = self.in_q.dequeue();
                 txn.unlock_all();
                 p
@@ -238,7 +240,8 @@ impl IntruderBench {
                 // Mirrors the compiled `reassemble` section.
                 let mode = self.sem.map_table.select(self.sem.site_frag, &[flow]);
                 let mut txn = Txn::new();
-                txn.lv(&self.sem.frag_lock, mode);
+                txn.acquire(&self.sem.frag_lock, &AcquireSpec::new(mode))
+                    .expect("intruder: fragment acquisition failed");
                 let completed = {
                     let c = self.frag_map.get(flow);
                     let c = if c.is_null() { 0 } else { c.0 };
@@ -246,7 +249,8 @@ impl IntruderBench {
                     if c == nfrags {
                         self.frag_map.remove(flow);
                         let qmode = self.sem.q_table.select(self.sem.site_decoded, &[flow]);
-                        txn.lv(&self.sem.decoded_lock, qmode);
+                        txn.acquire(&self.sem.decoded_lock, &AcquireSpec::new(qmode))
+                            .expect("intruder: decoded acquisition failed");
                         self.decoded_q.enqueue(flow);
                         true
                     } else {
