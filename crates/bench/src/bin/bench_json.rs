@@ -1,12 +1,13 @@
-//! Machine-readable benchmark runner: emits `BENCH_PR4.json` with
+//! Machine-readable benchmark runner: emits `BENCH_PR5.json` with
 //! micro-benchmark latencies (telemetry off vs on), the packed-vs-wide
-//! admission A/B, workload throughput sweeps, lock-contention counters,
-//! and telemetry summaries.
+//! admission A/B, the compiled-vs-tree-walk interpreter A/B, workload
+//! throughput sweeps, lock-contention counters, and telemetry summaries.
 //!
 //! ```text
-//! cargo run --release --bin bench_json -- --out BENCH_PR4.json
+//! cargo run --release --bin bench_json -- --out BENCH_PR5.json
 //! cargo run --release --bin bench_json -- --ops 5000 --threads 1,4 \
-//!     --against BENCH_PR3.json --against BENCH_PR4.json --tolerance 0.10
+//!     --against BENCH_PR3.json --against BENCH_PR4.json \
+//!     --against BENCH_PR5.json --tolerance 0.10
 //! ```
 //!
 //! With `--against` (repeatable), the telemetry-off micro benches are
@@ -143,6 +144,81 @@ struct MicroResult {
     name: &'static str,
     off_ns: f64,
     on_ns: f64,
+}
+
+/// The synthesized counter section every interpreter measurement runs
+/// (the Fig. 1 read-modify-write shape over one `Map`).
+fn counter_program() -> Arc<synth::SynthOutput> {
+    use synth::ir::{e::*, ptr, scalar, AtomicSection, Body};
+    use synth::{ClassRegistry, Synthesizer};
+    let mut registry = ClassRegistry::new();
+    registry.register("Map", adts::schema_of("Map"), adts::spec_of("Map"));
+    let section = AtomicSection::new(
+        "counter",
+        [ptr("map", "Map"), scalar("k"), scalar("v")],
+        Body::new()
+            .call_into("v", "map", "get", vec![var("k")])
+            .if_else(
+                is_null(var("v")),
+                Body::new().call("map", "put", vec![var("k"), konst(1)]),
+                Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
+            )
+            .build(),
+    );
+    Arc::new(
+        Synthesizer::new(registry)
+            .phi(Phi::fib(64))
+            .synthesize(&[section]),
+    )
+}
+
+/// Compiled-vs-tree-walk interpreter A/B: the same counter section on the
+/// same environment and instance, executed by the tree-walking oracle and
+/// by the compiled op tape, `ROUNDS` alternating passes, min per side —
+/// the headline number the PR 5 acceptance gate checks
+/// (`compiled_over_treewalk` well under 1/3, i.e. a ≥ 3× speedup).
+struct InterpAb {
+    rounds: u32,
+    treewalk_ns: f64,
+    compiled_ns: f64,
+}
+
+fn run_interp_ab(ops: u64) -> InterpAb {
+    use interp::{Engine, Env, Interp, Strategy};
+    const ROUNDS: u32 = 8;
+    let program = counter_program();
+    let env = Arc::new(Env::new(program));
+    let map = env.new_instance("Map");
+    let tree = Interp::new(env.clone(), Strategy::Semantic);
+    let comp = Interp::new(env.clone(), Strategy::Semantic).with_engine(Engine::Compiled);
+    let iters = ops.clamp(1_000, 20_000);
+    let tree_pass = || {
+        let mut k = 0u64;
+        one_pass_ns(iters, &mut || {
+            k = (k + 1) & 1023;
+            tree.run("counter", &[("map", map), ("k", Value(k))]);
+        })
+    };
+    let comp_pass = || {
+        let mut k = 0u64;
+        one_pass_ns(iters, &mut || {
+            k = (k + 1) & 1023;
+            comp.run_compiled("counter", &[("map", map), ("k", Value(k))]);
+        })
+    };
+    // Warm both sides (and populate the key range) before timing.
+    tree_pass();
+    comp_pass();
+    let (mut treewalk_ns, mut compiled_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        treewalk_ns = treewalk_ns.min(tree_pass());
+        compiled_ns = compiled_ns.min(comp_pass());
+    }
+    InterpAb {
+        rounds: ROUNDS,
+        treewalk_ns,
+        compiled_ns,
+    }
 }
 
 /// Uncontended-admission A/B: the same `acquire`/`unlock` loop against
@@ -285,6 +361,30 @@ fn summarize_telemetry(m: &semlock::telemetry::Metrics) -> TelemetrySummary {
     }
 }
 
+/// Collect a per-workload telemetry summary for a semantic-locking
+/// workload. With `--telemetry` the timed pass itself recorded, so
+/// summarize that; otherwise run `sample` — a short, untimed
+/// telemetry-on pass over the same workload — so the summary is always
+/// present in the JSON (the timed numbers stay telemetry-free).
+fn workload_telemetry(
+    timed_pass_recorded: bool,
+    sample: &mut dyn FnMut(),
+) -> Option<TelemetrySummary> {
+    if !timed_pass_recorded {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        sample();
+    }
+    telemetry::set_enabled(false);
+    let metrics = semlock::telemetry::Metrics::collect();
+    telemetry::reset();
+    Some(summarize_telemetry(&metrics))
+}
+
+/// Ops for the untimed telemetry sampling pass: enough to populate every
+/// site without stretching the run.
+const TELEMETRY_SAMPLE_OPS: u64 = 2_000;
+
 fn run_workloads(cfg: &Config) -> Vec<WorkloadResult> {
     let mut results = Vec::new();
     let kinds = [
@@ -296,17 +396,21 @@ fn run_workloads(cfg: &Config) -> Vec<WorkloadResult> {
     for &threads in &cfg.threads {
         for (kind, name) in kinds {
             let bench = ComputeIfAbsent::new(kind, 8192);
-            let with_tel = cfg.telemetry_workloads && kind == SyncKind::Semantic;
+            // Only the semantic variant goes through `semlock` telemetry;
+            // the baselines' entries stay `null`.
+            let semantic = kind == SyncKind::Semantic;
+            let with_tel = cfg.telemetry_workloads && semantic;
             if with_tel {
                 telemetry::reset();
                 telemetry::set_enabled(true);
             }
             let m = measure(threads, cfg.ops, 1, 1, &|t, rng| bench.op(t, rng));
-            let tel = if with_tel {
-                telemetry::set_enabled(false);
-                let metrics = semlock::telemetry::Metrics::collect();
-                telemetry::reset();
-                Some(summarize_telemetry(&metrics))
+            let tel = if semantic {
+                workload_telemetry(with_tel, &mut || {
+                    measure(threads, TELEMETRY_SAMPLE_OPS, 0, 1, &|t, rng| {
+                        bench.op(t, rng)
+                    });
+                })
             } else {
                 None
             };
@@ -321,60 +425,45 @@ fn run_workloads(cfg: &Config) -> Vec<WorkloadResult> {
                 telemetry: tel,
             });
         }
-        // One interpreted workload: the ComputeIfAbsent-with-counter
-        // section running through the full IR executor.
-        results.push(run_interp_workload(cfg, threads));
+        // The interpreted workload — the counter section through the full
+        // IR executor — on both execution engines.
+        for engine in [interp::Engine::TreeWalk, interp::Engine::Compiled] {
+            results.push(run_interp_workload(cfg, threads, engine));
+        }
     }
     results
 }
 
-fn run_interp_workload(cfg: &Config, threads: usize) -> WorkloadResult {
-    use interp::{Env, Interp, Strategy};
+fn run_interp_workload(cfg: &Config, threads: usize, engine: interp::Engine) -> WorkloadResult {
+    use interp::{Engine, Env, Interp, Strategy};
     use rand::Rng;
-    use synth::ir::{e::*, ptr, scalar, AtomicSection, Body};
-    use synth::{ClassRegistry, Synthesizer};
-    let mut registry = ClassRegistry::new();
-    registry.register("Map", adts::schema_of("Map"), adts::spec_of("Map"));
-    let section = AtomicSection::new(
-        "counter",
-        [ptr("map", "Map"), scalar("k"), scalar("v")],
-        Body::new()
-            .call_into("v", "map", "get", vec![var("k")])
-            .if_else(
-                is_null(var("v")),
-                Body::new().call("map", "put", vec![var("k"), konst(1)]),
-                Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
-            )
-            .build(),
-    );
-    let program = Arc::new(
-        Synthesizer::new(registry)
-            .phi(Phi::fib(64))
-            .synthesize(&[section]),
-    );
+    let program = counter_program();
     let env = Arc::new(Env::new(program));
     let map = env.new_instance("Map");
-    let interp = Interp::new(env.clone(), Strategy::Semantic);
+    let interp = Interp::new(env.clone(), Strategy::Semantic).with_engine(engine);
+    let op = |rng: &mut rand::rngs::SmallRng| {
+        let k = Value(rng.gen_range(0..1024u64));
+        if engine == Engine::Compiled {
+            interp.run_compiled("counter", &[("map", map), ("k", k)]);
+        } else {
+            interp.run("counter", &[("map", map), ("k", k)]);
+        }
+    };
     let with_tel = cfg.telemetry_workloads;
     if with_tel {
         telemetry::reset();
         telemetry::set_enabled(true);
     }
-    let m = measure(threads, cfg.ops.min(20_000), 1, 1, &|_, rng| {
-        let k = Value(rng.gen_range(0..1024u64));
-        interp.run("counter", &[("map", map), ("k", k)]);
+    let m = measure(threads, cfg.ops.min(20_000), 1, 1, &|_, rng| op(rng));
+    let tel = workload_telemetry(with_tel, &mut || {
+        measure(threads, TELEMETRY_SAMPLE_OPS, 0, 1, &|_, rng| op(rng));
     });
-    let tel = if with_tel {
-        telemetry::set_enabled(false);
-        let metrics = semlock::telemetry::Metrics::collect();
-        telemetry::reset();
-        Some(summarize_telemetry(&metrics))
-    } else {
-        None
-    };
     let (acq, cont) = env.resolve(map).sem().contention();
     WorkloadResult {
-        name: "interp_counter_semantic".to_string(),
+        name: match engine {
+            Engine::TreeWalk => "interp_counter_semantic".to_string(),
+            Engine::Compiled => "interp_counter_semantic_compiled".to_string(),
+        },
         threads,
         ops_per_sec: m.ops_per_sec,
         acquisitions: acq,
@@ -395,13 +484,14 @@ fn render_json(
     cal: f64,
     micros: &[MicroResult],
     admission: &AdmissionAb,
+    interp_ab: &InterpAb,
     workloads: &[WorkloadResult],
     cfg: &Config,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"semlock-bench/v1\",\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"pr\": 5,\n");
     let threads: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
     let _ = writeln!(
         out,
@@ -447,6 +537,22 @@ fn render_json(
         fmt_f(admission.packed_ns / cal),
         fmt_f(admission.wide_ns / cal),
         fmt_f(admission.packed_ns / admission.wide_ns)
+    );
+    // Like the admission A/B, the interpreter A/B is gated on its ratio
+    // (both engines measured back-to-back in the same process), so it is
+    // immune to machine-speed drift across runs.
+    let _ = writeln!(
+        out,
+        "  \"interp\": {{\"rounds\": {}, \"treewalk_ns_per_op\": {}, \"compiled_ns_per_op\": {}, \
+         \"treewalk_rel\": {}, \"compiled_rel\": {}, \"compiled_over_treewalk\": {}, \
+         \"speedup\": {}}},",
+        interp_ab.rounds,
+        fmt_f(interp_ab.treewalk_ns),
+        fmt_f(interp_ab.compiled_ns),
+        fmt_f(interp_ab.treewalk_ns / cal),
+        fmt_f(interp_ab.compiled_ns / cal),
+        fmt_f(interp_ab.compiled_ns / interp_ab.treewalk_ns),
+        fmt_f(interp_ab.treewalk_ns / interp_ab.compiled_ns)
     );
     out.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
@@ -578,6 +684,29 @@ fn check_admission(cfg: &Config, admission: &AdmissionAb) -> bool {
     }
 }
 
+/// PR 5 acceptance: the compiled engine must run the counter section at
+/// least 3× faster than the tree-walker (min-of-N interleaved A/B), with
+/// the regression tolerance as noise headroom.
+fn check_interp(cfg: &Config, interp_ab: &InterpAb) -> bool {
+    let speedup = interp_ab.treewalk_ns / interp_ab.compiled_ns;
+    let floor = 3.0 * (1.0 - cfg.tolerance);
+    if speedup < floor {
+        eprintln!(
+            "bench_json: INTERP REGRESSION: compiled {:.1} ns vs tree-walk {:.1} ns \
+             (speedup {speedup:.2}x < {floor:.2}x)",
+            interp_ab.compiled_ns, interp_ab.treewalk_ns
+        );
+        false
+    } else {
+        eprintln!(
+            "bench_json: interp A/B: tree-walk {:.1} ns, compiled {:.1} ns \
+             (speedup {speedup:.2}x, min of {} interleaved rounds) — ok",
+            interp_ab.treewalk_ns, interp_ab.compiled_ns, interp_ab.rounds
+        );
+        true
+    }
+}
+
 fn main() {
     let cfg = parse_args();
     telemetry::set_enabled(false);
@@ -594,8 +723,9 @@ fn main() {
         );
     }
     let admission = run_admission_ab(cfg.ops);
+    let interp_ab = run_interp_ab(cfg.ops);
     let workloads = run_workloads(&cfg);
-    let json = render_json(cal, &micros, &admission, &workloads, &cfg);
+    let json = render_json(cal, &micros, &admission, &interp_ab, &workloads, &cfg);
     match &cfg.out {
         Some(path) => {
             std::fs::write(path, &json).expect("write output file");
@@ -604,7 +734,9 @@ fn main() {
         None => print!("{json}"),
     }
     let measured = measured_rels(cal, &micros);
-    let ok = check_admission(&cfg, &admission) & check_regressions(&cfg, &measured);
+    let ok = check_admission(&cfg, &admission)
+        & check_interp(&cfg, &interp_ab)
+        & check_regressions(&cfg, &measured);
     if !ok {
         std::process::exit(1);
     }

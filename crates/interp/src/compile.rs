@@ -1,0 +1,565 @@
+//! The compiled execution engine: resolved op tapes + the dispatch loop.
+//!
+//! [`synth::lower`] flattens each synthesized section into an engine-
+//! agnostic [`Tape`] that names classes and methods by string. This module
+//! performs the second, environment-dependent half of the compilation —
+//! resolving every `CallRef` to a [`MethodIdx`] against the schema the
+//! receiver instance will actually carry, and every `SiteRef` to an
+//! `Arc<ModeTable>` — and then drives the tape with a tight `pc`-indexed
+//! dispatch loop over a dense `Vec<Value>` register frame.
+//!
+//! Per warm run, the loop performs exactly one allocation — the register
+//! vector that escapes as the [`CompiledFrame`]; the handle cache, the
+//! group-lock scratch, and the `RunState` buffers are recycled through a
+//! per-thread [`Scratch`] pool. Per *op* it allocates nothing: no
+//! `HashMap` frame lookups, no `String` clones, no recursive `Expr`
+//! matching, no string-keyed `ClassTables` lookups on lock sites, and —
+//! thanks to the per-slot handle cache — the `Registry::get`
+//! `RwLock<HashMap>` + `Arc` clone is paid once per distinct pointer
+//! value per slot rather than once per ADT call.
+//!
+//! The engine is behaviorally identical to the tree-walker: it shares the
+//! `RunState`, the acquisition/release helpers, the fault-injection
+//! boundaries (`Lock`/`OpStart`/`OpEnd`/`Unlock`, in the same order at the
+//! same per-transaction step ordinals), checker callbacks, poisoning, and
+//! telemetry attribution. `crates/interp/tests/equivalence.rs` holds the
+//! two engines to bitwise-identical observable behavior under randomized
+//! programs, schedules, and fault plans.
+
+use crate::env::{Env, SharedAdt};
+use crate::exec::{Engine, Frame, Interp, RunState, Strategy, FUEL};
+use semlock::error::LockError;
+use semlock::mode::{LockSiteId, ModeTable};
+use semlock::schema::MethodIdx;
+use semlock::value::Value;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use synth::lower::{self, LowOp, Tape, NO_SLOT};
+
+/// A lock site with its mode table and runtime ids fully resolved.
+struct ResolvedSite {
+    table: Arc<ModeTable>,
+    rt_site: LockSiteId,
+    stable_id: u32,
+    key_slots: Box<[u16]>,
+}
+
+/// One compiled section: the lowered tape plus environment-resolved pools.
+pub struct CompiledSection {
+    tape: Tape,
+    /// Parallel to `tape.calls`.
+    methods: Box<[MethodIdx]>,
+    /// Parallel to `tape.sites`.
+    sites: Box<[ResolvedSite]>,
+    /// Wrapper pointer slots bound to their global instances at frame
+    /// initialization.
+    wrapper_binds: Vec<(u16, Value)>,
+    /// Declared variable names in slot order (shared by every
+    /// [`CompiledFrame`] this section produces). Caller arguments bind by
+    /// a linear scan — sections declare a handful of short names, so the
+    /// scan beats hashing the argument name.
+    names: Arc<[String]>,
+    /// Initial register values: NULL for pointers, 0 for scalars/temps,
+    /// wrapper handles pre-bound.
+    init: Box<[Value]>,
+}
+
+impl CompiledSection {
+    /// Section name.
+    pub fn name(&self) -> &str {
+        &self.tape.section
+    }
+
+    /// Number of ops on the tape.
+    pub fn op_count(&self) -> usize {
+        self.tape.ops.len()
+    }
+}
+
+/// Sections rarely declare more than a handful of variables; frames up to
+/// this many values are returned inline, so a warm compiled run performs
+/// no heap allocation at all.
+const INLINE_VALUES: usize = 12;
+
+enum FrameValues {
+    Inline {
+        len: u8,
+        buf: [Value; INLINE_VALUES],
+    },
+    Heap(Vec<Value>),
+}
+
+impl FrameValues {
+    fn of(declared: &[Value]) -> FrameValues {
+        if declared.len() <= INLINE_VALUES {
+            let mut buf = [Value(0); INLINE_VALUES];
+            buf[..declared.len()].copy_from_slice(declared);
+            FrameValues::Inline {
+                len: declared.len() as u8,
+                buf,
+            }
+        } else {
+            FrameValues::Heap(declared.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            FrameValues::Inline { len, buf } => &buf[..*len as usize],
+            FrameValues::Heap(v) => v,
+        }
+    }
+}
+
+/// Final variable frame of a compiled run: declared variables by slot, in
+/// declaration order, with no per-run `String` or `HashMap` cost.
+pub struct CompiledFrame {
+    values: FrameValues,
+    names: Arc<[String]>,
+}
+
+impl CompiledFrame {
+    /// Value of a declared variable.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values.as_slice()[i])
+    }
+
+    /// Declared variables in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.as_slice().iter().copied())
+    }
+
+    /// Convert into the name-keyed [`Frame`] the tree-walker returns.
+    pub fn into_frame(self) -> Frame {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.values.as_slice().iter().copied())
+            .collect()
+    }
+}
+
+impl std::ops::Index<&str> for CompiledFrame {
+    type Output = Value;
+
+    fn index(&self, name: &str) -> &Value {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no variable named {name}"));
+        &self.values.as_slice()[i]
+    }
+}
+
+/// Resolve the `MethodIdx` a call will dispatch with at run time. Receiver
+/// instances are either `adts` instances (created by `Env::new_instance`)
+/// or global-wrapper instances, so the authoritative schema is the class's
+/// `adts` schema or the wrapper schema respectively — *not* necessarily
+/// the synthesis registry's copy.
+fn method_of(env: &Env, class: &str, method: &str) -> MethodIdx {
+    if let Some(w) = env.program.wrappers.iter().find(|w| w.name == class) {
+        return w.schema.method(method);
+    }
+    adts::schema_of(class).method(method)
+}
+
+/// Compile one lowered tape against an environment.
+pub fn compile_tape(env: &Env, tape: Tape) -> CompiledSection {
+    lower::validate(&tape).unwrap_or_else(|e| panic!("invalid tape for {}: {e}", tape.section));
+    let methods: Box<[MethodIdx]> = tape
+        .calls
+        .iter()
+        .map(|c| method_of(env, &c.class, &c.method))
+        .collect();
+    let sites: Box<[ResolvedSite]> = tape
+        .sites
+        .iter()
+        .map(|s| ResolvedSite {
+            table: env.program.tables.table(&s.class).clone(),
+            rt_site: s.rt_site,
+            stable_id: s.stable_id,
+            key_slots: s.key_slots.clone().into_boxed_slice(),
+        })
+        .collect();
+    let slot_index: HashMap<String, u16> = tape
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.clone(), i as u16))
+        .collect();
+    let names: Arc<[String]> = tape.vars.iter().map(|(n, _)| n.clone()).collect();
+    let mut init = vec![Value(0); tape.n_slots as usize];
+    for (i, (_, ty)) in tape.vars.iter().enumerate() {
+        if matches!(ty, synth::ir::VarType::Ptr(_)) {
+            init[i] = Value::NULL;
+        }
+    }
+    let mut wrapper_binds = Vec::new();
+    for w in &env.program.wrappers {
+        if let Some(&slot) = slot_index.get(&w.pointer) {
+            let handle = env.wrapper_handle(&w.name);
+            init[slot as usize] = handle;
+            wrapper_binds.push((slot, handle));
+        }
+    }
+    CompiledSection {
+        tape,
+        methods,
+        sites,
+        wrapper_binds,
+        names,
+        init: init.into_boxed_slice(),
+    }
+}
+
+/// Compile one section.
+pub fn compile_section(env: &Env, section: &synth::ir::AtomicSection) -> CompiledSection {
+    compile_tape(env, lower::lower_section(section, &env.program.tables))
+}
+
+/// Compile every section of the environment's program. Returned as a
+/// name-ordered list: programs hold a handful of sections with short
+/// names, so lookup is a linear scan rather than a string hash.
+pub fn compile_program(env: &Env) -> Vec<(String, Arc<CompiledSection>)> {
+    env.program
+        .sections
+        .iter()
+        .map(|s| (s.name.clone(), Arc::new(compile_section(env, s))))
+        .collect()
+}
+
+/// Per-thread run scratch, recycled across compiled runs so a warm run
+/// performs no heap allocation: the register file, the handle cache, the
+/// group-lock buffer, and the `RunState` buffers are all reused. The
+/// handle cache is cleared between runs — instance ids are only unique
+/// within one environment, and the pool outlives any particular `Interp`.
+struct Scratch {
+    regs: Vec<Value>,
+    cache: Vec<Option<Arc<SharedAdt>>>,
+    group: Vec<(u64, Value, u16)>,
+    st: RunState,
+}
+
+thread_local! {
+    // Boxed deliberately (clippy::vec_box): take/put then move one
+    // pointer per run instead of memcpying the ~250-byte struct twice.
+    #[allow(clippy::vec_box)]
+    static SCRATCH_POOL: std::cell::RefCell<Vec<Box<Scratch>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn scratch_take(txn: u64, init: &[Value]) -> Box<Scratch> {
+    let mut s = SCRATCH_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| {
+            Box::new(Scratch {
+                regs: Vec::new(),
+                cache: Vec::new(),
+                group: Vec::new(),
+                st: RunState::new(0),
+            })
+        });
+    s.st.reset(txn);
+    s.regs.clear();
+    s.regs.extend_from_slice(init);
+    s.cache.clear();
+    s.cache.resize(init.len(), None);
+    s.group.clear();
+    s
+}
+
+fn scratch_put(s: Box<Scratch>) {
+    SCRATCH_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(s);
+        }
+    });
+}
+
+/// Run one compiled section: the [`Interp::try_run_section`] counterpart,
+/// with the same global-lock placement, unwind safety, and abort cleanup.
+pub(crate) fn run_compiled(
+    interp: &Interp,
+    cs: &CompiledSection,
+    args: &[(&str, Value)],
+) -> Result<CompiledFrame, LockError> {
+    debug_assert_eq!(interp.engine(), Engine::Compiled);
+    let mut scratch = scratch_take(interp.next_txn(), &cs.init);
+    for (name, v) in args {
+        let slot = cs
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no variable named {name} in section {}", cs.name()));
+        scratch.regs[slot] = *v;
+    }
+    // Wrapper pointers always refer to their global instances, even if a
+    // caller binding overwrote the slot.
+    for &(slot, handle) in &cs.wrapper_binds {
+        scratch.regs[slot as usize] = handle;
+    }
+
+    if interp.strategy == Strategy::Global {
+        interp.global.lock();
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        dispatch(interp, cs, &mut scratch)?;
+        interp.release_all(&mut scratch.st);
+        Ok(())
+    }));
+    let result = match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => {
+            interp.abort_cleanup(&mut scratch.st);
+            Err(e)
+        }
+        Err(payload) => {
+            // The scratch is *not* pooled on this path: the panic may have
+            // unwound mid-helper, so its buffers are in an unknown state.
+            interp.abort_cleanup(&mut scratch.st);
+            if interp.strategy == Strategy::Global {
+                interp.global.unlock();
+            }
+            panic::resume_unwind(payload);
+        }
+    };
+    if interp.strategy == Strategy::Global {
+        interp.global.unlock();
+    }
+    let frame = result.map(|()| CompiledFrame {
+        values: FrameValues::of(&scratch.regs[..cs.names.len()]),
+        names: cs.names.clone(),
+    });
+    scratch_put(scratch);
+    frame
+}
+
+/// The dispatch loop.
+fn dispatch(interp: &Interp, cs: &CompiledSection, scratch: &mut Scratch) -> Result<(), LockError> {
+    let env: &Env = &interp.env;
+    let ops = &cs.tape.ops[..];
+    // Per-slot instance-handle cache: `Registry::get` (RwLock + HashMap +
+    // Arc clone) is paid once per distinct pointer value per slot. Entries
+    // self-validate against the current register value, so rebinding a
+    // pointer variable just refills its slot. `group` is the group-lock
+    // scratch: (instance id, handle, site index). Everything lives in the
+    // pooled `Scratch`, so a warm run allocates nothing.
+    let Scratch {
+        regs,
+        cache,
+        group,
+        st,
+    } = scratch;
+    let mut fuel: u64 = FUEL;
+    let mut pc: usize = 0;
+    while pc < ops.len() {
+        fuel = fuel
+            .checked_sub(1)
+            .expect("atomic section exceeded its fuel (runaway loop?)");
+        match ops[pc] {
+            LowOp::Const { dst, val } => regs[dst as usize] = val,
+            LowOp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+            LowOp::IsNull { dst, src } => {
+                regs[dst as usize] = Value::from_bool(regs[src as usize].is_null());
+            }
+            LowOp::Not { dst, src } => {
+                regs[dst as usize] = Value::from_bool(!regs[src as usize].as_bool());
+            }
+            LowOp::Eq { dst, a, b } => {
+                regs[dst as usize] = Value::from_bool(regs[a as usize] == regs[b as usize]);
+            }
+            LowOp::Lt { dst, a, b } => {
+                regs[dst as usize] = Value::from_bool(regs[a as usize].0 < regs[b as usize].0);
+            }
+            LowOp::Add { dst, a, b } => {
+                regs[dst as usize] = Value(regs[a as usize].0.wrapping_add(regs[b as usize].0));
+            }
+            LowOp::New { dst, class } => {
+                let class = &cs.tape.classes[class as usize];
+                let handle = env.new_instance(class);
+                if let Some(c) = &interp.checker {
+                    if env.program.tables.contains(class) {
+                        c.register_instance(handle.0, env.program.tables.table(class).clone());
+                    }
+                }
+                regs[dst as usize] = handle;
+            }
+            LowOp::Call {
+                call,
+                ret,
+                recv,
+                args_start,
+                args_len,
+            } => {
+                let handle = regs[recv as usize];
+                let adt = resolve_cached(env, cache, regs, recv);
+                let mut argv = std::mem::take(&mut st.scratch_argv);
+                argv.clear();
+                let arg_slots =
+                    &cs.tape.arg_pool[args_start as usize..args_start as usize + args_len as usize];
+                argv.extend(arg_slots.iter().map(|&s| regs[s as usize]));
+                debug_assert_eq!(adt.id, handle.0);
+                let result = interp.invoke_adt(adt, cs.methods[call as usize], &argv, st);
+                st.scratch_argv = argv;
+                if ret != NO_SLOT {
+                    regs[ret as usize] = result;
+                }
+            }
+            LowOp::Jump { off } => {
+                pc = jump(pc, off);
+                continue;
+            }
+            LowOp::JumpIfFalse { cond, off } => {
+                if !regs[cond as usize].as_bool() {
+                    pc = jump(pc, off);
+                    continue;
+                }
+            }
+            LowOp::Lock { recv, site } => {
+                if !regs[recv as usize].is_null() {
+                    acquire_site(interp, cs, site, recv, regs, cache, st)?;
+                }
+            }
+            LowOp::LockGroup { start, len } => {
+                // Dynamic ordering by unique instance id (Fig. 12). The
+                // pointer value *is* the instance id, so no resolution is
+                // needed to sort.
+                group.clear();
+                let entries = &cs.tape.group_pool[start as usize..start as usize + len as usize];
+                group.extend(entries.iter().filter_map(|&(slot, site)| {
+                    let handle = regs[slot as usize];
+                    if handle.is_null() {
+                        None
+                    } else {
+                        Some((env.resolve(handle).id, handle, site))
+                    }
+                }));
+                group.sort_by_key(|&(id, _, _)| id);
+                for &(_, handle, site) in group.iter() {
+                    acquire_handle(interp, cs, site, handle, regs, st)?;
+                }
+            }
+            LowOp::UnlockAllOf { recv } => {
+                let handle = regs[recv as usize];
+                if !handle.is_null() {
+                    interp.release_one(handle, st);
+                }
+            }
+            LowOp::UnlockAll => interp.release_all(st),
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+#[inline]
+fn jump(pc: usize, off: i32) -> usize {
+    (pc as i64 + 1 + off as i64) as usize
+}
+
+/// Resolve the instance in `regs[slot]` through the per-slot cache. The
+/// returned reference borrows the cache entry, so a cache hit costs one
+/// id comparison — no `Arc` refcount traffic.
+#[inline]
+fn resolve_cached<'c>(
+    env: &Env,
+    cache: &'c mut [Option<Arc<SharedAdt>>],
+    regs: &[Value],
+    slot: u16,
+) -> &'c Arc<SharedAdt> {
+    let handle = regs[slot as usize];
+    let entry = &mut cache[slot as usize];
+    match entry {
+        Some(a) if a.id == handle.0 => {}
+        _ => *entry = Some(env.resolve(handle)),
+    }
+    entry.as_ref().expect("cache entry just filled")
+}
+
+/// Acquire a lock site on the instance held in `regs[recv]` (non-null).
+fn acquire_site(
+    interp: &Interp,
+    cs: &CompiledSection,
+    site: u16,
+    recv: u16,
+    regs: &[Value],
+    cache: &mut [Option<Arc<SharedAdt>>],
+    st: &mut RunState,
+) -> Result<(), LockError> {
+    match interp.strategy {
+        Strategy::Global => Ok(()),
+        Strategy::TwoPhase => {
+            let adt = resolve_cached(&interp.env, cache, regs, recv);
+            if !st.held_plain.iter().any(|a| a.id == adt.id) {
+                adt.plain.lock();
+                st.held_plain.push(adt.clone());
+            }
+            Ok(())
+        }
+        Strategy::Semantic => {
+            let handle = regs[recv as usize];
+            if st.held_sem.iter().any(|(a, _, _)| a.id == handle.0) {
+                return Ok(());
+            }
+            let adt = resolve_cached(&interp.env, cache, regs, recv).clone();
+            acquire_semantic_site(interp, cs, site, adt, regs, st)
+        }
+    }
+}
+
+/// Acquire a lock site on a handle outside the slot cache (group locking,
+/// where the sort already resolved ids).
+fn acquire_handle(
+    interp: &Interp,
+    cs: &CompiledSection,
+    site: u16,
+    handle: Value,
+    regs: &[Value],
+    st: &mut RunState,
+) -> Result<(), LockError> {
+    match interp.strategy {
+        Strategy::Global => Ok(()),
+        Strategy::TwoPhase => {
+            let adt = interp.env.resolve(handle);
+            if !st.held_plain.iter().any(|a| a.id == adt.id) {
+                adt.plain.lock();
+                st.held_plain.push(adt);
+            }
+            Ok(())
+        }
+        Strategy::Semantic => {
+            if st.held_sem.iter().any(|(a, _, _)| a.id == handle.0) {
+                return Ok(());
+            }
+            let adt = interp.env.resolve(handle);
+            acquire_semantic_site(interp, cs, site, adt, regs, st)
+        }
+    }
+}
+
+/// Mode selection + shared semantic acquisition for a resolved site.
+fn acquire_semantic_site(
+    interp: &Interp,
+    cs: &CompiledSection,
+    site: u16,
+    adt: Arc<SharedAdt>,
+    regs: &[Value],
+    st: &mut RunState,
+) -> Result<(), LockError> {
+    let rs = &cs.sites[site as usize];
+    let mut keys = std::mem::take(&mut st.scratch_keys);
+    keys.clear();
+    keys.extend(rs.key_slots.iter().map(|&s| regs[s as usize]));
+    let result = interp.acquire_semantic(adt, &rs.table, rs.rt_site, &keys, rs.stable_id, st);
+    st.scratch_keys = keys;
+    result
+}

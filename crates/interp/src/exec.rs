@@ -28,18 +28,21 @@
 //! deterministic [`FaultPlan`] through every lock / unlock / operation
 //! boundary.
 
+use crate::compile::{self, CompiledFrame, CompiledSection};
 use crate::env::{Env, SharedAdt};
 use baselines::BinaryLock;
 use semlock::acquire::AcquireSpec;
 use semlock::error::LockError;
 use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
-use semlock::mode::ModeId;
+use semlock::mode::{LockSiteId, ModeId, ModeTable};
 use semlock::protocol::ProtocolChecker;
+use semlock::schema::MethodIdx;
 use semlock::symbolic::Operation;
 use semlock::telemetry;
 use semlock::value::Value;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use synth::ir::{AtomicSection, Expr, Stmt};
@@ -55,36 +58,91 @@ pub enum Strategy {
     TwoPhase,
 }
 
+/// Which execution engine drives a section run (see `DESIGN.md`,
+/// "Section compilation").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The recursive tree-walker over the IR — the reference oracle.
+    #[default]
+    TreeWalk,
+    /// The flat op-tape dispatch loop over sections lowered by
+    /// [`synth::lower`] and compiled by [`crate::compile`].
+    Compiled,
+}
+
 /// Maximum statements executed per section run (runaway-loop backstop).
-const FUEL: u64 = 10_000_000;
+pub(crate) const FUEL: u64 = 10_000_000;
 
 /// The interpreter.
 pub struct Interp {
-    env: Arc<Env>,
-    strategy: Strategy,
-    global: BinaryLock,
-    checker: Option<Arc<ProtocolChecker>>,
-    faults: Option<Arc<FaultPlan>>,
-    lock_timeout: Option<Duration>,
+    pub(crate) env: Arc<Env>,
+    pub(crate) strategy: Strategy,
+    pub(crate) global: BinaryLock,
+    pub(crate) checker: Option<Arc<ProtocolChecker>>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    pub(crate) lock_timeout: Option<Duration>,
+    engine: Engine,
+    /// Compiled sections in program order; looked up by linear scan (few
+    /// sections, short names — cheaper than hashing on the hot path).
+    compiled: Vec<(String, Arc<CompiledSection>)>,
+    /// Local transaction-id allocator, if detached from the process-global
+    /// one (see [`Interp::with_txn_ids`]).
+    txn_ids: Option<Arc<AtomicU64>>,
 }
 
 /// Final variable frame of a section run.
 pub type Frame = HashMap<String, Value>;
 
-struct RunState {
-    frame: Frame,
+pub(crate) struct RunState {
+    pub(crate) frame: Frame,
     /// Held semantic locks with the stable site id of the acquiring
     /// `LS(l)` statement (for telemetry attribution on release).
-    held_sem: Vec<(Arc<SharedAdt>, ModeId, u32)>,
-    held_plain: Vec<Arc<SharedAdt>>,
-    txn: u64,
-    fuel: u64,
+    pub(crate) held_sem: Vec<(Arc<SharedAdt>, ModeId, u32)>,
+    pub(crate) held_plain: Vec<Arc<SharedAdt>>,
+    pub(crate) txn: u64,
+    pub(crate) fuel: u64,
     /// Per-transaction injection-point ordinal (chaos determinism).
-    step: u64,
+    pub(crate) step: u64,
     /// Instance ids this transaction has already invoked operations on.
-    mutated: Vec<u64>,
+    pub(crate) mutated: Vec<u64>,
     /// Instance whose operation is currently executing, if any.
-    in_flight: Option<u64>,
+    pub(crate) in_flight: Option<u64>,
+    /// Reusable call-argument buffer (avoids a `Vec` allocation per call).
+    pub(crate) scratch_argv: Vec<Value>,
+    /// Reusable mode-selection key buffer.
+    pub(crate) scratch_keys: Vec<Value>,
+}
+
+impl RunState {
+    pub(crate) fn new(txn: u64) -> RunState {
+        RunState {
+            frame: Frame::new(),
+            held_sem: Vec::new(),
+            held_plain: Vec::new(),
+            txn,
+            fuel: FUEL,
+            step: 0,
+            mutated: Vec::new(),
+            in_flight: None,
+            scratch_argv: Vec::new(),
+            scratch_keys: Vec::new(),
+        }
+    }
+
+    /// Prepare a pooled `RunState` for a fresh transaction, keeping every
+    /// buffer's capacity so a recycled state allocates nothing.
+    pub(crate) fn reset(&mut self, txn: u64) {
+        self.frame.clear();
+        self.held_sem.clear();
+        self.held_plain.clear();
+        self.txn = txn;
+        self.fuel = FUEL;
+        self.step = 0;
+        self.mutated.clear();
+        self.in_flight = None;
+        self.scratch_argv.clear();
+        self.scratch_keys.clear();
+    }
 }
 
 impl Interp {
@@ -97,6 +155,45 @@ impl Interp {
             checker: None,
             faults: None,
             lock_timeout: None,
+            engine: Engine::TreeWalk,
+            compiled: Vec::new(),
+            txn_ids: None,
+        }
+    }
+
+    /// Select the execution engine. Switching to [`Engine::Compiled`]
+    /// compiles every section of the program once, up front; sections are
+    /// then driven by the flat-tape dispatch loop with identical observable
+    /// behavior (results, lock/unlock sequences, fault boundaries, checker
+    /// callbacks, poisoning, telemetry attribution).
+    pub fn with_engine(mut self, engine: Engine) -> Interp {
+        if engine == Engine::Compiled && self.compiled.is_empty() {
+            self.compiled = compile::compile_program(&self.env);
+        }
+        self.engine = engine;
+        self
+    }
+
+    /// The active engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Detach this interpreter from the process-global transaction-id
+    /// allocator: runs draw sequential ids starting at `base` instead.
+    /// Intended for deterministic replay (e.g. the tree-walk vs compiled
+    /// equivalence tests, where fault-plan decisions hash the txn id).
+    /// Callers must ensure id ranges don't collide with concurrent users of
+    /// the deadlock watchdog — single-threaded test harnesses only.
+    pub fn with_txn_ids(mut self, base: u64) -> Interp {
+        self.txn_ids = Some(Arc::new(AtomicU64::new(base)));
+        self
+    }
+
+    pub(crate) fn next_txn(&self) -> u64 {
+        match &self.txn_ids {
+            Some(ctr) => ctr.fetch_add(1, Ordering::Relaxed),
+            None => semlock::txn::next_txn_id(),
         }
     }
 
@@ -143,6 +240,11 @@ impl Interp {
     /// held lock is released (instances the transaction had already mutated
     /// are poisoned first) and the error is returned.
     pub fn try_run(&self, section_name: &str, args: &[(&str, Value)]) -> Result<Frame, LockError> {
+        if self.engine == Engine::Compiled {
+            if let Some(cs) = self.compiled_section(section_name) {
+                return compile::run_compiled(self, cs, args).map(CompiledFrame::into_frame);
+            }
+        }
         let program = self.env.program.clone();
         let section = program
             .sections
@@ -150,6 +252,41 @@ impl Interp {
             .find(|s| s.name == section_name)
             .unwrap_or_else(|| panic!("no section named {section_name}"));
         self.try_run_section(section, args)
+    }
+
+    /// Run a compiled section, returning its dense [`CompiledFrame`]
+    /// without converting back to a name-keyed [`Frame`] — the allocation-
+    /// free fast path benchmarks use. Panics on acquisition failure and if
+    /// the engine is not [`Engine::Compiled`].
+    pub fn run_compiled(&self, section_name: &str, args: &[(&str, Value)]) -> CompiledFrame {
+        match self.try_run_compiled(section_name, args) {
+            Ok(f) => f,
+            Err(e) => panic!("section {section_name} aborted: {e}"),
+        }
+    }
+
+    /// Fallible [`Interp::run_compiled`].
+    pub fn try_run_compiled(
+        &self,
+        section_name: &str,
+        args: &[(&str, Value)],
+    ) -> Result<CompiledFrame, LockError> {
+        let cs = self.compiled_section(section_name).unwrap_or_else(|| {
+            panic!(
+                "no compiled section named {section_name} (engine: {:?})",
+                self.engine
+            )
+        });
+        compile::run_compiled(self, cs, args)
+    }
+
+    /// The compiled form of a section, if the compiled engine is active.
+    #[inline]
+    fn compiled_section(&self, name: &str) -> Option<&Arc<CompiledSection>> {
+        self.compiled
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, cs)| cs)
     }
 
     /// Run a specific section with the given bindings. Panics on
@@ -189,19 +326,11 @@ impl Interp {
             }
         }
 
-        let mut st = RunState {
-            frame,
-            held_sem: Vec::new(),
-            held_plain: Vec::new(),
-            // Ids come from semlock's global allocator so registrations with
-            // the process-global deadlock watchdog never collide with other
-            // interpreters or native `Txn`s.
-            txn: semlock::txn::next_txn_id(),
-            fuel: FUEL,
-            step: 0,
-            mutated: Vec::new(),
-            in_flight: None,
-        };
+        // Ids come from semlock's global allocator (unless detached via
+        // `with_txn_ids`) so registrations with the process-global deadlock
+        // watchdog never collide with other interpreters or native `Txn`s.
+        let mut st = RunState::new(self.next_txn());
+        st.frame = frame;
 
         if self.strategy == Strategy::Global {
             self.global.lock();
@@ -243,7 +372,7 @@ impl Interp {
     /// mutated (or whose operation was in flight), then release everything.
     /// Never consults the fault plan — injecting during cleanup of an abort
     /// could double-panic.
-    fn abort_cleanup(&self, st: &mut RunState) {
+    pub(crate) fn abort_cleanup(&self, st: &mut RunState) {
         for (adt, mode, site) in st.held_sem.drain(..) {
             if st.mutated.contains(&adt.id) || st.in_flight == Some(adt.id) {
                 adt.sem().poison();
@@ -265,7 +394,12 @@ impl Interp {
     /// unwind with an [`semlock::fault::InjectedPanic`] payload; a forced
     /// `Timeout` decision is returned for the caller (only lock sites
     /// convert it — the plan never emits it elsewhere).
-    fn fault_decision(&self, point: FaultPoint, st: &mut RunState, instance: u64) -> FaultAction {
+    pub(crate) fn fault_decision(
+        &self,
+        point: FaultPoint,
+        st: &mut RunState,
+        instance: u64,
+    ) -> FaultAction {
         let Some(plan) = &self.faults else {
             return FaultAction::None;
         };
@@ -320,12 +454,12 @@ impl Interp {
         match s {
             Stmt::Assign { var, expr, .. } => {
                 let v = self.eval(expr, &st.frame);
-                st.frame.insert(var.clone(), v);
+                frame_set(&mut st.frame, var, v);
             }
             Stmt::New { var, class, .. } => {
                 let handle = self.env.new_instance(class);
                 self.register_with_checker(handle, class);
-                st.frame.insert(var.clone(), handle);
+                frame_set(&mut st.frame, var, handle);
             }
             Stmt::Call {
                 ret,
@@ -336,26 +470,20 @@ impl Interp {
             } => {
                 let handle = st.frame[recv];
                 let adt = self.env.resolve(handle);
-                let argv: Vec<Value> = args.iter().map(|a| self.eval(a, &st.frame)).collect();
+                // Reuse the run's argument buffer: it is taken out while
+                // filled so `eval` can borrow the frame freely, and put
+                // back afterwards (a fault-injected panic merely drops the
+                // buffer's capacity).
+                let mut argv = std::mem::take(&mut st.scratch_argv);
+                argv.clear();
+                for a in args {
+                    argv.push(self.eval(a, &st.frame));
+                }
                 let midx = adt.obj.schema().method(method);
-                if self.strategy == Strategy::Semantic {
-                    if let Some(c) = &self.checker {
-                        c.on_op(st.txn, adt.id, Operation::new(midx, argv.clone()));
-                    }
-                }
-                // An OpStart panic aborts *before* the operation touches
-                // the instance (clean unless earlier ops mutated); an
-                // OpEnd panic lands after the mutation and must poison.
-                self.fault_decision(FaultPoint::OpStart, st, adt.id);
-                st.in_flight = Some(adt.id);
-                let result = adt.obj.invoke(midx, &argv);
-                st.in_flight = None;
-                if !st.mutated.contains(&adt.id) {
-                    st.mutated.push(adt.id);
-                }
-                self.fault_decision(FaultPoint::OpEnd, st, adt.id);
+                let result = self.invoke_adt(&adt, midx, &argv, st);
+                st.scratch_argv = argv;
                 if let Some(r) = ret {
-                    st.frame.insert(r.clone(), result);
+                    frame_set(&mut st.frame, r, result);
                 }
             }
             Stmt::If {
@@ -426,6 +554,86 @@ impl Interp {
         }
     }
 
+    /// Invoke one ADT operation with checker notification and the
+    /// OpStart/OpEnd fault boundaries. Shared by both engines so injection
+    /// points and poison bookkeeping stay in lockstep.
+    ///
+    /// The `Operation` record (and its argument clone) is only built when a
+    /// checker is attached.
+    pub(crate) fn invoke_adt(
+        &self,
+        adt: &SharedAdt,
+        midx: MethodIdx,
+        argv: &[Value],
+        st: &mut RunState,
+    ) -> Value {
+        if self.strategy == Strategy::Semantic {
+            if let Some(c) = &self.checker {
+                c.on_op(st.txn, adt.id, Operation::new(midx, argv.to_vec()));
+            }
+        }
+        // An OpStart panic aborts *before* the operation touches the
+        // instance (clean unless earlier ops mutated); an OpEnd panic
+        // lands after the mutation and must poison.
+        self.fault_decision(FaultPoint::OpStart, st, adt.id);
+        st.in_flight = Some(adt.id);
+        let result = adt.obj.invoke(midx, argv);
+        st.in_flight = None;
+        if !st.mutated.contains(&adt.id) {
+            st.mutated.push(adt.id);
+        }
+        self.fault_decision(FaultPoint::OpEnd, st, adt.id);
+        result
+    }
+
+    /// The semantic-strategy acquisition tail, after the held-set dedup
+    /// check and site resolution: mode selection, checker registration,
+    /// the Lock fault boundary, telemetry attribution, and the actual
+    /// admission. Shared by both engines.
+    pub(crate) fn acquire_semantic(
+        &self,
+        adt: Arc<SharedAdt>,
+        table: &Arc<ModeTable>,
+        rt_site: LockSiteId,
+        keys: &[Value],
+        stable_id: u32,
+        st: &mut RunState,
+    ) -> Result<(), LockError> {
+        let mode = table.select(rt_site, keys);
+        if let Some(c) = &self.checker {
+            c.register_instance(adt.id, table.clone());
+        }
+        if self.fault_decision(FaultPoint::Lock, st, adt.id) == FaultAction::Timeout {
+            return Err(LockError::Timeout {
+                instance: adt.id,
+                mode,
+                waited: Duration::ZERO,
+            });
+        }
+        if telemetry::enabled() {
+            telemetry::set_context(st.txn, stable_id);
+        }
+        // The interpreter manages its own transaction state (ids, held
+        // set), so it routes through the unified SemLock acquisition entry
+        // points rather than `Txn::acquire`.
+        if let Some(timeout) = self.lock_timeout {
+            let held: Vec<(u64, ModeId)> = st
+                .held_sem
+                .iter()
+                .map(|(a, m, _)| (a.sem().unique(), *m))
+                .collect();
+            let spec = AcquireSpec::new(mode).timeout(timeout);
+            adt.sem().acquire_as(&spec, st.txn, &held)?;
+        } else {
+            adt.sem().acquire(&AcquireSpec::new(mode))?;
+        }
+        if let Some(c) = &self.checker {
+            c.on_lock(st.txn, adt.id, mode);
+        }
+        st.held_sem.push((adt, mode, stable_id));
+        Ok(())
+    }
+
     /// Acquire per the active strategy, with LOCAL_SET skip semantics.
     fn acquire(
         &self,
@@ -450,44 +658,18 @@ impl Interp {
                 let decl = &section.sites[site];
                 let table = self.env.program.tables.table(&decl.class);
                 let rt_site = self.env.program.tables.site(&section.name, site);
-                let keys: Vec<Value> = decl.keys.iter().map(|k| st.frame[k]).collect();
-                let mode = table.select(rt_site, &keys);
-                self.register_with_checker(handle, &decl.class);
-                if self.fault_decision(FaultPoint::Lock, st, adt.id) == FaultAction::Timeout {
-                    return Err(LockError::Timeout {
-                        instance: adt.id,
-                        mode,
-                        waited: Duration::ZERO,
-                    });
-                }
-                let site_id = decl.stable_id;
-                if telemetry::enabled() {
-                    telemetry::set_context(st.txn, site_id);
-                }
-                // The interpreter manages its own transaction state (ids,
-                // held set), so it routes through the unified SemLock
-                // acquisition entry points rather than `Txn::acquire`.
-                if let Some(timeout) = self.lock_timeout {
-                    let held: Vec<(u64, ModeId)> = st
-                        .held_sem
-                        .iter()
-                        .map(|(a, m, _)| (a.sem().unique(), *m))
-                        .collect();
-                    let spec = AcquireSpec::new(mode).timeout(timeout);
-                    adt.sem().acquire_as(&spec, st.txn, &held)?;
-                } else {
-                    adt.sem().acquire(&AcquireSpec::new(mode))?;
-                }
-                if let Some(c) = &self.checker {
-                    c.on_lock(st.txn, adt.id, mode);
-                }
-                st.held_sem.push((adt, mode, site_id));
+                let mut keys = std::mem::take(&mut st.scratch_keys);
+                keys.clear();
+                keys.extend(decl.keys.iter().map(|k| st.frame[k]));
+                let result = self.acquire_semantic(adt, table, rt_site, &keys, decl.stable_id, st);
+                st.scratch_keys = keys;
+                result?;
             }
         }
         Ok(())
     }
 
-    fn release_one(&self, handle: Value, st: &mut RunState) {
+    pub(crate) fn release_one(&self, handle: Value, st: &mut RunState) {
         match self.strategy {
             Strategy::Global => {}
             Strategy::TwoPhase => {
@@ -515,7 +697,7 @@ impl Interp {
         }
     }
 
-    fn release_all(&self, st: &mut RunState) {
+    pub(crate) fn release_all(&self, st: &mut RunState) {
         while !st.held_sem.is_empty() {
             let id = st.held_sem.last().expect("non-empty").0.id;
             // As in `release_one`: fault before popping, so an injected
@@ -532,6 +714,17 @@ impl Interp {
         }
         for adt in st.held_plain.drain(..) {
             adt.plain.unlock();
+        }
+    }
+}
+
+/// Write `var = v` without cloning the name when the variable is already
+/// present (decls pre-populate the frame, so this is the common case).
+fn frame_set(frame: &mut Frame, var: &str, v: Value) {
+    match frame.get_mut(var) {
+        Some(slot) => *slot = v,
+        None => {
+            frame.insert(var.to_string(), v);
         }
     }
 }

@@ -9,9 +9,11 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod env;
 pub mod exec;
 
 pub use baselines::BinaryLock;
+pub use compile::{CompiledFrame, CompiledSection};
 pub use env::{Env, Registry, SharedAdt};
-pub use exec::{Frame, Interp, Strategy};
+pub use exec::{Engine, Frame, Interp, Strategy};

@@ -15,13 +15,14 @@ use crate::telemetry::{self, EventKind, WaitCause};
 use crate::watchdog::{self, TxnId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Elapsed nanoseconds since `t0` (telemetry helper; `t0` is only taken
-/// on traced paths).
+/// Elapsed nanoseconds between two [`telemetry::now_ns`] readings
+/// (traced paths read the clock once per event and difference the
+/// readings instead of calling `Instant::elapsed` repeatedly).
 #[inline]
-fn elapsed_ns(t0: Instant) -> u64 {
-    t0.elapsed().as_nanos() as u64
+fn delta_ns(t0_ns: u64, t1_ns: u64) -> u64 {
+    t1_ns.saturating_sub(t0_ns)
 }
 
 static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
@@ -160,39 +161,61 @@ impl SemLock {
     }
 
     /// [`SemLock::lock_impl`] with telemetry recording.
+    ///
+    /// Clock discipline: one [`telemetry::now_ns`] read covers the entry
+    /// event and every outcome that waited nothing (uncontended admit,
+    /// poison rejection at entry); only a path that actually blocked pays
+    /// a second read, which then stamps the outcome event *and* supplies
+    /// the wait duration.
     #[cold]
     fn lock_impl_traced(&self, mode: ModeId) -> Result<(), PoisonStage> {
         let ctx = telemetry::take_context();
-        let t0 = Instant::now();
-        self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+        let t0 = telemetry::now_ns();
+        self.tele(t0, EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
         if self.is_poisoned() {
-            self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
-            return Err(PoisonStage::Entry);
-        }
-        let p = self.table.placement(mode);
-        if p.free {
-            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
-            return Ok(());
-        }
-        self.tele_sample_conflicts(ctx, mode, p);
-        let waited = self.mechs[p.part as usize].lock(p.local, p.conflicts());
-        if self.is_poisoned() {
-            let _ = self.mechs[p.part as usize].unlock(p.local);
             self.tele(
+                t0,
                 EventKind::PoisonRejected,
                 WaitCause::Poison,
                 ctx,
                 mode,
-                elapsed_ns(t0),
+                0,
+            );
+            return Err(PoisonStage::Entry);
+        }
+        let p = self.table.placement(mode);
+        if p.free {
+            self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            return Ok(());
+        }
+        self.tele_sample_conflicts(t0, ctx, mode, p);
+        let waited = self.mechs[p.part as usize].lock(p.local, p.conflicts());
+        if self.is_poisoned() {
+            let _ = self.mechs[p.part as usize].unlock(p.local);
+            let t1 = telemetry::now_ns();
+            self.tele(
+                t1,
+                EventKind::PoisonRejected,
+                WaitCause::Poison,
+                ctx,
+                mode,
+                delta_ns(t0, t1),
             );
             return Err(PoisonStage::AfterWait);
         }
-        let (cause, wait) = if waited {
-            (WaitCause::Conflict, elapsed_ns(t0))
+        if waited {
+            let t1 = telemetry::now_ns();
+            self.tele(
+                t1,
+                EventKind::Admit,
+                WaitCause::Conflict,
+                ctx,
+                mode,
+                delta_ns(t0, t1),
+            );
         } else {
-            (WaitCause::Uncontended, 0)
-        };
-        self.tele(EventKind::Admit, cause, ctx, mode, wait);
+            self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+        }
         Ok(())
     }
 
@@ -295,31 +318,47 @@ impl SemLock {
         }
     }
 
-    /// [`SemLock::try_lock_checked`] with telemetry recording.
+    /// [`SemLock::try_lock_checked`] with telemetry recording. Never
+    /// blocks, so a single clock read at entry stamps every event.
     #[cold]
     fn try_lock_checked_traced(&self, mode: ModeId) -> Result<(), LockError> {
         let ctx = telemetry::take_context();
-        self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+        let t0 = telemetry::now_ns();
+        self.tele(t0, EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
         if self.is_poisoned() {
-            self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+            self.tele(
+                t0,
+                EventKind::PoisonRejected,
+                WaitCause::Poison,
+                ctx,
+                mode,
+                0,
+            );
             return Err(LockError::Poisoned { instance: self.id });
         }
         let p = self.table.placement(mode);
         if p.free {
-            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
             return Ok(());
         }
         if self.mechs[p.part as usize].try_lock(p.local, p.conflicts()) {
             if self.is_poisoned() {
                 let _ = self.mechs[p.part as usize].unlock(p.local);
-                self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+                self.tele(
+                    t0,
+                    EventKind::PoisonRejected,
+                    WaitCause::Poison,
+                    ctx,
+                    mode,
+                    0,
+                );
                 return Err(LockError::Poisoned { instance: self.id });
             }
-            self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+            self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
             Ok(())
         } else {
-            self.tele_sample_conflicts(ctx, mode, p);
-            self.tele(EventKind::Timeout, WaitCause::Conflict, ctx, mode, 0);
+            self.tele_sample_conflicts(t0, ctx, mode, p);
+            self.tele(t0, EventKind::Timeout, WaitCause::Conflict, ctx, mode, 0);
             Err(LockError::Timeout {
                 instance: self.id,
                 mode,
@@ -363,27 +402,38 @@ impl SemLock {
     ) -> Result<(), LockError> {
         let tel = telemetry::enabled();
         let mut ctx = (txn, telemetry::SITE_NONE);
+        // One clock read serves the entry event, the no-wait outcomes, and
+        // the wait origin; blocked outcomes pay exactly one more read that
+        // stamps the outcome event and supplies both the event's `wait_ns`
+        // and the error's `waited`.
+        let t0 = telemetry::now_ns();
         if tel {
             // The caller's txn parameter is authoritative; only the pending
             // site comes from the thread-local context.
             ctx.1 = telemetry::take_context().1;
-            self.tele(EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
+            self.tele(t0, EventKind::AcquireStart, WaitCause::None, ctx, mode, 0);
         }
         if self.is_poisoned() {
             if tel {
-                self.tele(EventKind::PoisonRejected, WaitCause::Poison, ctx, mode, 0);
+                self.tele(
+                    t0,
+                    EventKind::PoisonRejected,
+                    WaitCause::Poison,
+                    ctx,
+                    mode,
+                    0,
+                );
             }
             return Err(LockError::Poisoned { instance: self.id });
         }
         let p = self.table.placement(mode);
         if p.free {
             if tel {
-                self.tele(EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+                self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
             }
             return Ok(());
         }
-        let start = Instant::now();
-        let contended_entry = tel && self.tele_sample_conflicts(ctx, mode, p);
+        let contended_entry = tel && self.tele_sample_conflicts(t0, ctx, mode, p);
         let wd = watchdog::global();
         let mut registered = false;
         let mut pending: Option<Vec<TxnId>> = None;
@@ -427,51 +477,65 @@ impl SemLock {
                 if self.is_poisoned() {
                     let _ = self.mechs[p.part as usize].unlock(p.local);
                     if tel {
+                        let t1 = telemetry::now_ns();
                         self.tele(
+                            t1,
                             EventKind::PoisonRejected,
                             WaitCause::Poison,
                             ctx,
                             mode,
-                            start.elapsed().as_nanos() as u64,
+                            delta_ns(t0, t1),
                         );
                     }
                     return Err(LockError::Poisoned { instance: self.id });
                 }
                 if tel {
-                    let (cause, wait) = if contended_entry || registered {
-                        (WaitCause::Conflict, start.elapsed().as_nanos() as u64)
+                    if contended_entry || registered {
+                        let t1 = telemetry::now_ns();
+                        self.tele(
+                            t1,
+                            EventKind::Admit,
+                            WaitCause::Conflict,
+                            ctx,
+                            mode,
+                            delta_ns(t0, t1),
+                        );
                     } else {
-                        (WaitCause::Uncontended, 0)
-                    };
-                    self.tele(EventKind::Admit, cause, ctx, mode, wait);
+                        self.tele(t0, EventKind::Admit, WaitCause::Uncontended, ctx, mode, 0);
+                    }
                 }
                 Ok(())
             }
             Acquire::TimedOut => {
+                let t1 = telemetry::now_ns();
+                let waited = delta_ns(t0, t1);
                 if tel {
                     self.tele(
+                        t1,
                         EventKind::Timeout,
                         WaitCause::Conflict,
                         ctx,
                         mode,
-                        start.elapsed().as_nanos() as u64,
+                        waited,
                     );
                 }
                 Err(LockError::Timeout {
                     instance: self.id,
                     mode,
-                    waited: start.elapsed(),
+                    waited: Duration::from_nanos(waited),
                 })
             }
             Acquire::Abandoned => {
                 wd.note_deadlock(txn, self.id, mode, ctx.1, &abort_cycle);
                 if tel {
+                    let t1 = telemetry::now_ns();
                     self.tele(
+                        t1,
                         EventKind::CycleAborted,
                         WaitCause::Deadlock,
                         ctx,
                         mode,
-                        start.elapsed().as_nanos() as u64,
+                        delta_ns(t0, t1),
                     );
                 }
                 Err(LockError::WouldDeadlock {
@@ -558,17 +622,25 @@ impl SemLock {
     #[cold]
     fn unlock_checked_traced(&self, mode: ModeId) -> Result<(), LockError> {
         let ctx = telemetry::take_context();
+        let t0 = telemetry::now_ns();
         let p = self.table.placement(mode);
         if p.free {
-            self.tele(EventKind::Release, WaitCause::None, ctx, mode, 0);
+            self.tele(t0, EventKind::Release, WaitCause::None, ctx, mode, 0);
             return Ok(());
         }
         if self.mechs[p.part as usize].unlock(p.local) {
-            self.tele(EventKind::Release, WaitCause::None, ctx, mode, 0);
+            self.tele(t0, EventKind::Release, WaitCause::None, ctx, mode, 0);
             Ok(())
         } else {
             self.poison();
-            self.tele(EventKind::UnlockUnderflow, WaitCause::None, ctx, mode, 0);
+            self.tele(
+                t0,
+                EventKind::UnlockUnderflow,
+                WaitCause::None,
+                ctx,
+                mode,
+                0,
+            );
             Err(LockError::UnlockUnderflow {
                 instance: self.id,
                 mode,
@@ -588,8 +660,17 @@ impl SemLock {
     /// Record one telemetry event for this instance (caller has already
     /// checked [`telemetry::enabled`]).
     #[inline]
-    fn tele(&self, kind: EventKind, cause: WaitCause, ctx: (u64, u32), mode: ModeId, wait_ns: u64) {
-        telemetry::record(
+    fn tele(
+        &self,
+        t_ns: u64,
+        kind: EventKind,
+        cause: WaitCause,
+        ctx: (u64, u32),
+        mode: ModeId,
+        wait_ns: u64,
+    ) {
+        telemetry::record_at(
+            t_ns,
             kind,
             cause,
             ctx.0,
@@ -605,7 +686,13 @@ impl SemLock {
     /// [`EventKind::Blocked`] observation per holder (feeds the
     /// conflict-pair matrix). Racy by design — a sample, not an admission
     /// decision. Returns whether any conflicting hold was observed.
-    fn tele_sample_conflicts(&self, ctx: (u64, u32), mode: ModeId, p: &ModePlacement) -> bool {
+    fn tele_sample_conflicts(
+        &self,
+        t_ns: u64,
+        ctx: (u64, u32),
+        mode: ModeId,
+        p: &ModePlacement,
+    ) -> bool {
         let held = self.mechs[p.part as usize].held_conflicting(&p.local_conflicts);
         for &local in &held {
             let other = self
@@ -613,7 +700,8 @@ impl SemLock {
                 .mode_for_local(p.part, local)
                 .map(|m| m.0)
                 .unwrap_or(telemetry::MODE_NONE);
-            telemetry::record(
+            telemetry::record_at(
+                t_ns,
                 EventKind::Blocked,
                 WaitCause::Conflict,
                 ctx.0,

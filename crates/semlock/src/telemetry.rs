@@ -405,7 +405,35 @@ pub fn record(
     other_mode: u32,
     wait_ns: u64,
 ) {
-    let t_ns = now_ns();
+    record_at(
+        now_ns(),
+        kind,
+        cause,
+        txn,
+        site,
+        instance,
+        mode,
+        other_mode,
+        wait_ns,
+    );
+}
+
+/// [`record`] with a caller-supplied timestamp, so a traced acquisition
+/// path can stamp several events (e.g. `AcquireStart` + an uncontended
+/// `Admit`) from a single clock read. [`snapshot`]'s sort is stable, so
+/// events sharing a timestamp keep their recording order.
+#[allow(clippy::too_many_arguments)]
+pub fn record_at(
+    t_ns: u64,
+    kind: EventKind,
+    cause: WaitCause,
+    txn: u64,
+    site: u32,
+    instance: u64,
+    mode: u32,
+    other_mode: u32,
+    wait_ns: u64,
+) {
     with_shard(|shard| {
         shard.push(&Event {
             kind,

@@ -14,6 +14,8 @@
 //! * [`insertion`] — `LS(l)` computation and `LV`/`LV2` insertion (§3.3);
 //! * [`opt`] — the Appendix-A optimizations;
 //! * [`future`] — backward symbolic-set inference (§4);
+//! * [`lower`] — lowering of synthesized sections to a flat, register-based
+//!   op tape for compiled execution;
 //! * [`modes`] — per-class locking-mode table construction (§5);
 //! * [`emit`] — a pretty-printer reproducing the paper's figures;
 //! * [`parse`] — a parser for the surface language (round-trips with
@@ -34,6 +36,7 @@ pub mod emit;
 pub mod future;
 pub mod insertion;
 pub mod ir;
+pub mod lower;
 pub mod modes;
 pub mod opt;
 pub mod order;

@@ -1,0 +1,263 @@
+//! The interpreter-level chaos driver: the [`crate::chaos`] soak rebuilt
+//! on top of synthesized sections executed by [`interp::Interp`], so both
+//! execution engines — the tree-walker and the compiled op tape — face
+//! the same fault barrage the native `Txn` API does.
+//!
+//! `threads` workers run a synthesized counter section against a pool of
+//! shared `Map` instances through [`crate::driver::run_fixed_ops`]. A
+//! seeded [`FaultPlan`] injects forced timeouts and panics at the
+//! interpreter's lock / operation / unlock boundaries; panics unwind
+//! through `catch_unwind` exactly as an application bug would. The
+//! invariants mirror `chaos::run_chaos`:
+//!
+//! 1. **Quiescence** — every instance's hold count is zero afterwards.
+//! 2. **Atomicity bounds** — per key, `applied ≤ stored ≤ applied +
+//!    interrupted`, where `applied` counts fully-completed increments and
+//!    `interrupted` counts runs a panic tore out mid-flight.
+//! 3. **Poisoning discipline** — post-mutation panics poison the
+//!    instance; the driver observes the rejections, recovers with
+//!    `clear_poison`, and counts each occurrence.
+
+use crate::driver::run_fixed_ops;
+use interp::{Engine, Env, Interp, Strategy};
+use rand::Rng;
+use semlock::error::LockError;
+use semlock::fault::{self, FaultPlan};
+use semlock::phi::Phi;
+use semlock::value::Value;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use synth::ir::{e::*, ptr, scalar, AtomicSection, Body};
+use synth::Synthesizer;
+
+/// Configuration of one interpreter chaos run.
+#[derive(Clone, Debug)]
+pub struct InterpChaosConfig {
+    /// Seed for the fault plan and the per-thread op streams.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Section runs per thread.
+    pub ops_per_thread: u64,
+    /// Shared counter maps.
+    pub maps: usize,
+    /// Distinct keys per map.
+    pub key_range: u64,
+    /// Deadline for every semantic acquisition.
+    pub lock_timeout: Duration,
+    /// Forced-timeout probability (lock boundaries), parts per million.
+    pub timeout_ppm: u32,
+    /// Injected-panic probability, ppm.
+    pub panic_ppm: u32,
+    /// Which execution engine runs the section.
+    pub engine: Engine,
+}
+
+impl InterpChaosConfig {
+    /// A soak sized for CI: 8 threads, timeouts and panics enabled.
+    pub fn ci(seed: u64, engine: Engine) -> InterpChaosConfig {
+        InterpChaosConfig {
+            seed,
+            threads: 8,
+            ops_per_thread: 400,
+            maps: 4,
+            key_range: 16,
+            lock_timeout: Duration::from_millis(250),
+            timeout_ppm: 20_000,
+            panic_ppm: 20_000,
+            engine,
+        }
+    }
+}
+
+/// What happened during an interpreter chaos run (totals across threads).
+#[derive(Debug, Default)]
+pub struct InterpChaosReport {
+    /// Section runs attempted.
+    pub attempted: u64,
+    /// Runs that completed (frame returned).
+    pub completed: u64,
+    /// Runs aborted by an acquisition timeout (incl. forced ones).
+    pub timeouts: u64,
+    /// Runs rejected because the instance was poisoned.
+    pub poison_rejections: u64,
+    /// Poisoned instances recovered via `clear_poison`.
+    pub poison_clears: u64,
+    /// Panics injected and caught.
+    pub injected_panics: u64,
+}
+
+/// The canonical counter section the soak runs: get, then put either the
+/// initial 1 or the incremented value (the Fig. 1 read-modify-write
+/// shape, so a mid-section panic genuinely tears an update).
+pub fn counter_section() -> AtomicSection {
+    AtomicSection::new(
+        "counter",
+        [ptr("map", "Map"), scalar("k"), scalar("v")],
+        Body::new()
+            .call_into("v", "map", "get", vec![var("k")])
+            .if_else(
+                is_null(var("v")),
+                Body::new().call("map", "put", vec![var("k"), konst(1)]),
+                Body::new().call("map", "put", vec![var("k"), add(var("v"), konst(1))]),
+            )
+            .build(),
+    )
+}
+
+/// Run one seeded interpreter chaos soak on the configured engine; `Err`
+/// describes the first violated invariant.
+pub fn run_interp_chaos(cfg: &InterpChaosConfig) -> Result<InterpChaosReport, String> {
+    assert!(cfg.maps >= 1 && cfg.key_range >= 1);
+    fault::silence_injected_panics();
+    let program = Arc::new(
+        Synthesizer::new(crate::synthesis::registry())
+            .phi(Phi::fib(16))
+            .synthesize(&[counter_section()]),
+    );
+    let env = Arc::new(Env::new(program));
+    let maps: Vec<Value> = (0..cfg.maps).map(|_| env.new_instance("Map")).collect();
+    let plan = Arc::new(
+        FaultPlan::new(cfg.seed)
+            .with_timeouts(cfg.timeout_ppm)
+            .with_panics(cfg.panic_ppm),
+    );
+    let interp = Interp::new(env.clone(), Strategy::Semantic)
+        .with_faults(plan.clone())
+        .with_lock_timeout(cfg.lock_timeout)
+        .with_engine(cfg.engine);
+
+    let applied: Vec<Vec<AtomicU64>> = (0..cfg.maps)
+        .map(|_| (0..cfg.key_range).map(|_| AtomicU64::new(0)).collect())
+        .collect();
+    let interrupted: Vec<Vec<AtomicU64>> = (0..cfg.maps)
+        .map(|_| (0..cfg.key_range).map(|_| AtomicU64::new(0)).collect())
+        .collect();
+    let attempted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let poison_rejections = AtomicU64::new(0);
+    let poison_clears = AtomicU64::new(0);
+
+    run_fixed_ops(cfg.threads, cfg.ops_per_thread, cfg.seed, &|_, rng| {
+        attempted.fetch_add(1, Ordering::Relaxed);
+        let mi = rng.gen_range(0..cfg.maps);
+        let k = rng.gen_range(0..cfg.key_range);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            interp.try_run("counter", &[("map", maps[mi]), ("k", Value(k))])
+        }));
+        match outcome {
+            Ok(Ok(_)) => {
+                completed.fetch_add(1, Ordering::Relaxed);
+                applied[mi][k as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(LockError::Timeout { .. })) => {
+                timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(LockError::Poisoned { .. })) => {
+                poison_rejections.fetch_add(1, Ordering::Relaxed);
+                let adt = env.resolve(maps[mi]);
+                if adt.sem().is_poisoned() {
+                    adt.sem().clear_poison();
+                    poison_clears.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Err(_)) => {}
+            Err(payload) => {
+                if fault::injected(&*payload).is_none() {
+                    panic::resume_unwind(payload);
+                }
+                // The panic may have landed after the put: the update is
+                // torn, not lost — charge the slack slot.
+                interrupted[mi][k as usize].fetch_add(1, Ordering::Relaxed);
+                let adt = env.resolve(maps[mi]);
+                if adt.sem().is_poisoned() {
+                    adt.sem().clear_poison();
+                    poison_clears.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+
+    // Invariant 1: quiescence.
+    for (i, &h) in maps.iter().enumerate() {
+        let adt = env.resolve(h);
+        if adt.sem().total_holds() != 0 {
+            return Err(format!(
+                "map {i}: {} mode holds leaked at quiescence",
+                adt.sem().total_holds()
+            ));
+        }
+        if adt.sem().is_poisoned() {
+            adt.sem().clear_poison();
+        }
+    }
+    // Invariant 2: atomicity bounds per key.
+    for (i, &h) in maps.iter().enumerate() {
+        let adt = env.resolve(h);
+        let get = adt.obj.schema().method("get");
+        for k in 0..cfg.key_range as usize {
+            let v = adt.obj.invoke(get, &[Value(k as u64)]);
+            let stored = if v.is_null() { 0 } else { v.0 };
+            let app = applied[i][k].load(Ordering::Relaxed);
+            let slack = interrupted[i][k].load(Ordering::Relaxed);
+            if stored < app {
+                return Err(format!(
+                    "map {i} key {k}: lost update — {stored} stored < {app} applied \
+                     ({:?} engine)",
+                    cfg.engine
+                ));
+            }
+            if stored > app + slack {
+                return Err(format!(
+                    "map {i} key {k}: over-count — {stored} stored > {app} applied + \
+                     {slack} interrupted ({:?} engine)",
+                    cfg.engine
+                ));
+            }
+        }
+    }
+    Ok(InterpChaosReport {
+        attempted: attempted.load(Ordering::Relaxed),
+        completed: completed.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        poison_rejections: poison_rejections.load(Ordering::Relaxed),
+        poison_clears: poison_clears.load(Ordering::Relaxed),
+        injected_panics: plan.stats().panics.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_completes_everything_on_both_engines() {
+        for engine in [Engine::TreeWalk, Engine::Compiled] {
+            let mut cfg = InterpChaosConfig::ci(1, engine);
+            cfg.threads = 4;
+            cfg.ops_per_thread = 100;
+            cfg.timeout_ppm = 0;
+            cfg.panic_ppm = 0;
+            let r = run_interp_chaos(&cfg).unwrap();
+            assert_eq!(r.attempted, 400, "{engine:?}");
+            assert_eq!(r.completed, 400, "{engine:?}");
+            assert_eq!(r.injected_panics, 0, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn full_chaos_holds_invariants_on_both_engines() {
+        for engine in [Engine::TreeWalk, Engine::Compiled] {
+            let mut cfg = InterpChaosConfig::ci(0xC0FFEE, engine);
+            cfg.threads = 4;
+            cfg.ops_per_thread = 150;
+            let r = run_interp_chaos(&cfg).unwrap();
+            assert_eq!(r.attempted, 600, "{engine:?}");
+            assert!(r.completed > 0, "{engine:?} starved: {r:?}");
+            assert!(r.injected_panics > 0, "{engine:?} injected nothing: {r:?}");
+        }
+    }
+}

@@ -12,6 +12,7 @@ pub mod cia;
 pub mod driver;
 pub mod gossip;
 pub mod graph;
+pub mod interp_chaos;
 pub mod intruder;
 pub mod sync_kind;
 pub mod synthesis;
@@ -21,5 +22,6 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use cia::ComputeIfAbsent;
 pub use gossip::GossipBench;
 pub use graph::GraphBench;
+pub use interp_chaos::{run_interp_chaos, InterpChaosConfig, InterpChaosReport};
 pub use intruder::{IntruderBench, IntruderConfig};
 pub use sync_kind::SyncKind;

@@ -12,7 +12,7 @@
 //! `chaos-soak` job raises it in `--release`; the default keeps plain
 //! `cargo test` quick).
 
-use interp::{Env, Interp, Strategy};
+use interp::{Engine, Env, Interp, Strategy};
 use semlock::error::LockError;
 use semlock::fault::{self, FaultPlan};
 use semlock::prelude::*;
@@ -92,13 +92,21 @@ mod interp_soak {
     }
 
     /// The interpreter under chaos: 8 threads, injected panics and forced
-    /// timeouts, protocol checker attached. Afterwards: no holds, the
-    /// recorded event stream is still protocol-clean, and the counter map
-    /// is within the abort-accounting bounds.
+    /// timeouts, protocol checker attached, on **both** execution engines.
+    /// Afterwards: no holds, the recorded event stream is still
+    /// protocol-clean, and the counter map is within the abort-accounting
+    /// bounds.
     #[test]
     fn interp_chaos_soak() {
         fault::silence_injected_panics();
-        for seed in [3u64, 17, 99] {
+        for (seed, engine) in [
+            (3u64, Engine::TreeWalk),
+            (17, Engine::TreeWalk),
+            (99, Engine::TreeWalk),
+            (3, Engine::Compiled),
+            (17, Engine::Compiled),
+            (99, Engine::Compiled),
+        ] {
             let program = counter_program();
             let env = Arc::new(Env::new(program));
             let map = env.new_instance("Map");
@@ -113,7 +121,8 @@ mod interp_soak {
                 Interp::new(env.clone(), Strategy::Semantic)
                     .with_checker(checker.clone())
                     .with_faults(plan.clone())
-                    .with_lock_timeout(Duration::from_millis(250)),
+                    .with_lock_timeout(Duration::from_millis(250))
+                    .with_engine(engine),
             );
             let iters = chaos_ops();
             std::thread::scope(|scope| {
@@ -153,7 +162,23 @@ mod interp_soak {
             );
             checker
                 .ensure_ok()
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+                .unwrap_or_else(|v| panic!("seed {seed} ({engine:?}): {v}"));
+        }
+    }
+
+    /// The workloads-level interpreter chaos driver on the compiled
+    /// engine: multi-map, ten seeds, full invariant checking inside
+    /// `run_interp_chaos`.
+    #[test]
+    fn compiled_engine_soak_ten_seeds() {
+        for seed in 0..10u64 {
+            let mut cfg = workloads::InterpChaosConfig::ci(seed, Engine::Compiled);
+            cfg.ops_per_thread = chaos_ops();
+            let r =
+                workloads::run_interp_chaos(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(r.attempted, cfg.threads as u64 * cfg.ops_per_thread);
+            assert!(r.completed > 0, "seed {seed} starved: {r:?}");
+            assert!(r.injected_panics > 0, "seed {seed} injected nothing: {r:?}");
         }
     }
 }
