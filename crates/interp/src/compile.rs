@@ -75,6 +75,25 @@ impl CompiledSection {
     pub fn op_count(&self) -> usize {
         self.tape.ops.len()
     }
+
+    /// The lock sites this compilation actually resolved, as facts the
+    /// SL008 audit (`synth::tape_audit::check_resolved_sites`) can verify
+    /// against the synthesized program — the bound mode table and runtime
+    /// site id are the exact values the admission path will use.
+    pub fn site_facts(&self) -> Vec<synth::tape_audit::ResolvedSiteFact> {
+        self.sites
+            .iter()
+            .zip(&self.tape.sites) // parallel arrays; the tape keeps the class name
+            .map(|(s, tape_site)| synth::tape_audit::ResolvedSiteFact {
+                section: self.tape.section.clone(),
+                class: tape_site.class.clone(),
+                rt_site: s.rt_site,
+                stable_id: s.stable_id,
+                key_count: s.key_slots.len(),
+                table: s.table.clone(),
+            })
+            .collect()
+    }
 }
 
 /// Sections rarely declare more than a handful of variables; frames up to

@@ -1,0 +1,299 @@
+//! The `Mech` admission protocol instantiated over the model shims.
+//!
+//! [`PackedMech`] and [`WideMech`] are line-for-line transcriptions of
+//! the blocking-strategy paths of `semlock::mech::Mech` (packed
+//! one-word admission with the `WAITERS` handoff bit; wide per-mode
+//! counters with the registered-waiter store-buffering protocol),
+//! written against [`crate::sync`] instead of `semlock::sync`. The field
+//! math (`field_shift`/`field_of`, `FIELD_MAX`, `WAITERS_BIT`) is
+//! imported from `semlock` itself, and every memory ordering comes from
+//! an [`OrderingProfile`] whose default is built from the named
+//! constants in `semlock::mech::ordering` — so the protocol being
+//! checked is the protocol that ships, not a copy that can drift.
+//!
+//! Orderings are *parameters* so the mutant tests can weaken exactly one
+//! audited site at a time: [`OrderingProfile::mutants`] derives the
+//! catalog from `semlock::mech::ORDERING_AUDIT`, and the checker must
+//! find a counterexample for every entry.
+
+use crate::sync::{AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
+use semlock::mech::{field_of, field_shift, ordering as ord, FIELD_MAX, WAITERS_BIT};
+use std::sync::Arc;
+
+/// Every audited memory ordering of the admission protocol, one field
+/// per `ORDERING_AUDIT` site.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingProfile {
+    /// `packed.admit.load`
+    pub packed_admit_load: Ordering,
+    /// `packed.admit.cas_ok`
+    pub packed_admit_cas_ok: Ordering,
+    /// `packed.admit.cas_fail`
+    pub packed_admit_cas_fail: Ordering,
+    /// `packed.release.load`
+    pub packed_release_load: Ordering,
+    /// `packed.release.cas_ok`
+    pub packed_release_cas_ok: Ordering,
+    /// `packed.release.cas_fail`
+    pub packed_release_cas_fail: Ordering,
+    /// `packed.waiter_bit.rmw`
+    pub packed_waiter_bit_rmw: Ordering,
+    /// `wide.waiter.rmw`
+    pub wide_waiter_rmw: Ordering,
+    /// `wide.conflict.load`
+    pub wide_conflict_load: Ordering,
+    /// `wide.release.rmw`
+    pub wide_release_rmw: Ordering,
+    /// `wide.waiters.load`
+    pub wide_waiters_load: Ordering,
+}
+
+impl Default for OrderingProfile {
+    /// The shipped protocol: every field is the corresponding
+    /// `semlock::mech::ordering` constant.
+    fn default() -> OrderingProfile {
+        OrderingProfile {
+            packed_admit_load: ord::PACKED_ADMIT_LOAD,
+            packed_admit_cas_ok: ord::PACKED_ADMIT_CAS_OK,
+            packed_admit_cas_fail: ord::PACKED_ADMIT_CAS_FAIL,
+            packed_release_load: ord::PACKED_RELEASE_LOAD,
+            packed_release_cas_ok: ord::PACKED_RELEASE_CAS_OK,
+            packed_release_cas_fail: ord::PACKED_RELEASE_CAS_FAIL,
+            packed_waiter_bit_rmw: ord::PACKED_WAITER_BIT_RMW,
+            wide_waiter_rmw: ord::WIDE_WAITER_RMW,
+            wide_conflict_load: ord::WIDE_CONFLICT_LOAD,
+            wide_release_rmw: ord::WIDE_RELEASE_RMW,
+            wide_waiters_load: ord::WIDE_WAITERS_LOAD,
+        }
+    }
+}
+
+impl OrderingProfile {
+    /// Override one audited site by its `ORDERING_AUDIT` name.
+    ///
+    /// Panics on an unknown site so a renamed audit entry cannot
+    /// silently turn a mutant test into a no-op.
+    pub fn with_site(mut self, site: &str, o: Ordering) -> OrderingProfile {
+        match site {
+            "packed.admit.load" => self.packed_admit_load = o,
+            "packed.admit.cas_ok" => self.packed_admit_cas_ok = o,
+            "packed.admit.cas_fail" => self.packed_admit_cas_fail = o,
+            "packed.release.load" => self.packed_release_load = o,
+            "packed.release.cas_ok" => self.packed_release_cas_ok = o,
+            "packed.release.cas_fail" => self.packed_release_cas_fail = o,
+            "packed.waiter_bit.rmw" => self.packed_waiter_bit_rmw = o,
+            "wide.waiter.rmw" => self.wide_waiter_rmw = o,
+            "wide.conflict.load" => self.wide_conflict_load = o,
+            "wide.release.rmw" => self.wide_release_rmw = o,
+            "wide.waiters.load" => self.wide_waiters_load = o,
+            other => panic!("unknown ORDERING_AUDIT site {other:?}"),
+        }
+        self
+    }
+
+    /// The seeded mutant catalog: one profile per `ORDERING_AUDIT` entry
+    /// that declares a `mutant` ordering (the audited ordering weakened
+    /// one notch). The checker must refute every one of these.
+    pub fn mutants() -> Vec<(&'static str, OrderingProfile)> {
+        semlock::mech::ORDERING_AUDIT
+            .iter()
+            .filter_map(|e| {
+                e.mutant
+                    .map(|m| (e.site, OrderingProfile::default().with_site(e.site, m)))
+            })
+            .collect()
+    }
+}
+
+/// The packed (one-word) blocking mechanism over the model shims.
+pub struct PackedMech {
+    word: AtomicU64,
+    internal: Mutex<()>,
+    cond: Condvar,
+    waiters: AtomicU32,
+    profile: OrderingProfile,
+}
+
+impl PackedMech {
+    /// A fresh mechanism (all counts zero). Must be called on a model
+    /// thread (inside `Checker::check`).
+    pub fn new(profile: OrderingProfile) -> Arc<PackedMech> {
+        Arc::new(PackedMech {
+            word: AtomicU64::new(0),
+            internal: Mutex::new(()),
+            cond: Condvar::new(),
+            waiters: AtomicU32::new(0),
+            profile,
+        })
+    }
+
+    /// `Mech::try_admit_packed`, orderings from the profile.
+    fn try_admit(&self, local: u32, mask: u64) -> bool {
+        let one = 1u64 << field_shift(local);
+        let mut cur = self.word.load(self.profile.packed_admit_load);
+        loop {
+            if cur & mask != 0 || field_of(cur, local) == FIELD_MAX {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur + one,
+                self.profile.packed_admit_cas_ok,
+                self.profile.packed_admit_cas_fail,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn waiter_begin(&self) {
+        if self
+            .waiters
+            .fetch_add(1, self.profile.packed_waiter_bit_rmw)
+            == 0
+        {
+            self.word
+                .fetch_or(WAITERS_BIT, self.profile.packed_waiter_bit_rmw);
+        }
+    }
+
+    fn waiter_end(&self) {
+        if self
+            .waiters
+            .fetch_sub(1, self.profile.packed_waiter_bit_rmw)
+            == 1
+        {
+            self.word
+                .fetch_and(!WAITERS_BIT, self.profile.packed_waiter_bit_rmw);
+        }
+    }
+
+    /// `Mech::lock`, packed blocking arm (fast path + park slow path).
+    pub fn lock(&self, local: u32, mask: u64) {
+        if self.try_admit(local, mask) {
+            return;
+        }
+        let mut guard = self.internal.lock();
+        loop {
+            self.waiter_begin();
+            if self.try_admit(local, mask) {
+                self.waiter_end();
+                break;
+            }
+            self.cond.wait(&mut guard);
+            self.waiter_end();
+        }
+        drop(guard);
+    }
+
+    /// `Mech::release_packed`: CAS-decrement, refuse underflow, hand off
+    /// a wakeup when the word carries `WAITERS_BIT`.
+    pub fn unlock(&self, local: u32) -> bool {
+        let one = 1u64 << field_shift(local);
+        let mut cur = self.word.load(self.profile.packed_release_load);
+        loop {
+            if field_of(cur, local) == 0 {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur - one,
+                self.profile.packed_release_cas_ok,
+                self.profile.packed_release_cas_fail,
+            ) {
+                Ok(prev) => {
+                    if prev & WAITERS_BIT != 0 {
+                        let _g = self.internal.lock();
+                        self.cond.notify_all();
+                    }
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Latest packed word (harness asserts after all threads joined, when
+    /// the joiner's view pins the latest store).
+    pub fn word(&self) -> u64 {
+        self.word.load(Ordering::Relaxed)
+    }
+}
+
+/// The wide (per-mode counters) blocking mechanism over the model shims.
+pub struct WideMech {
+    counts: Vec<AtomicU32>,
+    internal: Mutex<()>,
+    cond: Condvar,
+    waiters: AtomicU32,
+    profile: OrderingProfile,
+}
+
+impl WideMech {
+    /// A fresh mechanism with `modes` counters. Must be called on a model
+    /// thread.
+    pub fn new(modes: usize, profile: OrderingProfile) -> Arc<WideMech> {
+        Arc::new(WideMech {
+            counts: (0..modes).map(|_| AtomicU32::new(0)).collect(),
+            internal: Mutex::new(()),
+            cond: Condvar::new(),
+            waiters: AtomicU32::new(0),
+            profile,
+        })
+    }
+
+    /// `Mech::conflicted_wide`, ordering from the profile.
+    fn conflicted(&self, conflicts: &[u32]) -> bool {
+        conflicts
+            .iter()
+            .any(|&c| self.counts[c as usize].load(self.profile.wide_conflict_load) > 0)
+    }
+
+    /// `Mech::lock`, wide blocking arm: register as waiter, check, park.
+    pub fn lock(&self, local: u32, conflicts: &[u32]) {
+        let mut guard = self.internal.lock();
+        loop {
+            self.waiters.fetch_add(1, self.profile.wide_waiter_rmw);
+            if !self.conflicted(conflicts) {
+                self.waiters.fetch_sub(1, self.profile.wide_waiter_rmw);
+                break;
+            }
+            self.cond.wait(&mut guard);
+            self.waiters.fetch_sub(1, self.profile.wide_waiter_rmw);
+        }
+        self.counts[local as usize].fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+    }
+
+    /// `Mech::unlock`, wide arm: checked CAS decrement, then the
+    /// decrement-then-read-waiters half of the store-buffering pair.
+    pub fn unlock(&self, local: u32) -> bool {
+        let c = &self.counts[local as usize];
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match c.compare_exchange_weak(
+                cur,
+                cur - 1,
+                self.profile.wide_release_rmw,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if self.waiters.load(self.profile.wide_waiters_load) > 0 {
+            let _g = self.internal.lock();
+            self.cond.notify_all();
+        }
+        true
+    }
+
+    /// Latest count of one mode (post-join asserts).
+    pub fn count(&self, local: u32) -> u32 {
+        self.counts[local as usize].load(Ordering::Relaxed)
+    }
+}

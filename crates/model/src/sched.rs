@@ -1,0 +1,620 @@
+//! The deterministic scheduler and DFS schedule explorer.
+//!
+//! Model threads are real OS threads, but exactly **one** runs at a time:
+//! a per-thread gate passes a turn token. Every shim operation
+//! ([`crate::sync`]) begins with a *schedule point* — the running thread
+//! consults the decision trace to pick which runnable thread performs the
+//! next operation — and the operation itself executes atomically against
+//! the model state under a host mutex. Value choices (which store a
+//! relaxed load may read, see [`crate::mem`]) are further decisions on
+//! the same trace.
+//!
+//! The explorer enumerates traces depth-first: run one execution
+//! following the recorded prefix (extending it with first choices),
+//! then backtrack the deepest decision with an untried alternative.
+//! Replay is exact because the model code is deterministic by
+//! construction (no wall clock, no host randomness).
+//!
+//! Detected violations:
+//! * **panic** — an assertion in the modeled code failed (e.g. mutual
+//!   exclusion or a visibility assert);
+//! * **deadlock** — no thread is runnable but some are blocked. This is
+//!   the lost-wakeup detector: a waiter parked forever because a release
+//!   skipped its notify;
+//! * **step / schedule bounds** — the exploration outgrew its budget
+//!   (reported as an error, never silently truncated).
+
+use crate::mem::{Memory, View};
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as HostOrd};
+use std::sync::{Arc, Condvar as HostCondvar, Mutex as HostMutex, MutexGuard as HostGuard, Once};
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down (violation found elsewhere, or bound exceeded).
+pub(crate) struct Cancelled;
+
+/// One decision: `(chosen, arity)`.
+pub(crate) type Decision = (u32, u32);
+
+/// The replayable decision trace of one execution.
+#[derive(Default)]
+pub(crate) struct Trace {
+    prefix: Vec<Decision>,
+    pos: usize,
+}
+
+impl Trace {
+    fn with_prefix(prefix: Vec<Decision>) -> Trace {
+        Trace { prefix, pos: 0 }
+    }
+
+    /// Resolve the next decision among `n` alternatives: replay the
+    /// prefix, then extend with the first alternative. Unary decisions
+    /// are not recorded (they cannot be backtracked).
+    pub(crate) fn decide(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        let c = if self.pos < self.prefix.len() {
+            let (c, rn) = self.prefix[self.pos];
+            assert_eq!(
+                rn as usize, n,
+                "model execution diverged from its replay prefix (nondeterministic model code?)"
+            );
+            c as usize
+        } else {
+            self.prefix.push((0, n as u32));
+            0
+        };
+        self.pos += 1;
+        c
+    }
+}
+
+/// Move `prefix` to the next unexplored trace; `false` when exhausted.
+fn backtrack(prefix: &mut Vec<Decision>) -> bool {
+    while let Some((c, n)) = prefix.pop() {
+        if c + 1 < n {
+            prefix.push((c + 1, n));
+            return true;
+        }
+    }
+    false
+}
+
+/// Why a [`Checker::check`] run failed.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// An assertion inside the modeled code failed on some schedule.
+    Panic(String),
+    /// No runnable threads, but these (0-indexed) threads are blocked —
+    /// a deadlock or lost wakeup.
+    Deadlock(Vec<usize>),
+    /// One execution exceeded the per-execution step bound (livelock or
+    /// an undersized [`Checker::max_steps`]).
+    StepBound,
+    /// The exploration exceeded [`Checker::max_schedules`] before
+    /// completing; raise the bound or shrink the scenario.
+    ScheduleBound,
+}
+
+/// A failed check: the kind, the 1-indexed schedule it surfaced on, and
+/// the decision trace that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Which schedule (1-indexed execution count) exposed it.
+    pub schedule: usize,
+    /// The decision trace of the failing execution.
+    pub trace: Vec<Decision>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::Panic(m) => write!(f, "schedule {}: panic: {m}", self.schedule),
+            ViolationKind::Deadlock(t) => write!(
+                f,
+                "schedule {}: deadlock / lost wakeup; blocked threads {t:?}",
+                self.schedule
+            ),
+            ViolationKind::StepBound => {
+                write!(f, "schedule {}: step bound exceeded", self.schedule)
+            }
+            ViolationKind::ScheduleBound => write!(f, "schedule bound exceeded"),
+        }
+    }
+}
+
+/// Exploration statistics of a passing check.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Executions explored.
+    pub schedules: usize,
+    /// Deepest decision trace seen.
+    pub max_depth: usize,
+}
+
+/// What a model thread is currently doing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCond(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// Turn-token gate: one per model thread.
+struct Gate {
+    flag: HostMutex<bool>,
+    cv: HostCondvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            flag: HostMutex::new(false),
+            cv: HostCondvar::new(),
+        })
+    }
+
+    fn grant(&self) {
+        let mut f = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *f = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut f = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        while !*f {
+            f = self.cv.wait(f).unwrap_or_else(|e| e.into_inner());
+        }
+        *f = false;
+    }
+}
+
+pub(crate) struct ThreadCell {
+    pub(crate) status: Status,
+    pub(crate) view: View,
+    gate: Arc<Gate>,
+}
+
+pub(crate) struct MutexCell {
+    pub(crate) owner: Option<usize>,
+    pub(crate) view: View,
+}
+
+/// The mutable model state of one execution (under the host mutex).
+pub(crate) struct ExecState {
+    pub(crate) mem: Memory,
+    pub(crate) threads: Vec<ThreadCell>,
+    pub(crate) mutexes: Vec<MutexCell>,
+    pub(crate) condvars: usize,
+    pub(crate) trace: Trace,
+    steps: usize,
+    preemptions: usize,
+    violation: Option<Violation>,
+}
+
+/// Everything shared between the controller and the model threads of one
+/// execution.
+pub(crate) struct ExecShared {
+    pub(crate) state: HostMutex<ExecState>,
+    cancelling: AtomicBool,
+    done: Gate,
+    handles: HostMutex<Vec<std::thread::JoinHandle<()>>>,
+    max_steps: usize,
+    max_preemptions: Option<usize>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current model thread's identity, installed by its wrapper.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) shared: Arc<ExecShared>,
+    pub(crate) tid: usize,
+}
+
+/// Run `f` with the current model context; panics when a shim primitive
+/// is used outside [`Checker::check`].
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("model::sync primitive used outside model::Checker::check");
+        f(ctx)
+    })
+}
+
+impl ExecShared {
+    fn new(max_steps: usize, max_preemptions: Option<usize>, prefix: Vec<Decision>) -> ExecShared {
+        ExecShared {
+            state: HostMutex::new(ExecState {
+                mem: Memory::default(),
+                threads: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                trace: Trace::with_prefix(prefix),
+                steps: 0,
+                preemptions: 0,
+                violation: None,
+            }),
+            cancelling: AtomicBool::new(false),
+            done: Gate {
+                flag: HostMutex::new(false),
+                cv: HostCondvar::new(),
+            },
+            handles: HostMutex::new(Vec::new()),
+            max_steps,
+            max_preemptions,
+        }
+    }
+
+    pub(crate) fn lock(&self) -> HostGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    fn check_cancel(&self) {
+        if self.cancelling.load(HostOrd::SeqCst) {
+            std::panic::panic_any(Cancelled);
+        }
+    }
+
+    /// Register a model thread; returns its id.
+    pub(crate) fn register_thread(&self, view: View) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadCell {
+            status: Status::Runnable,
+            view,
+            gate: Gate::new(),
+        });
+        st.threads.len() - 1
+    }
+
+    /// The schedule point at the head of every shim operation: decide who
+    /// performs the next step, possibly context-switching away.
+    pub(crate) fn schedule(self: &Arc<Self>, tid: usize) {
+        self.check_cancel();
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let v = Violation {
+                kind: ViolationKind::StepBound,
+                schedule: 0,
+                trace: st.trace.prefix.clone(),
+            };
+            st.violation.get_or_insert(v);
+            self.cancel_locked(st);
+            self.signal_done();
+            drop(guard);
+            std::panic::panic_any(Cancelled);
+        }
+        // Candidates with the current thread first: choice 0 continues
+        // without a context switch, so the first DFS execution is the
+        // natural sequential one and preemption budgets are spent only
+        // on explicitly backtracked branches.
+        let mut candidates: Vec<usize> = vec![tid];
+        candidates.extend(
+            st.threads
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| *i != tid && t.status == Status::Runnable)
+                .map(|(i, _)| i),
+        );
+        debug_assert_eq!(st.threads[tid].status, Status::Runnable);
+        let capped = matches!(self.max_preemptions, Some(maxp) if st.preemptions >= maxp);
+        let next = if capped {
+            tid
+        } else {
+            candidates[st.trace.decide(candidates.len())]
+        };
+        if next == tid {
+            return;
+        }
+        st.preemptions += 1;
+        let next_gate = st.threads[next].gate.clone();
+        let my_gate = st.threads[tid].gate.clone();
+        drop(guard);
+        next_gate.grant();
+        my_gate.wait();
+        self.check_cancel();
+    }
+
+    /// Block the current thread with `status`, hand the token to someone
+    /// runnable, park until rescheduled. The waker is responsible for
+    /// setting the status back to `Runnable` before this thread can be
+    /// granted again.
+    pub(crate) fn block(self: &Arc<Self>, tid: usize, status: Status) {
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        st.threads[tid].status = status;
+        let my_gate = st.threads[tid].gate.clone();
+        self.pass_token_locked(st);
+        drop(guard);
+        my_gate.wait();
+        self.check_cancel();
+    }
+
+    /// Pick a runnable thread and grant it the token; if none is
+    /// runnable, either the execution is complete (all finished) or we
+    /// found a deadlock.
+    fn pass_token_locked(&self, st: &mut ExecState) {
+        if self.cancelling.load(HostOrd::SeqCst) {
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                self.signal_done();
+            } else {
+                let blocked: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, _)| i)
+                    .collect();
+                let v = Violation {
+                    kind: ViolationKind::Deadlock(blocked),
+                    schedule: 0,
+                    trace: st.trace.prefix.clone(),
+                };
+                st.violation.get_or_insert(v);
+                self.cancel_locked(st);
+                self.signal_done();
+            }
+        } else {
+            let next = runnable[st.trace.decide(runnable.len())];
+            st.threads[next].gate.clone().grant();
+        }
+    }
+
+    /// Tear the execution down: wake every unfinished thread into the
+    /// [`Cancelled`] unwind path.
+    fn cancel_locked(&self, st: &mut ExecState) {
+        self.cancelling.store(true, HostOrd::SeqCst);
+        for t in st.threads.iter().filter(|t| t.status != Status::Finished) {
+            t.gate.grant();
+        }
+    }
+
+    fn signal_done(&self) {
+        self.done.grant();
+    }
+
+    /// Record a violation found by the current thread and tear down.
+    fn fail(&self, kind: ViolationKind) {
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        let v = Violation {
+            kind,
+            schedule: 0,
+            trace: st.trace.prefix.clone(),
+        };
+        st.violation.get_or_insert(v);
+        self.cancel_locked(st);
+        self.signal_done();
+    }
+
+    /// Thread epilogue: mark finished, wake joiners, pass the token on.
+    fn thread_finished(self: &Arc<Self>, tid: usize, clean: bool) {
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        st.threads[tid].status = Status::Finished;
+        if clean {
+            for t in st.threads.iter_mut() {
+                if t.status == Status::BlockedJoin(tid) {
+                    t.status = Status::Runnable;
+                }
+            }
+            self.pass_token_locked(st);
+        }
+        // On the cancelled/panicking path the canceller has already
+        // granted every gate and signalled completion.
+    }
+}
+
+/// Body of every model OS thread: wait for the first grant, run the
+/// closure under `catch_unwind`, convert panics into violations.
+pub(crate) fn thread_main(shared: Arc<ExecShared>, tid: usize, f: impl FnOnce() + Send) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: shared.clone(),
+            tid,
+        })
+    });
+    let my_gate = {
+        let st = shared.lock();
+        st.threads[tid].gate.clone()
+    };
+    my_gate.wait();
+    if shared.cancelling.load(HostOrd::SeqCst) {
+        shared.thread_finished(tid, false);
+        return;
+    }
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => shared.thread_finished(tid, true),
+        Err(p) if p.is::<Cancelled>() => shared.thread_finished(tid, false),
+        Err(p) => {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            shared.fail(ViolationKind::Panic(msg));
+            shared.thread_finished(tid, false);
+        }
+    }
+}
+
+/// Install a process-wide panic hook (once) that silences the default
+/// "thread panicked" spew for model threads — their panics are expected
+/// (they become [`ViolationKind::Panic`] or are [`Cancelled`] unwinds)
+/// and a mutant hunt would otherwise print thousands of them.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let name = std::thread::current().name().map(str::to_string);
+            if name.as_deref().is_some_and(|n| n.starts_with("model-")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The bounded exhaustive explorer. Defaults explore every schedule (no
+/// preemption cap) of small scenarios; see the field docs for bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Checker {
+    /// Abort with [`ViolationKind::ScheduleBound`] beyond this many
+    /// executions (default 1,000,000).
+    pub max_schedules: usize,
+    /// Abort an execution beyond this many schedule points (default
+    /// 50,000) — catches livelocks.
+    pub max_steps: usize,
+    /// When `Some(n)`, only explore schedules with at most `n`
+    /// preemptions (context switches away from a still-runnable thread).
+    /// Forced switches (blocking) are always free. `None` explores all
+    /// interleavings.
+    pub max_preemptions: Option<usize>,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker {
+            max_schedules: 1_000_000,
+            max_steps: 50_000,
+            max_preemptions: None,
+        }
+    }
+}
+
+impl Checker {
+    /// A checker with default bounds.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Cap the preemption count per schedule (CHESS-style bounding).
+    pub fn preemption_bound(mut self, n: usize) -> Checker {
+        self.max_preemptions = Some(n);
+        self
+    }
+
+    /// Exhaustively explore `f`'s bounded interleavings. `f` is re-run
+    /// once per schedule, each time on fresh model state; it builds its
+    /// shared objects from [`crate::sync`] types, spawns model threads,
+    /// and asserts its invariants inline.
+    pub fn check<F>(&self, f: F) -> Result<Stats, Box<Violation>>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let f = Arc::new(f);
+        let mut prefix: Vec<Decision> = Vec::new();
+        let mut schedules = 0usize;
+        let mut max_depth = 0usize;
+        loop {
+            schedules += 1;
+            if schedules > self.max_schedules {
+                return Err(Box::new(Violation {
+                    kind: ViolationKind::ScheduleBound,
+                    schedule: schedules,
+                    trace: prefix,
+                }));
+            }
+            let shared = Arc::new(ExecShared::new(
+                self.max_steps,
+                self.max_preemptions,
+                std::mem::take(&mut prefix),
+            ));
+            let root = shared.register_thread(View::default());
+            debug_assert_eq!(root, 0);
+            {
+                let sh = shared.clone();
+                let fr = f.clone();
+                let h = std::thread::Builder::new()
+                    .name("model-0".to_string())
+                    .spawn(move || thread_main(sh, 0, move || fr()))
+                    .expect("spawn model root thread");
+                shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(h);
+            }
+            {
+                let st = shared.lock();
+                st.threads[0].gate.clone().grant();
+            }
+            shared.done.wait();
+            // Join every OS thread of this execution (cancelled ones are
+            // already unwinding).
+            loop {
+                let h = shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop();
+                match h {
+                    Some(h) => {
+                        let _ = h.join();
+                    }
+                    None => break,
+                }
+            }
+            let mut st = shared.lock();
+            if let Some(mut v) = st.violation.take() {
+                v.schedule = schedules;
+                return Err(Box::new(v));
+            }
+            let final_prefix = std::mem::take(&mut st.trace.prefix);
+            drop(st);
+            max_depth = max_depth.max(final_prefix.len());
+            prefix = final_prefix;
+            if !backtrack(&mut prefix) {
+                return Ok(Stats {
+                    schedules,
+                    max_depth,
+                });
+            }
+        }
+    }
+}
+
+/// Convenience: [`Checker::check`] with default bounds.
+pub fn check<F>(f: F) -> Result<Stats, Box<Violation>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f)
+}

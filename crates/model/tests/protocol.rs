@@ -1,0 +1,323 @@
+//! Bounded exhaustive checking of the `Mech` admission protocol, plus
+//! litmus sanity tests of the visibility model itself.
+//!
+//! The headline test is `every_seeded_ordering_mutant_is_detected`: for
+//! each `semlock::mech::ORDERING_AUDIT` entry that declares a weakened
+//! mutant ordering, running the protocol scenarios with that single site
+//! weakened must produce a counterexample (an assertion failure or a
+//! lost-wakeup deadlock), while the unmutated profile passes the very
+//! same scenarios. CI fails if any mutant survives.
+
+use model::mech_model::{OrderingProfile, PackedMech, WideMech};
+use model::sync::{thread, AtomicU64, Ordering};
+use model::{Checker, Stats, Violation, ViolationKind};
+use semlock::mech::packed_conflict_mask;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Litmus tests: the memory model itself behaves like C++11 on the
+// classic shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn litmus_message_passing_release_acquire_passes() {
+    Checker::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(1, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    1,
+                    "MP: stale data after acquire"
+                );
+            }
+            t.join();
+        })
+        .expect("release/acquire message passing must have no stale read");
+}
+
+#[test]
+fn litmus_message_passing_relaxed_is_refuted() {
+    let v = Checker::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(1, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 1, "MP: stale data");
+            }
+            t.join();
+        })
+        .expect_err("relaxed message passing must exhibit the stale read");
+    assert!(
+        matches!(v.kind, ViolationKind::Panic(_)),
+        "expected an assertion counterexample, got {v}"
+    );
+}
+
+#[test]
+fn litmus_store_buffering_seqcst_forbids_both_zero() {
+    Checker::new()
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x1, y1) = (x.clone(), y.clone());
+            let (x2, y2) = (x.clone(), y.clone());
+            let t1 = thread::spawn(move || {
+                x1.store(1, Ordering::SeqCst);
+                y1.load(Ordering::SeqCst)
+            });
+            let t2 = thread::spawn(move || {
+                y2.store(1, Ordering::SeqCst);
+                x2.load(Ordering::SeqCst)
+            });
+            let (r1, r2) = (t1.join(), t2.join());
+            assert!(r1 == 1 || r2 == 1, "SB: both threads read 0 under SeqCst");
+        })
+        .expect("SeqCst store buffering must never read 0/0");
+}
+
+#[test]
+fn litmus_store_buffering_relaxed_observes_both_zero() {
+    let v = Checker::new()
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x1, y1) = (x.clone(), y.clone());
+            let (x2, y2) = (x.clone(), y.clone());
+            let t1 = thread::spawn(move || {
+                x1.store(1, Ordering::Relaxed);
+                y1.load(Ordering::Relaxed)
+            });
+            let t2 = thread::spawn(move || {
+                y2.store(1, Ordering::Relaxed);
+                x2.load(Ordering::Relaxed)
+            });
+            let (r1, r2) = (t1.join(), t2.join());
+            assert!(r1 == 1 || r2 == 1, "SB: both threads read 0");
+        })
+        .expect_err("relaxed store buffering must exhibit 0/0");
+    assert!(matches!(v.kind, ViolationKind::Panic(_)), "got {v}");
+}
+
+// ---------------------------------------------------------------------
+// Protocol scenarios, parameterized by ordering profile so the same
+// code proves the shipped protocol and refutes every mutant.
+// ---------------------------------------------------------------------
+
+/// Two threads take cross-conflicting packed modes and each increments a
+/// plain (Relaxed) data cell inside the critical section. Checks
+/// admission exclusivity (an in-CS counter), visibility (no lost
+/// update), release refusal of double unlock, and count balance.
+fn packed_exclusivity_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new().preemption_bound(3).check(move || {
+        let mech = PackedMech::new(profile);
+        let data = Arc::new(AtomicU64::new(0));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = [(0u32, 1u32), (1u32, 0u32)]
+            .into_iter()
+            .map(|(local, other)| {
+                let mech = mech.clone();
+                let data = data.clone();
+                let in_cs = in_cs.clone();
+                thread::spawn(move || {
+                    let mask = packed_conflict_mask(&[other]);
+                    mech.lock(local, mask);
+                    assert_eq!(
+                        in_cs.fetch_add(1, Ordering::Relaxed),
+                        0,
+                        "conflicting modes held concurrently"
+                    );
+                    let v = data.load(Ordering::Relaxed);
+                    data.store(v + 1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::Relaxed);
+                    assert!(mech.unlock(local), "balanced release refused");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(
+            data.load(Ordering::Relaxed),
+            2,
+            "lost update across releases"
+        );
+        assert_eq!(mech.word(), 0, "counts unbalanced after all releases");
+        assert!(!mech.unlock(0), "double unlock must be refused");
+    })
+}
+
+/// Main holds a packed mode, a spawned waiter wants a conflicting one;
+/// main releases while the waiter may be parking. Any schedule in which
+/// the waiter stays parked after the release is a lost wakeup, reported
+/// as a model deadlock.
+fn packed_lost_wakeup_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new().preemption_bound(3).check(move || {
+        let mech = PackedMech::new(profile);
+        mech.lock(0, packed_conflict_mask(&[1]));
+        let m2 = mech.clone();
+        let waiter = thread::spawn(move || {
+            m2.lock(1, packed_conflict_mask(&[0]));
+            assert!(m2.unlock(1));
+        });
+        assert!(mech.unlock(0));
+        waiter.join();
+        assert_eq!(mech.word(), 0);
+    })
+}
+
+/// The same handoff shape on the wide (per-mode counter) mechanism,
+/// whose release/park protocol is the store-buffering pair the SeqCst
+/// sites exist for.
+fn wide_lost_wakeup_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new().preemption_bound(3).check(move || {
+        let mech = WideMech::new(2, profile);
+        mech.lock(0, &[1]);
+        let m2 = mech.clone();
+        let waiter = thread::spawn(move || {
+            m2.lock(1, &[0]);
+            assert!(m2.unlock(1));
+        });
+        assert!(mech.unlock(0));
+        waiter.join();
+        assert_eq!(mech.count(0), 0);
+        assert_eq!(mech.count(1), 0);
+        assert!(!mech.unlock(1), "double unlock must be refused");
+    })
+}
+
+/// Three threads on the packed word: two cross-conflicting modes plus a
+/// second holder of mode 0 (self-commuting), under a preemption bound.
+///
+/// The default bound of 1 keeps the everyday `cargo test` run to a
+/// couple of seconds; the CI `model-check` job sets
+/// `MODEL_THREE_THREAD_PREEMPTION_BOUND=2` (~1 minute) for the deeper
+/// sweep.
+fn packed_three_thread_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    let bound = std::env::var("MODEL_THREE_THREAD_PREEMPTION_BOUND")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    Checker::new().preemption_bound(bound).check(move || {
+        let mech = PackedMech::new(profile);
+        let in_cs = Arc::new(AtomicU64::new(0));
+        let specs = [(0u32, 1u32), (0u32, 1u32), (1u32, 0u32)];
+        let handles: Vec<_> = specs
+            .into_iter()
+            .map(|(local, other)| {
+                let mech = mech.clone();
+                let in_cs = in_cs.clone();
+                thread::spawn(move || {
+                    mech.lock(local, packed_conflict_mask(&[other]));
+                    // Mode 1 excludes both mode-0 holders; mode 0 only
+                    // excludes mode 1, so encode holders as bit fields.
+                    let token = 1u64 << (8 * local);
+                    let seen = in_cs.fetch_add(token, Ordering::Relaxed);
+                    if local == 1 {
+                        assert_eq!(seen, 0, "mode 1 admitted alongside a holder");
+                    } else {
+                        assert_eq!(seen >> 8, 0, "mode 0 admitted alongside mode 1");
+                    }
+                    in_cs.fetch_sub(token, Ordering::Relaxed);
+                    assert!(mech.unlock(local));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(mech.word(), 0);
+    })
+}
+
+#[test]
+fn packed_admission_is_exclusive_and_visible() {
+    let stats = packed_exclusivity_scenario(OrderingProfile::default())
+        .expect("shipped packed protocol must pass exclusivity/visibility");
+    assert!(
+        stats.schedules > 100,
+        "exploration suspiciously small: {stats:?}"
+    );
+}
+
+#[test]
+fn packed_release_never_loses_a_wakeup() {
+    packed_lost_wakeup_scenario(OrderingProfile::default())
+        .expect("shipped packed protocol must not lose wakeups");
+}
+
+#[test]
+fn wide_release_never_loses_a_wakeup() {
+    wide_lost_wakeup_scenario(OrderingProfile::default())
+        .expect("shipped wide protocol must not lose wakeups");
+}
+
+#[test]
+fn packed_three_thread_admission_is_exclusive() {
+    packed_three_thread_scenario(OrderingProfile::default())
+        .expect("shipped packed protocol must pass the 3-thread scenario");
+}
+
+// ---------------------------------------------------------------------
+// Mutant detection.
+// ---------------------------------------------------------------------
+
+fn is_counterexample(v: &Violation) -> bool {
+    matches!(v.kind, ViolationKind::Panic(_) | ViolationKind::Deadlock(_))
+}
+
+/// Every seeded ordering mutant from `ORDERING_AUDIT` must be refuted by
+/// at least one scenario. A surviving mutant means either the protocol
+/// does not actually need the audited ordering or the model lost the
+/// power to see the difference — both are build-stopping.
+#[test]
+fn every_seeded_ordering_mutant_is_detected() {
+    let mutants = OrderingProfile::mutants();
+    assert!(
+        mutants.len() >= 6,
+        "ORDERING_AUDIT must seed at least 6 mutants, found {}",
+        mutants.len()
+    );
+    let mut survivors = Vec::new();
+    for (site, profile) in &mutants {
+        // Lazily try the scenario exercising the mutated path first: a
+        // caught mutant fails fast, while a scenario that *passes* under
+        // a mutant costs a full exploration we can usually skip.
+        type Scenario = fn(OrderingProfile) -> Result<Stats, Box<Violation>>;
+        let scenarios: [Scenario; 3] = if site.starts_with("wide.") {
+            [
+                wide_lost_wakeup_scenario,
+                packed_exclusivity_scenario,
+                packed_lost_wakeup_scenario,
+            ]
+        } else {
+            [
+                packed_exclusivity_scenario,
+                packed_lost_wakeup_scenario,
+                wide_lost_wakeup_scenario,
+            ]
+        };
+        let caught = scenarios
+            .into_iter()
+            .filter_map(|s| s(*profile).err())
+            .any(|v| is_counterexample(&v));
+        if !caught {
+            survivors.push(*site);
+        }
+    }
+    assert!(
+        survivors.is_empty(),
+        "ordering mutants survived bounded model checking: {survivors:?}"
+    );
+}

@@ -91,6 +91,7 @@ pub mod protocol;
 pub mod schema;
 pub mod spec;
 pub mod symbolic;
+pub mod sync;
 pub mod telemetry;
 pub mod txn;
 pub mod value;

@@ -56,8 +56,7 @@
 //! * [`WaitStrategy::Spin`] — a literal transcription of Fig. 20's
 //!   `goto start` loop, useful for the ablation benchmark.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::sync::{AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
 use std::time::{Duration, Instant};
 
 /// How acquirers wait for conflicting modes to drain.
@@ -98,15 +97,198 @@ pub const FIELD_MAX: u64 = (1 << FIELD_BITS) - 1;
 
 /// Waiter-summary bit: set while at least one thread is parked on the
 /// condvar, so releasers know to take the internal mutex and notify.
-const WAITERS_BIT: u64 = 1 << 63;
+/// Public so the model checker (`crates/model`) instantiates the protocol
+/// over the exact production layout.
+pub const WAITERS_BIT: u64 = 1 << 63;
 
+/// The hand-audited memory orderings of the admission protocol, as named
+/// constants.
+///
+/// Every atomic access in the packed fast path and the wide fallback names
+/// its ordering from this module instead of writing an `Ordering::` literal
+/// inline, so the choice is a single definition that (a) the production
+/// code compiles against, (b) the [`ORDERING_AUDIT`] table documents with
+/// a safety claim, and (c) the `model` crate's interleaving checker
+/// imports verbatim — the checked protocol and the shipped protocol cannot
+/// silently diverge on an ordering.
+pub mod ordering {
+    pub use crate::sync::Ordering;
+
+    /// Packed admission: initial word load seeding the CAS loop. Relaxed —
+    /// admission is decided by the CAS, which re-validates the whole word.
+    pub const PACKED_ADMIT_LOAD: Ordering = Ordering::Relaxed;
+    /// Packed admission: success ordering of the admit CAS. Acquire —
+    /// pairs with [`PACKED_RELEASE_CAS_OK`] so the critical-section writes
+    /// of every conflicting holder that released happen-before the
+    /// admitted section's reads.
+    pub const PACKED_ADMIT_CAS_OK: Ordering = Ordering::Acquire;
+    /// Packed admission: failure ordering of the admit CAS. Relaxed — a
+    /// failed CAS only retries with the freshly returned word.
+    pub const PACKED_ADMIT_CAS_FAIL: Ordering = Ordering::Relaxed;
+    /// Packed release: initial word load seeding the CAS loop. Relaxed —
+    /// the CAS re-validates.
+    pub const PACKED_RELEASE_LOAD: Ordering = Ordering::Relaxed;
+    /// Packed release: success ordering of the decrement CAS. Release —
+    /// publishes the critical-section writes to the next conflicting
+    /// admitter (pairs with [`PACKED_ADMIT_CAS_OK`]).
+    pub const PACKED_RELEASE_CAS_OK: Ordering = Ordering::Release;
+    /// Packed release: failure ordering of the decrement CAS. Relaxed.
+    pub const PACKED_RELEASE_CAS_FAIL: Ordering = Ordering::Relaxed;
+    /// Packed parking: the `WAITERS`-bit `fetch_or`/`fetch_and` and the
+    /// waiter-counter updates. Relaxed — transitions happen only under the
+    /// internal mutex, and the bit races with releases solely through the
+    /// packed word's own modification order (RMWs always read the latest
+    /// value), which is the whole point of co-locating the bit with the
+    /// counts.
+    pub const PACKED_WAITER_BIT_RMW: Ordering = Ordering::Relaxed;
+    /// Wide blocking admission: the waiter-counter `fetch_add`/`fetch_sub`
+    /// around the conflict check. SeqCst — first half of the
+    /// store-buffering pair with the releaser (register-waiter *then* read
+    /// counts vs decrement *then* read waiters).
+    pub const WIDE_WAITER_RMW: Ordering = Ordering::SeqCst;
+    /// Wide conflict check: the per-mode counter loads. SeqCst — second
+    /// access of the waiter's store-buffering half; must not reorder
+    /// before the waiter registration.
+    pub const WIDE_CONFLICT_LOAD: Ordering = Ordering::SeqCst;
+    /// Wide release: the counter-decrement RMW. SeqCst — first access of
+    /// the releaser's store-buffering half.
+    pub const WIDE_RELEASE_RMW: Ordering = Ordering::SeqCst;
+    /// Wide release: the `waiters` load deciding whether to notify.
+    /// SeqCst — second access of the releaser's store-buffering half; must
+    /// not reorder before the decrement.
+    pub const WIDE_WAITERS_LOAD: Ordering = Ordering::SeqCst;
+}
+
+use ordering as ord;
+
+/// One machine-checked claim in [`ORDERING_AUDIT`]: an atomic-access site
+/// in the admission protocol, the ordering it ships with, the one-notch
+/// weakening the model checker must reject (when one exists — sites
+/// already at Relaxed have nothing to weaken), and the safety claim the
+/// ordering discharges.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingAuditEntry {
+    /// Stable site key, e.g. `"packed.admit.cas_ok"`.
+    pub site: &'static str,
+    /// The ordering the production protocol uses (a constant from
+    /// [`ordering`]).
+    pub ordering: Ordering,
+    /// The seeded mutant: this site weakened one notch. `None` for sites
+    /// that are already Relaxed.
+    pub mutant: Option<Ordering>,
+    /// What goes wrong without the ordering — the claim the model
+    /// checker's property suite verifies (and whose mutant it must catch).
+    pub claim: &'static str,
+}
+
+/// The audited ordering table for the admission protocol, one entry per
+/// atomic-access site in [`Mech`]'s packed fast path and wide fallback.
+///
+/// The `model` crate consumes this table twice: the unmutated run asserts
+/// the protocol built from exactly these orderings satisfies admission
+/// exclusivity, publication, no-lost-wakeup, and release-count balance
+/// over every bounded schedule; the mutant runs weaken each `Some(..)`
+/// entry in turn and assert the checker reports a violation. `semlockc
+/// check --json` embeds the table so downstream tooling sees which claims
+/// are machine-checked.
+pub const ORDERING_AUDIT: &[OrderingAuditEntry] = &[
+    OrderingAuditEntry {
+        site: "packed.admit.load",
+        ordering: ord::PACKED_ADMIT_LOAD,
+        mutant: None,
+        claim: "seed load only; the CAS re-validates the whole word",
+    },
+    OrderingAuditEntry {
+        site: "packed.admit.cas_ok",
+        ordering: ord::PACKED_ADMIT_CAS_OK,
+        mutant: Some(Ordering::Relaxed),
+        claim: "holder's critical-section writes happen-before a conflicting admitter's reads",
+    },
+    OrderingAuditEntry {
+        site: "packed.admit.cas_fail",
+        ordering: ord::PACKED_ADMIT_CAS_FAIL,
+        mutant: None,
+        claim: "failed CAS only retries with the returned word",
+    },
+    OrderingAuditEntry {
+        site: "packed.release.load",
+        ordering: ord::PACKED_RELEASE_LOAD,
+        mutant: None,
+        claim: "seed load only; the CAS re-validates the whole word",
+    },
+    OrderingAuditEntry {
+        site: "packed.release.cas_ok",
+        ordering: ord::PACKED_RELEASE_CAS_OK,
+        mutant: Some(Ordering::Relaxed),
+        claim: "publishes critical-section writes to the next conflicting admitter",
+    },
+    OrderingAuditEntry {
+        site: "packed.release.cas_fail",
+        ordering: ord::PACKED_RELEASE_CAS_FAIL,
+        mutant: None,
+        claim: "failed CAS only retries with the returned word",
+    },
+    OrderingAuditEntry {
+        site: "packed.waiter_bit.rmw",
+        ordering: ord::PACKED_WAITER_BIT_RMW,
+        mutant: None,
+        claim: "same-word modification order settles bit-vs-decrement races; \
+                transitions serialized by the internal mutex",
+    },
+    OrderingAuditEntry {
+        site: "wide.waiter.rmw",
+        ordering: ord::WIDE_WAITER_RMW,
+        mutant: Some(Ordering::AcqRel),
+        claim: "waiter registration precedes its conflict check in the SeqCst order \
+                (store-buffering pair, waiter half)",
+    },
+    OrderingAuditEntry {
+        site: "wide.conflict.load",
+        ordering: ord::WIDE_CONFLICT_LOAD,
+        mutant: Some(Ordering::Acquire),
+        claim: "conflict check reads counts no older than the SeqCst order at registration \
+                (store-buffering pair, waiter half)",
+    },
+    OrderingAuditEntry {
+        site: "wide.release.rmw",
+        ordering: ord::WIDE_RELEASE_RMW,
+        mutant: Some(Ordering::AcqRel),
+        claim: "decrement precedes the waiters load in the SeqCst order \
+                (store-buffering pair, releaser half)",
+    },
+    OrderingAuditEntry {
+        site: "wide.waiters.load",
+        ordering: ord::WIDE_WAITERS_LOAD,
+        mutant: Some(Ordering::Acquire),
+        claim: "waiters load reads a count no older than the SeqCst order at the decrement \
+                (store-buffering pair, releaser half)",
+    },
+];
+
+/// Human-readable name of a memory ordering (JSON rendering of the audit
+/// table).
+pub fn ordering_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "Unknown",
+    }
+}
+
+/// Bit offset of a local mode's count field within the packed word.
+/// Public so the `model` crate checks the protocol with the exact field
+/// math that ships.
 #[inline]
-fn field_shift(local: u32) -> u32 {
+pub fn field_shift(local: u32) -> u32 {
     local * FIELD_BITS
 }
 
+/// Extract a local mode's count field from a packed word snapshot.
 #[inline]
-fn field_of(word: u64, local: u32) -> u64 {
+pub fn field_of(word: u64, local: u32) -> u64 {
     (word >> field_shift(local)) & FIELD_MAX
 }
 
@@ -288,7 +470,7 @@ impl Mech {
         let one = 1u64 << field_shift(local);
         // Ordering: the initial load may be Relaxed — admission is decided
         // by the CAS below, which re-validates the whole word.
-        let mut cur = word.load(Ordering::Relaxed);
+        let mut cur = word.load(ord::PACKED_ADMIT_LOAD);
         loop {
             if cur & cs.mask != 0 || field_of(cur, local) == FIELD_MAX {
                 return false;
@@ -298,7 +480,13 @@ impl Mech {
             // count is zero happens-after the data writes of the holders
             // that released them, so the critical section cannot observe
             // torn state. Failure needs no ordering: we only retry.
-            match word.compare_exchange_weak(cur, cur + one, Ordering::Acquire, Ordering::Relaxed) {
+            // (Audited: `packed.admit.cas_ok` in `ORDERING_AUDIT`.)
+            match word.compare_exchange_weak(
+                cur,
+                cur + one,
+                ord::PACKED_ADMIT_CAS_OK,
+                ord::PACKED_ADMIT_CAS_FAIL,
+            ) {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -313,17 +501,18 @@ impl Mech {
     fn waiter_begin(&self, word: &AtomicU64) {
         // Ordering: `waiters` transitions happen only under `internal`, so
         // Relaxed suffices for the counter; the bit update is ordered with
-        // releases by the word's own modification order.
-        if self.waiters.fetch_add(1, Ordering::Relaxed) == 0 {
-            word.fetch_or(WAITERS_BIT, Ordering::Relaxed);
+        // releases by the word's own modification order. (Audited:
+        // `packed.waiter_bit.rmw`.)
+        if self.waiters.fetch_add(1, ord::PACKED_WAITER_BIT_RMW) == 0 {
+            word.fetch_or(WAITERS_BIT, ord::PACKED_WAITER_BIT_RMW);
         }
     }
 
     /// Deregister a parked waiter (caller holds `internal`); clears the
     /// `WAITERS` bit once the last waiter leaves.
     fn waiter_end(&self, word: &AtomicU64) {
-        if self.waiters.fetch_sub(1, Ordering::Relaxed) == 1 {
-            word.fetch_and(!WAITERS_BIT, Ordering::Relaxed);
+        if self.waiters.fetch_sub(1, ord::PACKED_WAITER_BIT_RMW) == 1 {
+            word.fetch_and(!WAITERS_BIT, ord::PACKED_WAITER_BIT_RMW);
         }
     }
 
@@ -332,7 +521,7 @@ impl Mech {
     /// the word carries the `WAITERS` bit.
     fn release_packed(&self, word: &AtomicU64, local: u32) -> bool {
         let one = 1u64 << field_shift(local);
-        let mut cur = word.load(Ordering::Relaxed);
+        let mut cur = word.load(ord::PACKED_RELEASE_LOAD);
         loop {
             if field_of(cur, local) == 0 {
                 self.stats.underflows.fetch_add(1, Ordering::Relaxed);
@@ -343,8 +532,14 @@ impl Mech {
             // to the next conflicting admitter). The subtraction cannot
             // borrow out of the field — the field was checked non-zero on
             // this very value — so neighbouring counts and the WAITERS
-            // bit pass through untouched.
-            match word.compare_exchange_weak(cur, cur - one, Ordering::Release, Ordering::Relaxed) {
+            // bit pass through untouched. (Audited:
+            // `packed.release.cas_ok` in `ORDERING_AUDIT`.)
+            match word.compare_exchange_weak(
+                cur,
+                cur - one,
+                ord::PACKED_RELEASE_CAS_OK,
+                ord::PACKED_RELEASE_CAS_FAIL,
+            ) {
                 Ok(prev) => {
                     if prev & WAITERS_BIT != 0 {
                         // Serialize with the waiter's bit-set → re-check →
@@ -390,7 +585,7 @@ impl Mech {
     fn conflicted_wide(counts: &[AtomicU32], cs: ConflictSet<'_>) -> bool {
         cs.locals
             .iter()
-            .any(|&c| counts[c as usize].load(Ordering::SeqCst) > 0)
+            .any(|&c| counts[c as usize].load(ord::WIDE_CONFLICT_LOAD) > 0)
     }
 
     // ------------------------------------------------------------------
@@ -433,14 +628,15 @@ impl Mech {
                     // guaranteed to observe us and notify. Ordering:
                     // SeqCst — see `conflicted_wide` for the
                     // store-buffering argument this participates in.
-                    self.waiters.fetch_add(1, Ordering::SeqCst);
+                    // (Audited: `wide.waiter.rmw`.)
+                    self.waiters.fetch_add(1, ord::WIDE_WAITER_RMW);
                     if !Self::conflicted_wide(counts, cs) {
-                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                         break;
                     }
                     waited = true;
                     self.cond.wait(&mut guard);
-                    self.waiters.fetch_sub(1, Ordering::SeqCst);
+                    self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                 }
                 // Ordering: Relaxed — the increment is published to other
                 // admitters by the internal mutex (their checks run under
@@ -600,23 +796,23 @@ impl Mech {
                 let mut guard = self.internal.lock();
                 loop {
                     // SeqCst: store-buffering pair with `unlock` — see
-                    // `conflicted_wide`.
-                    self.waiters.fetch_add(1, Ordering::SeqCst);
+                    // `conflicted_wide`. (Audited: `wide.waiter.rmw`.)
+                    self.waiters.fetch_add(1, ord::WIDE_WAITER_RMW);
                     if !Self::conflicted_wide(counts, cs) {
-                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                         // Ordering: Relaxed — see `lock`'s wide arm.
                         counts[local as usize].fetch_add(1, Ordering::Relaxed);
                         break Acquire::Acquired;
                     }
                     let now = Instant::now();
                     if now >= deadline {
-                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                         break Acquire::TimedOut;
                     }
                     waited = true;
                     let slice = PROBE_INTERVAL.min(deadline - now);
                     self.cond.wait_for(&mut guard, slice);
-                    self.waiters.fetch_sub(1, Ordering::SeqCst);
+                    self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                     if probe() == Wait::Abandon {
                         break Acquire::Abandoned;
                     }
@@ -685,24 +881,42 @@ impl Mech {
         match &self.counts {
             Counts::Packed(word) => self.release_packed(word, local),
             Counts::Wide(counts) => {
-                // Ordering: SeqCst on the decrement — Release alone pairs
-                // with the Acquire-or-stronger loads in `conflicted_wide`
-                // for data visibility, but this RMW is also the first half
-                // of the store-buffering pair with the `waiters` load
-                // below (see `conflicted_wide`), which needs the total
-                // SeqCst order.
-                let prev = counts[local as usize].fetch_sub(1, Ordering::SeqCst);
-                if prev == 0 {
-                    // Ordering: Relaxed — merely restores the transient
-                    // wrap; the refused release publishes nothing.
-                    counts[local as usize].fetch_add(1, Ordering::Relaxed);
-                    self.stats.underflows.fetch_add(1, Ordering::Relaxed);
-                    return false;
+                // Checked decrement via CAS, mirroring the packed path: a
+                // double unlock is refused without ever publishing a
+                // transient wrapped value. (The previous
+                // `fetch_sub`-then-restore made u32::MAX momentarily
+                // visible to concurrent `conflicted_wide` readers, which
+                // could spuriously park an admissible acquirer until the
+                // restore landed.)
+                let c = &counts[local as usize];
+                let mut cur = c.load(Ordering::Relaxed);
+                loop {
+                    if cur == 0 {
+                        self.stats.underflows.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    // Ordering: SeqCst on the successful decrement —
+                    // Release alone pairs with the Acquire-or-stronger
+                    // loads in `conflicted_wide` for data visibility, but
+                    // this RMW is also the first half of the
+                    // store-buffering pair with the `waiters` load below
+                    // (see `conflicted_wide`), which needs the total
+                    // SeqCst order. (Audited: `wide.release.rmw`.)
+                    match c.compare_exchange_weak(
+                        cur,
+                        cur - 1,
+                        ord::WIDE_RELEASE_RMW,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => cur = actual,
+                    }
                 }
                 // Ordering: SeqCst — second half of the store-buffering
                 // pair (decrement-then-read-waiters vs the waiter's
-                // register-then-read-counts).
-                if self.waiters.load(Ordering::SeqCst) > 0 {
+                // register-then-read-counts). (Audited:
+                // `wide.waiters.load`.)
+                if self.waiters.load(ord::WIDE_WAITERS_LOAD) > 0 {
                     // Serialize with waiters' register-then-check so the
                     // notify cannot slip between their check and their
                     // wait.
@@ -1094,6 +1308,98 @@ mod tests {
             );
             assert_eq!(m.held_total(), 0);
         }
+    }
+
+    /// Strict weakness order for `Ordering` in the C++11 lattice (for the
+    /// orderings an RMW/load can carry): Relaxed < Acquire/Release <
+    /// AcqRel < SeqCst.
+    fn strength(o: Ordering) -> u32 {
+        match o {
+            Ordering::Relaxed => 0,
+            Ordering::Acquire | Ordering::Release => 1,
+            Ordering::AcqRel => 2,
+            Ordering::SeqCst => 3,
+            _ => u32::MAX,
+        }
+    }
+
+    #[test]
+    fn ordering_audit_table_is_consistent() {
+        // Sites are unique.
+        let mut sites: Vec<&str> = ORDERING_AUDIT.iter().map(|e| e.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        assert_eq!(sites.len(), ORDERING_AUDIT.len(), "duplicate audit site");
+        // Every seeded mutant is strictly weaker than the shipped ordering,
+        // and only non-Relaxed sites carry one.
+        let mut mutants = 0;
+        for e in ORDERING_AUDIT {
+            assert!(!e.claim.is_empty(), "{}: empty claim", e.site);
+            match e.mutant {
+                Some(m) => {
+                    mutants += 1;
+                    assert!(
+                        strength(m) < strength(e.ordering),
+                        "{}: mutant {:?} is not strictly weaker than {:?}",
+                        e.site,
+                        m,
+                        e.ordering
+                    );
+                }
+                None => assert_eq!(
+                    e.ordering,
+                    Ordering::Relaxed,
+                    "{}: non-Relaxed site must carry a seeded mutant",
+                    e.site
+                ),
+            }
+        }
+        assert!(mutants >= 6, "mutant catalog shrank to {mutants} entries");
+    }
+
+    #[test]
+    fn audited_constants_are_what_the_protocol_ships() {
+        // The audit table must report exactly the constants the code
+        // compiles against — a drive-by edit of `mech::ordering` without a
+        // matching table update fails here.
+        let by_site = |s: &str| {
+            ORDERING_AUDIT
+                .iter()
+                .find(|e| e.site == s)
+                .unwrap_or_else(|| panic!("no audit entry for {s}"))
+                .ordering
+        };
+        assert_eq!(by_site("packed.admit.cas_ok"), ord::PACKED_ADMIT_CAS_OK);
+        assert_eq!(by_site("packed.release.cas_ok"), ord::PACKED_RELEASE_CAS_OK);
+        assert_eq!(by_site("wide.waiter.rmw"), ord::WIDE_WAITER_RMW);
+        assert_eq!(by_site("wide.conflict.load"), ord::WIDE_CONFLICT_LOAD);
+        assert_eq!(by_site("wide.release.rmw"), ord::WIDE_RELEASE_RMW);
+        assert_eq!(by_site("wide.waiters.load"), ord::WIDE_WAITERS_LOAD);
+    }
+
+    #[test]
+    fn wide_double_unlock_never_publishes_a_wrapped_count() {
+        // Regression for the CAS-loop release: hammer double unlocks on
+        // mode 0 while a reader polls the counter; the old
+        // fetch_sub-then-restore scheme let u32::MAX leak out transiently.
+        let m = Arc::new(Mech::with_layout(2, WaitStrategy::Block, MechLayout::Wide));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (m, stop) = (m.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(m.count(0) <= 1, "transient underflow wrap observed");
+                }
+            })
+        };
+        for _ in 0..20_000 {
+            m.lock(0, ConflictSet::new(&[]));
+            assert!(m.unlock(0));
+            assert!(!m.unlock(0), "double unlock must be refused");
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(m.held_total(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! `semlockc` driver.
 //!
 //! A [`Diagnostic`] carries a severity, an optional lint code (the audit
-//! pass's SL001–SL005 catalog), the section/statement it anchors to, and
+//! passes' SL001–SL008 catalog), the section/statement it anchors to, and
 //! free-form notes. Diagnostics render either as rustc-style text or as
 //! JSON (for tooling), with no external dependencies.
 
@@ -53,16 +53,32 @@ pub enum Lint {
     /// not subsumed by the locking modes generated for the site's class
     /// (§5.1).
     Sl005,
+    /// Tape/CFG divergence: the bounded lock-event path language of the
+    /// lowered op tape differs from the section CFG's (the lowering must
+    /// preserve exactly the synchronization the audit verified, §5.3).
+    Sl006,
+    /// Tape two-phase violation: an acquisition op is reachable after a
+    /// release op along some tape path, including relative jumps (S2PL
+    /// rule 2 restated over the lowered form, §2.2.2).
+    Sl007,
+    /// Site-resolution mismatch: a tape `SiteRef` (or a site resolved by
+    /// `interp::compile`) disagrees with the section's declared lock site —
+    /// stable id, class, runtime site id, key slots, or the mode table's
+    /// registered symbolic set (§4/§5.1).
+    Sl008,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 8] = [
         Lint::Sl001,
         Lint::Sl002,
         Lint::Sl003,
         Lint::Sl004,
         Lint::Sl005,
+        Lint::Sl006,
+        Lint::Sl007,
+        Lint::Sl008,
     ];
 
     /// The stable lint code, e.g. `"SL001"`.
@@ -73,6 +89,9 @@ impl Lint {
             Lint::Sl003 => "SL003",
             Lint::Sl004 => "SL004",
             Lint::Sl005 => "SL005",
+            Lint::Sl006 => "SL006",
+            Lint::Sl007 => "SL007",
+            Lint::Sl008 => "SL008",
         }
     }
 
@@ -84,6 +103,9 @@ impl Lint {
             Lint::Sl003 => "instances are acquired once per path, consistently with ≤ts",
             Lint::Sl004 => "the global union of acquisition orders is acyclic",
             Lint::Sl005 => "every operation reaching a lock site is subsumed by a generated mode",
+            Lint::Sl006 => "the lowered tape emits exactly the CFG's lock events on every path",
+            Lint::Sl007 => "no tape acquisition is reachable after a release op (two-phase)",
+            Lint::Sl008 => "every resolved SiteRef matches its declared site and mode table",
         }
     }
 
@@ -95,6 +117,9 @@ impl Lint {
             Lint::Sl003 => "§3.1, §3.3 (OS2PL)",
             Lint::Sl004 => "§3.2–§3.4 (restrictions-graph acyclicity)",
             Lint::Sl005 => "§5.1 (mode generation)",
+            Lint::Sl006 => "§5.3 (compiled execution preserves the synthesis)",
+            Lint::Sl007 => "§2.2.2 (S2PL rule 2, over the lowered form)",
+            Lint::Sl008 => "§4, §5.1 (symbolic sets and site resolution)",
         }
     }
 }
@@ -360,7 +385,10 @@ mod tests {
     #[test]
     fn lint_catalog_is_stable() {
         let codes: Vec<&str> = Lint::ALL.iter().map(|l| l.code()).collect();
-        assert_eq!(codes, ["SL001", "SL002", "SL003", "SL004", "SL005"]);
+        assert_eq!(
+            codes,
+            ["SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007", "SL008"]
+        );
         for l in Lint::ALL {
             assert!(!l.summary().is_empty());
             assert!(l.paper_ref().contains('§'));

@@ -24,7 +24,10 @@
 //! * [`diag`] — structured diagnostics shared by the parser, pipeline, and
 //!   audit;
 //! * [`audit`] — the static OS2PL verifier and SL001–SL005 lint pass over
-//!   synthesized sections.
+//!   synthesized sections;
+//! * [`tape_audit`] — the SL006–SL008 lint pass over lowered tapes
+//!   (tape/CFG lock-event bisimulation, tape-level two-phase, site
+//!   resolution consistency).
 
 #![warn(missing_docs)]
 
@@ -43,6 +46,7 @@ pub mod order;
 pub mod parse;
 pub mod pipeline;
 pub mod restrictions;
+pub mod tape_audit;
 
 pub use audit::{audit_program, AuditReport};
 pub use diag::{Diagnostic, Lint, Severity, SynthError};

@@ -46,14 +46,29 @@ pub struct SynthOutput {
 
 impl SynthOutput {
     /// Run the static OS2PL audit ([`crate::audit`]) over the synthesized
-    /// program, verifying the SL001–SL005 invariants.
+    /// program, verifying the SL001–SL005 invariants, then lower every
+    /// section and run the tape lints ([`crate::tape_audit`], SL006–SL008)
+    /// over the result.
     pub fn audit(&self) -> AuditReport {
-        audit_program(
+        let mut report = audit_program(
             &self.sections,
             &self.tables,
             &self.registry,
             &self.class_order,
-        )
+        );
+        report
+            .diagnostics
+            .extend(crate::tape_audit::audit_tapes(self));
+        // Keep the report deterministically ordered across both passes
+        // (same key the section audit sorts by).
+        report.diagnostics.sort_by_key(|d| {
+            (
+                d.section.clone().unwrap_or_default(),
+                d.stmt.unwrap_or(u32::MAX),
+                d.lint.map(|l| l.code()).unwrap_or(""),
+            )
+        });
+        report
     }
 }
 

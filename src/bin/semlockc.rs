@@ -4,8 +4,8 @@
 //! `synth::parse`), synthesizes deadlock-free semantic locking for it,
 //! and prints the instrumented sections plus the generated locking
 //! modes. With `check`, instead runs the static OS2PL audit
-//! (`synth::audit`) over the synthesized program and reports SL001–SL005
-//! findings.
+//! (`synth::audit`) and the tape lints (`synth::tape_audit`) over the
+//! synthesized program and reports SL001–SL008 findings.
 //!
 //! ```text
 //! semlockc program.sl                # compile and print
@@ -19,6 +19,13 @@
 //!
 //! Check-mode exit codes: 0 — audit clean (warnings allowed); 1 — lint
 //! errors found; 2 — usage, I/O, or parse errors.
+//!
+//! `--json` emits the `semlock-audit/v2` schema: a top-level object with
+//! a `schema` tag, the per-file reports under `files`, and the runtime's
+//! machine-checked memory-ordering audit table (`semlock::mech::
+//! ORDERING_AUDIT`, the contract the `model` crate verifies) under
+//! `ordering_audit`. v1 was a bare array of the per-file objects; the
+//! per-file shape is unchanged.
 //!
 //! Supported ADT classes: Map, Set, Queue, Multimap, WeakMap (and any
 //! number of instances of each).
@@ -186,9 +193,37 @@ fn check_files(paths: &[String], opts: &Options, json: bool) -> ExitCode {
         }
     }
     if json {
-        println!("[{}]", json_entries.join(","));
+        println!(
+            "{{\"schema\":\"semlock-audit/v2\",\"files\":[{}],\"ordering_audit\":[{}]}}",
+            json_entries.join(","),
+            ordering_audit_json()
+        );
     }
     worst
+}
+
+/// The runtime's `ORDERING_AUDIT` table as JSON objects: one per audited
+/// atomic-access site of the admission protocol, with the shipped
+/// ordering, the seeded mutant the model checker must refute (or null),
+/// and the safety claim.
+fn ordering_audit_json() -> String {
+    use semlock::mech::{ordering_name, ORDERING_AUDIT};
+    let entries: Vec<String> = ORDERING_AUDIT
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"site\":\"{}\",\"ordering\":\"{}\",\"mutant\":{},\"claim\":\"{}\"}}",
+                synth::diag::json_escape(e.site),
+                ordering_name(e.ordering),
+                match e.mutant {
+                    Some(m) => format!("\"{}\"", ordering_name(m)),
+                    None => "null".to_string(),
+                },
+                synth::diag::json_escape(e.claim)
+            )
+        })
+        .collect();
+    entries.join(",")
 }
 
 /// Classic compile-and-print mode.

@@ -14,6 +14,7 @@ use semlock::value::Value;
 use synth::audit::audit_program;
 use synth::diag::Lint;
 use synth::ir::{AtomicSection, Body, Expr, Stmt, VarType};
+use synth::lower::LowOp;
 use synth::{ClassRegistry, SynthOutput, Synthesizer};
 
 fn registry() -> ClassRegistry {
@@ -250,6 +251,170 @@ fn uninstrumented_input_fails_wholesale() {
     assert!(report.has_lint(Lint::Sl001));
     assert!(!report.has_lint(Lint::Sl002));
     assert!(!report.has_lint(Lint::Sl003));
+}
+
+// ------------------------------------------------- tape mutation goldens
+//
+// The SL006–SL008 lints guard the *lowered* form: hand-broken tapes must
+// trigger exactly the lint whose invariant the mutation violates, while
+// the pristine lowering of the same section stays clean.
+
+fn fig1_tape(out: &SynthOutput) -> synth::lower::Tape {
+    synth::lower::lower_section(&out.sections[0], &out.tables)
+}
+
+fn tape_lints(out: &SynthOutput, tape: &synth::lower::Tape) -> Vec<synth::diag::Diagnostic> {
+    synth::tape_audit::audit_tape(tape, &out.sections[0], &out.tables, &out.registry)
+}
+
+fn has_lint(diags: &[synth::diag::Diagnostic], lint: Lint) -> bool {
+    diags.iter().any(|d| d.lint == Some(lint))
+}
+
+#[test]
+fn pristine_lowering_passes_the_tape_lints() {
+    let out = fig1_output();
+    let tape = fig1_tape(&out);
+    let diags = tape_lints(&out, &tape);
+    assert!(
+        diags.is_empty(),
+        "pristine tape must pass SL006–SL008: {diags:#?}"
+    );
+}
+
+#[test]
+fn reordered_release_on_the_tape_is_flagged() {
+    // Swap the first acquisition with the last release (in place, so jump
+    // offsets stay valid): the release now dominates the remaining Lock
+    // ops → SL007, and the event order diverges from the CFG → SL006.
+    let out = fig1_output();
+    let mut tape = fig1_tape(&out);
+    let lock = tape
+        .ops
+        .iter()
+        .position(|op| matches!(op, LowOp::Lock { .. }))
+        .expect("fig1 tape has a Lock op");
+    let unlock = tape
+        .ops
+        .iter()
+        .rposition(|op| matches!(op, LowOp::UnlockAllOf { .. }))
+        .expect("fig1 tape has an UnlockAllOf op");
+    assert!(lock < unlock);
+    tape.ops.swap(lock, unlock);
+    let diags = tape_lints(&out, &tape);
+    assert!(has_lint(&diags, Lint::Sl007), "{diags:#?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == Some(Lint::Sl007)
+                && d.message.contains("acquires after a release point")),
+        "{diags:#?}"
+    );
+    assert!(has_lint(&diags, Lint::Sl006), "{diags:#?}");
+}
+
+#[test]
+fn jump_skipped_acquisition_on_the_tape_is_flagged() {
+    // Patch the first acquisition op into a jump that skips it: the tape
+    // silently drops a lock event the section CFG requires on every path
+    // → SL006 (with the missing acquisition named in the notes).
+    let out = fig1_output();
+    let mut tape = fig1_tape(&out);
+    let lock = tape
+        .ops
+        .iter()
+        .position(|op| matches!(op, LowOp::Lock { .. }))
+        .expect("fig1 tape has a Lock op");
+    tape.ops[lock] = LowOp::Jump { off: 0 };
+    let diags = tape_lints(&out, &tape);
+    assert!(has_lint(&diags, Lint::Sl006), "{diags:#?}");
+    let d = diags.iter().find(|d| d.lint == Some(Lint::Sl006)).unwrap();
+    assert!(
+        d.notes.iter().any(|n| n.contains("CFG-only event path")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn mismatched_site_resolution_on_the_tape_is_flagged() {
+    // Re-point a SiteRef at a different runtime site id than ClassTables
+    // maps the declaration to: the admission path would select modes from
+    // the wrong registered symbolic set → SL008.
+    let out = fig1_output();
+    let mut tape = fig1_tape(&out);
+    assert!(!tape.sites.is_empty());
+    tape.sites[0].rt_site = semlock::mode::LockSiteId(tape.sites[0].rt_site.0 + 1);
+    let diags = tape_lints(&out, &tape);
+    assert!(has_lint(&diags, Lint::Sl008), "{diags:#?}");
+
+    // Dropping a key slot is a distinct SL008 failure (key arity).
+    let mut tape = fig1_tape(&out);
+    let keyed = tape
+        .sites
+        .iter()
+        .position(|s| !s.key_slots.is_empty())
+        .expect("fig1 has a refined keyed site");
+    tape.sites[keyed].key_slots.clear();
+    let diags = tape_lints(&out, &tape);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == Some(Lint::Sl008) && d.message.contains("key")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn tape_lints_surface_through_synth_output_audit() {
+    // `SynthOutput::audit` (and therefore `semlockc check`) runs the tape
+    // lints automatically: a program whose IR audits clean also has its
+    // lowering checked. The clean direction is covered by the paper-figure
+    // and random-section tests above; pin the catalog here.
+    let out = fig1_output();
+    let report = out.audit();
+    assert!(report.is_clean(), "{}", report.render_text());
+    for lint in [Lint::Sl006, Lint::Sl007, Lint::Sl008] {
+        assert!(!report.has_lint(lint));
+    }
+}
+
+#[test]
+fn compiled_sections_resolve_sites_consistently() {
+    // SL008 over the compiler's own facts: the mode table + runtime site
+    // id pairs `interp::compile` binds must match the synthesized program
+    // exactly (Task: every `SiteRef` resolved by the engine carries a
+    // mode table consistent with the section's registered symbolic set).
+    use std::sync::Arc;
+    let out = Synthesizer::new(registry())
+        .phi(Phi::modulo(4))
+        .synthesize(&[
+            synth::ir::fig1_section(),
+            synth::ir::fig7_section(),
+            synth::ir::fig9_section(),
+        ]);
+    let env = interp::Env::new(Arc::new(out));
+    let mut n_sites = 0;
+    for (_, compiled) in interp::compile::compile_program(&env) {
+        let facts = compiled.site_facts();
+        n_sites += facts.len();
+        let diags = synth::tape_audit::check_resolved_sites(&facts, &env.program);
+        assert!(diags.is_empty(), "{}: {diags:#?}", compiled.name());
+    }
+    assert!(n_sites > 0, "compiled program resolved no lock sites");
+
+    // And a corrupted fact is caught.
+    let compiled = interp::compile::compile_program(&env);
+    let mut facts = compiled
+        .iter()
+        .map(|(_, c)| c.site_facts())
+        .find(|f| !f.is_empty())
+        .expect("some section resolves sites");
+    facts[0].stable_id ^= 1;
+    let diags = synth::tape_audit::check_resolved_sites(&facts, &env.program);
+    assert!(
+        diags.iter().any(|d| d.lint == Some(Lint::Sl008)),
+        "{diags:#?}"
+    );
 }
 
 // ------------------------------------------------------ random programs

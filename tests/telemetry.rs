@@ -266,44 +266,123 @@ fn site_ids_identical_across_recompiles() {
 
 /// Satellite 3 (instance level): a double release is refused in release
 /// builds too — the counter is untouched, the instance poisons, and the
-/// failure is observable both as an error and as telemetry.
+/// failure is observable both as an error and as telemetry. Driven under
+/// *both* explicit counter layouts: the packed single-word representation
+/// must refuse exactly like the wide fallback (its 7-bit field neither
+/// saturates nor borrows), not just under whatever `Auto` picks.
 #[test]
 fn double_release_refused_poisons_and_reports() {
+    use semlock::mech::MechLayout;
+    use semlock::WaitStrategy;
+
     let _g = guard();
-    let (table, site) = cia_table(8);
-    let mode = table.select(site, &[Value(3)]);
-    let lock = SemLock::new(table);
+    for layout in [MechLayout::Packed, MechLayout::Wide] {
+        let (table, site) = cia_table(8);
+        let mode = table.select(site, &[Value(3)]);
+        let lock = SemLock::with_mech_layout(table, WaitStrategy::Block, layout);
 
-    telemetry::reset();
-    telemetry::enable();
-    lock.lock(mode);
-    lock.unlock_checked(mode).expect("first release succeeds");
-    let err = lock
-        .unlock_checked(mode)
-        .expect_err("second release refused");
-    telemetry::disable();
-    let (events, _) = telemetry::snapshot();
-    telemetry::reset();
+        telemetry::reset();
+        telemetry::enable();
+        lock.lock(mode);
+        lock.unlock_checked(mode).expect("first release succeeds");
+        let err = lock
+            .unlock_checked(mode)
+            .expect_err("second release refused");
+        telemetry::disable();
+        let (events, _) = telemetry::snapshot();
+        telemetry::reset();
 
-    assert!(
-        matches!(err, LockError::UnlockUnderflow { instance, mode: m }
-            if instance == lock.unique() && m == mode),
-        "{err}"
-    );
-    assert!(lock.is_poisoned(), "refused double release poisons");
-    assert_eq!(lock.underflow_count(), 1);
-    assert_eq!(lock.total_holds(), 0, "the counter never underflowed");
-    assert!(
-        events
-            .iter()
-            .any(|e| e.kind == EventKind::UnlockUnderflow && e.instance == lock.unique()),
-        "an UnlockUnderflow event is emitted"
-    );
+        assert!(
+            matches!(err, LockError::UnlockUnderflow { instance, mode: m }
+                if instance == lock.unique() && m == mode),
+            "{layout:?}: {err}"
+        );
+        assert!(
+            lock.is_poisoned(),
+            "{layout:?}: refused double release poisons"
+        );
+        assert_eq!(lock.underflow_count(), 1, "{layout:?}");
+        assert_eq!(
+            lock.total_holds(),
+            0,
+            "{layout:?}: the counter never underflowed"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::UnlockUnderflow && e.instance == lock.unique()),
+            "{layout:?}: an UnlockUnderflow event is emitted"
+        );
 
-    // The instance recovers through the normal escape hatch.
-    lock.clear_poison();
-    lock.lock(mode);
-    lock.unlock_checked(mode).expect("usable after recovery");
+        // The instance recovers through the normal escape hatch.
+        lock.clear_poison();
+        lock.lock(mode);
+        lock.unlock_checked(mode)
+            .unwrap_or_else(|e| panic!("{layout:?}: usable after recovery: {e}"));
+    }
+}
+
+/// The watchdog's `CycleAborted` path under both explicit counter
+/// layouts. The probe/abort machinery lives in the bounded wait loops of
+/// `Mech::lock_deadline`, which differ per layout (packed parks under the
+/// WAITERS bit, wide under the internal mutex), so a cycle must be broken
+/// — with the abort surfacing as both `WouldDeadlock` and a
+/// `CycleAborted` event — whichever representation serves the partition.
+#[test]
+fn cycle_abort_fires_under_both_mech_layouts() {
+    use semlock::mech::MechLayout;
+    use semlock::WaitStrategy;
+
+    let _g = guard();
+    for layout in [MechLayout::Packed, MechLayout::Wide] {
+        telemetry::reset();
+        telemetry::enable();
+
+        let (table, site) = cia_table(8);
+        let mode = table.select(site, &[Value(7)]); // self-conflicting
+        let a = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, layout);
+        let b = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, layout);
+        let gate = Barrier::new(2);
+        let errors: Mutex<Vec<LockError>> = Mutex::new(Vec::new());
+
+        let run = |first: &SemLock, second: &SemLock| {
+            let mut txn = Txn::new();
+            txn.lv(first, mode);
+            gate.wait();
+            if let Err(e) = txn.lv_timeout(second, mode, Duration::from_secs(10)) {
+                errors.lock().unwrap().push(e);
+            }
+        };
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| run(&a, &b));
+            scope.spawn(|| run(&b, &a));
+        });
+        telemetry::disable();
+        let (events, _) = telemetry::snapshot();
+        telemetry::reset();
+
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "{layout:?}: watchdog did not break the cycle before the deadline"
+        );
+        let errors = errors.into_inner().unwrap();
+        assert_eq!(errors.len(), 1, "{layout:?}: exactly one txn aborts");
+        assert!(
+            matches!(errors[0], LockError::WouldDeadlock { .. }),
+            "{layout:?}: {}",
+            errors[0]
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::CycleAborted)
+                .count(),
+            1,
+            "{layout:?}: one CycleAborted event"
+        );
+        assert_eq!(a.total_holds() + b.total_holds(), 0, "{layout:?}");
+    }
 }
 
 /// With the flag off, the whole stack records nothing — the disabled
