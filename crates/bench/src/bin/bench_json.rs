@@ -1,13 +1,14 @@
-//! Machine-readable benchmark runner: emits `BENCH_PR5.json` with
+//! Machine-readable benchmark runner: emits `BENCH_PR7.json` with
 //! micro-benchmark latencies (telemetry off vs on), the packed-vs-wide
-//! admission A/B, the compiled-vs-tree-walk interpreter A/B, workload
-//! throughput sweeps, lock-contention counters, and telemetry summaries.
+//! admission A/B, the compiled-vs-tree-walk interpreter A/B, the
+//! open-loop server goodput/latency table, workload throughput sweeps,
+//! lock-contention counters, and telemetry summaries.
 //!
 //! ```text
-//! cargo run --release --bin bench_json -- --out BENCH_PR5.json
+//! cargo run --release --bin bench_json -- --out BENCH_PR7.json
 //! cargo run --release --bin bench_json -- --ops 5000 --threads 1,4 \
 //!     --against BENCH_PR3.json --against BENCH_PR4.json \
-//!     --against BENCH_PR5.json --tolerance 0.10
+//!     --against BENCH_PR5.json --against BENCH_PR7.json --tolerance 0.10
 //! ```
 //!
 //! With `--against` (repeatable), the telemetry-off micro benches are
@@ -32,7 +33,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use workloads::driver::measure;
-use workloads::{ComputeIfAbsent, SyncKind};
+use workloads::{ComputeIfAbsent, ServerConfig, ServerReport, SyncKind};
 
 struct Config {
     ops: u64,
@@ -265,6 +266,20 @@ fn run_admission_ab(ops: u64) -> AdmissionAb {
     }
 }
 
+/// Fixed seed for the server bench: the goodput table in the checked-in
+/// baseline must describe one reproducible workload, not a drifting one.
+const SERVER_SEED: u64 = 7;
+
+/// The open-loop server workload at the PR 7 bench shape — ≥1M keys over
+/// 1024 shards, Zipfian arrivals, mixed transfer/read/scan through
+/// `run_with_retry` behind an admission throttle — scaled by `--ops` so
+/// the CI smoke stays quick while the default is a real soak.
+fn run_server_bench(ops: u64) -> ServerReport {
+    let mut cfg = ServerConfig::bench(SERVER_SEED);
+    cfg.requests = (ops * 2).clamp(8_000, 40_000);
+    workloads::run_server(&cfg).expect("server invariants")
+}
+
 fn run_micros(ops: u64) -> Vec<MicroResult> {
     let (table, site) = cia_table(64);
     let lock = SemLock::new(table.clone());
@@ -485,13 +500,14 @@ fn render_json(
     micros: &[MicroResult],
     admission: &AdmissionAb,
     interp_ab: &InterpAb,
+    server: &ServerReport,
     workloads: &[WorkloadResult],
     cfg: &Config,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"semlock-bench/v1\",\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"pr\": 7,\n");
     let threads: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
     let _ = writeln!(
         out,
@@ -553,6 +569,32 @@ fn render_json(
         fmt_f(interp_ab.compiled_ns / cal),
         fmt_f(interp_ab.compiled_ns / interp_ab.treewalk_ns),
         fmt_f(interp_ab.treewalk_ns / interp_ab.compiled_ns)
+    );
+    // The open-loop server goodput table. Completion ratio and the
+    // settled ledger are gated absolutely; goodput/p99 are gated as wide
+    // sanity bands against the checked-in baseline (see `check_server`),
+    // not as tight perf gates — open-loop latency is too
+    // machine-sensitive for a 10% cross-host comparison.
+    let _ = writeln!(
+        out,
+        "  \"server\": {{\"seed\": {}, \"offered\": {}, \"completed\": {}, \"shed\": {}, \
+         \"failed\": {}, \"completion_ratio\": {}, \"goodput_per_sec\": {}, \"p50_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"retried_completions\": {}, \"retry_attempts\": {}, \
+         \"escalations\": {}, \"degraded\": {}}},",
+        SERVER_SEED,
+        server.offered,
+        server.completed,
+        server.shed,
+        server.failed,
+        fmt_f(server.completion_ratio()),
+        fmt_f(server.goodput_per_sec),
+        server.p50_us,
+        server.p99_us,
+        server.p999_us,
+        server.retried_completions,
+        server.retry_attempts,
+        server.escalations,
+        server.degraded_observed
     );
     out.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
@@ -684,6 +726,78 @@ fn check_admission(cfg: &Config, admission: &AdmissionAb) -> bool {
     }
 }
 
+/// Pull `(goodput_per_sec, p99_us)` out of a baseline's `"server"` line,
+/// if it has one (PR 3–5 baselines don't; only PR 7+ files gate here).
+fn parse_baseline_server(text: &str) -> Option<(f64, u64)> {
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"server\": {"))?;
+    let field = |key: &str| -> Option<&str> {
+        line.split(key)
+            .nth(1)?
+            .split([',', '}'])
+            .next()
+            .map(str::trim)
+    };
+    let goodput = field("\"goodput_per_sec\": ")?.parse::<f64>().ok()?;
+    let p99 = field("\"p99_us\": ")?.parse::<u64>().ok()?;
+    Some((goodput, p99))
+}
+
+/// PR 7 acceptance: the open-loop server must settle every request and
+/// eventually complete ≥99% of the non-shed load; against baselines that
+/// carry a `"server"` table, goodput and p99 stay within wide sanity
+/// bands (≥ 0.5× goodput, ≤ 3× p99) — collapse detection, not a perf
+/// gate.
+fn check_server(cfg: &Config, server: &ServerReport) -> bool {
+    let mut ok = true;
+    if !server.settled() {
+        eprintln!("bench_json: SERVER REGRESSION: outcome ledger out of balance: {server:?}");
+        ok = false;
+    }
+    let ratio = server.completion_ratio();
+    if ratio < 0.99 {
+        eprintln!(
+            "bench_json: SERVER REGRESSION: eventual completion {ratio:.4} < 0.99 \
+             ({} completed / {} admitted, {} shed)",
+            server.completed,
+            server.offered - server.shed,
+            server.shed
+        );
+        ok = false;
+    } else {
+        eprintln!(
+            "bench_json: server: completion {ratio:.4}, goodput {:.0}/s, p99 {} µs, \
+             {} retried, {} shed — ok",
+            server.goodput_per_sec, server.p99_us, server.retried_completions, server.shed
+        );
+    }
+    for path in &cfg.against {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue; // unreadable baselines already fail check_regressions
+        };
+        let Some((base_goodput, base_p99)) = parse_baseline_server(&text) else {
+            continue;
+        };
+        if server.goodput_per_sec < base_goodput * 0.5 {
+            eprintln!(
+                "bench_json: SERVER REGRESSION: goodput {:.0}/s < half of baseline {:.0}/s \
+                 [{path}]",
+                server.goodput_per_sec, base_goodput
+            );
+            ok = false;
+        }
+        if server.p99_us > base_p99.saturating_mul(3) {
+            eprintln!(
+                "bench_json: SERVER REGRESSION: p99 {} µs > 3x baseline {} µs [{path}]",
+                server.p99_us, base_p99
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// PR 5 acceptance: the compiled engine must run the counter section at
 /// least 3× faster than the tree-walker (min-of-N interleaved A/B), with
 /// the regression tolerance as noise headroom.
@@ -724,8 +838,16 @@ fn main() {
     }
     let admission = run_admission_ab(cfg.ops);
     let interp_ab = run_interp_ab(cfg.ops);
+    let server = run_server_bench(cfg.ops);
+    let tel = &server.telemetry;
+    eprintln!(
+        "bench_json: server telemetry: {} retries, {} escalations, {} sheds, {} exhausted",
+        tel.retries, tel.escalations, tel.sheds, tel.exhausted
+    );
     let workloads = run_workloads(&cfg);
-    let json = render_json(cal, &micros, &admission, &interp_ab, &workloads, &cfg);
+    let json = render_json(
+        cal, &micros, &admission, &interp_ab, &server, &workloads, &cfg,
+    );
     match &cfg.out {
         Some(path) => {
             std::fs::write(path, &json).expect("write output file");
@@ -736,6 +858,7 @@ fn main() {
     let measured = measured_rels(cal, &micros);
     let ok = check_admission(&cfg, &admission)
         & check_interp(&cfg, &interp_ab)
+        & check_server(&cfg, &server)
         & check_regressions(&cfg, &measured);
     if !ok {
         std::process::exit(1);

@@ -311,8 +311,24 @@ pub(crate) fn run_compiled(
     cs: &CompiledSection,
     args: &[(&str, Value)],
 ) -> Result<CompiledFrame, LockError> {
+    run_compiled_as(interp, cs, args, interp.next_txn(), None)
+}
+
+/// [`run_compiled`] with an explicit transaction id and optional
+/// escalation patience — the compiled-engine counterpart of
+/// `Interp::try_run_section_as`, used by `Interp::run_with_retry` so each
+/// attempt is a fresh transaction with the escalated acquisition spec
+/// threaded through the pooled `RunState`.
+pub(crate) fn run_compiled_as(
+    interp: &Interp,
+    cs: &CompiledSection,
+    args: &[(&str, Value)],
+    txn: u64,
+    escalate: Option<std::time::Duration>,
+) -> Result<CompiledFrame, LockError> {
     debug_assert_eq!(interp.engine(), Engine::Compiled);
-    let mut scratch = scratch_take(interp.next_txn(), &cs.init);
+    let mut scratch = scratch_take(txn, &cs.init);
+    scratch.st.escalate_patience = escalate;
     for (name, v) in args {
         let slot = cs
             .names

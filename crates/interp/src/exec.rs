@@ -36,6 +36,7 @@ use semlock::error::LockError;
 use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
 use semlock::mode::{LockSiteId, ModeId, ModeTable};
 use semlock::protocol::ProtocolChecker;
+use semlock::retry::{RetryOutcome, RetryPolicy, RetryState};
 use semlock::schema::MethodIdx;
 use semlock::symbolic::Operation;
 use semlock::telemetry;
@@ -93,6 +94,29 @@ pub struct Interp {
 /// Final variable frame of a section run.
 pub type Frame = HashMap<String, Value>;
 
+/// Outcome of a successful [`Interp::run_with_retry`]: the final frame
+/// plus the retry trajectory that produced it (replay evidence for the
+/// determinism tests, throughput accounting for the server harness).
+///
+/// `#[non_exhaustive]`: future retry runtimes may report more (e.g.
+/// per-attempt wait breakdowns).
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct RetryRun {
+    /// The completed attempt's final variable frame.
+    pub frame: Frame,
+    /// Total attempts, including the one that succeeded (1 = first try).
+    pub attempts: u32,
+    /// Did the transaction age into the escalated pessimistic path?
+    pub escalated: bool,
+    /// The jittered backoff slept before each non-escalated retry, in
+    /// order. Deterministic given (policy seed, txn ids).
+    pub backoffs: Vec<Duration>,
+    /// The transaction id of every attempt, in order. Deterministic under
+    /// [`Interp::with_txn_ids`].
+    pub txns: Vec<u64>,
+}
+
 pub(crate) struct RunState {
     pub(crate) frame: Frame,
     /// Held semantic locks with the stable site id of the acquiring
@@ -107,6 +131,12 @@ pub(crate) struct RunState {
     pub(crate) mutated: Vec<u64>,
     /// Instance whose operation is currently executing, if any.
     pub(crate) in_flight: Option<u64>,
+    /// When set, this attempt runs *escalated*: every semantic acquisition
+    /// waits up to this patience (far beyond any backoff) with the
+    /// watchdog armed, overriding [`Interp::with_lock_timeout`]. Set by
+    /// [`Interp::run_with_retry`] once a transaction ages past the
+    /// policy's starvation threshold.
+    pub(crate) escalate_patience: Option<Duration>,
     /// Reusable call-argument buffer (avoids a `Vec` allocation per call).
     pub(crate) scratch_argv: Vec<Value>,
     /// Reusable mode-selection key buffer.
@@ -124,6 +154,7 @@ impl RunState {
             step: 0,
             mutated: Vec::new(),
             in_flight: None,
+            escalate_patience: None,
             scratch_argv: Vec::new(),
             scratch_keys: Vec::new(),
         }
@@ -140,6 +171,7 @@ impl RunState {
         self.step = 0;
         self.mutated.clear();
         self.in_flight = None;
+        self.escalate_patience = None;
         self.scratch_argv.clear();
         self.scratch_keys.clear();
     }
@@ -240,9 +272,26 @@ impl Interp {
     /// held lock is released (instances the transaction had already mutated
     /// are poisoned first) and the error is returned.
     pub fn try_run(&self, section_name: &str, args: &[(&str, Value)]) -> Result<Frame, LockError> {
+        self.try_run_as(section_name, args, self.next_txn(), None)
+    }
+
+    /// [`Interp::try_run`] with an explicit transaction id and optional
+    /// escalation patience — the per-attempt entry point
+    /// [`Interp::run_with_retry`] uses so every attempt draws a *fresh*
+    /// id from the same allocator (deterministic under
+    /// [`Interp::with_txn_ids`], yet never replaying the previous
+    /// attempt's fault stream).
+    fn try_run_as(
+        &self,
+        section_name: &str,
+        args: &[(&str, Value)],
+        txn: u64,
+        escalate: Option<Duration>,
+    ) -> Result<Frame, LockError> {
         if self.engine == Engine::Compiled {
             if let Some(cs) = self.compiled_section(section_name) {
-                return compile::run_compiled(self, cs, args).map(CompiledFrame::into_frame);
+                return compile::run_compiled_as(self, cs, args, txn, escalate)
+                    .map(CompiledFrame::into_frame);
             }
         }
         let program = self.env.program.clone();
@@ -251,7 +300,7 @@ impl Interp {
             .iter()
             .find(|s| s.name == section_name)
             .unwrap_or_else(|| panic!("no section named {section_name}"));
-        self.try_run_section(section, args)
+        self.try_run_section_as(section, args, txn, escalate)
     }
 
     /// Run a compiled section, returning its dense [`CompiledFrame`]
@@ -280,6 +329,80 @@ impl Interp {
         compile::run_compiled(self, cs, args)
     }
 
+    /// Run a section under an abort-retry loop governed by `policy`,
+    /// re-executing on every retryable [`LockError`] until it completes,
+    /// escalates-and-completes, or exhausts a per-kind budget.
+    ///
+    /// Each attempt is a *fresh* transaction: it draws a new id from the
+    /// interpreter's allocator, so under [`Interp::with_txn_ids`] the whole
+    /// retry trajectory — ids, injected faults, backoff durations — is a
+    /// pure function of (allocator base, fault seed, policy seed) and
+    /// replays exactly. Reusing the aborted id would replay the aborted
+    /// attempt's fault stream too, turning any injected fault into a
+    /// livelock; fresh ids keep determinism *across* runs while still
+    /// making per-attempt progress possible.
+    ///
+    /// Abort cleanup between attempts is the same idempotent
+    /// [`Interp::abort_cleanup`] path `try_run` uses: every held mode is
+    /// released (mutated instances poisoned first) before the backoff
+    /// sleep, so a retrying transaction never parks while holding modes.
+    /// Injected panics are *not* retried — they unwind to the caller
+    /// exactly as under [`Interp::run`], where chaos harnesses catch them.
+    ///
+    /// After `policy.escalate_after` aborts the transaction ages into the
+    /// escalated pessimistic path: acquisitions wait up to the policy's
+    /// patience with the deadlock watchdog armed (see
+    /// [`semlock::retry::RetryPolicy::escalated_spec`] for why this is
+    /// "forever with watchdog opt-in" rather than a true unbounded wait).
+    pub fn run_with_retry(
+        &self,
+        section_name: &str,
+        args: &[(&str, Value)],
+        policy: &RetryPolicy,
+    ) -> Result<RetryRun, LockError> {
+        let mut st = RetryState::new();
+        let mut backoffs = Vec::new();
+        let mut txns = Vec::new();
+        let mut escalation_counted = false;
+        loop {
+            let txn = self.next_txn();
+            txns.push(txn);
+            let escalate = st.escalated().then(|| policy.patience_budget());
+            match self.try_run_as(section_name, args, txn, escalate) {
+                Ok(frame) => {
+                    return Ok(RetryRun {
+                        frame,
+                        attempts: txns.len() as u32,
+                        escalated: st.escalated(),
+                        backoffs,
+                        txns,
+                    })
+                }
+                Err(e) => match policy.on_abort(&mut st, txn, &e) {
+                    RetryOutcome::RetryAfter(d) => {
+                        telemetry::count_retry();
+                        backoffs.push(d);
+                        std::thread::sleep(d);
+                    }
+                    RetryOutcome::Escalate => {
+                        telemetry::count_retry();
+                        if !escalation_counted {
+                            escalation_counted = true;
+                            telemetry::count_escalation();
+                        }
+                    }
+                    RetryOutcome::Exhausted => {
+                        telemetry::count_exhausted();
+                        return Err(e);
+                    }
+                    // Fatal, and any future outcome this build doesn't
+                    // know: surface the error as-is.
+                    _ => return Err(e),
+                },
+            }
+        }
+    }
+
     /// The compiled form of a section, if the compiled engine is active.
     #[inline]
     fn compiled_section(&self, name: &str) -> Option<&Arc<CompiledSection>> {
@@ -303,6 +426,18 @@ impl Interp {
         &self,
         section: &AtomicSection,
         args: &[(&str, Value)],
+    ) -> Result<Frame, LockError> {
+        self.try_run_section_as(section, args, self.next_txn(), None)
+    }
+
+    /// [`Interp::try_run_section`] with an explicit transaction id and
+    /// optional escalation patience (see [`Interp::run_with_retry`]).
+    fn try_run_section_as(
+        &self,
+        section: &AtomicSection,
+        args: &[(&str, Value)],
+        txn: u64,
+        escalate: Option<Duration>,
     ) -> Result<Frame, LockError> {
         // Initialize the frame: pointers null, scalars zero, args override.
         let mut frame: Frame = section
@@ -329,8 +464,9 @@ impl Interp {
         // Ids come from semlock's global allocator (unless detached via
         // `with_txn_ids`) so registrations with the process-global deadlock
         // watchdog never collide with other interpreters or native `Txn`s.
-        let mut st = RunState::new(self.next_txn());
+        let mut st = RunState::new(txn);
         st.frame = frame;
+        st.escalate_patience = escalate;
 
         if self.strategy == Strategy::Global {
             self.global.lock();
@@ -615,8 +751,12 @@ impl Interp {
         }
         // The interpreter manages its own transaction state (ids, held
         // set), so it routes through the unified SemLock acquisition entry
-        // points rather than `Txn::acquire`.
-        if let Some(timeout) = self.lock_timeout {
+        // points rather than `Txn::acquire`. An escalated attempt (see
+        // `run_with_retry`) overrides the configured lock timeout with the
+        // policy's far larger patience — still a bounded, watchdog-armed
+        // wait, so cycle detection stays live while the elder waits out
+        // its competitors.
+        if let Some(timeout) = st.escalate_patience.or(self.lock_timeout) {
             let held: Vec<(u64, ModeId)> = st
                 .held_sem
                 .iter()
@@ -1045,6 +1185,112 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             panics
         );
+    }
+
+    #[test]
+    fn run_with_retry_completes_under_forced_timeouts_on_both_engines() {
+        use semlock::retry::RetryPolicy;
+        for engine in [Engine::TreeWalk, Engine::Compiled] {
+            let program = compile(vec![counter_section()]);
+            let env = Arc::new(Env::new(program));
+            let map = env.new_instance("Map");
+            // Heavy forced-timeout rate: most logical transactions abort at
+            // least once, so the retry loop does real work.
+            let plan = Arc::new(semlock::fault::FaultPlan::new(21).with_timeouts(400_000));
+            let interp = Interp::new(env.clone(), Strategy::Semantic)
+                .with_engine(engine)
+                .with_faults(plan)
+                .with_txn_ids(1000);
+            let policy = RetryPolicy::new(9)
+                .backoff_base(Duration::from_micros(5))
+                .backoff_cap(Duration::from_micros(50));
+            let runs = 200u64;
+            let mut retried = 0u64;
+            for i in 0..runs {
+                let r = interp
+                    .run_with_retry("counter", &[("map", map), ("k", Value(i % 4))], &policy)
+                    .unwrap_or_else(|e| panic!("{engine:?}: logical txn {i} failed: {e}"));
+                assert_eq!(r.attempts as usize, r.txns.len());
+                if r.attempts > 1 {
+                    retried += 1;
+                }
+            }
+            assert!(retried > 0, "{engine:?}: plan never forced a retry");
+            // Exactly-once effects: each logical transaction applied its
+            // increment exactly once despite the aborted attempts.
+            let adt = env.resolve(map);
+            let get = adt.obj.schema().method("get");
+            let total: u64 = (0..4u64).map(|k| adt.obj.invoke(get, &[Value(k)]).0).sum();
+            assert_eq!(total, runs, "{engine:?}: lost or duplicated updates");
+            assert_eq!(adt.sem().total_holds(), 0, "{engine:?}: leaked holds");
+        }
+    }
+
+    #[test]
+    fn run_with_retry_trajectory_replays_exactly() {
+        use semlock::retry::RetryPolicy;
+        // Two interpreters over the *same* environment and instance (so
+        // the fault plan sees identical instance ids), with identical
+        // allocator bases, fault seeds and policy seeds, must produce
+        // identical retry trajectories — txn ids and jittered backoffs
+        // byte-for-byte — on both engines. Single-threaded, as the
+        // `with_txn_ids` contract requires; map *state* carries over
+        // between the two passes but fault decisions are a pure function
+        // of (seed, point, txn, instance, step), so it cannot matter.
+        for engine in [Engine::TreeWalk, Engine::Compiled] {
+            let program = compile(vec![counter_section()]);
+            let env = Arc::new(Env::new(program));
+            let map = env.new_instance("Map");
+            let mut trajectories = Vec::new();
+            for _rep in 0..2 {
+                let plan = Arc::new(semlock::fault::FaultPlan::new(77).with_timeouts(300_000));
+                let interp = Interp::new(env.clone(), Strategy::Semantic)
+                    .with_engine(engine)
+                    .with_faults(plan)
+                    .with_txn_ids(500);
+                let policy = RetryPolicy::new(13)
+                    .backoff_base(Duration::from_micros(1))
+                    .backoff_cap(Duration::from_micros(8));
+                let mut traj = Vec::new();
+                for i in 0..60u64 {
+                    let r = interp
+                        .run_with_retry("counter", &[("map", map), ("k", Value(i % 4))], &policy)
+                        .expect("retry exhausted under replay test");
+                    traj.push((r.txns.clone(), r.backoffs.clone(), r.escalated));
+                }
+                trajectories.push(traj);
+            }
+            assert_eq!(
+                trajectories[0], trajectories[1],
+                "{engine:?}: retry trajectory diverged between identical replays"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_cleanup_is_idempotent_between_attempts() {
+        let program = compile(vec![counter_section()]);
+        let env = Arc::new(Env::new(program.clone()));
+        let map = env.new_instance("Map");
+        let interp = Interp::new(env.clone(), Strategy::Semantic);
+        let table = program.tables.table("Map");
+        let site = program.tables.site("counter", 0);
+        let mode = table.select(site, &[Value(3)]);
+        let adt = env.resolve(map);
+        // Simulate a mid-section abort: one held mode, instance mutated.
+        let mut st = RunState::new(interp.next_txn());
+        adt.sem().acquire(&AcquireSpec::new(mode)).unwrap();
+        st.held_sem.push((adt.clone(), mode, 0));
+        st.mutated.push(adt.id);
+        interp.abort_cleanup(&mut st);
+        assert_eq!(adt.sem().total_holds(), 0);
+        assert!(adt.sem().is_poisoned(), "mutated instance must poison");
+        // Second cleanup on the same state is a no-op: the held vectors
+        // were drained, so nothing is double-released or double-poisoned.
+        adt.sem().clear_poison();
+        interp.abort_cleanup(&mut st);
+        assert_eq!(adt.sem().total_holds(), 0);
+        assert!(!adt.sem().is_poisoned(), "idempotent cleanup re-poisoned");
     }
 
     #[test]

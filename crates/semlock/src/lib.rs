@@ -30,6 +30,10 @@
 //!   [`error::LockError::WouldDeadlock`];
 //! * [`fault::FaultPlan`] — deterministic seeded fault injection for the
 //!   chaos/soak harnesses;
+//! * [`retry`] — the overload-control layer above the bounded API:
+//!   deterministic-jitter abort-retry ([`retry::RetryPolicy`]),
+//!   starvation escalation, and a token-based admission throttle with
+//!   shed-on-saturation ([`retry::AdmissionThrottle`]);
 //! * [`telemetry`] — opt-in contention telemetry: per-thread lock-site
 //!   event rings, wait histograms, conflict-pair matrices, Chrome-trace
 //!   and JSON exporters. Off by default; the disabled path costs one
@@ -88,6 +92,7 @@ pub mod mode;
 pub mod partition;
 pub mod phi;
 pub mod protocol;
+pub mod retry;
 pub mod schema;
 pub mod spec;
 pub mod symbolic;
@@ -106,6 +111,9 @@ pub use crate::error::{LockError, LockResult};
 pub use crate::manager::SemLock;
 pub use crate::mech::WaitStrategy;
 pub use crate::mode::ModeId;
+pub use crate::retry::{
+    Admission, AdmissionThrottle, RetryBudgets, RetryOutcome, RetryPolicy, RetryState,
+};
 pub use crate::txn::Txn;
 
 /// Convenient re-exports of the most used types.
@@ -118,6 +126,9 @@ pub mod prelude {
     pub use crate::mode::{LockSiteId, Mode, ModeArg, ModeId, ModeOp, ModeTable};
     pub use crate::phi::{AbsVal, Phi};
     pub use crate::protocol::ProtocolChecker;
+    pub use crate::retry::{
+        Admission, AdmissionThrottle, RetryBudgets, RetryOutcome, RetryPolicy, RetryState,
+    };
     pub use crate::schema::{AdtSchema, MethodIdx};
     pub use crate::spec::{ArgRef, CommutSpec, Cond};
     pub use crate::symbolic::{Operation, SymArg, SymOp, SymbolicSet};

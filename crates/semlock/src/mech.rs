@@ -741,6 +741,14 @@ impl Mech {
             (Counts::Packed(word), WaitStrategy::Block) => {
                 if Self::try_admit_packed(word, local, cs) {
                     Acquire::Acquired
+                } else if Instant::now() >= deadline {
+                    // Already-expired deadline: fail fast without touching
+                    // the internal mutex or the waiter bit. A retry storm
+                    // of near-expired deadlines must degrade to the cost
+                    // of one failed CAS, not churn the park slow path
+                    // (every registered waiter makes each release take the
+                    // mutex to notify).
+                    Acquire::TimedOut
                 } else {
                     let mut guard = self.internal.lock();
                     loop {
@@ -758,6 +766,18 @@ impl Mech {
                         let slice = PROBE_INTERVAL.min(deadline - now);
                         self.cond.wait_for(&mut guard, slice);
                         self.waiter_end(word);
+                        // Deadline before probe: the watchdog's graph scan
+                        // must not stretch a wait past its deadline.
+                        // Admission still wins over an expired deadline —
+                        // one last admit try, without re-registering as a
+                        // waiter (we are exiting either way).
+                        if Instant::now() >= deadline {
+                            break if Self::try_admit_packed(word, local, cs) {
+                                Acquire::Acquired
+                            } else {
+                                Acquire::TimedOut
+                            };
+                        }
                         if probe() == Wait::Abandon {
                             break Acquire::Abandoned;
                         }
@@ -793,28 +813,57 @@ impl Mech {
                 }
             },
             (Counts::Wide(counts), WaitStrategy::Block) => {
-                let mut guard = self.internal.lock();
-                loop {
-                    // SeqCst: store-buffering pair with `unlock` — see
-                    // `conflicted_wide`. (Audited: `wide.waiter.rmw`.)
-                    self.waiters.fetch_add(1, ord::WIDE_WAITER_RMW);
+                if Instant::now() >= deadline {
+                    // Already-expired deadline: one mutex-protected admit
+                    // try (the same shape as `try_lock`'s wide arm), never
+                    // a waiter registration — see the packed arm above.
+                    let guard = self.internal.lock();
                     if !Self::conflicted_wide(counts, cs) {
-                        self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                         // Ordering: Relaxed — see `lock`'s wide arm.
                         counts[local as usize].fetch_add(1, Ordering::Relaxed);
-                        break Acquire::Acquired;
+                        drop(guard);
+                        Acquire::Acquired
+                    } else {
+                        drop(guard);
+                        Acquire::TimedOut
                     }
-                    let now = Instant::now();
-                    if now >= deadline {
+                } else {
+                    let mut guard = self.internal.lock();
+                    loop {
+                        // SeqCst: store-buffering pair with `unlock` — see
+                        // `conflicted_wide`. (Audited: `wide.waiter.rmw`.)
+                        self.waiters.fetch_add(1, ord::WIDE_WAITER_RMW);
+                        if !Self::conflicted_wide(counts, cs) {
+                            self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
+                            // Ordering: Relaxed — see `lock`'s wide arm.
+                            counts[local as usize].fetch_add(1, Ordering::Relaxed);
+                            break Acquire::Acquired;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
+                            break Acquire::TimedOut;
+                        }
+                        waited = true;
+                        let slice = PROBE_INTERVAL.min(deadline - now);
+                        self.cond.wait_for(&mut guard, slice);
                         self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
-                        break Acquire::TimedOut;
-                    }
-                    waited = true;
-                    let slice = PROBE_INTERVAL.min(deadline - now);
-                    self.cond.wait_for(&mut guard, slice);
-                    self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
-                    if probe() == Wait::Abandon {
-                        break Acquire::Abandoned;
+                        // As in the packed arm: deadline before probe, with
+                        // a final admit try (we hold `internal`, so the
+                        // check-then-increment is the audited `try_lock`
+                        // wide admission).
+                        if Instant::now() >= deadline {
+                            break if !Self::conflicted_wide(counts, cs) {
+                                // Ordering: Relaxed — see `lock`'s wide arm.
+                                counts[local as usize].fetch_add(1, Ordering::Relaxed);
+                                Acquire::Acquired
+                            } else {
+                                Acquire::TimedOut
+                            };
+                        }
+                        if probe() == Wait::Abandon {
+                            break Acquire::Abandoned;
+                        }
                     }
                 }
             }
@@ -1194,6 +1243,91 @@ mod tests {
                 &mut || Wait::Abandon,
             );
             assert_eq!(out, Acquire::Abandoned);
+            assert!(m.unlock(0));
+            assert_eq!(m.held_total(), 0);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_without_parking_or_probing() {
+        // Regression for retry storms: a caller whose deadline has already
+        // passed must degrade to one failed admission attempt — no waiter
+        // registration, no park slice, no watchdog probe.
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[0]));
+            let mut probes = 0u32;
+            let start = std::time::Instant::now();
+            let out = m.lock_deadline(
+                0,
+                ConflictSet::new(&[0]),
+                start - Duration::from_millis(1),
+                &mut || {
+                    probes += 1;
+                    Wait::Continue
+                },
+            );
+            assert_eq!(out, Acquire::TimedOut, "{layout:?}");
+            assert_eq!(probes, 0, "{layout:?}: expired caller must not probe");
+            assert!(
+                start.elapsed() < PROBE_INTERVAL,
+                "{layout:?}: expired caller slept a park slice ({:?})",
+                start.elapsed()
+            );
+            assert_eq!(m.count(0), 1, "failed acquisition must not leak holds");
+            assert!(m.unlock(0));
+            assert_eq!(m.held_total(), 0);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_still_admits_when_uncontended() {
+        // Admission beats an expired deadline: the fast-fail check sits
+        // behind the initial admit attempt, so an uncontended caller whose
+        // deadline lapsed still gets the mode.
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            let out = m.lock_deadline(
+                0,
+                ConflictSet::new(&[0]),
+                std::time::Instant::now() - Duration::from_millis(1),
+                &mut || Wait::Continue,
+            );
+            assert_eq!(out, Acquire::Acquired, "{layout:?}");
+            assert!(m.unlock(0));
+            assert_eq!(m.held_total(), 0);
+        }
+    }
+
+    #[test]
+    fn sub_slice_deadline_times_out_before_the_probe_fires() {
+        // A deadline shorter than PROBE_INTERVAL must wake on the deadline,
+        // re-check it, and report TimedOut *without* first paying for a
+        // watchdog probe (a global graph scan) past the deadline.
+        for layout in layouts() {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            m.lock(0, ConflictSet::new(&[0]));
+            let mut probes = 0u32;
+            let start = std::time::Instant::now();
+            let out = m.lock_deadline(
+                0,
+                ConflictSet::new(&[0]),
+                start + Duration::from_micros(300),
+                &mut || {
+                    probes += 1;
+                    Wait::Continue
+                },
+            );
+            assert_eq!(out, Acquire::TimedOut, "{layout:?}");
+            assert_eq!(
+                probes, 0,
+                "{layout:?}: post-wake deadline check must run before the probe"
+            );
+            assert!(
+                start.elapsed() < PROBE_INTERVAL + Duration::from_millis(20),
+                "{layout:?}: sub-slice deadline overslept ({:?})",
+                start.elapsed()
+            );
             assert!(m.unlock(0));
             assert_eq!(m.held_total(), 0);
         }

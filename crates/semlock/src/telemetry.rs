@@ -94,6 +94,72 @@ pub fn now_ns() -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Retry / overload counters
+// ---------------------------------------------------------------------------
+//
+// Unlike the event rings these are *always on*: they are four relaxed
+// increments on paths that already paid for an abort or a shed, so there
+// is no hot-path cost to gate. They deliberately stay out of the packed
+// ring-event encoding (`EventKind` is bit-packed into ring words and
+// consumed by `check_balanced`; retries span *multiple* balanced
+// transactions, one per attempt, so they are a different axis).
+
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+static ESCALATIONS: AtomicU64 = AtomicU64::new(0);
+static SHEDS: AtomicU64 = AtomicU64::new(0);
+static EXHAUSTED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide retry/overload counters (see
+/// [`retry_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Aborted attempts that were re-executed (each backoff or escalated
+    /// re-run counts once).
+    pub retries: u64,
+    /// Transactions that aged into the escalated pessimistic path.
+    pub escalations: u64,
+    /// Requests shed by an [`crate::retry::AdmissionThrottle`].
+    pub sheds: u64,
+    /// Logical transactions that exhausted a retry budget and surfaced
+    /// their final error.
+    pub exhausted: u64,
+}
+
+/// Count one retried attempt.
+#[inline]
+pub fn count_retry() {
+    RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one escalation (a transaction's *first* transition only).
+#[inline]
+pub fn count_escalation() {
+    ESCALATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one shed admission.
+#[inline]
+pub fn count_shed() {
+    SHEDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one budget-exhausted transaction.
+#[inline]
+pub fn count_exhausted() {
+    EXHAUSTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read the retry/overload counters.
+pub fn retry_counters() -> RetryCounters {
+    RetryCounters {
+        retries: RETRIES.load(Ordering::Relaxed),
+        escalations: ESCALATIONS.load(Ordering::Relaxed),
+        sheds: SHEDS.load(Ordering::Relaxed),
+        exhausted: EXHAUSTED.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Event model
 // ---------------------------------------------------------------------------
 
@@ -477,6 +543,9 @@ pub fn reset() {
         shard.head.store(0, Ordering::SeqCst);
     }
     cycles_store().lock().clear();
+    for c in [&RETRIES, &ESCALATIONS, &SHEDS, &EXHAUSTED] {
+        c.store(0, Ordering::SeqCst);
+    }
 }
 
 // ---------------------------------------------------------------------------

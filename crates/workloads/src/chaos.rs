@@ -34,6 +34,8 @@ use semlock::fault::{self, FaultAction, FaultPlan, FaultPoint};
 use semlock::manager::SemLock;
 use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
+use semlock::retry::{RetryOutcome, RetryPolicy, RetryState};
+use semlock::telemetry;
 use semlock::txn::Txn;
 use semlock::value::Value;
 use semlock::AcquireSpec;
@@ -64,6 +66,12 @@ pub struct ChaosConfig {
     pub timeout_ppm: u32,
     /// Injected-panic probability, ppm.
     pub panic_ppm: u32,
+    /// Abort-retry policy. `None` runs each iteration exactly once (the
+    /// pre-retry driver); `Some` re-executes aborted iterations with the
+    /// policy's backoff/escalation, and the report then counts each
+    /// *logical* iteration exactly once — `timeouts`/`deadlock_aborts`
+    /// become final-outcome counters, never per-attempt ones.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ChaosConfig {
@@ -79,6 +87,16 @@ impl ChaosConfig {
             delay_ppm: 30_000,
             timeout_ppm: 20_000,
             panic_ppm: 20_000,
+            retry: None,
+        }
+    }
+
+    /// The CI soak with the abort-retry layer on: aborted iterations back
+    /// off and re-execute under a seed-keyed [`RetryPolicy`].
+    pub fn ci_retrying(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            retry: Some(RetryPolicy::new(seed)),
+            ..ChaosConfig::ci(seed)
         }
     }
 }
@@ -86,13 +104,16 @@ impl ChaosConfig {
 /// What happened during a chaos run (totals across threads).
 #[derive(Debug, Default)]
 pub struct ChaosReport {
-    /// Iterations attempted.
+    /// Logical iterations attempted (an iteration retried N times still
+    /// counts once here).
     pub attempted: u64,
-    /// Iterations whose every increment completed.
+    /// Iterations whose every increment completed (on any attempt).
     pub completed: u64,
-    /// Acquisitions that gave up at their deadline (incl. forced timeouts).
+    /// Iterations whose *final* attempt gave up at its deadline (incl.
+    /// forced timeouts). Without retry this equals per-attempt timeouts.
     pub timeouts: u64,
-    /// Acquisitions aborted by the deadlock watchdog.
+    /// Iterations whose *final* attempt was aborted by the deadlock
+    /// watchdog.
     pub deadlock_aborts: u64,
     /// Acquisitions rejected because the instance was poisoned.
     pub poison_rejections: u64,
@@ -100,6 +121,18 @@ pub struct ChaosReport {
     pub poison_clears: u64,
     /// Panics injected and caught.
     pub injected_panics: u64,
+    /// Iterations whose first attempt aborted (timeout/deadlock/poison).
+    pub first_attempt_aborts: u64,
+    /// Iterations that aborted at least once and then completed on a retry.
+    /// With no panics in play, `first_attempt_aborts ==
+    /// retried_completions + timeouts + deadlock_aborts` — each logical
+    /// iteration is charged to exactly one bucket, never double-counted.
+    pub retried_completions: u64,
+    /// Re-execution attempts beyond each iteration's first.
+    pub retry_attempts: u64,
+    /// Iterations that crossed the starvation threshold and escalated to a
+    /// patience-budget acquisition.
+    pub escalations: u64,
 }
 
 /// One guarded counter map plus its per-key accounting.
@@ -121,11 +154,22 @@ struct Totals {
     deadlock_aborts: AtomicU64,
     poison_rejections: AtomicU64,
     poison_clears: AtomicU64,
+    first_attempt_aborts: AtomicU64,
+    retried_completions: AtomicU64,
+    retry_attempts: AtomicU64,
+    escalations: AtomicU64,
 }
 
-/// Run one seeded chaos soak; `Err` describes the first violated invariant.
+/// Run one seeded chaos soak; `Err` describes the first violated invariant,
+/// always prefixed with the [`FaultPlan`] seed so the failing schedule can
+/// be replayed (`run_chaos` also prints it to stderr immediately).
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     assert!(cfg.maps >= 1 && cfg.key_range >= 1);
+    let fail = |msg: String| -> String {
+        let msg = format!("chaos soak [FaultPlan seed {}]: {msg}", cfg.seed);
+        eprintln!("{msg}");
+        msg
+    };
     fault::silence_injected_panics();
     let out = Synthesizer::new(registry())
         .phi(Phi::fib(16))
@@ -167,10 +211,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     // Invariant 1: quiescence — every mode released, no counter underflow.
     for (i, cm) in maps.iter().enumerate() {
         if cm.lock.total_holds() != 0 {
-            return Err(format!(
+            return Err(fail(format!(
                 "map {i}: {} mode holds leaked at quiescence",
                 cm.lock.total_holds()
-            ));
+            )));
         }
         // Leftover poison (a panic near the end with no later acquirer) is
         // legal; note and clear it so the final reads below are honest.
@@ -186,15 +230,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             let applied = cm.applied[k].load(Ordering::Relaxed);
             let slack = cm.interrupted[k].load(Ordering::Relaxed);
             if count < applied {
-                return Err(format!(
+                return Err(fail(format!(
                     "map {i} key {k}: lost update — {count} stored < {applied} applied"
-                ));
+                )));
             }
             if count > applied + slack {
-                return Err(format!(
+                return Err(fail(format!(
                     "map {i} key {k}: over-count — {count} stored > \
                      {applied} applied + {slack} interrupted"
-                ));
+                )));
             }
         }
     }
@@ -206,6 +250,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         poison_rejections: totals.poison_rejections.load(Ordering::Relaxed),
         poison_clears: totals.poison_clears.load(Ordering::Relaxed),
         injected_panics: plan.stats().panics.load(Ordering::Relaxed),
+        first_attempt_aborts: totals.first_attempt_aborts.load(Ordering::Relaxed),
+        retried_completions: totals.retried_completions.load(Ordering::Relaxed),
+        retry_attempts: totals.retry_attempts.load(Ordering::Relaxed),
+        escalations: totals.escalations.load(Ordering::Relaxed),
     })
 }
 
@@ -249,7 +297,7 @@ impl Worker<'_> {
         // can skip boundaries, so only the per-crossing decisions are
         // deterministic, not the global counts.
         let mut step: u64 = 0;
-        for _ in 0..self.cfg.ops_per_thread {
+        for iter in 0..self.cfg.ops_per_thread {
             self.totals.attempted.fetch_add(1, Ordering::Relaxed);
             let k = rng.gen_range(0..self.cfg.key_range) as usize;
             let a = rng.gen_range(0..self.maps.len());
@@ -264,31 +312,59 @@ impl Worker<'_> {
             } else {
                 ([a, a], 1)
             };
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                let _tear = TearGuard {
-                    maps: self.maps,
-                    targets,
-                    ntargets,
-                    key: k,
+            // Stable per-iteration id keying the backoff jitter: the retry
+            // schedule of a logical iteration replays across runs.
+            let jitter_id = (self.tid << 32) | iter;
+            let mut rstate = RetryState::new();
+            let mut aborted_once = false;
+            let mut patience: Option<Duration> = None;
+            // One pass per attempt; `break` settles the logical iteration
+            // into exactly one outcome bucket.
+            loop {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _tear = TearGuard {
+                        maps: self.maps,
+                        targets,
+                        ntargets,
+                        key: k,
+                    };
+                    self.attempt(&targets[..ntargets], k, &mut step, patience)
+                }));
+                let err = match outcome {
+                    Ok(Ok(())) => {
+                        self.totals.completed.fetch_add(1, Ordering::Relaxed);
+                        if aborted_once {
+                            self.totals
+                                .retried_completions
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    Ok(Err(e)) => e,
+                    Err(payload) => {
+                        if fault::injected(&*payload).is_none() {
+                            // A genuine bug must fail the soak loudly.
+                            panic::resume_unwind(payload);
+                        }
+                        // Injected panics are application bugs, not
+                        // contention: never retried, charged to
+                        // `injected_panics`/`interrupted` only.
+                        break;
+                    }
                 };
-                self.attempt(&targets[..ntargets], k, &mut step)
-            }));
-            match outcome {
-                Ok(Ok(())) => {
-                    self.totals.completed.fetch_add(1, Ordering::Relaxed);
+                if !aborted_once {
+                    aborted_once = true;
+                    self.totals
+                        .first_attempt_aborts
+                        .fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(Err(LockError::Timeout { .. })) => {
-                    self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(Err(LockError::WouldDeadlock { .. })) => {
-                    self.totals.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(Err(LockError::Poisoned { instance })) => {
+                if let LockError::Poisoned { instance } = err {
                     self.totals
                         .poison_rejections
                         .fetch_add(1, Ordering::Relaxed);
                     // Recover: find the poisoned map and clear it so the
-                    // soak keeps exercising it.
+                    // soak (and any retry of this iteration) keeps
+                    // exercising it.
                     for cm in self.maps {
                         if cm.lock.unique() == instance && cm.lock.is_poisoned() {
                             cm.lock.clear_poison();
@@ -296,29 +372,75 @@ impl Worker<'_> {
                         }
                     }
                 }
-                Ok(Err(e @ LockError::UnlockUnderflow { .. })) => {
-                    // `attempt` never double-unlocks; reaching here means
-                    // the runtime refused a release it should have granted.
-                    panic!("chaos surfaced an unexpected unlock underflow: {e}");
-                }
-                // `LockError` is non-exhaustive; any future failure kind is
-                // by definition not part of the soak's expected outcomes.
-                Ok(Err(e)) => panic!("chaos surfaced an unknown lock error: {e}"),
-                Err(payload) => {
-                    if fault::injected(&*payload).is_none() {
-                        // A genuine bug must fail the soak loudly.
-                        panic::resume_unwind(payload);
+                let decision = self
+                    .cfg
+                    .retry
+                    .as_ref()
+                    .map(|p| (p, p.on_abort(&mut rstate, jitter_id, &err)));
+                match decision {
+                    Some((_, RetryOutcome::RetryAfter(d))) => {
+                        self.totals.retry_attempts.fetch_add(1, Ordering::Relaxed);
+                        telemetry::count_retry();
+                        std::thread::sleep(d);
+                    }
+                    Some((p, RetryOutcome::Escalate)) => {
+                        self.totals.retry_attempts.fetch_add(1, Ordering::Relaxed);
+                        telemetry::count_retry();
+                        if patience.is_none() {
+                            self.totals.escalations.fetch_add(1, Ordering::Relaxed);
+                            telemetry::count_escalation();
+                        }
+                        patience = Some(p.patience_budget());
+                    }
+                    // Exhausted, Fatal, or no policy: the abort is final.
+                    _ => {
+                        if self.cfg.retry.is_some() {
+                            telemetry::count_exhausted();
+                        }
+                        self.settle_final(&err);
+                        break;
                     }
                 }
             }
         }
     }
 
-    /// One iteration: bounded-lock every target (in the given, possibly
-    /// discipline-violating order), then increment `k` in each.
-    fn attempt(&self, targets: &[usize], k: usize, step: &mut u64) -> Result<(), LockError> {
+    /// Charge a final (non-retried) abort to its outcome bucket.
+    fn settle_final(&self, err: &LockError) {
+        match err {
+            LockError::Timeout { .. } => {
+                self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            LockError::WouldDeadlock { .. } => {
+                self.totals.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+            }
+            // Poison was already counted per observation (and recovered)
+            // when the abort surfaced; nothing further to charge.
+            LockError::Poisoned { .. } => {}
+            e @ LockError::UnlockUnderflow { .. } => {
+                // `attempt` never double-unlocks; reaching here means the
+                // runtime refused a release it should have granted.
+                panic!("chaos surfaced an unexpected unlock underflow: {e}");
+            }
+            // `LockError` is non-exhaustive; any future failure kind is by
+            // definition not part of the soak's expected outcomes.
+            e => panic!("chaos surfaced an unknown lock error: {e}"),
+        }
+    }
+
+    /// One attempt: bounded-lock every target (in the given, possibly
+    /// discipline-violating order), then increment `k` in each. An
+    /// escalated attempt stretches the deadline to the policy's patience
+    /// budget instead of the configured lock timeout.
+    fn attempt(
+        &self,
+        targets: &[usize],
+        k: usize,
+        step: &mut u64,
+        patience: Option<Duration>,
+    ) -> Result<(), LockError> {
         let mode = self.table.select(self.site, &[Value(k as u64)]);
-        let deadline = Instant::now() + self.cfg.lock_timeout;
+        let deadline = Instant::now() + patience.unwrap_or(self.cfg.lock_timeout);
         let mut txn = Txn::new();
         for &mi in targets {
             let cm = &self.maps[mi];
@@ -415,6 +537,7 @@ mod tests {
             delay_ppm: 0,
             timeout_ppm: 0,
             panic_ppm: 60_000,
+            retry: None,
         };
         let r = run_chaos(&cfg).unwrap();
         assert!(r.injected_panics > 0);
@@ -423,5 +546,57 @@ mod tests {
             "no acquirer ever saw poison: {r:?}"
         );
         assert!(r.poison_clears <= r.poison_rejections, "{r:?}");
+    }
+
+    #[test]
+    fn retry_accounting_charges_each_iteration_once() {
+        // Forced timeouts + deliberate deadlocks, no panics (so no poison
+        // and no torn iterations). Every logical iteration must land in
+        // exactly one final bucket even though aborted ones re-execute:
+        // the old per-attempt counting would make the sums overshoot.
+        let mut cfg = ChaosConfig::ci_retrying(11);
+        cfg.threads = 4;
+        cfg.ops_per_thread = 100;
+        cfg.panic_ppm = 0;
+        let r = run_chaos(&cfg).unwrap();
+        assert_eq!(r.attempted, 400);
+        assert_eq!(
+            r.completed + r.timeouts + r.deadlock_aborts,
+            400,
+            "retry double-counted an iteration: {r:?}"
+        );
+        assert_eq!(
+            r.first_attempt_aborts,
+            r.retried_completions + r.timeouts + r.deadlock_aborts,
+            "aborted iterations leaked out of the outcome buckets: {r:?}"
+        );
+        assert!(
+            r.first_attempt_aborts > 0,
+            "plan injected no aborts to retry: {r:?}"
+        );
+        assert!(
+            r.retried_completions > 0,
+            "retry never rescued an aborted iteration: {r:?}"
+        );
+        assert!(r.retry_attempts >= r.retried_completions, "{r:?}");
+    }
+
+    #[test]
+    fn retry_disabled_keeps_single_shot_accounting() {
+        // With `retry: None` the driver must behave exactly like the
+        // pre-retry one: no re-executions, per-attempt == final counts.
+        let mut cfg = ChaosConfig::ci(1);
+        cfg.threads = 4;
+        cfg.ops_per_thread = 100;
+        cfg.panic_ppm = 0;
+        let r = run_chaos(&cfg).unwrap();
+        assert_eq!(r.retry_attempts, 0, "{r:?}");
+        assert_eq!(r.retried_completions, 0, "{r:?}");
+        assert_eq!(r.escalations, 0, "{r:?}");
+        assert_eq!(
+            r.first_attempt_aborts,
+            r.timeouts + r.deadlock_aborts,
+            "{r:?}"
+        );
     }
 }

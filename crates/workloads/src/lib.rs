@@ -14,6 +14,7 @@ pub mod gossip;
 pub mod graph;
 pub mod interp_chaos;
 pub mod intruder;
+pub mod server;
 pub mod sync_kind;
 pub mod synthesis;
 
@@ -24,4 +25,5 @@ pub use gossip::GossipBench;
 pub use graph::GraphBench;
 pub use interp_chaos::{run_interp_chaos, InterpChaosConfig, InterpChaosReport};
 pub use intruder::{IntruderBench, IntruderConfig};
+pub use server::{run_server, ServerConfig, ServerReport};
 pub use sync_kind::SyncKind;

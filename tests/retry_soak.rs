@@ -1,0 +1,199 @@
+//! Soak tests for the abort-retry runtime (PR 7):
+//!
+//! * **Eventual completion** — `Interp::run_with_retry` under arbitrary
+//!   seeded `FaultPlan`s, on both execution engines, completes every
+//!   transaction: no livelock, no leaked mode holds, and the telemetry
+//!   event stream stays balanced *across* attempts (each attempt is its
+//!   own balanced acquire/terminal episode under a fresh txn id).
+//! * **Starvation escalation** — a repeatedly-aborted eldest transaction
+//!   (smallest txn ids via `with_txn_ids`) ages into the escalated
+//!   pessimistic path and still finishes under live contention.
+//! * **Server SLO** — the open-loop server workload with injected faults
+//!   eventually completes ≥99% of non-shed requests with a settled
+//!   outcome ledger across ten chaos-soak seeds.
+//!
+//! `SEMLOCK_CHAOS_OPS` scales the iteration counts (the CI `server-soak`
+//! job raises it in `--release`; the default keeps plain `cargo test`
+//! quick).
+
+use interp::{Engine, Env, Interp, Strategy};
+use proptest::prelude::*;
+use semlock::fault::{self, FaultPlan};
+use semlock::retry::RetryPolicy;
+use semlock::telemetry;
+use semlock::value::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+use workloads::interp_chaos::counter_section;
+use workloads::{run_server, ServerConfig};
+
+fn chaos_ops() -> u64 {
+    std::env::var("SEMLOCK_CHAOS_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+}
+
+/// Serializes the telemetry-toggling tests in this binary (the enabled
+/// flag and the event rings are process-global).
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter_program() -> Arc<synth::SynthOutput> {
+    Arc::new(
+        synth::Synthesizer::new(workloads::synthesis::registry())
+            .phi(semlock::phi::Phi::fib(16))
+            .synthesize(&[counter_section()]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any seeded fault plan, both engines: heavy forced-timeout pressure
+    /// (~half of all acquisitions abort), yet every transaction
+    /// eventually completes through `run_with_retry`, no modes leak, and
+    /// the telemetry stream balances attempt by attempt.
+    #[test]
+    fn run_with_retry_always_completes(seed in 0u64..1_000_000) {
+        let _g = guard();
+        fault::silence_injected_panics();
+        for engine in [Engine::TreeWalk, Engine::Compiled] {
+            telemetry::reset();
+            telemetry::enable();
+            let program = counter_program();
+            let env = Arc::new(Env::new(program));
+            let map = env.new_instance("Map");
+            let plan = Arc::new(FaultPlan::new(seed).with_timeouts(300_000));
+            let interp = Interp::new(env.clone(), Strategy::Semantic)
+                .with_faults(plan)
+                .with_lock_timeout(Duration::from_millis(200))
+                .with_engine(engine);
+            let policy = RetryPolicy::new(seed).escalate_after(8);
+            let iters = chaos_ops().min(120);
+            let retried = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for t in 0..3u64 {
+                    let (interp, policy, retried) = (&interp, &policy, &retried);
+                    scope.spawn(move || {
+                        for i in 0..iters {
+                            let k = (t * 17 + i) % 8;
+                            let run = interp
+                                .run_with_retry("counter", &[("map", map), ("k", Value(k))], policy)
+                                .unwrap_or_else(|e| {
+                                    panic!("seed {seed} ({engine:?}): budget exhausted: {e}")
+                                });
+                            retried.fetch_add(u64::from(run.attempts > 1), Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            let retried = retried.into_inner();
+            let adt = env.resolve(map);
+            prop_assert_eq!(
+                adt.sem().total_holds(),
+                0,
+                "seed {} ({:?}): modes leaked", seed, engine
+            );
+            telemetry::disable();
+            let (events, dropped) = telemetry::snapshot();
+            telemetry::reset();
+            prop_assert_eq!(dropped, 0u64, "ring overflow breaks the balance check");
+            prop_assert!(!events.is_empty(), "telemetry recorded nothing");
+            if let Err(e) = telemetry::check_balanced(&events) {
+                return Err(TestCaseError::fail(format!(
+                    "seed {seed} ({engine:?}): unbalanced across attempts: {e}"
+                )));
+            }
+            prop_assert!(
+                retried > 0,
+                "seed {} ({:?}): 30% forced timeouts but nothing retried", seed, engine
+            );
+        }
+    }
+}
+
+/// The starvation rule end to end: an eldest victim (txn ids from 0 via
+/// `with_txn_ids`) facing both forced timeouts and genuine contention
+/// escalates after its threshold and still finishes; escalation never
+/// leaks a hold.
+#[test]
+fn starved_eldest_escalates_and_finishes() {
+    fault::silence_injected_panics();
+    let program = counter_program();
+    let env = Arc::new(Env::new(program));
+    let map = env.new_instance("Map");
+    // The victim: eldest ids, every acquisition ~60% likely to be
+    // force-timed-out, escalation armed after the first abort.
+    let victim = Interp::new(env.clone(), Strategy::Semantic)
+        .with_faults(Arc::new(FaultPlan::new(99).with_timeouts(600_000)))
+        .with_lock_timeout(Duration::from_millis(50))
+        .with_txn_ids(0);
+    let policy = RetryPolicy::new(99).escalate_after(1);
+    // Live contention on the same key class from fault-free churners.
+    let churn =
+        Interp::new(env.clone(), Strategy::Semantic).with_lock_timeout(Duration::from_millis(50));
+    let stop = AtomicBool::new(false);
+    let mut escalated_run = None;
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (churn, stop) = (&churn, &stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = churn.try_run("counter", &[("map", map), ("k", Value(3))]);
+                }
+            });
+        }
+        // Aborts are probabilistic per (txn, step); retry until one run
+        // aborts at least once — that run must have escalated (threshold
+        // 1) and, having returned Ok, finished anyway.
+        for _ in 0..400 {
+            let run = victim
+                .run_with_retry("counter", &[("map", map), ("k", Value(3))], &policy)
+                .expect("victim exhausted its budget");
+            if run.attempts > 1 {
+                escalated_run = Some(run);
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let run = escalated_run.expect("400 runs at 60% forced timeouts never aborted once");
+    assert!(
+        run.escalated,
+        "aborted eldest txn did not escalate: {run:?}"
+    );
+    assert!(run.attempts >= 2, "{run:?}");
+    // Eldest: the replay allocator handed out the smallest ids first.
+    assert!(
+        run.txns.iter().all(|&t| t < 10_000),
+        "victim txn ids not from the eldest range: {run:?}"
+    );
+    let adt = env.resolve(map);
+    assert_eq!(adt.sem().total_holds(), 0, "escalated path leaked a hold");
+}
+
+/// PR 7 acceptance: ten seeds of the open-loop server under injected
+/// faults — ≥99% eventual completion with sheds excluded, every request
+/// settled (zero livelocked), no failures leaking out of the ledger.
+#[test]
+fn server_soak_ten_seeds() {
+    for seed in 0..10u64 {
+        let mut cfg = ServerConfig::soak(seed);
+        cfg.requests = (chaos_ops() * 4).max(600);
+        let r = run_server(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(r.settled(), "seed {seed}: unsettled ledger: {r:?}");
+        assert!(
+            r.completion_ratio() >= 0.99,
+            "seed {seed}: eventual completion {:.4} below the SLO: {r:?}",
+            r.completion_ratio()
+        );
+        assert!(
+            r.retried_completions > 0,
+            "seed {seed}: faults injected but no request ever retried: {r:?}"
+        );
+    }
+}

@@ -69,6 +69,7 @@ proptest! {
             delay_ppm: 0,
             timeout_ppm: 15_000,
             panic_ppm: 15_000,
+            retry: None,
         };
         let report = run_chaos(&cfg).expect("chaos invariants");
         telemetry::disable();
