@@ -1,23 +1,38 @@
 //! The `Mech` admission protocol instantiated over the model shims.
 //!
-//! [`PackedMech`] and [`WideMech`] are line-for-line transcriptions of
-//! the blocking-strategy paths of `semlock::mech::Mech` (packed
-//! one-word admission with the `WAITERS` handoff bit; wide per-mode
+//! [`PackedMech`], [`DwcasMech`] and [`WideMech`] are line-for-line
+//! transcriptions of the blocking-strategy paths of
+//! `semlock::mech::Mech` (packed one-word and Dwcas double-word
+//! admission with the claim-based waiter-stack handoff; wide per-mode
 //! counters with the registered-waiter store-buffering protocol),
 //! written against [`crate::sync`] instead of `semlock::sync`. The field
-//! math (`field_shift`/`field_of`, `FIELD_MAX`, `WAITERS_BIT`) is
-//! imported from `semlock` itself, and every memory ordering comes from
-//! an [`OrderingProfile`] whose default is built from the named
-//! constants in `semlock::mech::ordering` — so the protocol being
-//! checked is the protocol that ships, not a copy that can drift.
+//! math (`field_shift`/`field_of`/`dwcas_field_of`, `FIELD_MAX`,
+//! `WAITERS_BIT`, `DWCAS_WAITERS_BIT`) is imported from `semlock`
+//! itself, and every memory ordering comes from an [`OrderingProfile`]
+//! whose default is built from the named constants in
+//! `semlock::mech::ordering` — so the protocol being checked is the
+//! protocol that ships, not a copy that can drift.
+//!
+//! [`ModelStack`] transcribes `semlock::stack::WaiterStack` over a
+//! fixed node pool: the head word packs `tag << 16 | (idx + 1)` (0 =
+//! empty) instead of tagged 48-bit pointers, which keeps the protocol
+//! shape — tagged-head Treiber push, whole-stack claim, next-read
+//! **before** notify, per-node park flags — while staying inside the
+//! model's integer store histories. The node *reference counts* of the
+//! real stack are deliberately not transcribed: they manage reclamation
+//! only, carry no protocol state, and no path reads data ordered by
+//! them (the pool nodes here live for the whole execution).
 //!
 //! Orderings are *parameters* so the mutant tests can weaken exactly one
 //! audited site at a time: [`OrderingProfile::mutants`] derives the
 //! catalog from `semlock::mech::ORDERING_AUDIT`, and the checker must
 //! find a counterexample for every entry.
 
-use crate::sync::{AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
-use semlock::mech::{field_of, field_shift, ordering as ord, FIELD_MAX, WAITERS_BIT};
+use crate::sync::{AtomicU128, AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
+use semlock::mech::{
+    dwcas_field_of, field_of, field_shift, ordering as ord, DWCAS_WAITERS_BIT, FIELD_MAX,
+    WAITERS_BIT,
+};
 use std::sync::Arc;
 
 /// Every audited memory ordering of the admission protocol, one field
@@ -36,8 +51,40 @@ pub struct OrderingProfile {
     pub packed_release_cas_ok: Ordering,
     /// `packed.release.cas_fail`
     pub packed_release_cas_fail: Ordering,
-    /// `packed.waiter_bit.rmw`
-    pub packed_waiter_bit_rmw: Ordering,
+    /// `dwcas.admit.load`
+    pub dwcas_admit_load: Ordering,
+    /// `dwcas.admit.cas_ok`
+    pub dwcas_admit_cas_ok: Ordering,
+    /// `dwcas.admit.cas_fail`
+    pub dwcas_admit_cas_fail: Ordering,
+    /// `dwcas.release.load`
+    pub dwcas_release_load: Ordering,
+    /// `dwcas.release.cas_ok`
+    pub dwcas_release_cas_ok: Ordering,
+    /// `dwcas.release.cas_fail`
+    pub dwcas_release_cas_fail: Ordering,
+    /// `stack.push.head_load`
+    pub stack_push_head_load: Ordering,
+    /// `stack.push.next_store`
+    pub stack_next_store: Ordering,
+    /// `stack.push.cas_ok`
+    pub stack_push_cas_ok: Ordering,
+    /// `stack.push.cas_fail`
+    pub stack_push_cas_fail: Ordering,
+    /// `stack.summary.fetch_or`
+    pub stack_summary_fetch_or: Ordering,
+    /// `stack.summary.clear`
+    pub stack_summary_clear: Ordering,
+    /// `stack.peek.head_load`
+    pub stack_peek_head_load: Ordering,
+    /// `stack.claim.head_load`
+    pub stack_claim_head_load: Ordering,
+    /// `stack.claim.cas_ok`
+    pub stack_claim_cas_ok: Ordering,
+    /// `stack.claim.cas_fail`
+    pub stack_claim_cas_fail: Ordering,
+    /// `stack.claim.next_load`
+    pub stack_next_load: Ordering,
     /// `wide.waiter.rmw`
     pub wide_waiter_rmw: Ordering,
     /// `wide.conflict.load`
@@ -59,7 +106,23 @@ impl Default for OrderingProfile {
             packed_release_load: ord::PACKED_RELEASE_LOAD,
             packed_release_cas_ok: ord::PACKED_RELEASE_CAS_OK,
             packed_release_cas_fail: ord::PACKED_RELEASE_CAS_FAIL,
-            packed_waiter_bit_rmw: ord::PACKED_WAITER_BIT_RMW,
+            dwcas_admit_load: ord::DWCAS_ADMIT_LOAD,
+            dwcas_admit_cas_ok: ord::DWCAS_ADMIT_CAS_OK,
+            dwcas_admit_cas_fail: ord::DWCAS_ADMIT_CAS_FAIL,
+            dwcas_release_load: ord::DWCAS_RELEASE_LOAD,
+            dwcas_release_cas_ok: ord::DWCAS_RELEASE_CAS_OK,
+            dwcas_release_cas_fail: ord::DWCAS_RELEASE_CAS_FAIL,
+            stack_push_head_load: ord::STACK_PUSH_HEAD_LOAD,
+            stack_next_store: ord::STACK_NEXT_STORE,
+            stack_push_cas_ok: ord::STACK_PUSH_CAS_OK,
+            stack_push_cas_fail: ord::STACK_PUSH_CAS_FAIL,
+            stack_summary_fetch_or: ord::STACK_SUMMARY_FETCH_OR,
+            stack_summary_clear: ord::STACK_SUMMARY_CLEAR,
+            stack_peek_head_load: ord::STACK_PEEK_HEAD_LOAD,
+            stack_claim_head_load: ord::STACK_CLAIM_HEAD_LOAD,
+            stack_claim_cas_ok: ord::STACK_CLAIM_CAS_OK,
+            stack_claim_cas_fail: ord::STACK_CLAIM_CAS_FAIL,
+            stack_next_load: ord::STACK_NEXT_LOAD,
             wide_waiter_rmw: ord::WIDE_WAITER_RMW,
             wide_conflict_load: ord::WIDE_CONFLICT_LOAD,
             wide_release_rmw: ord::WIDE_RELEASE_RMW,
@@ -81,7 +144,23 @@ impl OrderingProfile {
             "packed.release.load" => self.packed_release_load = o,
             "packed.release.cas_ok" => self.packed_release_cas_ok = o,
             "packed.release.cas_fail" => self.packed_release_cas_fail = o,
-            "packed.waiter_bit.rmw" => self.packed_waiter_bit_rmw = o,
+            "dwcas.admit.load" => self.dwcas_admit_load = o,
+            "dwcas.admit.cas_ok" => self.dwcas_admit_cas_ok = o,
+            "dwcas.admit.cas_fail" => self.dwcas_admit_cas_fail = o,
+            "dwcas.release.load" => self.dwcas_release_load = o,
+            "dwcas.release.cas_ok" => self.dwcas_release_cas_ok = o,
+            "dwcas.release.cas_fail" => self.dwcas_release_cas_fail = o,
+            "stack.push.head_load" => self.stack_push_head_load = o,
+            "stack.push.next_store" => self.stack_next_store = o,
+            "stack.push.cas_ok" => self.stack_push_cas_ok = o,
+            "stack.push.cas_fail" => self.stack_push_cas_fail = o,
+            "stack.summary.fetch_or" => self.stack_summary_fetch_or = o,
+            "stack.summary.clear" => self.stack_summary_clear = o,
+            "stack.peek.head_load" => self.stack_peek_head_load = o,
+            "stack.claim.head_load" => self.stack_claim_head_load = o,
+            "stack.claim.cas_ok" => self.stack_claim_cas_ok = o,
+            "stack.claim.cas_fail" => self.stack_claim_cas_fail = o,
+            "stack.claim.next_load" => self.stack_next_load = o,
             "wide.waiter.rmw" => self.wide_waiter_rmw = o,
             "wide.conflict.load" => self.wide_conflict_load = o,
             "wide.release.rmw" => self.wide_release_rmw = o,
@@ -105,12 +184,152 @@ impl OrderingProfile {
     }
 }
 
+const WAITING: u32 = 0;
+const NOTIFIED: u32 = 1;
+
+/// One pool node of the model waiter stack.
+struct ModelNode {
+    /// Encoded index (`idx + 1`) of the next node down; 0 = bottom.
+    next: AtomicU64,
+    state: Mutex<u32>,
+    cond: Condvar,
+}
+
+/// `semlock::stack::WaiterStack` over the model shims: a tagged-head
+/// Treiber stack whose "pointers" are pool indices (see module docs).
+pub struct ModelStack {
+    /// `tag << 16 | (idx + 1)`; low bits 0 = empty.
+    head: AtomicU64,
+    nodes: Vec<ModelNode>,
+    /// Bump allocator over the pool (reclamation is not transcribed).
+    next_free: AtomicU32,
+    profile: OrderingProfile,
+}
+
+const MODEL_TAG_SHIFT: u32 = 16;
+const MODEL_PTR_MASK: u64 = (1 << MODEL_TAG_SHIFT) - 1;
+
+fn model_pack(tag: u64, enc: u64) -> u64 {
+    (tag << MODEL_TAG_SHIFT) | enc
+}
+
+fn model_tag(head: u64) -> u64 {
+    head >> MODEL_TAG_SHIFT
+}
+
+fn model_ptr(head: u64) -> u64 {
+    head & MODEL_PTR_MASK
+}
+
+impl ModelStack {
+    /// A fresh stack with a pool of `capacity` nodes. Must be called on
+    /// a model thread (inside `Checker::check`).
+    pub fn new(capacity: usize, profile: OrderingProfile) -> ModelStack {
+        ModelStack {
+            head: AtomicU64::new(0),
+            nodes: (0..capacity)
+                .map(|_| ModelNode {
+                    next: AtomicU64::new(0),
+                    state: Mutex::new(WAITING),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            next_free: AtomicU32::new(0),
+            profile,
+        }
+    }
+
+    /// Allocate a pool node (the model's `WaiterStack::alloc`).
+    pub fn alloc(&self) -> usize {
+        let idx = self.next_free.fetch_add(1, Ordering::Relaxed) as usize;
+        assert!(idx < self.nodes.len(), "model stack pool exhausted");
+        idx
+    }
+
+    /// `OwnedNode::prepare`: reset to waiting before a (re-)push.
+    pub fn prepare(&self, idx: usize) {
+        *self.nodes[idx].state.lock() = WAITING;
+    }
+
+    /// `WaiterStack::push`: Treiber CAS prepend, bumping the tag.
+    pub fn push(&self, idx: usize) {
+        let enc = idx as u64 + 1;
+        let mut cur = self.head.load(self.profile.stack_push_head_load);
+        loop {
+            self.nodes[idx]
+                .next
+                .store(model_ptr(cur), self.profile.stack_next_store);
+            let new = model_pack(model_tag(cur).wrapping_add(1) & MODEL_PTR_MASK, enc);
+            match self.head.compare_exchange_weak(
+                cur,
+                new,
+                self.profile.stack_push_cas_ok,
+                self.profile.stack_push_cas_fail,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// `WaiterStack::claim`: one CAS swaps the head to empty (tag
+    /// bumped); returns the encoded chain start (0 = nothing claimed).
+    pub fn claim(&self) -> u64 {
+        let mut cur = self.head.load(self.profile.stack_claim_head_load);
+        loop {
+            if model_ptr(cur) == 0 {
+                return 0;
+            }
+            let new = model_pack(model_tag(cur).wrapping_add(1) & MODEL_PTR_MASK, 0);
+            match self.head.compare_exchange_weak(
+                cur,
+                new,
+                self.profile.stack_claim_cas_ok,
+                self.profile.stack_claim_cas_fail,
+            ) {
+                Ok(_) => return model_ptr(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// `WaiterStack::is_empty` (diagnostics only — the handoff never
+    /// branches on it).
+    pub fn is_empty(&self) -> bool {
+        model_ptr(self.head.load(self.profile.stack_peek_head_load)) == 0
+    }
+
+    /// `ClaimedBatch::wake_all`: walk the claimed chain, reading each
+    /// `next` **before** the notify (a notified waiter may re-push and
+    /// overwrite it).
+    pub fn wake_chain(&self, mut enc: u64) {
+        while enc != 0 {
+            let node = &self.nodes[enc as usize - 1];
+            let next = node.next.load(self.profile.stack_next_load);
+            {
+                let mut st = node.state.lock();
+                *st = NOTIFIED;
+                node.cond.notify_all();
+            }
+            enc = next;
+        }
+    }
+
+    /// `OwnedNode::park`: sleep until notified (immediately returns on a
+    /// pre-notified node).
+    pub fn park(&self, idx: usize) {
+        let node = &self.nodes[idx];
+        let mut st = node.state.lock();
+        while *st != NOTIFIED {
+            node.cond.wait(&mut st);
+        }
+    }
+}
+
 /// The packed (one-word) blocking mechanism over the model shims.
 pub struct PackedMech {
     word: AtomicU64,
-    internal: Mutex<()>,
-    cond: Condvar,
-    waiters: AtomicU32,
+    stack: ModelStack,
     profile: OrderingProfile,
 }
 
@@ -120,14 +339,13 @@ impl PackedMech {
     pub fn new(profile: OrderingProfile) -> Arc<PackedMech> {
         Arc::new(PackedMech {
             word: AtomicU64::new(0),
-            internal: Mutex::new(()),
-            cond: Condvar::new(),
-            waiters: AtomicU32::new(0),
+            stack: ModelStack::new(16, profile),
             profile,
         })
     }
 
-    /// `Mech::try_admit_packed`, orderings from the profile.
+    /// `AdmitWord::try_admit` for the packed word, orderings from the
+    /// profile.
     fn try_admit(&self, local: u32, mask: u64) -> bool {
         let one = 1u64 << field_shift(local);
         let mut cur = self.word.load(self.profile.packed_admit_load);
@@ -147,48 +365,43 @@ impl PackedMech {
         }
     }
 
-    fn waiter_begin(&self) {
-        if self
-            .waiters
-            .fetch_add(1, self.profile.packed_waiter_bit_rmw)
-            == 0
-        {
-            self.word
-                .fetch_or(WAITERS_BIT, self.profile.packed_waiter_bit_rmw);
-        }
-    }
-
-    fn waiter_end(&self) {
-        if self
-            .waiters
-            .fetch_sub(1, self.profile.packed_waiter_bit_rmw)
-            == 1
-        {
-            self.word
-                .fetch_and(!WAITERS_BIT, self.profile.packed_waiter_bit_rmw);
-        }
-    }
-
-    /// `Mech::lock`, packed blocking arm (fast path + park slow path).
+    /// `Mech::lock`, packed blocking arm: CAS fast path, then the
+    /// claim-stack episode loop of `Mech::lock_stack_slow`.
     pub fn lock(&self, local: u32, mask: u64) {
         if self.try_admit(local, mask) {
             return;
         }
-        let mut guard = self.internal.lock();
+        let node = self.stack.alloc();
         loop {
-            self.waiter_begin();
-            if self.try_admit(local, mask) {
-                self.waiter_end();
-                break;
+            self.stack.prepare(node);
+            self.stack.push(node);
+            // `AdmitWord::summary_set_and_check`: re-check admission
+            // from the word the fetch_or returned.
+            let ret = self
+                .word
+                .fetch_or(WAITERS_BIT, self.profile.stack_summary_fetch_or);
+            if ret & mask == 0 && field_of(ret, local) != FIELD_MAX && self.try_admit(local, mask) {
+                return;
             }
-            self.cond.wait(&mut guard);
-            self.waiter_end();
+            self.stack.park(node);
+            if self.try_admit(local, mask) {
+                return;
+            }
         }
-        drop(guard);
     }
 
-    /// `Mech::release_packed`: CAS-decrement, refuse underflow, hand off
-    /// a wakeup when the word carries `WAITERS_BIT`.
+    /// `Mech::handoff`: clear → claim → wake. Clearing first makes the
+    /// summary bit self-stabilizing: a pusher's `fetch_or` ordered after
+    /// the clear re-sets it with nothing left to erase it.
+    fn handoff(&self) {
+        self.word
+            .fetch_and(!WAITERS_BIT, self.profile.stack_summary_clear);
+        let chain = self.stack.claim();
+        self.stack.wake_chain(chain);
+    }
+
+    /// `Mech::release_stack`: CAS-decrement, refuse underflow, hand off
+    /// when the pre-decrement word carried `WAITERS_BIT`.
     pub fn unlock(&self, local: u32) -> bool {
         let one = 1u64 << field_shift(local);
         let mut cur = self.word.load(self.profile.packed_release_load);
@@ -204,8 +417,7 @@ impl PackedMech {
             ) {
                 Ok(prev) => {
                     if prev & WAITERS_BIT != 0 {
-                        let _g = self.internal.lock();
-                        self.cond.notify_all();
+                        self.handoff();
                     }
                     return true;
                 }
@@ -217,6 +429,109 @@ impl PackedMech {
     /// Latest packed word (harness asserts after all threads joined, when
     /// the joiner's view pins the latest store).
     pub fn word(&self) -> u64 {
+        self.word.load(Ordering::Relaxed)
+    }
+}
+
+/// The Dwcas (double-word) blocking mechanism over the model shims:
+/// identical protocol shape to [`PackedMech`], 128-bit admission word.
+pub struct DwcasMech {
+    word: AtomicU128,
+    stack: ModelStack,
+    profile: OrderingProfile,
+}
+
+impl DwcasMech {
+    /// A fresh mechanism (all counts zero). Must be called on a model
+    /// thread.
+    pub fn new(profile: OrderingProfile) -> Arc<DwcasMech> {
+        Arc::new(DwcasMech {
+            word: AtomicU128::new(0),
+            stack: ModelStack::new(16, profile),
+            profile,
+        })
+    }
+
+    /// `AdmitWord::try_admit` for the Dwcas word.
+    fn try_admit(&self, local: u32, mask: u128) -> bool {
+        let one = 1u128 << field_shift(local);
+        let mut cur = self.word.load(self.profile.dwcas_admit_load);
+        loop {
+            if cur & mask != 0 || dwcas_field_of(cur, local) == FIELD_MAX as u128 {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur + one,
+                self.profile.dwcas_admit_cas_ok,
+                self.profile.dwcas_admit_cas_fail,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// `Mech::lock`, Dwcas blocking arm.
+    pub fn lock(&self, local: u32, mask: u128) {
+        if self.try_admit(local, mask) {
+            return;
+        }
+        let node = self.stack.alloc();
+        loop {
+            self.stack.prepare(node);
+            self.stack.push(node);
+            let ret = self
+                .word
+                .fetch_or(DWCAS_WAITERS_BIT, self.profile.stack_summary_fetch_or);
+            if ret & mask == 0
+                && dwcas_field_of(ret, local) != FIELD_MAX as u128
+                && self.try_admit(local, mask)
+            {
+                return;
+            }
+            self.stack.park(node);
+            if self.try_admit(local, mask) {
+                return;
+            }
+        }
+    }
+
+    /// `Mech::handoff` over the Dwcas word: clear → claim → wake.
+    fn handoff(&self) {
+        self.word
+            .fetch_and(!DWCAS_WAITERS_BIT, self.profile.stack_summary_clear);
+        let chain = self.stack.claim();
+        self.stack.wake_chain(chain);
+    }
+
+    /// `Mech::release_stack` over the Dwcas word.
+    pub fn unlock(&self, local: u32) -> bool {
+        let one = 1u128 << field_shift(local);
+        let mut cur = self.word.load(self.profile.dwcas_release_load);
+        loop {
+            if dwcas_field_of(cur, local) == 0 {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur - one,
+                self.profile.dwcas_release_cas_ok,
+                self.profile.dwcas_release_cas_fail,
+            ) {
+                Ok(prev) => {
+                    if prev & DWCAS_WAITERS_BIT != 0 {
+                        self.handoff();
+                    }
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Latest Dwcas word (post-join asserts).
+    pub fn word(&self) -> u128 {
         self.word.load(Ordering::Relaxed)
     }
 }

@@ -8,11 +8,21 @@
 //! lost-wakeup deadlock), while the unmutated profile passes the very
 //! same scenarios. CI fails if any mutant survives.
 
-use model::mech_model::{OrderingProfile, PackedMech, WideMech};
+use model::mech_model::{DwcasMech, OrderingProfile, PackedMech, WideMech};
 use model::sync::{thread, AtomicU64, Ordering};
 use model::{Checker, Stats, Violation, ViolationKind};
-use semlock::mech::packed_conflict_mask;
+use semlock::mech::{dwcas_conflict_mask, packed_conflict_mask};
 use std::sync::Arc;
+
+/// Preemption bound for the 3-thread scenarios. The default of 1 keeps
+/// the everyday `cargo test` run fast; the CI `model-check` job sets
+/// `MODEL_THREE_THREAD_PREEMPTION_BOUND=2` for the deeper sweep.
+fn three_thread_bound() -> usize {
+    std::env::var("MODEL_THREE_THREAD_PREEMPTION_BOUND")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 // ---------------------------------------------------------------------
 // Litmus tests: the memory model itself behaves like C++11 on the
@@ -197,48 +207,180 @@ fn wide_lost_wakeup_scenario(profile: OrderingProfile) -> Result<Stats, Box<Viol
     })
 }
 
-/// Three threads on the packed word: two cross-conflicting modes plus a
-/// second holder of mode 0 (self-commuting), under a preemption bound.
-///
-/// The default bound of 1 keeps the everyday `cargo test` run to a
-/// couple of seconds; the CI `model-check` job sets
-/// `MODEL_THREE_THREAD_PREEMPTION_BOUND=2` (~1 minute) for the deeper
-/// sweep.
-fn packed_three_thread_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
-    let bound = std::env::var("MODEL_THREE_THREAD_PREEMPTION_BOUND")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    Checker::new().preemption_bound(bound).check(move || {
-        let mech = PackedMech::new(profile);
+/// The packed exclusivity/visibility scenario transposed onto the Dwcas
+/// word, with the two modes in *different 64-bit halves* (0 and 15) so a
+/// torn or half-stale double-word update cannot hide.
+fn dwcas_exclusivity_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new().preemption_bound(3).check(move || {
+        let mech = DwcasMech::new(profile);
+        let data = Arc::new(AtomicU64::new(0));
         let in_cs = Arc::new(AtomicU64::new(0));
-        let specs = [(0u32, 1u32), (0u32, 1u32), (1u32, 0u32)];
-        let handles: Vec<_> = specs
+        let handles: Vec<_> = [(0u32, 15u32), (15u32, 0u32)]
             .into_iter()
             .map(|(local, other)| {
                 let mech = mech.clone();
+                let data = data.clone();
                 let in_cs = in_cs.clone();
                 thread::spawn(move || {
-                    mech.lock(local, packed_conflict_mask(&[other]));
-                    // Mode 1 excludes both mode-0 holders; mode 0 only
-                    // excludes mode 1, so encode holders as bit fields.
-                    let token = 1u64 << (8 * local);
-                    let seen = in_cs.fetch_add(token, Ordering::Relaxed);
-                    if local == 1 {
-                        assert_eq!(seen, 0, "mode 1 admitted alongside a holder");
-                    } else {
-                        assert_eq!(seen >> 8, 0, "mode 0 admitted alongside mode 1");
-                    }
-                    in_cs.fetch_sub(token, Ordering::Relaxed);
-                    assert!(mech.unlock(local));
+                    let mask = dwcas_conflict_mask(&[other]);
+                    mech.lock(local, mask);
+                    assert_eq!(
+                        in_cs.fetch_add(1, Ordering::Relaxed),
+                        0,
+                        "conflicting dwcas modes held concurrently"
+                    );
+                    let v = data.load(Ordering::Relaxed);
+                    data.store(v + 1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::Relaxed);
+                    assert!(mech.unlock(local), "balanced release refused");
                 })
             })
             .collect();
         for h in handles {
             h.join();
         }
+        assert_eq!(
+            data.load(Ordering::Relaxed),
+            2,
+            "lost update across releases"
+        );
+        assert_eq!(mech.word(), 0, "counts unbalanced after all releases");
+        assert!(!mech.unlock(0), "double unlock must be refused");
+    })
+}
+
+/// The lost-wakeup shape on the Dwcas word.
+fn dwcas_lost_wakeup_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new().preemption_bound(3).check(move || {
+        let mech = DwcasMech::new(profile);
+        mech.lock(0, dwcas_conflict_mask(&[15]));
+        let m2 = mech.clone();
+        let waiter = thread::spawn(move || {
+            m2.lock(15, dwcas_conflict_mask(&[0]));
+            assert!(m2.unlock(15));
+        });
+        assert!(mech.unlock(0));
+        waiter.join();
         assert_eq!(mech.word(), 0);
     })
+}
+
+/// Two waiters park behind one holder, so the claimed batch is a real
+/// *chain*: main holds mode 0; both waiters want mode 1 (conflicting
+/// with 0, commuting with itself). A weakened push or claim CAS lets the
+/// claimer read a stale `next` pointer, cutting the chain — the deeper
+/// waiter's node is removed from the stack but never notified, which no
+/// later release can repair: a permanent deadlock the checker reports.
+fn stack_two_waiter_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    // The chain-cut counterexample needs two preemptions (one waiter
+    // stopped between its push and its fetch_or, plus the handoff racing
+    // it), so this scenario never runs below bound 2.
+    Checker::new()
+        .preemption_bound(three_thread_bound().max(2))
+        .check(move || {
+            let mech = PackedMech::new(profile);
+            let released = Arc::new(AtomicU64::new(0));
+            mech.lock(0, packed_conflict_mask(&[1]));
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let mech = mech.clone();
+                    let released = released.clone();
+                    thread::spawn(move || {
+                        mech.lock(1, packed_conflict_mask(&[0]));
+                        // Visibility: admission happens-after the release
+                        // that freed mode 0, so the pre-release store is
+                        // visible even through a Relaxed load.
+                        assert_eq!(
+                            released.load(Ordering::Relaxed),
+                            1,
+                            "admitted before the conflicting release was visible"
+                        );
+                        assert!(mech.unlock(1));
+                    })
+                })
+                .collect();
+            released.store(1, Ordering::Relaxed);
+            assert!(mech.unlock(0));
+            for w in waiters {
+                w.join();
+            }
+            assert_eq!(mech.word(), 0, "counts unbalanced after all releases");
+        })
+}
+
+/// The clear↔claim window: main holds modes 0 **and** 1 (commuting with
+/// each other), two waiters want mode 2 (conflicting with both). A
+/// waiter that pushes and sets the summary bit while `main.unlock(0)`'s
+/// handoff is in flight must end up either in that handoff's claimed
+/// batch or with the bit still set for `main.unlock(1)` to hand off —
+/// clearing *before* claiming guarantees exactly this (the `fetch_or`
+/// and the clear are totally ordered RMWs on one word), which is the
+/// invariant this scenario pins. Its historical claim-then-clear
+/// counterpart strands the window waiter: the checker found the
+/// counterexample and forced the reorder.
+fn stack_window_pusher_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    // Like the two-waiter chain-cut, the interesting interleavings put a
+    // pusher inside an in-flight handoff; keep at least bound 2.
+    Checker::new()
+        .preemption_bound(three_thread_bound().max(2))
+        .check(move || {
+            let mech = PackedMech::new(profile);
+            mech.lock(0, packed_conflict_mask(&[2]));
+            mech.lock(1, packed_conflict_mask(&[2]));
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let mech = mech.clone();
+                    thread::spawn(move || {
+                        mech.lock(2, packed_conflict_mask(&[0, 1]));
+                        assert!(mech.unlock(2));
+                    })
+                })
+                .collect();
+            assert!(mech.unlock(0));
+            assert!(mech.unlock(1));
+            for w in waiters {
+                w.join();
+            }
+            assert_eq!(mech.word(), 0, "counts unbalanced after all releases");
+        })
+}
+
+/// Three threads on the packed word: two cross-conflicting modes plus a
+/// second holder of mode 0 (self-commuting), under a preemption bound
+/// (see [`three_thread_bound`]).
+fn packed_three_thread_scenario(profile: OrderingProfile) -> Result<Stats, Box<Violation>> {
+    Checker::new()
+        .preemption_bound(three_thread_bound())
+        .check(move || {
+            let mech = PackedMech::new(profile);
+            let in_cs = Arc::new(AtomicU64::new(0));
+            let specs = [(0u32, 1u32), (0u32, 1u32), (1u32, 0u32)];
+            let handles: Vec<_> = specs
+                .into_iter()
+                .map(|(local, other)| {
+                    let mech = mech.clone();
+                    let in_cs = in_cs.clone();
+                    thread::spawn(move || {
+                        mech.lock(local, packed_conflict_mask(&[other]));
+                        // Mode 1 excludes both mode-0 holders; mode 0 only
+                        // excludes mode 1, so encode holders as bit fields.
+                        let token = 1u64 << (8 * local);
+                        let seen = in_cs.fetch_add(token, Ordering::Relaxed);
+                        if local == 1 {
+                            assert_eq!(seen, 0, "mode 1 admitted alongside a holder");
+                        } else {
+                            assert_eq!(seen >> 8, 0, "mode 0 admitted alongside mode 1");
+                        }
+                        in_cs.fetch_sub(token, Ordering::Relaxed);
+                        assert!(mech.unlock(local));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(mech.word(), 0);
+        })
 }
 
 #[test]
@@ -269,6 +411,34 @@ fn packed_three_thread_admission_is_exclusive() {
         .expect("shipped packed protocol must pass the 3-thread scenario");
 }
 
+#[test]
+fn dwcas_admission_is_exclusive_and_visible() {
+    let stats = dwcas_exclusivity_scenario(OrderingProfile::default())
+        .expect("shipped dwcas protocol must pass exclusivity/visibility");
+    assert!(
+        stats.schedules > 100,
+        "exploration suspiciously small: {stats:?}"
+    );
+}
+
+#[test]
+fn dwcas_release_never_loses_a_wakeup() {
+    dwcas_lost_wakeup_scenario(OrderingProfile::default())
+        .expect("shipped dwcas protocol must not lose wakeups");
+}
+
+#[test]
+fn claim_stack_wakes_the_whole_chain() {
+    stack_two_waiter_scenario(OrderingProfile::default())
+        .expect("shipped claim-stack protocol must wake every chained waiter");
+}
+
+#[test]
+fn claim_stack_never_strands_window_pushers() {
+    stack_window_pusher_scenario(OrderingProfile::default())
+        .expect("shipped claim-stack protocol must not strand a clear\u{2194}claim window pusher");
+}
+
 // ---------------------------------------------------------------------
 // Mutant detection.
 // ---------------------------------------------------------------------
@@ -285,29 +455,43 @@ fn is_counterexample(v: &Violation) -> bool {
 fn every_seeded_ordering_mutant_is_detected() {
     let mutants = OrderingProfile::mutants();
     assert!(
-        mutants.len() >= 6,
-        "ORDERING_AUDIT must seed at least 6 mutants, found {}",
+        mutants.len() >= 11,
+        "ORDERING_AUDIT must seed at least 11 mutants, found {}",
         mutants.len()
     );
     let mut survivors = Vec::new();
     for (site, profile) in &mutants {
-        // Lazily try the scenario exercising the mutated path first: a
+        // Lazily try the scenarios exercising the mutated path first: a
         // caught mutant fails fast, while a scenario that *passes* under
         // a mutant costs a full exploration we can usually skip.
         type Scenario = fn(OrderingProfile) -> Result<Stats, Box<Violation>>;
-        let scenarios: [Scenario; 3] = if site.starts_with("wide.") {
-            [
-                wide_lost_wakeup_scenario,
-                packed_exclusivity_scenario,
+        let mut scenarios: Vec<Scenario> = if site.starts_with("wide.") {
+            vec![wide_lost_wakeup_scenario]
+        } else if site.starts_with("dwcas.") {
+            vec![dwcas_exclusivity_scenario, dwcas_lost_wakeup_scenario]
+        } else if site.starts_with("stack.") {
+            vec![
+                stack_two_waiter_scenario,
+                stack_window_pusher_scenario,
                 packed_lost_wakeup_scenario,
             ]
         } else {
-            [
-                packed_exclusivity_scenario,
-                packed_lost_wakeup_scenario,
-                wide_lost_wakeup_scenario,
-            ]
+            vec![packed_exclusivity_scenario, packed_lost_wakeup_scenario]
         };
+        // Fall back to the full battery so a misclassified mutant still
+        // gets every chance to be refuted before counting as a survivor
+        // (lazy `any` means the extras only run when the targeted
+        // scenarios all passed).
+        scenarios.extend([
+            packed_exclusivity_scenario,
+            packed_lost_wakeup_scenario,
+            dwcas_exclusivity_scenario,
+            dwcas_lost_wakeup_scenario,
+            stack_two_waiter_scenario,
+            stack_window_pusher_scenario,
+            wide_lost_wakeup_scenario,
+            packed_three_thread_scenario,
+        ] as [Scenario; 8]);
         let caught = scenarios
             .into_iter()
             .filter_map(|s| s(*profile).err())

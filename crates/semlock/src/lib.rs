@@ -84,6 +84,7 @@
 
 pub mod acquire;
 pub mod commut;
+pub mod dwcas;
 pub mod error;
 pub mod fault;
 pub mod manager;
@@ -95,6 +96,7 @@ pub mod protocol;
 pub mod retry;
 pub mod schema;
 pub mod spec;
+pub mod stack;
 pub mod symbolic;
 pub mod sync;
 pub mod telemetry;

@@ -191,6 +191,11 @@ pub struct ModePlacement {
     /// partitions wider than that use the mutex fallback and never consult
     /// the mask.
     pub conflict_mask: u64,
+    /// Dwcas-word field mask over `local_conflicts` (sixteen 7-bit
+    /// fields), precomputed like `conflict_mask`. Covers only locals
+    /// within [`crate::mech::DWCAS_MODE_LIMIT`]; wider partitions use the
+    /// mutex fallback and never consult it.
+    pub conflict_mask128: u128,
     /// True if the mode commutes with every mode including itself: locking
     /// it can never block nor be blocked, so acquisition is a no-op.
     pub free: bool,
@@ -199,7 +204,11 @@ pub struct ModePlacement {
 impl ModePlacement {
     /// The mode's conflict set in the borrowed form the mechanism consumes.
     pub fn conflicts(&self) -> crate::mech::ConflictSet<'_> {
-        crate::mech::ConflictSet::from_parts(&self.local_conflicts, self.conflict_mask)
+        crate::mech::ConflictSet::from_parts(
+            &self.local_conflicts,
+            self.conflict_mask,
+            self.conflict_mask128,
+        )
     }
 }
 
@@ -570,6 +579,7 @@ impl ModeTableBuilder {
                 local,
                 local_conflicts: Vec::new(),
                 conflict_mask: 0,
+                conflict_mask128: 0,
                 free: false,
             });
         }
@@ -587,6 +597,7 @@ impl ModeTableBuilder {
             // ablation measures.
             placement[a].free = partitioning && conflicts.is_empty();
             placement[a].conflict_mask = crate::mech::packed_conflict_mask(&conflicts);
+            placement[a].conflict_mask128 = crate::mech::dwcas_conflict_mask(&conflicts);
             placement[a].local_conflicts = conflicts;
         }
 

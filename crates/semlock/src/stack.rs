@@ -1,0 +1,422 @@
+//! Claim-based lock-free waiter stack: the park/handoff path for the
+//! packed and Dwcas admission layouts.
+//!
+//! The mutex/condvar park path the packed layout shipped with made every
+//! *contended* acquisition take the internal mutex — the fast path was
+//! lock-free exactly until contention appeared. This module removes the
+//! shared lock from the contended path entirely:
+//!
+//! * a conflicted acquirer **pushes** a heap node onto a Treiber stack
+//!   (one CAS on the tagged head), then sets the `WAITERS` summary bit in
+//!   the admission word and re-checks admission from the `fetch_or`'s own
+//!   return value (self-admitting if the conflict drained meanwhile);
+//! * a releaser whose decrement observed the summary bit **clears** the
+//!   bit, then **claims** the whole stack (one CAS swapping the head to
+//!   empty) and wakes every claimed node — never touching any shared
+//!   mutex. A pusher's `fetch_or` ordered after the clear re-sets the
+//!   bit and nothing erases it again, so the summary self-stabilizes.
+//!   Parking itself is per-node (each node has its own flag + condvar),
+//!   so no two threads ever serialize on a common lock.
+//!
+//! ## ABA-safe tagged head
+//!
+//! The head word packs a 16-bit generation tag above 48 pointer bits
+//! (`tag << 48 | ptr`; user-space heap pointers fit 48 bits on every
+//! supported target, asserted at push). Both push and claim bump the tag,
+//! so a claim CAS that raced a full claim+repush cycle fails on the tag
+//! even when the pointer bits repeat — the classic Treiber ABA. The tag
+//! wraps at 2¹⁶; a wrap is harmless unless *exactly* 2¹⁶ tag bumps land
+//! inside one CAS window (the `fastpath` ABA regression drives the tag
+//! through full wraps to pin the arithmetic down).
+//!
+//! ## Node lifetime
+//!
+//! Nodes are reference-counted: one reference owned by the waiter
+//! ([`OwnedNode`]), plus one per stack membership (added at push, dropped
+//! by whoever claims the node). A waiter that leaves while its node is
+//! still in the stack (self-admitted or timed out) just drops its own
+//! reference; the node stays behind as a *stale* entry that the next
+//! claim sweeps (its notify lands on nobody, harmlessly). The claimer
+//! reads each node's `next` pointer **before** notifying it — once
+//! notified, the waiter may re-push the node, overwriting `next`.
+//! [`WaiterStack::drop`] frees whatever is still on the stack, and a
+//! live-node counter makes "zero leaked nodes" a testable invariant.
+//!
+//! Memory orderings come from [`crate::mech::ordering`] and are audited
+//! in [`crate::mech::ORDERING_AUDIT`]; `crates/model` transcribes this
+//! stack over its shims and refutes every seeded weakening. The node
+//! reference counts are the one deliberate transcription gap: they manage
+//! reclamation only, carry no protocol state, and no path reads data
+//! ordered by them.
+
+#![allow(unsafe_code)]
+
+use crate::mech::ordering as ord;
+use crate::sync::{AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
+use std::time::Duration;
+
+/// Tag bits in the packed head word (above the pointer bits).
+pub const TAG_BITS: u32 = 16;
+/// Pointer bits in the packed head word.
+pub const PTR_BITS: u32 = 48;
+const PTR_MASK: u64 = (1 << PTR_BITS) - 1;
+
+/// Pack a generation tag and pointer bits into a head word.
+#[inline]
+pub fn pack_head(tag: u64, ptr: u64) -> u64 {
+    debug_assert_eq!(ptr & !PTR_MASK, 0);
+    (tag << PTR_BITS) | ptr
+}
+
+/// Generation tag of a head word.
+#[inline]
+pub fn head_tag(head: u64) -> u64 {
+    head >> PTR_BITS
+}
+
+/// Pointer bits of a head word (0 = empty stack).
+#[inline]
+pub fn head_ptr(head: u64) -> u64 {
+    head & PTR_MASK
+}
+
+const WAITING: u32 = 0;
+const NOTIFIED: u32 = 1;
+
+/// One parked (or parking) waiter. Heap-allocated, reference-counted;
+/// reached through [`OwnedNode`] (the waiter's reference) and through raw
+/// stack links (the claimer's).
+struct Node {
+    /// Pointer bits of the next node down the stack (0 = bottom). Written
+    /// by the pusher before the head CAS publishes it; read by the
+    /// claimer after the claim CAS — the head CAS pair
+    /// (`stack.push.cas_ok` Release / `stack.claim.cas_ok` Acquire)
+    /// orders both ends, so the accesses themselves are Relaxed.
+    next: AtomicU64,
+    /// `WAITING` → `NOTIFIED`, guarded by `flag`'s mutex.
+    state: Mutex<u32>,
+    cond: Condvar,
+    /// Waiter reference + one per stack membership.
+    refs: AtomicU32,
+}
+
+impl Node {
+    fn notify(&self) {
+        let mut st = self.state.lock();
+        *st = NOTIFIED;
+        self.cond.notify_all();
+    }
+}
+
+/// The waiter stack of one [`crate::mech::Mech`]: a tagged-head Treiber
+/// stack whose nodes park on their own condvars.
+pub struct WaiterStack {
+    /// `tag << PTR_BITS | node-pointer-bits`; pointer bits 0 = empty.
+    head: AtomicU64,
+    /// Nodes allocated minus nodes freed — the leak detector the stress
+    /// suite asserts returns to zero at quiescence.
+    live: AtomicU64,
+}
+
+/// The waiter's owned reference to its node. Dropping it releases the
+/// reference; the node is freed once no stack membership holds the other.
+pub struct OwnedNode<'a> {
+    stack: &'a WaiterStack,
+    ptr: *const Node,
+}
+
+impl WaiterStack {
+    /// A fresh, empty stack.
+    pub fn new() -> WaiterStack {
+        WaiterStack {
+            head: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        }
+    }
+
+    /// Nodes currently alive (allocated, not yet freed). Zero at
+    /// quiescence — the stress suite's leak invariant.
+    pub fn live_nodes(&self) -> u64 {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Current generation tag (tests observe wraparound with this).
+    pub fn tag(&self) -> u64 {
+        head_tag(self.head.load(Ordering::Relaxed))
+    }
+
+    /// Is the stack empty right now? Racy by nature — diagnostics and
+    /// tests only; the release protocol never branches on it
+    /// (`stack.peek.head_load` in the audit table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        head_ptr(self.head.load(ord::STACK_PEEK_HEAD_LOAD)) == 0
+    }
+
+    /// Allocate a parking node (waiter reference only; not yet pushed).
+    pub fn alloc(&self) -> OwnedNode<'_> {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        let ptr = Box::into_raw(Box::new(Node {
+            next: AtomicU64::new(0),
+            state: Mutex::new(WAITING),
+            cond: Condvar::new(),
+            refs: AtomicU32::new(1),
+        }));
+        OwnedNode { stack: self, ptr }
+    }
+
+    /// Drop one reference to `ptr`, freeing the node when it was the last.
+    fn release(&self, ptr: *const Node) {
+        // AcqRel so the freeing thread's view includes every other
+        // reference holder's accesses (the classic Arc protocol).
+        let prev = unsafe { &*ptr }.refs.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev >= 1);
+        if prev == 1 {
+            drop(unsafe { Box::from_raw(ptr as *mut Node) });
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Push `node` (Treiber CAS prepend, bumping the generation tag).
+    /// Adds the stack's reference. The caller must have reset the node to
+    /// waiting ([`OwnedNode::prepare`]) and must not hold it in the stack
+    /// already.
+    pub fn push(&self, node: &OwnedNode<'_>) {
+        debug_assert!(std::ptr::eq(node.stack, self));
+        let n = unsafe { &*node.ptr };
+        n.refs.fetch_add(1, Ordering::Relaxed);
+        let ptr = node.ptr as u64;
+        assert_eq!(ptr & !PTR_MASK, 0, "heap pointer exceeds 48 bits");
+        // Ordering: the seed load is Relaxed — the CAS re-validates.
+        // (Audited: `stack.push.head_load`.)
+        let mut cur = self.head.load(ord::STACK_PUSH_HEAD_LOAD);
+        loop {
+            // Ordered by the push CAS below (`stack.push.next_store`).
+            n.next.store(head_ptr(cur), ord::STACK_NEXT_STORE);
+            let new = pack_head(head_tag(cur).wrapping_add(1) & ((1 << TAG_BITS) - 1), ptr);
+            // Ordering: Release on success publishes the node's fields
+            // (`next`, the reset state) to the claim CAS's Acquire.
+            // (Audited: `stack.push.cas_ok`.)
+            match self.head.compare_exchange_weak(
+                cur,
+                new,
+                ord::STACK_PUSH_CAS_OK,
+                ord::STACK_PUSH_CAS_FAIL,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Claim the entire stack: one CAS swaps the head to empty (tag
+    /// bumped), transferring ownership of every current node — including
+    /// their stack references — to the caller. Returns an empty batch if
+    /// the stack was empty.
+    pub fn claim(&self) -> ClaimedBatch<'_> {
+        // Ordering: Relaxed seed — freshness is forced by the claimer's
+        // view (the release decrement's Acquire half joined the pusher's
+        // published view), and the CAS re-validates. (Audited:
+        // `stack.claim.head_load`.)
+        let mut cur = self.head.load(ord::STACK_CLAIM_HEAD_LOAD);
+        loop {
+            if head_ptr(cur) == 0 {
+                return ClaimedBatch {
+                    stack: self,
+                    next: 0,
+                };
+            }
+            let new = pack_head(head_tag(cur).wrapping_add(1) & ((1 << TAG_BITS) - 1), 0);
+            // Ordering: Acquire on success pairs with the push CAS's
+            // Release — the claimer reads `next` chains and node state
+            // written by the pushers. (Audited: `stack.claim.cas_ok`.)
+            match self.head.compare_exchange_weak(
+                cur,
+                new,
+                ord::STACK_CLAIM_CAS_OK,
+                ord::STACK_CLAIM_CAS_FAIL,
+            ) {
+                Ok(_) => {
+                    return ClaimedBatch {
+                        stack: self,
+                        next: head_ptr(cur),
+                    }
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Default for WaiterStack {
+    fn default() -> WaiterStack {
+        WaiterStack::new()
+    }
+}
+
+impl Drop for WaiterStack {
+    fn drop(&mut self) {
+        // Drain leftover stale nodes (waiters are gone by &mut-ness; only
+        // stack references can remain).
+        let batch = self.claim();
+        batch.wake_all();
+    }
+}
+
+// The stack only ever hands out raw pointers it reference-counts.
+unsafe impl Send for WaiterStack {}
+unsafe impl Sync for WaiterStack {}
+
+/// The chain of nodes one [`WaiterStack::claim`] took ownership of.
+/// Dropping it without [`ClaimedBatch::wake_all`] still releases the
+/// stack references (waking nobody) — used only by the stack's own drop.
+pub struct ClaimedBatch<'a> {
+    stack: &'a WaiterStack,
+    next: u64,
+}
+
+impl ClaimedBatch<'_> {
+    /// Wake every claimed node in LIFO order and release the stack's
+    /// reference to each. The `next` pointer is read **before** the
+    /// notify: a notified waiter may immediately re-push its node,
+    /// overwriting `next` for its new stack position.
+    pub fn wake_all(mut self) {
+        while self.next != 0 {
+            let node = unsafe { &*(self.next as *const Node) };
+            // Ordered by the claim CAS's Acquire (`stack.claim.next_load`).
+            let next = node.next.load(ord::STACK_NEXT_LOAD);
+            node.notify();
+            self.stack.release(node as *const Node);
+            self.next = next;
+        }
+    }
+}
+
+impl Drop for ClaimedBatch<'_> {
+    fn drop(&mut self) {
+        while self.next != 0 {
+            let node = unsafe { &*(self.next as *const Node) };
+            let next = node.next.load(ord::STACK_NEXT_LOAD);
+            self.stack.release(node as *const Node);
+            self.next = next;
+        }
+    }
+}
+
+impl OwnedNode<'_> {
+    /// Reset to waiting before a (re-)push. Must not be called while the
+    /// node is in the stack.
+    pub fn prepare(&self) {
+        let node = unsafe { &*self.ptr };
+        *node.state.lock() = WAITING;
+    }
+
+    /// Park until notified by a claimer. Tolerates the node having been
+    /// notified before the call (returns immediately).
+    pub fn park(&self) {
+        let node = unsafe { &*self.ptr };
+        let mut st = node.state.lock();
+        while *st != NOTIFIED {
+            node.cond.wait(&mut st);
+        }
+    }
+
+    /// Park for at most `dur`. Returns true when notified (by a claimer),
+    /// false on timeout — in which case the node may still be in the
+    /// stack, and the caller may park again or walk away (the node
+    /// becomes a stale entry the next claim sweeps).
+    pub fn park_for(&self, dur: Duration) -> bool {
+        let node = unsafe { &*self.ptr };
+        let mut st = node.state.lock();
+        if *st == NOTIFIED {
+            return true;
+        }
+        node.cond.wait_for(&mut st, dur);
+        *st == NOTIFIED
+    }
+}
+
+impl Drop for OwnedNode<'_> {
+    fn drop(&mut self) {
+        self.stack.release(self.ptr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_claim_wake_roundtrip() {
+        let stack = WaiterStack::new();
+        let node = stack.alloc();
+        assert_eq!(stack.live_nodes(), 1);
+        node.prepare();
+        stack.push(&node);
+        assert!(!stack.is_empty());
+        let t0 = stack.tag();
+        stack.claim().wake_all();
+        assert!(stack.is_empty());
+        assert_ne!(stack.tag(), t0, "claim must bump the tag");
+        node.park(); // returns immediately: already notified
+        drop(node);
+        assert_eq!(stack.live_nodes(), 0);
+    }
+
+    #[test]
+    fn claim_on_empty_is_null_and_tagless() {
+        let stack = WaiterStack::new();
+        let t0 = stack.tag();
+        stack.claim().wake_all();
+        assert_eq!(stack.tag(), t0, "empty claim must not bump the tag");
+    }
+
+    #[test]
+    fn stale_nodes_are_swept_by_drop() {
+        let stack = WaiterStack::new();
+        {
+            let a = stack.alloc();
+            let b = stack.alloc();
+            a.prepare();
+            b.prepare();
+            stack.push(&a);
+            stack.push(&b);
+            // Both waiters walk away (self-admitted): stack refs remain.
+        }
+        assert_eq!(stack.live_nodes(), 2, "stack refs keep stale nodes alive");
+        drop(stack);
+        // live counter is owned by the stack; freeing checked via miri-ish
+        // refcount asserts in debug builds.
+    }
+
+    #[test]
+    fn lifo_wakeup_order_and_chain_integrity() {
+        let stack = WaiterStack::new();
+        let nodes: Vec<_> = (0..5).map(|_| stack.alloc()).collect();
+        for n in &nodes {
+            n.prepare();
+            stack.push(n);
+        }
+        stack.claim().wake_all();
+        for n in &nodes {
+            n.park(); // every node was notified despite the chain walk
+        }
+        drop(nodes);
+        assert_eq!(stack.live_nodes(), 0);
+    }
+
+    #[test]
+    fn tag_wraps_after_65536_bumps() {
+        let stack = WaiterStack::new();
+        let node = stack.alloc();
+        // Each push+claim bumps the tag twice: 2^15 cycles wrap it fully.
+        for _ in 0..(1 << 15) {
+            node.prepare();
+            stack.push(&node);
+            stack.claim().wake_all();
+        }
+        assert_eq!(stack.tag(), 0, "tag must wrap modulo 2^16");
+        drop(node);
+        assert_eq!(stack.live_nodes(), 0);
+    }
+}

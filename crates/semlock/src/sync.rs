@@ -16,3 +16,5 @@
 
 pub use parking_lot::{Condvar, Mutex, MutexGuard};
 pub use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+pub use crate::dwcas::AtomicU128;

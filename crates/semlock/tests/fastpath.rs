@@ -1,8 +1,9 @@
-//! Equivalence and liveness checks for the packed-word admission fast
-//! path (`mech.rs`): the packed representation must make *exactly* the
-//! same admission, refusal and balance decisions as the wide
-//! counters-under-mutex fallback, and its decrement-then-wake release
-//! protocol must never lose a wakeup.
+//! Equivalence and liveness checks for the lock-free admission fast
+//! paths (`mech.rs`): the packed (64-bit) and Dwcas (128-bit) words must
+//! make *exactly* the same admission, refusal and balance decisions as
+//! the wide counters-under-mutex oracle, and the claim-based release
+//! protocol must never lose a wakeup, leak a waiter node, or leave the
+//! summary bit behind.
 
 use proptest::prelude::*;
 use semlock::mech::{ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
@@ -49,72 +50,121 @@ enum Step {
     Expired(u32),
 }
 
-/// Replay one seeded schedule against both representations, asserting
-/// identical outcomes at every step and identical final balance.
+/// Replay one seeded schedule against every representation that serves
+/// `modes` (wide always; Dwcas up to 16 modes; packed up to 8), asserting
+/// identical outcomes at every step and identical final balance. The
+/// wide counters-under-mutex mech is the oracle; the lock-free words
+/// must agree with it and, transitively, with each other.
 fn replay_schedule(modes: usize, steps: &[Step]) {
     let conflicts = conflict_lists(modes, 0xC0FFEE);
-    let packed = Mech::with_layout(modes, WaitStrategy::Block, MechLayout::Packed);
-    let wide = Mech::with_layout(modes, WaitStrategy::Block, MechLayout::Wide);
+    let mut mechs = vec![Mech::with_layout(
+        modes,
+        WaitStrategy::Block,
+        MechLayout::Wide,
+    )];
+    if modes <= semlock::mech::DWCAS_MODE_LIMIT {
+        mechs.push(Mech::with_layout(
+            modes,
+            WaitStrategy::Block,
+            MechLayout::Dwcas,
+        ));
+    }
+    if modes <= semlock::mech::PACKED_MODE_LIMIT {
+        mechs.push(Mech::with_layout(
+            modes,
+            WaitStrategy::Block,
+            MechLayout::Packed,
+        ));
+    }
+    let (wide, others) = mechs.split_first().unwrap();
     for (i, &step) in steps.iter().enumerate() {
         match step {
             Step::TryLock(m) => {
                 let cs = &conflicts[m as usize];
-                let p = packed.try_lock(m, ConflictSet::new(cs));
                 let w = wide.try_lock(m, ConflictSet::new(cs));
-                assert_eq!(p, w, "step {i}: try_lock({m}) diverged");
+                for mech in others {
+                    let p = mech.try_lock(m, ConflictSet::new(cs));
+                    assert_eq!(p, w, "step {i}: {:?} try_lock({m}) diverged", mech.layout());
+                }
             }
             Step::Unlock(m) => {
-                let p = packed.unlock(m);
                 let w = wide.unlock(m);
-                assert_eq!(p, w, "step {i}: unlock({m}) diverged");
+                for mech in others {
+                    let p = mech.unlock(m);
+                    assert_eq!(p, w, "step {i}: {:?} unlock({m}) diverged", mech.layout());
+                }
             }
             Step::Expired(m) => {
                 let cs = &conflicts[m as usize];
                 let deadline = Instant::now() - Duration::from_millis(1);
-                let p =
-                    packed.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
                 let w =
                     wide.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
-                assert_eq!(p, w, "step {i}: expired lock_deadline({m}) diverged");
+                for mech in others {
+                    let p = mech
+                        .lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
+                    assert_eq!(
+                        p,
+                        w,
+                        "step {i}: {:?} expired lock_deadline({m}) diverged",
+                        mech.layout()
+                    );
+                }
             }
         }
-        for m in 0..modes as u32 {
-            assert_eq!(
-                packed.count(m),
-                wide.count(m),
-                "step {i}: count({m}) diverged"
-            );
+        for mech in others {
+            for m in 0..modes as u32 {
+                assert_eq!(
+                    mech.count(m),
+                    wide.count(m),
+                    "step {i}: {:?} count({m}) diverged",
+                    mech.layout()
+                );
+            }
         }
     }
     use std::sync::atomic::Ordering;
-    let (ps, ws) = (packed.stats(), wide.stats());
-    assert_eq!(
-        ps.acquisitions.load(Ordering::Relaxed),
-        ws.acquisitions.load(Ordering::Relaxed),
-        "acquisition totals diverged"
-    );
-    assert_eq!(
-        ps.timeouts.load(Ordering::Relaxed),
-        ws.timeouts.load(Ordering::Relaxed),
-        "timeout totals diverged"
-    );
-    assert_eq!(
-        ps.underflows.load(Ordering::Relaxed),
-        ws.underflows.load(Ordering::Relaxed),
-        "underflow totals diverged"
-    );
-    assert_eq!(packed.held_total(), wide.held_total());
+    let ws = wide.stats();
+    for mech in others {
+        let ps = mech.stats();
+        assert_eq!(
+            ps.acquisitions.load(Ordering::Relaxed),
+            ws.acquisitions.load(Ordering::Relaxed),
+            "{:?}: acquisition totals diverged",
+            mech.layout()
+        );
+        assert_eq!(
+            ps.timeouts.load(Ordering::Relaxed),
+            ws.timeouts.load(Ordering::Relaxed),
+            "{:?}: timeout totals diverged",
+            mech.layout()
+        );
+        assert_eq!(
+            ps.underflows.load(Ordering::Relaxed),
+            ws.underflows.load(Ordering::Relaxed),
+            "{:?}: underflow totals diverged",
+            mech.layout()
+        );
+        assert_eq!(mech.held_total(), wide.held_total());
+        assert!(
+            !mech.waiter_summary(),
+            "{:?}: summary bit left set by a sequential schedule",
+            mech.layout()
+        );
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Identical seeded schedules drive packed and wide mechanisms to
-    /// identical admission/refusal/balance outcomes, step by step.
+    /// Identical seeded schedules drive the packed, Dwcas and wide
+    /// mechanisms to identical admission/refusal/balance outcomes, step
+    /// by step. Mode counts above 8 exercise the Dwcas/wide pair alone
+    /// (packed cannot represent them), including modes in the high
+    /// 64-bit half of the Dwcas word.
     #[test]
-    fn packed_and_wide_replay_identically(
-        modes in 1usize..=8,
-        raw in proptest::collection::vec((0u8..3, 0u32..8, any::<bool>()), 1..120),
+    fn all_layouts_replay_identically(
+        modes in 1usize..=16,
+        raw in proptest::collection::vec((0u8..3, 0u32..16, any::<bool>()), 1..120),
     ) {
         let steps: Vec<Step> = raw
             .iter()
@@ -144,7 +194,7 @@ fn packed_and_wide_balance_under_threads() {
     let modes = 6usize;
     let conflicts = Arc::new(conflict_lists(modes, 7));
     let mut totals = Vec::new();
-    for layout in [MechLayout::Packed, MechLayout::Wide] {
+    for layout in [MechLayout::Packed, MechLayout::Dwcas, MechLayout::Wide] {
         let mech = Arc::new(Mech::with_layout(modes, WaitStrategy::Block, layout));
         std::thread::scope(|scope| {
             for t in 0..THREADS {
@@ -168,20 +218,26 @@ fn packed_and_wide_balance_under_threads() {
             "{layout:?}: acquisition count off"
         );
         assert_eq!(s.underflows.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            mech.live_waiter_nodes(),
+            0,
+            "{layout:?}: leaked waiter nodes"
+        );
+        assert!(!mech.waiter_summary(), "{layout:?}: summary left published");
         totals.push(s.acquisitions.load(Ordering::Relaxed));
     }
-    assert_eq!(totals[0], totals[1]);
+    assert!(totals.windows(2).all(|w| w[0] == w[1]));
 }
 
 /// Targeted lost-wakeup regression: a releaser decrements while a waiter
-/// is between its admission re-check and its park. The packed release
-/// protocol (WAITERS bit in the count word + notify under the internal
-/// mutex) must never let the notification slip into that window; if it
-/// does, the ping-pong below deadlocks and the watchdog channel times out.
+/// is between its admission re-check and its park. The claim-based
+/// release protocol (summary bit in the count word + per-node handoff)
+/// must never let the notification slip into that window; if it does,
+/// the ping-pong below deadlocks and the watchdog channel times out.
 #[test]
 fn release_wakeup_is_never_lost() {
     const ROUNDS: usize = 3_000;
-    for layout in [MechLayout::Packed, MechLayout::Wide] {
+    for layout in [MechLayout::Packed, MechLayout::Dwcas, MechLayout::Wide] {
         let mech = Arc::new(Mech::with_layout(1, WaitStrategy::Block, layout));
         let (done_tx, done_rx) = mpsc::channel::<()>();
         let workers: Vec<_> = (0..2)
@@ -211,7 +267,146 @@ fn release_wakeup_is_never_lost() {
             w.join().unwrap();
         }
         assert_eq!(mech.held_total(), 0);
+        assert_eq!(mech.live_waiter_nodes(), 0, "{layout:?}: leaked nodes");
+        assert!(!mech.waiter_summary(), "{layout:?}: stale summary");
     }
+}
+
+/// ABA regression for the tagged waiter-stack head: drive the 16-bit
+/// generation tag through several full wraps with push/claim cycles,
+/// then verify a multi-node chain pushed *at the wrap boundary* is still
+/// claimed and notified in full. A broken tag scheme (e.g. tag reuse
+/// making a stale CAS succeed) shows up as a cut chain — a node that
+/// never gets notified — or a refcount leak.
+#[test]
+fn claim_stack_survives_tag_wraparound() {
+    use semlock::stack::WaiterStack;
+    let stack = WaiterStack::new();
+    // 2^16 bumps per wrap; each empty push/claim cycle bumps twice.
+    // 34_000 cycles ≈ 1.04 wraps; run past two boundaries to be sure.
+    let start_tag = stack.tag();
+    let mut wrapped = false;
+    let mut prev_tag = start_tag;
+    for _ in 0..70_000 {
+        let n = stack.alloc();
+        n.prepare();
+        stack.push(&n);
+        stack.claim().wake_all();
+        let t = stack.tag();
+        if t < prev_tag {
+            wrapped = true;
+            // The wrap boundary: push a 3-node chain and claim it while
+            // the tag arithmetic is mid-wrap.
+            let (a, b, c) = (stack.alloc(), stack.alloc(), stack.alloc());
+            for n in [&a, &b, &c] {
+                n.prepare();
+                stack.push(n);
+            }
+            stack.claim().wake_all();
+            // All three must have been notified — park would hang on a
+            // stranded (cut-chain) node, so bound it.
+            for n in [&a, &b, &c] {
+                assert!(
+                    n.park_for(Duration::from_secs(10)),
+                    "node missed its wakeup across the tag wrap"
+                );
+            }
+        }
+        prev_tag = t;
+    }
+    assert!(wrapped, "tag never wrapped — bump arithmetic changed?");
+    assert!(stack.is_empty());
+    assert_eq!(stack.live_nodes(), 0, "leaked nodes across the wrap");
+}
+
+/// `WaitBudget::DontWait` regression: a failing `try_lock` must be a
+/// side-effect-free probe. The earlier packed implementation routed it
+/// through the waiting path and transiently published the WAITERS bit,
+/// which a concurrent releaser could consume — waking nobody and losing
+/// the real waiter's handoff. Here a real waiter parks, then a barrage
+/// of failing probes runs; the waiter's published summary must survive
+/// untouched and the waiter must still be woken by the actual release.
+#[test]
+fn dontwait_probe_is_side_effect_free() {
+    for layout in [MechLayout::Packed, MechLayout::Dwcas] {
+        let mech = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+        mech.lock(0, ConflictSet::new(&[1]));
+        let waiter = {
+            let mech = Arc::clone(&mech);
+            std::thread::spawn(move || {
+                mech.lock(1, ConflictSet::new(&[0]));
+                assert!(mech.unlock(1));
+            })
+        };
+        // Wait until the waiter has actually published its node + bit.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !mech.waiter_summary() {
+            assert!(Instant::now() < deadline, "{layout:?}: waiter never parked");
+            std::thread::yield_now();
+        }
+        for _ in 0..10_000 {
+            assert!(
+                !mech.try_lock(1, ConflictSet::new(&[0])),
+                "{layout:?}: probe admitted against a held conflict"
+            );
+            assert!(
+                mech.waiter_summary(),
+                "{layout:?}: failing DontWait probe disturbed the waiter summary"
+            );
+        }
+        assert!(mech.unlock(0));
+        waiter.join().unwrap();
+        assert_eq!(mech.held_total(), 0);
+        assert_eq!(mech.live_waiter_nodes(), 0);
+        assert!(!mech.waiter_summary());
+    }
+}
+
+/// A 16-mode partition — previously forced onto the counters-under-mutex
+/// wide path — runs lock-free on the Dwcas word under `Auto` wherever
+/// cmpxchg16b serves it, with modes spread across both 64-bit halves.
+#[test]
+fn sixteen_mode_partition_is_lock_free_under_auto() {
+    use std::sync::atomic::Ordering;
+    const THREADS: usize = 4;
+    const OPS: usize = 1_500;
+    let modes = 16usize;
+    let mech = Arc::new(Mech::new(modes, WaitStrategy::Block));
+    if semlock::dwcas::dwcas_available() {
+        assert_eq!(mech.layout(), MechLayout::Dwcas, "Auto left 16 modes wide");
+    } else {
+        assert_eq!(mech.layout(), MechLayout::Wide);
+    }
+    let conflicts = Arc::new(conflict_lists(modes, 0xD1CE));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let mech = Arc::clone(&mech);
+            let conflicts = Arc::clone(&conflicts);
+            scope.spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(t as u64 ^ 0xABCD);
+                for _ in 0..OPS {
+                    // Bias towards the cross-half modes (7, 8, 15) so the
+                    // high and low words of the DWCAS both churn.
+                    let m = match rng.gen_range(0..6) {
+                        0 => 7u32,
+                        1 => 8,
+                        2 => 15,
+                        _ => rng.gen_range(0..modes) as u32,
+                    };
+                    mech.lock(m, ConflictSet::new(&conflicts[m as usize]));
+                    assert!(mech.unlock(m));
+                }
+            });
+        }
+    });
+    assert_eq!(mech.held_total(), 0);
+    assert_eq!(
+        mech.stats().acquisitions.load(Ordering::Relaxed),
+        (THREADS * OPS) as u64
+    );
+    assert_eq!(mech.live_waiter_nodes(), 0);
+    assert!(!mech.waiter_summary());
 }
 
 // ---------------------------------------------------------------------

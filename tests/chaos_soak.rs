@@ -183,6 +183,57 @@ mod interp_soak {
     }
 }
 
+/// Claim-stack handoff under chaos-scale contention, on every counter
+/// layout. All threads fight over one self-conflicting mode with a mix of
+/// unbounded and tightly-bounded acquisitions, so the soak interleaves
+/// parked waiters, timed-out stale nodes, and back-to-back handoffs. The
+/// CI `chaos-soak` job raises `SEMLOCK_CHAOS_OPS` to push this hard.
+mod waiter_handoff_soak {
+    use super::*;
+    use semlock::mech::{Acquire, ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn layout_soak_balances_and_leaks_nothing() {
+        let ops = chaos_ops();
+        for layout in [MechLayout::Packed, MechLayout::Dwcas, MechLayout::Wide] {
+            let mech = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
+            let held = Arc::new(AtomicU64::new(0));
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    let mech = Arc::clone(&mech);
+                    let held = Arc::clone(&held);
+                    scope.spawn(move || {
+                        let cs = ConflictSet::new(&[0]);
+                        for i in 0..ops {
+                            let acquired = if (t + i) % 5 == 0 {
+                                mech.lock_deadline(
+                                    0,
+                                    cs,
+                                    Instant::now() + Duration::from_micros(20),
+                                    &mut || Wait::Continue,
+                                ) == Acquire::Acquired
+                            } else {
+                                mech.lock(0, cs);
+                                true
+                            };
+                            if acquired {
+                                assert_eq!(held.fetch_add(1, Ordering::AcqRel), 0);
+                                assert_eq!(held.fetch_sub(1, Ordering::AcqRel), 1);
+                                assert!(mech.unlock(0));
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(mech.held_total(), 0, "{layout:?}: holds leaked");
+            assert_eq!(mech.live_waiter_nodes(), 0, "{layout:?}: nodes leaked");
+            assert!(!mech.waiter_summary(), "{layout:?}: stale summary bit");
+        }
+    }
+}
+
 /// Satellite: a panic in one thread's atomic section must not strand
 /// conflicting acquirers in other threads.
 mod cross_thread_panic {

@@ -42,6 +42,116 @@ fn guard() -> MutexGuard<'static, ()> {
     GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The retry escalation state machine over the Dwcas + claim-stack park
+/// path: contending threads acquire a high-half mode of a 16-mode
+/// partition with deadlines tight enough to abort constantly, walk every
+/// abort through `RetryPolicy::on_abort` (backoff → escalation), and
+/// count each re-run into the process-wide [`RetryCounters`]. Every
+/// logical op must eventually complete, the counters must balance
+/// exactly against the locally observed aborts, and the mech must be
+/// spotless at quiescence (no holds, no waiter nodes, no summary bit).
+#[test]
+fn retry_counters_balance_over_dwcas_claim_stack() {
+    use semlock::error::LockError;
+    use semlock::mech::{Acquire, ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
+    use semlock::retry::RetryOutcome;
+    use semlock::ModeId;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+    let _g = guard();
+    let before = telemetry::retry_counters();
+    let mech = Arc::new(Mech::with_layout(
+        16,
+        WaitStrategy::Block,
+        MechLayout::Dwcas,
+    ));
+    let policy = Arc::new(RetryPolicy::new(11).escalate_after(3));
+    let ops = chaos_ops().min(300);
+    let retried = Arc::new(AtomicU64::new(0));
+    let escalated = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let mech = Arc::clone(&mech);
+            let policy = Arc::clone(&policy);
+            let retried = Arc::clone(&retried);
+            let escalated = Arc::clone(&escalated);
+            scope.spawn(move || {
+                // Mode 15 (high half of the DWCAS word) conflicts with
+                // itself: full mutual exclusion among all threads.
+                let cs = ConflictSet::new(&[15]);
+                for i in 0..ops {
+                    let txn = t * ops + i;
+                    let mut st = semlock::retry::RetryState::new();
+                    loop {
+                        // Escalated attempts get the policy's patience
+                        // budget; ordinary ones a deliberately tiny
+                        // deadline so aborts are common.
+                        let wait = if st.escalated() {
+                            policy.patience_budget()
+                        } else {
+                            Duration::from_micros(30)
+                        };
+                        let got = mech
+                            .lock_deadline(15, cs, Instant::now() + wait, &mut || Wait::Continue);
+                        if got == Acquire::Acquired {
+                            // Hold the mode long enough that rival
+                            // 30µs-deadline attempts genuinely expire —
+                            // otherwise the abort path never fires and
+                            // the balance checks below are vacuous.
+                            let until = Instant::now() + Duration::from_micros(60);
+                            while Instant::now() < until {
+                                std::hint::spin_loop();
+                            }
+                            assert!(mech.unlock(15));
+                            break;
+                        }
+                        let err = LockError::Timeout {
+                            instance: 0,
+                            mode: ModeId(15),
+                            waited: wait,
+                        };
+                        match policy.on_abort(&mut st, txn, &err) {
+                            RetryOutcome::RetryAfter(backoff) => {
+                                telemetry::count_retry();
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(backoff.min(Duration::from_micros(200)));
+                            }
+                            RetryOutcome::Escalate => {
+                                telemetry::count_retry();
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                if st.attempts() == 3 {
+                                    telemetry::count_escalation();
+                                    escalated.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            out => panic!("budget blown under pure contention: {out:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let after = telemetry::retry_counters();
+    assert!(
+        retried.load(Ordering::Relaxed) > 0,
+        "soak produced no aborts — the retry path was never exercised"
+    );
+    assert_eq!(
+        after.retries - before.retries,
+        retried.load(Ordering::Relaxed),
+        "global retry counter out of balance with observed aborts"
+    );
+    assert_eq!(
+        after.escalations - before.escalations,
+        escalated.load(Ordering::Relaxed),
+        "global escalation counter out of balance"
+    );
+    assert_eq!(after.exhausted, before.exhausted);
+    assert_eq!(mech.held_total(), 0, "holds leaked through the retry loop");
+    assert_eq!(mech.live_waiter_nodes(), 0, "waiter nodes leaked");
+    assert!(!mech.waiter_summary(), "stale waiter-summary bit");
+}
+
 fn counter_program() -> Arc<synth::SynthOutput> {
     Arc::new(
         synth::Synthesizer::new(workloads::synthesis::registry())
