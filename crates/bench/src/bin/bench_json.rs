@@ -1,17 +1,19 @@
-//! Machine-readable benchmark runner: emits `BENCH_PR8.json` with
+//! Machine-readable benchmark runner: emits `BENCH_PR9.json` with
 //! micro-benchmark latencies (telemetry off vs on), the packed-vs-wide
 //! admission A/B, the Dwcas-vs-packed admission A/B, the contended
 //! park/handoff A/B (claim stack vs counters-under-mutex parking), the
-//! compiled-vs-tree-walk interpreter A/B, the open-loop server
-//! goodput/latency table, workload throughput sweeps, lock-contention
-//! counters, and telemetry summaries.
+//! cross-backend admission table (one row per registered admission
+//! backend, filterable with `--backend`), the compiled-vs-tree-walk
+//! interpreter A/B, the open-loop server goodput/latency table, workload
+//! throughput sweeps, lock-contention counters, and telemetry summaries.
 //!
 //! ```text
-//! cargo run --release --bin bench_json -- --out BENCH_PR8.json
+//! cargo run --release --bin bench_json -- --out BENCH_PR9.json
 //! cargo run --release --bin bench_json -- --ops 5000 --threads 1,4 \
 //!     --against BENCH_PR3.json --against BENCH_PR4.json \
 //!     --against BENCH_PR5.json --against BENCH_PR7.json \
-//!     --against BENCH_PR8.json --tolerance 0.10
+//!     --against BENCH_PR8.json --against BENCH_PR9.json --tolerance 0.10
+//! cargo run --release --bin bench_json -- --backend conflict_graph --backend wide
 //! ```
 //!
 //! With `--against` (repeatable), the telemetry-off micro benches are
@@ -24,14 +26,13 @@
 //! (PR 4, which adds the admission A/B entries) compose.
 
 use semlock::manager::SemLock;
-use semlock::mech::MechLayout;
 use semlock::mode::ModeTable;
 use semlock::phi::Phi;
 use semlock::symbolic::{SymArg, SymOp, SymbolicSet};
 use semlock::telemetry;
 use semlock::txn::Txn;
 use semlock::value::Value;
-use semlock::{AcquireSpec, WaitStrategy};
+use semlock::{AcquireSpec, AdmissionBackend, WaitStrategy};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,12 +46,27 @@ struct Config {
     against: Vec<String>,
     tolerance: f64,
     telemetry_workloads: bool,
+    /// Backends for the cross-backend table; empty means all of
+    /// [`AdmissionBackend::CONCRETE`].
+    backends: Vec<AdmissionBackend>,
+}
+
+impl Config {
+    /// The backends the cross-backend table runs: the `--backend`
+    /// selection, or every concrete backend when no filter was given.
+    fn selected_backends(&self) -> Vec<AdmissionBackend> {
+        if self.backends.is_empty() {
+            AdmissionBackend::CONCRETE.to_vec()
+        } else {
+            self.backends.clone()
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_json [--ops N] [--threads 1,2,4] [--out FILE] \
-         [--against FILE]... [--tolerance F] [--telemetry]"
+         [--against FILE]... [--tolerance F] [--telemetry] [--backend NAME]..."
     );
     std::process::exit(2);
 }
@@ -63,6 +79,7 @@ fn parse_args() -> Config {
         against: Vec::new(),
         tolerance: 0.10,
         telemetry_workloads: false,
+        backends: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,6 +103,16 @@ fn parse_args() -> Config {
             "--against" => cfg.against.push(val(&mut args)),
             "--tolerance" => cfg.tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--telemetry" => cfg.telemetry_workloads = true,
+            "--backend" => {
+                let name = val(&mut args);
+                match AdmissionBackend::from_name(&name) {
+                    Some(AdmissionBackend::Auto) | None => {
+                        eprintln!("bench_json: unknown backend {name:?}");
+                        usage();
+                    }
+                    Some(b) => cfg.backends.push(b),
+                }
+            }
             _ => usage(),
         }
     }
@@ -241,11 +268,12 @@ fn run_admission_ab(ops: u64) -> AdmissionAb {
     const ROUNDS: u32 = 8;
     let (table, site) = cia_table(64);
     let mode = table.select(site, &[Value(7)]);
-    // `MechLayout::Packed` (not `Auto`) so the build asserts every
+    // `AdmissionBackend::Packed` (not `Auto`) so the build asserts every
     // partition really fits the packed word — an Auto that silently fell
     // back to wide would make the A/B compare wide against wide.
-    let packed = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Packed);
-    let wide = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Wide);
+    let packed =
+        SemLock::with_backend(table.clone(), WaitStrategy::Block, AdmissionBackend::Packed);
+    let wide = SemLock::with_backend(table.clone(), WaitStrategy::Block, AdmissionBackend::Wide);
     let spec = AcquireSpec::new(mode);
     let iters = ops.max(1000);
     let pass = |lock: &SemLock| {
@@ -300,8 +328,9 @@ fn run_dwcas_ab(ops: u64) -> DwcasAb {
     const ROUNDS: u32 = 8;
     let (table, site) = cia_table(64);
     let mode = table.select(site, &[Value(7)]);
-    let dwcas = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Dwcas);
-    let packed = SemLock::with_mech_layout(table.clone(), WaitStrategy::Block, MechLayout::Packed);
+    let dwcas = SemLock::with_backend(table.clone(), WaitStrategy::Block, AdmissionBackend::Dwcas);
+    let packed =
+        SemLock::with_backend(table.clone(), WaitStrategy::Block, AdmissionBackend::Packed);
     let spec = AcquireSpec::new(mode);
     let iters = ops.max(1000);
     let pass = |lock: &SemLock| {
@@ -391,7 +420,7 @@ fn handoff_pass(mech: &Arc<semlock::mech::Mech>, iters: u64) -> f64 {
 }
 
 fn run_handoff_ab(ops: u64) -> HandoffAb {
-    use semlock::mech::Mech;
+    use semlock::mech::{Mech, MechLayout};
     const ROUNDS: u32 = 8;
     let claim = Arc::new(Mech::with_layout(
         1,
@@ -412,6 +441,70 @@ fn run_handoff_ab(ops: u64) -> HandoffAb {
         claim_ns,
         mutex_ns,
     }
+}
+
+/// One row of the cross-backend table: the uncontended admission micro
+/// and the ComputeIfAbsent workload throughput (at the highest requested
+/// thread count) for one admission backend.
+struct BackendRow {
+    backend: AdmissionBackend,
+    admit_ns: f64,
+    cia_ops_per_sec: f64,
+    cia_threads: usize,
+    acquisitions: u64,
+    contended: u64,
+}
+
+/// The cross-backend table: every selected backend driven through the
+/// identical uncontended `acquire`/`unlock` loop (min-of-N passes
+/// interleaved *across backends*, so frequency drift hits all rows
+/// alike) and the identical ComputeIfAbsent workload.
+fn run_backends(cfg: &Config) -> Vec<BackendRow> {
+    const ROUNDS: u32 = 8;
+    let (table, site) = cia_table(64);
+    let mode = table.select(site, &[Value(7)]);
+    let spec = AcquireSpec::new(mode);
+    let iters = cfg.ops.max(1000);
+    let backends = cfg.selected_backends();
+    let locks: Vec<SemLock> = backends
+        .iter()
+        .map(|&b| SemLock::with_backend(table.clone(), WaitStrategy::Block, b))
+        .collect();
+    let pass = |lock: &SemLock| {
+        one_pass_ns(iters, &mut || {
+            lock.acquire(&spec).expect("uncontended admission");
+            lock.unlock(mode);
+        })
+    };
+    // Warm every row once, then interleave the timed passes.
+    let mut admit_ns = vec![f64::INFINITY; locks.len()];
+    for lock in &locks {
+        pass(lock);
+    }
+    for _ in 0..ROUNDS {
+        for (ns, lock) in admit_ns.iter_mut().zip(&locks) {
+            *ns = (*ns).min(pass(lock));
+        }
+    }
+    let threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    backends
+        .iter()
+        .zip(admit_ns)
+        .map(|(&backend, admit_ns)| {
+            let bench = ComputeIfAbsent::with_backend(SyncKind::Semantic, 8192, backend);
+            let m = measure(threads, cfg.ops, 1, 1, &|t, rng| bench.op(t, rng));
+            bench.validate().expect("ComputeIfAbsent invariant");
+            let (acquisitions, contended) = bench.contention();
+            BackendRow {
+                backend,
+                admit_ns,
+                cia_ops_per_sec: m.ops_per_sec,
+                cia_threads: threads,
+                acquisitions,
+                contended,
+            }
+        })
+        .collect()
 }
 
 /// Fixed seed for the server bench: the goodput table in the checked-in
@@ -650,6 +743,7 @@ fn render_json(
     admission: &AdmissionAb,
     dwcas: &DwcasAb,
     handoff: &HandoffAb,
+    backends: &[BackendRow],
     interp_ab: &InterpAb,
     server: &ServerReport,
     workloads: &[WorkloadResult],
@@ -658,7 +752,7 @@ fn render_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"semlock-bench/v1\",\n");
-    out.push_str("  \"pr\": 8,\n");
+    out.push_str("  \"pr\": 9,\n");
     let threads: Vec<String> = cfg.threads.iter().map(|t| t.to_string()).collect();
     let _ = writeln!(
         out,
@@ -740,6 +834,29 @@ fn render_json(
         fmt_f(handoff.mutex_ns / cal),
         fmt_f(handoff.claim_ns / handoff.mutex_ns)
     );
+    // The cross-backend table: every admission backend through the
+    // identical uncontended micro (passes interleaved across rows) and
+    // the identical ComputeIfAbsent workload. The gate compares
+    // conflict_graph to wide on the micro (see `check_backends`), again
+    // on a same-process ratio rather than absolute latency.
+    out.push_str("  \"backends\": [\n");
+    for (i, row) in backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"admit_ns_per_op\": {}, \"admit_rel\": {}, \
+             \"cia_threads\": {}, \"cia_ops_per_sec\": {}, \
+             \"contention\": {{\"acquisitions\": {}, \"contended\": {}}}}}{}",
+            row.backend.name(),
+            fmt_f(row.admit_ns),
+            fmt_f(row.admit_ns / cal),
+            row.cia_threads,
+            fmt_f(row.cia_ops_per_sec),
+            row.acquisitions,
+            row.contended,
+            if i + 1 == backends.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
     // Like the admission A/B, the interpreter A/B is gated on its ratio
     // (both engines measured back-to-back in the same process), so it is
     // immune to machine-speed drift across runs.
@@ -984,6 +1101,59 @@ fn check_handoff(cfg: &Config, handoff: &HandoffAb) -> bool {
     }
 }
 
+/// How much slower than the wide (Fig. 20) admission the conflict-graph
+/// admission may be on the uncontended micro. Both take the internal
+/// mutex and scan a small conflict list, so they should land close; the
+/// headroom covers the indexed row lookup and the cache line the rows
+/// add. This gates the *floor*, not the ceiling: the conflict-graph
+/// backend is mutex-based and is never expected to beat Packed, so no
+/// upper bound against the lock-free rows is enforced.
+const CONFLICT_GRAPH_OVER_WIDE_LIMIT: f64 = 1.5;
+
+/// PR 9 acceptance: the conflict-graph backend stays within a sane band
+/// of the wide backend on uncontended admission (same-process
+/// interleaved rows, ratio gate with the regression tolerance as noise
+/// headroom). Skipped when a `--backend` filter dropped either row.
+fn check_backends(cfg: &Config, backends: &[BackendRow]) -> bool {
+    for row in backends {
+        eprintln!(
+            "bench_json: backend {}: admit {:.1} ns/op, cia x{} {:.0} ops/s \
+             ({} acquisitions, {} contended)",
+            row.backend.name(),
+            row.admit_ns,
+            row.cia_threads,
+            row.cia_ops_per_sec,
+            row.acquisitions,
+            row.contended
+        );
+    }
+    let find = |b: AdmissionBackend| backends.iter().find(|r| r.backend == b);
+    let (Some(graph), Some(wide)) = (
+        find(AdmissionBackend::ConflictGraph),
+        find(AdmissionBackend::Wide),
+    ) else {
+        eprintln!("bench_json: backends: conflict_graph/wide rows filtered out — gate skipped");
+        return true;
+    };
+    let ratio = graph.admit_ns / wide.admit_ns;
+    let limit = CONFLICT_GRAPH_OVER_WIDE_LIMIT * (1.0 + cfg.tolerance);
+    if ratio > limit {
+        eprintln!(
+            "bench_json: BACKEND REGRESSION: conflict_graph {:.1} ns vs wide {:.1} ns \
+             (ratio {ratio:.3} > {limit:.3})",
+            graph.admit_ns, wide.admit_ns
+        );
+        false
+    } else {
+        eprintln!(
+            "bench_json: backends: conflict_graph {:.1} ns vs wide {:.1} ns \
+             (ratio {ratio:.3} <= {limit:.3}) — ok",
+            graph.admit_ns, wide.admit_ns
+        );
+        true
+    }
+}
+
 /// Pull `(goodput_per_sec, p99_us)` out of a baseline's `"server"` line,
 /// if it has one (PR 3–5 baselines don't; only PR 7+ files gate here).
 fn parse_baseline_server(text: &str) -> Option<(f64, u64)> {
@@ -1097,6 +1267,7 @@ fn main() {
     let admission = run_admission_ab(cfg.ops);
     let dwcas = run_dwcas_ab(cfg.ops);
     let handoff = run_handoff_ab(cfg.ops);
+    let backends = run_backends(&cfg);
     let interp_ab = run_interp_ab(cfg.ops);
     let server = run_server_bench(cfg.ops);
     let tel = &server.telemetry;
@@ -1106,7 +1277,8 @@ fn main() {
     );
     let workloads = run_workloads(&cfg);
     let json = render_json(
-        cal, &micros, &admission, &dwcas, &handoff, &interp_ab, &server, &workloads, &cfg,
+        cal, &micros, &admission, &dwcas, &handoff, &backends, &interp_ab, &server, &workloads,
+        &cfg,
     );
     match &cfg.out {
         Some(path) => {
@@ -1119,6 +1291,7 @@ fn main() {
     let ok = check_admission(&cfg, &admission)
         & check_dwcas(&cfg, &dwcas)
         & check_handoff(&cfg, &handoff)
+        & check_backends(&cfg, &backends)
         & check_interp(&cfg, &interp_ab)
         & check_server(&cfg, &server)
         & check_regressions(&cfg, &measured);

@@ -11,7 +11,7 @@
 //! Per warm run, the loop performs exactly one allocation — the register
 //! vector that escapes as the [`CompiledFrame`]; the handle cache, the
 //! group-lock scratch, and the `RunState` buffers are recycled through a
-//! per-thread [`Scratch`] pool. Per *op* it allocates nothing: no
+//! per-thread `Scratch` pool. Per *op* it allocates nothing: no
 //! `HashMap` frame lookups, no `String` clones, no recursive `Expr`
 //! matching, no string-keyed `ClassTables` lookups on lock sites, and —
 //! thanks to the per-slot handle cache — the `Registry::get`

@@ -343,7 +343,7 @@ impl Interp {
     /// making per-attempt progress possible.
     ///
     /// Abort cleanup between attempts is the same idempotent
-    /// [`Interp::abort_cleanup`] path `try_run` uses: every held mode is
+    /// `Interp::abort_cleanup` path `try_run` uses: every held mode is
     /// released (mutated instances poisoned first) before the backoff
     /// sleep, so a retrying transaction never parks while holding modes.
     /// Injected panics are *not* retried — they unwind to the caller

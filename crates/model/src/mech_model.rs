@@ -612,3 +612,88 @@ impl WideMech {
         self.counts[local as usize].load(Ordering::Relaxed)
     }
 }
+
+/// The conflict-graph admission backend
+/// (`semlock::admission::ConflictGraphBackend`) over the model shims.
+/// The protocol is the wide blocking protocol verbatim — it reuses the
+/// `wide.*` ordering sites — with one difference mirroring the runtime
+/// backend: the conflict check walks the precomputed adjacency row for
+/// `local` instead of a caller-supplied conflict set.
+pub struct GraphMech {
+    counts: Vec<AtomicU32>,
+    rows: Vec<Vec<u32>>,
+    internal: Mutex<()>,
+    cond: Condvar,
+    waiters: AtomicU32,
+    profile: OrderingProfile,
+}
+
+impl GraphMech {
+    /// A fresh mechanism over symmetric adjacency `rows` (one row of
+    /// conflicting locals per mode). Must be called on a model thread.
+    pub fn new(rows: Vec<Vec<u32>>, profile: OrderingProfile) -> Arc<GraphMech> {
+        Arc::new(GraphMech {
+            counts: (0..rows.len()).map(|_| AtomicU32::new(0)).collect(),
+            rows,
+            internal: Mutex::new(()),
+            cond: Condvar::new(),
+            waiters: AtomicU32::new(0),
+            profile,
+        })
+    }
+
+    /// `ConflictGraphBackend::conflicted`, ordering from the profile.
+    fn conflicted(&self, local: u32) -> bool {
+        self.rows[local as usize]
+            .iter()
+            .any(|&c| self.counts[c as usize].load(self.profile.wide_conflict_load) > 0)
+    }
+
+    /// `ConflictGraphBackend::lock`, blocking arm: register as waiter,
+    /// check the adjacency row, park.
+    pub fn lock(&self, local: u32) {
+        let mut guard = self.internal.lock();
+        loop {
+            self.waiters.fetch_add(1, self.profile.wide_waiter_rmw);
+            if !self.conflicted(local) {
+                self.waiters.fetch_sub(1, self.profile.wide_waiter_rmw);
+                break;
+            }
+            self.cond.wait(&mut guard);
+            self.waiters.fetch_sub(1, self.profile.wide_waiter_rmw);
+        }
+        self.counts[local as usize].fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+    }
+
+    /// `ConflictGraphBackend::unlock`: checked CAS decrement, then the
+    /// decrement-then-read-waiters half of the store-buffering pair.
+    pub fn unlock(&self, local: u32) -> bool {
+        let c = &self.counts[local as usize];
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match c.compare_exchange_weak(
+                cur,
+                cur - 1,
+                self.profile.wide_release_rmw,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if self.waiters.load(self.profile.wide_waiters_load) > 0 {
+            let _g = self.internal.lock();
+            self.cond.notify_all();
+        }
+        true
+    }
+
+    /// Latest count of one mode (post-join asserts).
+    pub fn count(&self, local: u32) -> u32 {
+        self.counts[local as usize].load(Ordering::Relaxed)
+    }
+}

@@ -3,7 +3,7 @@
 //! Code written against `semlock::sync::{AtomicU64, Mutex, Condvar,
 //! thread}` compiles unchanged against this module; under the model every
 //! operation becomes a schedule point plus a transition of the explicit
-//! state in [`crate::sched::ExecState`]:
+//! state in `crate::sched::ExecState`:
 //!
 //! * atomics go through the ordering-aware [`crate::mem::Memory`] — a
 //!   Relaxed load may return any store the thread's view permits (the

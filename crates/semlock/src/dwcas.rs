@@ -103,14 +103,14 @@ mod imp {
     }
 
     /// One 16-byte aligned vector load (atomic on AVX hosts — see
-    /// [`plain_load_is_atomic`]). x86-TSO gives every load acquire
+    /// `plain_load_is_atomic`). x86-TSO gives every load acquire
     /// semantics, and the non-`pure` asm block is a compiler fence, so
     /// this honors any ordering the protocol ships for a load.
     ///
     /// # Safety
     /// `src` must be 16-byte aligned (`movdqa` faults otherwise) and only
     /// ever written through [`cmpxchg16b`]; the caller must have checked
-    /// [`plain_load_is_atomic`].
+    /// `plain_load_is_atomic`.
     #[inline]
     unsafe fn load_movdqa(src: *const u128) -> u128 {
         let lo: u64;
@@ -146,7 +146,7 @@ mod imp {
         }
 
         /// Atomic load: a plain `movdqa` where the host guarantees aligned
-        /// 16-byte loads are atomic (AVX — see [`plain_load_is_atomic`]),
+        /// 16-byte loads are atomic (AVX — see `plain_load_is_atomic`),
         /// else a compare-exchange with an arbitrary expected value (the
         /// canonical cmpxchg16b load idiom; the write-back on a hit stores
         /// the value already present).

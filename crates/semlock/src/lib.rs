@@ -19,6 +19,10 @@
 //! * [`mode::ModeTable`] — locking-mode generation, merging, the
 //!   commutativity function `F_c` (Fig. 19) and lock partitioning (§5.2–5.3);
 //! * [`mech::Mech`] — the per-partition counter mechanism of Fig. 20;
+//! * [`admission`] — the pluggable admission backends behind one
+//!   [`admission::Admission`] trait: the three word/counter layouts plus
+//!   an Aksenov-style conflict-graph backend and an optimistic
+//!   try-then-block hybrid, selected by [`admission::AdmissionBackend`];
 //! * [`manager::SemLock`] — the per-instance `lock` / `unlockAll` API;
 //! * [`txn::Txn`] — transaction contexts (`LOCAL_SET`, `LV`, `LV2`,
 //!   epilogue, early release);
@@ -83,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod acquire;
+pub mod admission;
 pub mod commut;
 pub mod dwcas;
 pub mod error;
@@ -104,32 +109,33 @@ pub mod txn;
 pub mod value;
 pub mod watchdog;
 
-// The acquisition surface at the crate root: everything a caller needs to
-// take and release modes without reaching into submodules. (The
-// schema/spec/synthesis machinery stays behind its modules — that surface
-// is compiler-facing, not caller-facing.)
+// The acquisition surface at the crate root: exactly what a caller needs
+// to take and release modes — the unified `acquire(&AcquireSpec)` path,
+// its error types, and the admission-backend configuration. Everything
+// else (schema/spec/synthesis machinery, counter layouts, the retry/
+// overload layer) stays behind its module: that surface is
+// compiler-facing or policy-facing, not lock-caller-facing.
 pub use crate::acquire::{AcquireSpec, WaitBudget};
+pub use crate::admission::{Admission, AdmissionBackend};
 pub use crate::error::{LockError, LockResult};
-pub use crate::manager::SemLock;
+pub use crate::manager::{SemLock, SemLockBuilder};
 pub use crate::mech::WaitStrategy;
 pub use crate::mode::ModeId;
-pub use crate::retry::{
-    Admission, AdmissionThrottle, RetryBudgets, RetryOutcome, RetryPolicy, RetryState,
-};
 pub use crate::txn::Txn;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::acquire::{AcquireSpec, WaitBudget};
+    pub use crate::admission::{Admission, AdmissionBackend};
     pub use crate::error::{LockError, LockResult};
     pub use crate::fault::{FaultAction, FaultPlan, FaultPoint};
-    pub use crate::manager::SemLock;
+    pub use crate::manager::{SemLock, SemLockBuilder};
     pub use crate::mech::WaitStrategy;
     pub use crate::mode::{LockSiteId, Mode, ModeArg, ModeId, ModeOp, ModeTable};
     pub use crate::phi::{AbsVal, Phi};
     pub use crate::protocol::ProtocolChecker;
     pub use crate::retry::{
-        Admission, AdmissionThrottle, RetryBudgets, RetryOutcome, RetryPolicy, RetryState,
+        AdmissionThrottle, RetryBudgets, RetryOutcome, RetryPolicy, RetryState, ThrottleDecision,
     };
     pub use crate::schema::{AdtSchema, MethodIdx};
     pub use crate::spec::{ArgRef, CommutSpec, Cond};

@@ -235,7 +235,7 @@ pub mod ordering {
     /// cannot exhibit that cross-location cycle, so this is the one
     /// audited non-Relaxed site without a seeded mutant.)
     pub const STACK_SUMMARY_CLEAR: Ordering = Ordering::Acquire;
-    /// Waiter stack, peek: the head load behind [`WaiterStack::is_empty`]
+    /// Waiter stack, peek: the head load behind `WaiterStack::is_empty`
     /// (diagnostics and tests only — the handoff itself never peeks).
     /// Relaxed.
     pub const STACK_PEEK_HEAD_LOAD: Ordering = Ordering::Relaxed;
@@ -1202,7 +1202,19 @@ impl Mech {
     /// (used by the telemetry layer to classify the admission; ignorable
     /// otherwise).
     pub fn lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
-        let waited = match (&self.counts, self.strategy) {
+        let waited = self.lock_raw(local, cs);
+        self.note_acquired(waited);
+        waited
+    }
+
+    /// [`Mech::lock`] without the statistics update. The optimistic
+    /// hybrid backend ([`crate::admission::OptimisticHybridBackend`])
+    /// runs its own lock-free probes before falling back to this path
+    /// and must count the whole composite acquisition exactly once, so
+    /// the core and the accounting are split: every public entry point
+    /// pairs one `_raw` call with one `note_*` call.
+    pub(crate) fn lock_raw(&self, local: u32, cs: ConflictSet<'_>) -> bool {
+        match (&self.counts, self.strategy) {
             (Counts::Packed(word), WaitStrategy::Block) => self.lock_stack(word, local, cs),
             (Counts::Packed(word), WaitStrategy::Spin) => Self::lock_spin(word, local, cs),
             (Counts::Dwcas(word), WaitStrategy::Block) => self.lock_stack(word, local, cs),
@@ -1255,12 +1267,33 @@ impl Mech {
                 }
                 waited
             }
-        };
+        }
+    }
+
+    /// Record one successful acquisition in [`MechStats`]. Paired with
+    /// exactly one `*_raw` core call by every entry point (see
+    /// [`Mech::lock_raw`]).
+    #[inline]
+    pub(crate) fn note_acquired(&self, waited: bool) {
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         if waited {
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
-        waited
+    }
+
+    /// Record the outcome of a bounded acquisition in [`MechStats`]:
+    /// `Acquired` counts an acquisition (plus a contended one if
+    /// `waited`), `TimedOut` counts a timeout, `Abandoned` counts
+    /// nothing (the watchdog's own accounting covers aborts).
+    #[inline]
+    pub(crate) fn note_outcome(&self, outcome: Acquire, waited: bool) {
+        match outcome {
+            Acquire::Acquired => self.note_acquired(waited),
+            Acquire::TimedOut => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Acquire::Abandoned => {}
+        }
     }
 
     /// Try to acquire without waiting; returns whether the mode was taken.
@@ -1272,7 +1305,17 @@ impl Mech {
     /// (the `WaitBudget::DontWait` regression in `tests/fastpath.rs` pins
     /// this down).
     pub fn try_lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
-        let taken = match &self.counts {
+        let taken = self.try_lock_raw(local, cs);
+        if taken {
+            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// [`Mech::try_lock`] without the statistics update — see
+    /// [`Mech::lock_raw`] for why the core and the accounting are split.
+    pub(crate) fn try_lock_raw(&self, local: u32, cs: ConflictSet<'_>) -> bool {
+        match &self.counts {
             Counts::Packed(word) => word.try_admit(local, cs),
             Counts::Dwcas(word) => word.try_admit(local, cs),
             Counts::Wide(counts) => {
@@ -1286,11 +1329,7 @@ impl Mech {
                     true
                 }
             }
-        };
-        if taken {
-            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         }
-        taken
     }
 
     /// Bounded acquisition: like [`Mech::lock`], but gives up once
@@ -1312,18 +1351,34 @@ impl Mech {
         probe: &mut dyn FnMut() -> Wait,
     ) -> Acquire {
         let mut waited = false;
-        let outcome = match (&self.counts, self.strategy) {
+        let outcome = self.lock_deadline_raw(local, cs, deadline, probe, &mut waited);
+        self.note_outcome(outcome, waited);
+        outcome
+    }
+
+    /// [`Mech::lock_deadline`] without the statistics update — see
+    /// [`Mech::lock_raw`] for why the core and the accounting are split.
+    /// `waited` is OR-ed with whether this call had to wait.
+    pub(crate) fn lock_deadline_raw(
+        &self,
+        local: u32,
+        cs: ConflictSet<'_>,
+        deadline: Instant,
+        probe: &mut dyn FnMut() -> Wait,
+        waited: &mut bool,
+    ) -> Acquire {
+        match (&self.counts, self.strategy) {
             (Counts::Packed(word), WaitStrategy::Block) => {
-                self.lock_deadline_stack(word, local, cs, deadline, probe, &mut waited)
+                self.lock_deadline_stack(word, local, cs, deadline, probe, waited)
             }
             (Counts::Packed(word), WaitStrategy::Spin) => {
-                Self::lock_deadline_spin(word, local, cs, deadline, probe, &mut waited)
+                Self::lock_deadline_spin(word, local, cs, deadline, probe, waited)
             }
             (Counts::Dwcas(word), WaitStrategy::Block) => {
-                self.lock_deadline_stack(word, local, cs, deadline, probe, &mut waited)
+                self.lock_deadline_stack(word, local, cs, deadline, probe, waited)
             }
             (Counts::Dwcas(word), WaitStrategy::Spin) => {
-                Self::lock_deadline_spin(word, local, cs, deadline, probe, &mut waited)
+                Self::lock_deadline_spin(word, local, cs, deadline, probe, waited)
             }
             (Counts::Wide(counts), WaitStrategy::Block) => {
                 if Instant::now() >= deadline {
@@ -1357,7 +1412,7 @@ impl Mech {
                             self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
                             break Acquire::TimedOut;
                         }
-                        waited = true;
+                        *waited = true;
                         let slice = PROBE_INTERVAL.min(deadline - now);
                         self.cond.wait_for(&mut guard, slice);
                         self.waiters.fetch_sub(1, ord::WIDE_WAITER_RMW);
@@ -1384,7 +1439,7 @@ impl Mech {
                 let mut backoff: u32 = 1;
                 let mut next_probe = Instant::now() + PROBE_INTERVAL;
                 while Self::conflicted_wide(counts, cs) {
-                    waited = true;
+                    *waited = true;
                     let now = Instant::now();
                     if now >= deadline {
                         break 'outer Acquire::TimedOut;
@@ -1413,20 +1468,7 @@ impl Mech {
                 }
                 drop(guard);
             },
-        };
-        match outcome {
-            Acquire::Acquired => {
-                self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
-                if waited {
-                    self.stats.contended.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Acquire::TimedOut => {
-                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-            }
-            Acquire::Abandoned => {}
         }
-        outcome
     }
 
     /// Release one hold on the mode with local index `local`.

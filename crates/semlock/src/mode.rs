@@ -303,6 +303,34 @@ impl ModeTable {
         self.fc[a.0 as usize * self.modes.len() + b.0 as usize]
     }
 
+    /// The conflict graph of one partition as per-local adjacency rows:
+    /// `rows[l]` lists the local indices whose modes do **not** commute
+    /// with the mode at `(part, l)` under `F_c`. This is the input the
+    /// conflict-graph admission backend
+    /// ([`crate::admission::ConflictGraphBackend`]) precomputes — derived
+    /// here directly from `F_c` rather than read back from
+    /// [`ModePlacement::local_conflicts`], so the backend exercises the
+    /// commutativity analysis itself (the two are asserted equal by the
+    /// equivalence tests).
+    pub fn conflict_adjacency(&self, part: u32) -> Vec<Vec<u32>> {
+        let n = self.part_sizes[part as usize] as usize;
+        let mut rows = vec![Vec::new(); n];
+        for (local, row) in rows.iter_mut().enumerate() {
+            let Some(a) = self.mode_for_local(part, local as u32) else {
+                continue;
+            };
+            for other in 0..n {
+                let Some(b) = self.mode_for_local(part, other as u32) else {
+                    continue;
+                };
+                if !self.fc(a, b) {
+                    row.push(other as u32);
+                }
+            }
+        }
+        rows
+    }
+
     /// Select the mode for a lock site given the runtime values of its key
     /// slots — the dynamic mode lookup of §5.1 (`t1 = φ(i); …`).
     pub fn select(&self, site: LockSiteId, keys: &[Value]) -> ModeId {

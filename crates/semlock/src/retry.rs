@@ -329,7 +329,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// `#[non_exhaustive]`: a future throttle may add e.g. a `Queued` variant.
 #[non_exhaustive]
 #[derive(Debug)]
-pub enum Admission<'a> {
+pub enum ThrottleDecision<'a> {
     /// Admitted; drop the permit when the transaction finishes (success
     /// *or* failure) to return the token.
     Admitted(ThrottlePermit<'a>),
@@ -338,6 +338,11 @@ pub enum Admission<'a> {
     /// never attempted.
     Shed,
 }
+
+/// Former name of [`ThrottleDecision`], renamed when the lock-admission
+/// trait [`crate::admission::Admission`] took the `Admission` name.
+#[deprecated(since = "0.2.0", note = "renamed to `ThrottleDecision`")]
+pub type Admission<'a> = ThrottleDecision<'a>;
 
 /// A token-based concurrency cap with shed-on-saturation, modeled on the
 /// fallback-path governors of HTM runtimes: when every token is out, new
@@ -367,14 +372,14 @@ impl AdmissionThrottle {
     }
 
     /// Try to take a token. Never blocks: saturation sheds.
-    pub fn admit(&self) -> Admission<'_> {
+    pub fn admit(&self) -> ThrottleDecision<'_> {
         let mut cur = self.in_flight.load(Ordering::Relaxed);
         loop {
             if cur >= self.cap {
                 self.degraded.store(true, Ordering::Relaxed);
                 self.sheds.fetch_add(1, Ordering::Relaxed);
                 crate::telemetry::count_shed();
-                return Admission::Shed;
+                return ThrottleDecision::Shed;
             }
             match self.in_flight.compare_exchange_weak(
                 cur,
@@ -384,7 +389,7 @@ impl AdmissionThrottle {
             ) {
                 Ok(_) => {
                     self.admitted.fetch_add(1, Ordering::Relaxed);
-                    return Admission::Admitted(ThrottlePermit { throttle: self });
+                    return ThrottleDecision::Admitted(ThrottlePermit { throttle: self });
                 }
                 Err(seen) => cur = seen,
             }
@@ -556,14 +561,14 @@ mod tests {
     fn throttle_sheds_at_cap_and_degrades_with_hysteresis() {
         let t = AdmissionThrottle::new(2);
         let p1 = match t.admit() {
-            Admission::Admitted(p) => p,
+            ThrottleDecision::Admitted(p) => p,
             _ => panic!("token 1 refused"),
         };
         let p2 = match t.admit() {
-            Admission::Admitted(p) => p,
+            ThrottleDecision::Admitted(p) => p,
             _ => panic!("token 2 refused"),
         };
-        assert!(matches!(t.admit(), Admission::Shed));
+        assert!(matches!(t.admit(), ThrottleDecision::Shed));
         assert!(t.is_degraded(), "shed must latch Degraded");
         assert_eq!(t.sheds(), 1);
         assert_eq!(t.in_flight(), 2);

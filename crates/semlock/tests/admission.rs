@@ -92,8 +92,23 @@ impl Monitor {
 }
 
 fn stress(n_phi: u16, threads: usize, iters: usize, seed: u64) {
+    stress_backend(n_phi, threads, iters, seed, semlock::AdmissionBackend::Auto);
+}
+
+fn stress_backend(
+    n_phi: u16,
+    threads: usize,
+    iters: usize,
+    seed: u64,
+    backend: semlock::AdmissionBackend,
+) {
+    use semlock::mech::WaitStrategy;
     let (table, sites) = zoo_table(n_phi);
-    let lock = Arc::new(SemLock::new(table.clone()));
+    let lock = Arc::new(SemLock::with_backend(
+        table.clone(),
+        WaitStrategy::Block,
+        backend,
+    ));
     let monitor = Arc::new(Monitor {
         table: table.clone(),
         held: Mutex::new(Vec::new()),
@@ -135,6 +150,24 @@ fn admission_safety_stress_block() {
 fn admission_safety_small_phi_forces_conflicts() {
     // n = 1: every keyed mode collapses to one class — maximal conflicts.
     stress(1, 4, 1_500, 0xBEEF);
+}
+
+/// Exclusivity is a proof obligation of the `Admission` trait itself,
+/// not of any particular counter layout: every registered backend must
+/// uphold it under the same keyed chaos traffic. Word layouts whose
+/// mode ceiling a partition exceeds are skipped, as the backend config
+/// refuses them.
+#[test]
+fn admission_safety_every_backend() {
+    use semlock::AdmissionBackend;
+    let (table, _) = zoo_table(4);
+    let largest = table.partition_sizes().iter().copied().max().unwrap_or(0) as usize;
+    for backend in AdmissionBackend::CONCRETE {
+        if backend.max_modes().is_some_and(|limit| largest > limit) {
+            continue;
+        }
+        stress_backend(4, 4, 1_000, 0xD00D, backend);
+    }
 }
 
 #[test]

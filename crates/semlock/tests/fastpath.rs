@@ -1,11 +1,16 @@
-//! Equivalence and liveness checks for the lock-free admission fast
-//! paths (`mech.rs`): the packed (64-bit) and Dwcas (128-bit) words must
-//! make *exactly* the same admission, refusal and balance decisions as
-//! the wide counters-under-mutex oracle, and the claim-based release
-//! protocol must never lose a wakeup, leak a waiter node, or leave the
-//! summary bit behind.
+//! Cross-backend conformance suite for the admission fast paths: every
+//! registered [`Admission`] backend — the packed (64-bit) and Dwcas
+//! (128-bit) words, the wide counters-under-mutex oracle, the
+//! conflict-graph backend and the optimistic try-then-block hybrid —
+//! must make *exactly* the same admission, refusal and balance
+//! decisions as the wide oracle on identical schedules, and no backend
+//! may lose a wakeup, leak a waiter node, or leave the waiter summary
+//! behind.
 
 use proptest::prelude::*;
+use semlock::admission::{
+    Admission, AdmissionBackend, ConflictGraphBackend, OptimisticHybridBackend,
+};
 use semlock::mech::{ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
 use semlock::mode::{LockSiteId, ModeTable};
 use semlock::phi::Phi;
@@ -50,48 +55,68 @@ enum Step {
     Expired(u32),
 }
 
-/// Replay one seeded schedule against every representation that serves
-/// `modes` (wide always; Dwcas up to 16 modes; packed up to 8), asserting
-/// identical outcomes at every step and identical final balance. The
-/// wide counters-under-mutex mech is the oracle; the lock-free words
-/// must agree with it and, transitively, with each other.
-fn replay_schedule(modes: usize, steps: &[Step]) {
-    let conflicts = conflict_lists(modes, 0xC0FFEE);
-    let mut mechs = vec![Mech::with_layout(
+/// Every registered admission backend that serves a partition of
+/// `modes` modes with the given symmetric conflict relation, boxed
+/// behind the [`Admission`] trait. The first element is always the wide
+/// counters-under-mutex mech — the conformance oracle the others are
+/// checked against. Word layouts with a mode-count ceiling (packed ≤ 8,
+/// Dwcas ≤ 16) are skipped above their limit, exactly as the backend
+/// config would refuse them.
+fn conformance_backends(modes: usize, conflicts: &[Vec<u32>]) -> Vec<Box<dyn Admission>> {
+    let mut backends: Vec<Box<dyn Admission>> = vec![Box::new(Mech::with_layout(
         modes,
         WaitStrategy::Block,
         MechLayout::Wide,
-    )];
+    ))];
     if modes <= semlock::mech::DWCAS_MODE_LIMIT {
-        mechs.push(Mech::with_layout(
+        backends.push(Box::new(Mech::with_layout(
             modes,
             WaitStrategy::Block,
             MechLayout::Dwcas,
-        ));
+        )));
     }
     if modes <= semlock::mech::PACKED_MODE_LIMIT {
-        mechs.push(Mech::with_layout(
+        backends.push(Box::new(Mech::with_layout(
             modes,
             WaitStrategy::Block,
             MechLayout::Packed,
-        ));
+        )));
     }
-    let (wide, others) = mechs.split_first().unwrap();
+    backends.push(Box::new(ConflictGraphBackend::new(
+        conflicts.to_vec(),
+        WaitStrategy::Block,
+    )));
+    backends.push(Box::new(OptimisticHybridBackend::new(
+        modes,
+        WaitStrategy::Block,
+    )));
+    backends
+}
+
+/// Replay one seeded schedule against every registered backend that
+/// serves `modes`, asserting identical outcomes at every step and
+/// identical final balance. The wide counters-under-mutex mech is the
+/// oracle; every other backend — lock-free word, conflict graph or
+/// hybrid — must agree with it and, transitively, with each other.
+fn replay_schedule(modes: usize, steps: &[Step]) {
+    let conflicts = conflict_lists(modes, 0xC0FFEE);
+    let backends = conformance_backends(modes, &conflicts);
+    let (wide, others) = backends.split_first().unwrap();
     for (i, &step) in steps.iter().enumerate() {
         match step {
             Step::TryLock(m) => {
                 let cs = &conflicts[m as usize];
                 let w = wide.try_lock(m, ConflictSet::new(cs));
-                for mech in others {
-                    let p = mech.try_lock(m, ConflictSet::new(cs));
-                    assert_eq!(p, w, "step {i}: {:?} try_lock({m}) diverged", mech.layout());
+                for b in others {
+                    let p = b.try_lock(m, ConflictSet::new(cs));
+                    assert_eq!(p, w, "step {i}: {} try_lock({m}) diverged", b.name());
                 }
             }
             Step::Unlock(m) => {
                 let w = wide.unlock(m);
-                for mech in others {
-                    let p = mech.unlock(m);
-                    assert_eq!(p, w, "step {i}: {:?} unlock({m}) diverged", mech.layout());
+                for b in others {
+                    let p = b.unlock(m);
+                    assert_eq!(p, w, "step {i}: {} unlock({m}) diverged", b.name());
                 }
             }
             Step::Expired(m) => {
@@ -99,56 +124,56 @@ fn replay_schedule(modes: usize, steps: &[Step]) {
                 let deadline = Instant::now() - Duration::from_millis(1);
                 let w =
                     wide.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
-                for mech in others {
-                    let p = mech
-                        .lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
+                for b in others {
+                    let p =
+                        b.lock_deadline(m, ConflictSet::new(cs), deadline, &mut || Wait::Continue);
                     assert_eq!(
                         p,
                         w,
-                        "step {i}: {:?} expired lock_deadline({m}) diverged",
-                        mech.layout()
+                        "step {i}: {} expired lock_deadline({m}) diverged",
+                        b.name()
                     );
                 }
             }
         }
-        for mech in others {
+        for b in others {
             for m in 0..modes as u32 {
                 assert_eq!(
-                    mech.count(m),
+                    b.count(m),
                     wide.count(m),
-                    "step {i}: {:?} count({m}) diverged",
-                    mech.layout()
+                    "step {i}: {} count({m}) diverged",
+                    b.name()
                 );
             }
         }
     }
     use std::sync::atomic::Ordering;
     let ws = wide.stats();
-    for mech in others {
-        let ps = mech.stats();
+    for b in others {
+        let ps = b.stats();
         assert_eq!(
             ps.acquisitions.load(Ordering::Relaxed),
             ws.acquisitions.load(Ordering::Relaxed),
-            "{:?}: acquisition totals diverged",
-            mech.layout()
+            "{}: acquisition totals diverged",
+            b.name()
         );
         assert_eq!(
             ps.timeouts.load(Ordering::Relaxed),
             ws.timeouts.load(Ordering::Relaxed),
-            "{:?}: timeout totals diverged",
-            mech.layout()
+            "{}: timeout totals diverged",
+            b.name()
         );
         assert_eq!(
             ps.underflows.load(Ordering::Relaxed),
             ws.underflows.load(Ordering::Relaxed),
-            "{:?}: underflow totals diverged",
-            mech.layout()
+            "{}: underflow totals diverged",
+            b.name()
         );
-        assert_eq!(mech.held_total(), wide.held_total());
+        assert_eq!(b.held_total(), wide.held_total());
         assert!(
-            !mech.waiter_summary(),
-            "{:?}: summary bit left set by a sequential schedule",
-            mech.layout()
+            !b.waiter_summary(),
+            "{}: waiter summary left set by a sequential schedule",
+            b.name()
         );
     }
 }
@@ -156,13 +181,14 @@ fn replay_schedule(modes: usize, steps: &[Step]) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Identical seeded schedules drive the packed, Dwcas and wide
-    /// mechanisms to identical admission/refusal/balance outcomes, step
-    /// by step. Mode counts above 8 exercise the Dwcas/wide pair alone
-    /// (packed cannot represent them), including modes in the high
-    /// 64-bit half of the Dwcas word.
+    /// Identical seeded schedules drive every registered backend —
+    /// packed, Dwcas, wide, conflict-graph and optimistic-hybrid — to
+    /// identical admission/refusal/balance outcomes, step by step. Mode
+    /// counts above 8 drop packed (it cannot represent them) but keep
+    /// exercising the rest, including modes in the high 64-bit half of
+    /// the Dwcas word.
     #[test]
-    fn all_layouts_replay_identically(
+    fn all_backends_replay_identically(
         modes in 1usize..=16,
         raw in proptest::collection::vec((0u8..3, 0u32..16, any::<bool>()), 1..120),
     ) {
@@ -183,50 +209,48 @@ proptest! {
 
 /// Threaded flavour of the equivalence check: the same seeded chaos
 /// schedule (per-thread RNG streams of lock/unlock pairs) runs against
-/// both representations; totals must balance identically even though
-/// interleavings differ.
+/// every registered backend; totals must balance identically even
+/// though interleavings differ.
 #[test]
-fn packed_and_wide_balance_under_threads() {
+fn all_backends_balance_under_threads() {
     use rand::{Rng, SeedableRng};
     use std::sync::atomic::Ordering;
     const THREADS: usize = 4;
     const OPS: usize = 2_000;
     let modes = 6usize;
     let conflicts = Arc::new(conflict_lists(modes, 7));
-    let mut totals = Vec::new();
-    for layout in [MechLayout::Packed, MechLayout::Dwcas, MechLayout::Wide] {
-        let mech = Arc::new(Mech::with_layout(modes, WaitStrategy::Block, layout));
+    for backend in conformance_backends(modes, &conflicts) {
+        let backend: Arc<dyn Admission> = Arc::from(backend);
+        let name = backend.name();
         std::thread::scope(|scope| {
             for t in 0..THREADS {
-                let mech = Arc::clone(&mech);
+                let backend = Arc::clone(&backend);
                 let conflicts = Arc::clone(&conflicts);
                 scope.spawn(move || {
                     let mut rng = rand::rngs::SmallRng::seed_from_u64(t as u64);
                     for _ in 0..OPS {
                         let m = rng.gen_range(0..modes) as u32;
-                        mech.lock(m, ConflictSet::new(&conflicts[m as usize]));
-                        assert!(mech.unlock(m));
+                        backend.lock(m, ConflictSet::new(&conflicts[m as usize]));
+                        assert!(backend.unlock(m));
                     }
                 });
             }
         });
-        assert_eq!(mech.held_total(), 0, "{layout:?}: leaked holds");
-        let s = mech.stats();
+        assert_eq!(backend.held_total(), 0, "{name}: leaked holds");
+        let s = backend.stats();
         assert_eq!(
             s.acquisitions.load(Ordering::Relaxed),
             (THREADS * OPS) as u64,
-            "{layout:?}: acquisition count off"
+            "{name}: acquisition count off"
         );
-        assert_eq!(s.underflows.load(Ordering::Relaxed), 0);
+        assert_eq!(s.underflows.load(Ordering::Relaxed), 0, "{name}: underflow");
         assert_eq!(
-            mech.live_waiter_nodes(),
+            backend.live_waiter_nodes(),
             0,
-            "{layout:?}: leaked waiter nodes"
+            "{name}: leaked waiter nodes"
         );
-        assert!(!mech.waiter_summary(), "{layout:?}: summary left published");
-        totals.push(s.acquisitions.load(Ordering::Relaxed));
+        assert!(!backend.waiter_summary(), "{name}: summary left published");
     }
-    assert!(totals.windows(2).all(|w| w[0] == w[1]));
 }
 
 /// Targeted lost-wakeup regression: a releaser decrements while a waiter
@@ -237,19 +261,20 @@ fn packed_and_wide_balance_under_threads() {
 #[test]
 fn release_wakeup_is_never_lost() {
     const ROUNDS: usize = 3_000;
-    for layout in [MechLayout::Packed, MechLayout::Dwcas, MechLayout::Wide] {
-        let mech = Arc::new(Mech::with_layout(1, WaitStrategy::Block, layout));
+    for backend in conformance_backends(1, &[vec![0]]) {
+        let backend: Arc<dyn Admission> = Arc::from(backend);
+        let name = backend.name();
         let (done_tx, done_rx) = mpsc::channel::<()>();
         let workers: Vec<_> = (0..2)
             .map(|_| {
-                let mech = Arc::clone(&mech);
+                let backend = Arc::clone(&backend);
                 let done = done_tx.clone();
                 std::thread::spawn(move || {
                     for _ in 0..ROUNDS {
                         // Self-conflicting mode: exactly one thread in at a
                         // time; every release must wake the parked peer.
-                        mech.lock(0, ConflictSet::new(&[0]));
-                        assert!(mech.unlock(0));
+                        backend.lock(0, ConflictSet::new(&[0]));
+                        assert!(backend.unlock(0));
                     }
                     done.send(()).unwrap();
                 })
@@ -260,15 +285,15 @@ fn release_wakeup_is_never_lost() {
             done_rx
                 .recv_timeout(Duration::from_secs(60))
                 .unwrap_or_else(|_| {
-                    panic!("{layout:?}: lost wakeup — ping-pong worker never finished")
+                    panic!("{name}: lost wakeup — ping-pong worker never finished")
                 });
         }
         for w in workers {
             w.join().unwrap();
         }
-        assert_eq!(mech.held_total(), 0);
-        assert_eq!(mech.live_waiter_nodes(), 0, "{layout:?}: leaked nodes");
-        assert!(!mech.waiter_summary(), "{layout:?}: stale summary");
+        assert_eq!(backend.held_total(), 0);
+        assert_eq!(backend.live_waiter_nodes(), 0, "{name}: leaked nodes");
+        assert!(!backend.waiter_summary(), "{name}: stale summary");
     }
 }
 
@@ -320,45 +345,50 @@ fn claim_stack_survives_tag_wraparound() {
 }
 
 /// `WaitBudget::DontWait` regression: a failing `try_lock` must be a
-/// side-effect-free probe. The earlier packed implementation routed it
-/// through the waiting path and transiently published the WAITERS bit,
-/// which a concurrent releaser could consume — waking nobody and losing
-/// the real waiter's handoff. Here a real waiter parks, then a barrage
-/// of failing probes runs; the waiter's published summary must survive
-/// untouched and the waiter must still be woken by the actual release.
+/// side-effect-free probe on every backend. The earlier packed
+/// implementation routed it through the waiting path and transiently
+/// published the WAITERS bit, which a concurrent releaser could consume
+/// — waking nobody and losing the real waiter's handoff. Here a real
+/// waiter parks, then a barrage of failing probes runs; the waiter's
+/// published summary (waiter bit for the word layouts, the registered
+/// waiter count for the graph backend) must survive untouched and the
+/// waiter must still be woken by the actual release.
 #[test]
 fn dontwait_probe_is_side_effect_free() {
-    for layout in [MechLayout::Packed, MechLayout::Dwcas] {
-        let mech = Arc::new(Mech::with_layout(2, WaitStrategy::Block, layout));
-        mech.lock(0, ConflictSet::new(&[1]));
+    // Two modes in mutual (but not self) conflict: the holder takes 0,
+    // the waiter parks on 1, probes hammer 1.
+    for backend in conformance_backends(2, &[vec![1], vec![0]]) {
+        let backend: Arc<dyn Admission> = Arc::from(backend);
+        let name = backend.name();
+        backend.lock(0, ConflictSet::new(&[1]));
         let waiter = {
-            let mech = Arc::clone(&mech);
+            let backend = Arc::clone(&backend);
             std::thread::spawn(move || {
-                mech.lock(1, ConflictSet::new(&[0]));
-                assert!(mech.unlock(1));
+                backend.lock(1, ConflictSet::new(&[0]));
+                assert!(backend.unlock(1));
             })
         };
         // Wait until the waiter has actually published its node + bit.
         let deadline = Instant::now() + Duration::from_secs(30);
-        while !mech.waiter_summary() {
-            assert!(Instant::now() < deadline, "{layout:?}: waiter never parked");
+        while !backend.waiter_summary() {
+            assert!(Instant::now() < deadline, "{name}: waiter never parked");
             std::thread::yield_now();
         }
         for _ in 0..10_000 {
             assert!(
-                !mech.try_lock(1, ConflictSet::new(&[0])),
-                "{layout:?}: probe admitted against a held conflict"
+                !backend.try_lock(1, ConflictSet::new(&[0])),
+                "{name}: probe admitted against a held conflict"
             );
             assert!(
-                mech.waiter_summary(),
-                "{layout:?}: failing DontWait probe disturbed the waiter summary"
+                backend.waiter_summary(),
+                "{name}: failing DontWait probe disturbed the waiter summary"
             );
         }
-        assert!(mech.unlock(0));
+        assert!(backend.unlock(0));
         waiter.join().unwrap();
-        assert_eq!(mech.held_total(), 0);
-        assert_eq!(mech.live_waiter_nodes(), 0);
-        assert!(!mech.waiter_summary());
+        assert_eq!(backend.held_total(), 0);
+        assert_eq!(backend.live_waiter_nodes(), 0, "{name}: leaked nodes");
+        assert!(!backend.waiter_summary(), "{name}: stale summary");
     }
 }
 
@@ -410,7 +440,7 @@ fn sixteen_mode_partition_is_lock_free_under_auto() {
 }
 
 // ---------------------------------------------------------------------
-// The unified acquisition API, exercised over both representations.
+// The unified acquisition API, exercised over every admission backend.
 // ---------------------------------------------------------------------
 
 fn table() -> (Arc<ModeTable>, LockSiteId) {
@@ -440,18 +470,23 @@ fn table() -> (Arc<ModeTable>, LockSiteId) {
     (b.build(), site)
 }
 
-fn locks_for_both_layouts(t: &Arc<ModeTable>) -> [SemLock; 2] {
-    [
-        SemLock::with_mech_layout(t.clone(), WaitStrategy::Block, MechLayout::Auto),
-        SemLock::with_mech_layout(t.clone(), WaitStrategy::Block, MechLayout::Wide),
-    ]
+/// One `SemLock` per registered backend (plus `Auto`), skipping word
+/// layouts whose mode ceiling the table's largest partition exceeds —
+/// the same refusal the backend config applies.
+fn locks_for_all_backends(t: &Arc<ModeTable>) -> Vec<SemLock> {
+    let largest = t.partition_sizes().iter().copied().max().unwrap_or(0) as usize;
+    std::iter::once(AdmissionBackend::Auto)
+        .chain(AdmissionBackend::CONCRETE)
+        .filter(|b| b.max_modes().is_none_or(|limit| largest <= limit))
+        .map(|b| SemLock::with_backend(t.clone(), WaitStrategy::Block, b))
+        .collect()
 }
 
 #[test]
-fn acquire_spec_equivalences_hold_on_both_layouts() {
+fn acquire_spec_equivalences_hold_on_all_backends() {
     let (t, site) = table();
     let m = t.select(site, &[Value(3)]); // self-conflicting mode
-    for lock in locks_for_both_layouts(&t) {
+    for lock in locks_for_all_backends(&t) {
         // Forever == lv.
         let mut txn = semlock::Txn::new();
         txn.acquire(&lock, &AcquireSpec::new(m)).unwrap();
@@ -489,10 +524,10 @@ fn acquire_spec_equivalences_hold_on_both_layouts() {
 }
 
 #[test]
-fn acquire_reports_poison_on_both_layouts() {
+fn acquire_reports_poison_on_all_backends() {
     let (t, site) = table();
     let m = t.select(site, &[Value(1)]);
-    for lock in locks_for_both_layouts(&t) {
+    for lock in locks_for_all_backends(&t) {
         lock.poison();
         for spec in [
             AcquireSpec::new(m),
@@ -560,7 +595,7 @@ fn no_watchdog_spec_still_times_out_but_never_aborts() {
 fn standalone_semlock_acquire_mirrors_lock_variants() {
     let (t, site) = table();
     let m = t.select(site, &[Value(3)]);
-    for lock in locks_for_both_layouts(&t) {
+    for lock in locks_for_all_backends(&t) {
         lock.acquire(&AcquireSpec::new(m)).unwrap();
         let err = lock.acquire(&AcquireSpec::new(m).no_wait()).unwrap_err();
         assert!(matches!(err, LockError::Timeout { .. }));

@@ -18,7 +18,7 @@
 //! * **Control flow.** `If`/`While` become relative [`LowOp::Jump`] /
 //!   [`LowOp::JumpIfFalse`] offsets over the tape; loop fuel accounting is
 //!   folded into the back-edge.
-//! * **Lock sites.** Each referenced `LS(l)` site becomes a [`SiteRef`]
+//! * **Lock sites.** Each referenced `LS(l)` site becomes a `SiteRef`
 //!   carrying the runtime [`LockSiteId`] (normally re-derived per
 //!   acquisition via two string-keyed map lookups in `ClassTables`), the
 //!   stable telemetry id, and the key-variable slots for `ModeTable::select`.

@@ -21,8 +21,8 @@
 //!   graph tracking "a release has happened on some path here"; any
 //!   `Lock`/`LockGroup` op reachable in the released state is an error
 //!   (S2PL rule 2 restated over the lowered form).
-//! * **SL008** — *site-resolution consistency*: every [`SiteRef`] the
-//!   tape carries must agree with the section's [`LockSiteDecl`] it
+//! * **SL008** — *site-resolution consistency*: every `SiteRef` the
+//!   tape carries must agree with the section's `LockSiteDecl` it
 //!   claims to implement — stable id stamped and declared, class and
 //!   runtime site id matching `ClassTables`, key slots naming exactly
 //!   the declared key variables, and the class mode table registering
@@ -482,7 +482,7 @@ fn check_tape_sites(
 }
 
 /// A site as actually resolved by a downstream compiler (`interp::compile`
-/// reports one per [`SiteRef`] it turned into an `Arc<ModeTable>` +
+/// reports one per `SiteRef` it turned into an `Arc<ModeTable>` +
 /// [`LockSiteId`] pair), so SL008 can audit what will really run.
 #[derive(Clone, Debug)]
 pub struct ResolvedSiteFact {

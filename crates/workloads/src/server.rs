@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use semlock::error::LockError;
 use semlock::fault::{self, FaultPlan};
 use semlock::phi::Phi;
-use semlock::retry::{Admission, AdmissionThrottle, RetryPolicy};
+use semlock::retry::{AdmissionThrottle, RetryPolicy, ThrottleDecision};
 use semlock::telemetry;
 use semlock::value::Value;
 use std::panic::{self, AssertUnwindSafe};
@@ -444,13 +444,13 @@ fn serve(sh: &Shared<'_>, tid: u64) -> Vec<u64> {
         }
         let _permit = match sh.throttle {
             Some(th) => match th.admit() {
-                Admission::Admitted(p) => {
+                ThrottleDecision::Admitted(p) => {
                     if th.is_degraded() {
                         sh.degraded.store(true, Ordering::Relaxed);
                     }
                     Some(p)
                 }
-                // `Admission` is non-exhaustive; anything that is not an
+                // `ThrottleDecision` is non-exhaustive; anything that is not an
                 // admission sheds the request.
                 _ => {
                     sh.degraded.store(true, Ordering::Relaxed);

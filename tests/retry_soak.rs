@@ -52,19 +52,45 @@ fn guard() -> MutexGuard<'static, ()> {
 /// spotless at quiescence (no holds, no waiter nodes, no summary bit).
 #[test]
 fn retry_counters_balance_over_dwcas_claim_stack() {
+    use semlock::mech::{Mech, MechLayout, WaitStrategy};
+    retry_balance_soak(Arc::new(Mech::with_layout(
+        16,
+        WaitStrategy::Block,
+        MechLayout::Dwcas,
+    )));
+}
+
+/// The same abort-retry balance obligation holds for the non-word
+/// admission backends: the conflict-graph transcription and the
+/// optimistic try-then-block hybrid must keep the global retry/
+/// escalation counters in exact balance with locally observed aborts
+/// and come out spotless at quiescence.
+#[test]
+fn retry_counters_balance_on_graph_and_hybrid() {
+    use semlock::admission::{ConflictGraphBackend, OptimisticHybridBackend};
+    use semlock::mech::WaitStrategy;
+    // 16 modes; only mode 15 conflicts (with itself), as in the word run.
+    let mut rows = vec![Vec::new(); 16];
+    rows[15] = vec![15u32];
+    retry_balance_soak(Arc::new(ConflictGraphBackend::new(
+        rows,
+        WaitStrategy::Block,
+    )));
+    retry_balance_soak(Arc::new(OptimisticHybridBackend::new(
+        16,
+        WaitStrategy::Block,
+    )));
+}
+
+fn retry_balance_soak(mech: Arc<dyn semlock::Admission>) {
     use semlock::error::LockError;
-    use semlock::mech::{Acquire, ConflictSet, Mech, MechLayout, Wait, WaitStrategy};
+    use semlock::mech::{Acquire, ConflictSet, Wait};
     use semlock::retry::RetryOutcome;
     use semlock::ModeId;
     use std::sync::atomic::AtomicU64;
     use std::time::Instant;
     let _g = guard();
     let before = telemetry::retry_counters();
-    let mech = Arc::new(Mech::with_layout(
-        16,
-        WaitStrategy::Block,
-        MechLayout::Dwcas,
-    ));
     let policy = Arc::new(RetryPolicy::new(11).escalate_after(3));
     let ops = chaos_ops().min(300);
     let retried = Arc::new(AtomicU64::new(0));
