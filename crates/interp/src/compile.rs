@@ -31,6 +31,7 @@ use crate::exec::{Engine, Frame, Interp, RunState, Strategy, FUEL};
 use semlock::error::LockError;
 use semlock::mode::{LockSiteId, ModeTable};
 use semlock::schema::MethodIdx;
+use semlock::telemetry;
 use semlock::value::Value;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -48,6 +49,9 @@ struct ResolvedSite {
 /// One compiled section: the lowered tape plus environment-resolved pools.
 pub struct CompiledSection {
     tape: Tape,
+    /// What [`synth::tape_opt`] did to this tape (zeroed when compiled
+    /// with optimization disabled).
+    opt_stats: synth::tape_opt::TapeOptStats,
     /// Parallel to `tape.calls`.
     methods: Box<[MethodIdx]>,
     /// Parallel to `tape.sites`.
@@ -74,6 +78,11 @@ impl CompiledSection {
     /// Number of ops on the tape.
     pub fn op_count(&self) -> usize {
         self.tape.ops.len()
+    }
+
+    /// The tape-optimizer transformation counts for this section.
+    pub fn opt_stats(&self) -> synth::tape_opt::TapeOptStats {
+        self.opt_stats
     }
 
     /// The lock sites this compilation actually resolved, as facts the
@@ -231,6 +240,7 @@ pub fn compile_tape(env: &Env, tape: Tape) -> CompiledSection {
     }
     CompiledSection {
         tape,
+        opt_stats: synth::tape_opt::TapeOptStats::default(),
         methods,
         sites,
         wrapper_binds,
@@ -239,31 +249,86 @@ pub fn compile_tape(env: &Env, tape: Tape) -> CompiledSection {
     }
 }
 
-/// Compile one section.
+/// Compile one section with the tape optimizer enabled.
 pub fn compile_section(env: &Env, section: &synth::ir::AtomicSection) -> CompiledSection {
-    compile_tape(env, lower::lower_section(section, &env.program.tables))
+    compile_section_opt(env, section, true)
+}
+
+/// Compile one section, optionally running the [`synth::tape_opt`]
+/// passes between lowering and resolution.
+pub fn compile_section_opt(
+    env: &Env,
+    section: &synth::ir::AtomicSection,
+    opt: bool,
+) -> CompiledSection {
+    let raw = lower::lower_section(section, &env.program.tables);
+    if !opt {
+        return compile_tape(env, raw);
+    }
+    let (tape, stats) = synth::tape_opt::optimize(&raw);
+    let mut cs = compile_tape(env, tape);
+    cs.opt_stats = stats;
+    cs
 }
 
 /// Compile every section of the environment's program. Returned as a
 /// name-ordered list: programs hold a handful of sections with short
 /// names, so lookup is a linear scan rather than a string hash.
 pub fn compile_program(env: &Env) -> Vec<(String, Arc<CompiledSection>)> {
+    compile_program_opt(env, true)
+}
+
+/// [`compile_program`] with the tape optimizer switchable (see
+/// [`crate::Interp::without_tape_opt`]).
+pub fn compile_program_opt(env: &Env, opt: bool) -> Vec<(String, Arc<CompiledSection>)> {
     env.program
         .sections
         .iter()
-        .map(|s| (s.name.clone(), Arc::new(compile_section(env, s))))
+        .map(|s| (s.name.clone(), Arc::new(compile_section_opt(env, s, opt))))
         .collect()
+}
+
+/// One memoized φ evaluation: the mode a table selected for a key at a
+/// lock site. An entry is valid only while its identity fields match —
+/// the table by pointer ([`Arc::ptr_eq`]), the runtime site id, and the
+/// key value — so entries from another section or environment sharing
+/// the pool slot simply miss and refill.
+struct PhiCache {
+    table: Arc<ModeTable>,
+    rt_site: LockSiteId,
+    key: Value,
+    mode: semlock::mode::ModeId,
+}
+
+/// One member of an in-flight [`LowOp::AcquireBatch`], after the
+/// per-member prologue (null/held skips, φ mode selection, checker
+/// registration, Lock fault boundary) ran in original op order.
+struct BatchMember {
+    adt: Arc<SharedAdt>,
+    mode: semlock::mode::ModeId,
+    stable_id: u32,
 }
 
 /// Per-thread run scratch, recycled across compiled runs so a warm run
 /// performs no heap allocation: the register file, the handle cache, the
-/// group-lock buffer, and the `RunState` buffers are all reused. The
-/// handle cache is cleared between runs — instance ids are only unique
-/// within one environment, and the pool outlives any particular `Interp`.
+/// group-lock buffers, the φ inline cache, and the `RunState` buffers
+/// are all reused. The handle cache is cleared between runs — instance
+/// ids are only unique within one environment, and the pool outlives any
+/// particular `Interp`. The φ cache is deliberately *not* cleared: its
+/// entries self-validate against the mode-table identity, so warm runs
+/// of the same section keep their hits while any other section misses
+/// and refills.
 struct Scratch {
     regs: Vec<Value>,
     cache: Vec<Option<Arc<SharedAdt>>>,
     group: Vec<(u64, Value, u16)>,
+    /// φ inline cache, indexed by tape site (single-key sites only).
+    phi: Vec<Option<PhiCache>>,
+    /// Batched-admission member buffer (pool order).
+    batch: Vec<BatchMember>,
+    /// Canonical admission order: indices into `batch`, sorted by
+    /// instance unique id.
+    border: Vec<usize>,
     st: RunState,
 }
 
@@ -275,7 +340,7 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
-fn scratch_take(txn: u64, init: &[Value]) -> Box<Scratch> {
+fn scratch_take(txn: u64, init: &[Value], n_sites: usize) -> Box<Scratch> {
     let mut s = SCRATCH_POOL
         .with(|pool| pool.borrow_mut().pop())
         .unwrap_or_else(|| {
@@ -283,6 +348,9 @@ fn scratch_take(txn: u64, init: &[Value]) -> Box<Scratch> {
                 regs: Vec::new(),
                 cache: Vec::new(),
                 group: Vec::new(),
+                phi: Vec::new(),
+                batch: Vec::new(),
+                border: Vec::new(),
                 st: RunState::new(0),
             })
         });
@@ -292,6 +360,12 @@ fn scratch_take(txn: u64, init: &[Value]) -> Box<Scratch> {
     s.cache.clear();
     s.cache.resize(init.len(), None);
     s.group.clear();
+    s.batch.clear();
+    s.border.clear();
+    // Keep existing φ entries (self-validating); just ensure coverage.
+    if s.phi.len() < n_sites {
+        s.phi.resize_with(n_sites, || None);
+    }
     s
 }
 
@@ -327,7 +401,7 @@ pub(crate) fn run_compiled_as(
     escalate: Option<std::time::Duration>,
 ) -> Result<CompiledFrame, LockError> {
     debug_assert_eq!(interp.engine(), Engine::Compiled);
-    let mut scratch = scratch_take(txn, &cs.init);
+    let mut scratch = scratch_take(txn, &cs.init, cs.sites.len());
     scratch.st.escalate_patience = escalate;
     for (name, v) in args {
         let slot = cs
@@ -392,6 +466,9 @@ fn dispatch(interp: &Interp, cs: &CompiledSection, scratch: &mut Scratch) -> Res
         regs,
         cache,
         group,
+        phi,
+        batch,
+        border,
         st,
     } = scratch;
     let mut fuel: u64 = FUEL;
@@ -461,7 +538,7 @@ fn dispatch(interp: &Interp, cs: &CompiledSection, scratch: &mut Scratch) -> Res
             }
             LowOp::Lock { recv, site } => {
                 if !regs[recv as usize].is_null() {
-                    acquire_site(interp, cs, site, recv, regs, cache, st)?;
+                    acquire_site(interp, cs, site, recv, regs, cache, phi, st)?;
                 }
             }
             LowOp::LockGroup { start, len } => {
@@ -480,7 +557,30 @@ fn dispatch(interp: &Interp, cs: &CompiledSection, scratch: &mut Scratch) -> Res
                 }));
                 group.sort_by_key(|&(id, _, _)| id);
                 for &(_, handle, site) in group.iter() {
-                    acquire_handle(interp, cs, site, handle, regs, st)?;
+                    acquire_handle(interp, cs, site, handle, regs, phi, st)?;
+                }
+            }
+            LowOp::AcquireBatch { start, len } => {
+                let entries = &cs.tape.group_pool[start as usize..start as usize + len as usize];
+                match interp.strategy {
+                    Strategy::Global => {}
+                    Strategy::TwoPhase => {
+                        // Identical to the per-op path: plain locks in
+                        // original op order with held-instance dedup.
+                        for &(slot, _) in entries {
+                            if regs[slot as usize].is_null() {
+                                continue;
+                            }
+                            let adt = resolve_cached(env, cache, regs, slot);
+                            if !st.held_plain.iter().any(|a| a.id == adt.id) {
+                                adt.plain.lock();
+                                st.held_plain.push(adt.clone());
+                            }
+                        }
+                    }
+                    Strategy::Semantic => {
+                        acquire_batch(interp, cs, entries, regs, cache, phi, batch, border, st)?;
+                    }
                 }
             }
             LowOp::UnlockAllOf { recv } => {
@@ -521,6 +621,7 @@ fn resolve_cached<'c>(
 }
 
 /// Acquire a lock site on the instance held in `regs[recv]` (non-null).
+#[allow(clippy::too_many_arguments)]
 fn acquire_site(
     interp: &Interp,
     cs: &CompiledSection,
@@ -528,6 +629,7 @@ fn acquire_site(
     recv: u16,
     regs: &[Value],
     cache: &mut [Option<Arc<SharedAdt>>],
+    phi: &mut [Option<PhiCache>],
     st: &mut RunState,
 ) -> Result<(), LockError> {
     match interp.strategy {
@@ -546,7 +648,7 @@ fn acquire_site(
                 return Ok(());
             }
             let adt = resolve_cached(&interp.env, cache, regs, recv).clone();
-            acquire_semantic_site(interp, cs, site, adt, regs, st)
+            acquire_semantic_site(interp, cs, site, adt, regs, phi, st)
         }
     }
 }
@@ -559,6 +661,7 @@ fn acquire_handle(
     site: u16,
     handle: Value,
     regs: &[Value],
+    phi: &mut [Option<PhiCache>],
     st: &mut RunState,
 ) -> Result<(), LockError> {
     match interp.strategy {
@@ -576,9 +679,50 @@ fn acquire_handle(
                 return Ok(());
             }
             let adt = interp.env.resolve(handle);
-            acquire_semantic_site(interp, cs, site, adt, regs, st)
+            acquire_semantic_site(interp, cs, site, adt, regs, phi, st)
         }
     }
+}
+
+/// Select the locking mode for a site, through the φ inline cache when
+/// the site keys on at most one slot (the overwhelmingly common shape:
+/// `φ` maps one key to a partition). Multi-key sites evaluate `φ`
+/// directly. The cache is sound because mode selection is a pure
+/// function of `(table, rt_site, keys)`; the entry revalidates all
+/// three, so a hit returns exactly what `select` would.
+fn select_mode(
+    rs: &ResolvedSite,
+    site: u16,
+    regs: &[Value],
+    phi: &mut [Option<PhiCache>],
+    st: &mut RunState,
+) -> semlock::mode::ModeId {
+    if rs.key_slots.len() > 1 {
+        let mut keys = std::mem::take(&mut st.scratch_keys);
+        keys.clear();
+        keys.extend(rs.key_slots.iter().map(|&s| regs[s as usize]));
+        let mode = rs.table.select(rs.rt_site, &keys);
+        st.scratch_keys = keys;
+        return mode;
+    }
+    let key = rs.key_slots.first().map_or(Value(0), |&s| regs[s as usize]);
+    let entry = &mut phi[site as usize];
+    if let Some(c) = entry {
+        if Arc::ptr_eq(&c.table, &rs.table) && c.rt_site == rs.rt_site && c.key == key {
+            return c.mode;
+        }
+    }
+    let keys = [key];
+    let mode = rs
+        .table
+        .select(rs.rt_site, &keys[..rs.key_slots.len()]);
+    *entry = Some(PhiCache {
+        table: rs.table.clone(),
+        rt_site: rs.rt_site,
+        key,
+        mode,
+    });
+    mode
 }
 
 /// Mode selection + shared semantic acquisition for a resolved site.
@@ -588,13 +732,108 @@ fn acquire_semantic_site(
     site: u16,
     adt: Arc<SharedAdt>,
     regs: &[Value],
+    phi: &mut [Option<PhiCache>],
     st: &mut RunState,
 ) -> Result<(), LockError> {
     let rs = &cs.sites[site as usize];
-    let mut keys = std::mem::take(&mut st.scratch_keys);
-    keys.clear();
-    keys.extend(rs.key_slots.iter().map(|&s| regs[s as usize]));
-    let result = interp.acquire_semantic(adt, &rs.table, rs.rt_site, &keys, rs.stable_id, st);
-    st.scratch_keys = keys;
-    result
+    let mode = select_mode(rs, site, regs, phi, st);
+    interp.lock_prologue(&adt, &rs.table, mode, st)?;
+    interp.acquire_semantic_admit(adt, mode, rs.stable_id, st)
+}
+
+/// Batched semantic admission for a [`LowOp::AcquireBatch`].
+///
+/// Phase A replays the unoptimized per-op prologue in original op order:
+/// null and held-instance skips, in-batch dedup (a second acquisition of
+/// an instance the batch already contains would have been a held no-op),
+/// φ mode selection, checker registration, and the Lock fault boundary —
+/// so the per-transaction fault-step ordinals are exactly those the
+/// individual `Lock` ops would have consumed.
+///
+/// Phase B admits the surviving members through the non-blocking group
+/// fast path in canonical unique-id order (Fig. 12): one `try_lock` per
+/// member — inside the manager, one admission CAS per partition word.
+/// On any refusal the already-admitted members are rolled back in
+/// reverse canonical order through the full unlock path (waiter handoff
+/// runs), and the batch escalates to the sequential blocking protocol in
+/// original op order — byte-identical behavior, error identity, and
+/// partial-hold state to the unoptimized tape under contention.
+#[allow(clippy::too_many_arguments)]
+fn acquire_batch(
+    interp: &Interp,
+    cs: &CompiledSection,
+    entries: &[(u16, u16)],
+    regs: &[Value],
+    cache: &mut [Option<Arc<SharedAdt>>],
+    phi: &mut [Option<PhiCache>],
+    batch: &mut Vec<BatchMember>,
+    border: &mut Vec<usize>,
+    st: &mut RunState,
+) -> Result<(), LockError> {
+    batch.clear();
+    for &(slot, site) in entries {
+        let handle = regs[slot as usize];
+        if handle.is_null()
+            || st.held_sem.iter().any(|(a, _, _)| a.id == handle.0)
+            || batch.iter().any(|m| m.adt.id == handle.0)
+        {
+            continue;
+        }
+        let adt = resolve_cached(&interp.env, cache, regs, slot).clone();
+        let rs = &cs.sites[site as usize];
+        let mode = select_mode(rs, site, regs, phi, st);
+        interp.lock_prologue(&adt, &rs.table, mode, st)?;
+        batch.push(BatchMember {
+            adt,
+            mode,
+            stable_id: rs.stable_id,
+        });
+    }
+    if batch.len() <= 1 {
+        if let Some(m) = batch.pop() {
+            return interp.acquire_semantic_admit(m.adt, m.mode, m.stable_id, st);
+        }
+        return Ok(());
+    }
+    border.clear();
+    border.extend(0..batch.len());
+    border.sort_unstable_by_key(|&i| batch[i].adt.sem().unique());
+    let mut refused = None;
+    for (k, &i) in border.iter().enumerate() {
+        let m = &batch[i];
+        if telemetry::enabled() {
+            telemetry::set_context(st.txn, m.stable_id);
+        }
+        if m.adt.sem().try_lock_checked(m.mode).is_err() {
+            refused = Some(k);
+            break;
+        }
+    }
+    match refused {
+        None => {
+            // All admitted; record in original op order so the held set
+            // (and therefore release order, unlock fault coordinates,
+            // and checker callbacks) matches the unoptimized tape.
+            for m in batch.drain(..) {
+                if let Some(c) = &interp.checker {
+                    c.on_lock(st.txn, m.adt.id, m.mode);
+                }
+                st.held_sem.push((m.adt, m.mode, m.stable_id));
+            }
+            Ok(())
+        }
+        Some(k) => {
+            for &i in border[..k].iter().rev() {
+                let m = &batch[i];
+                if telemetry::enabled() {
+                    telemetry::set_context(st.txn, m.stable_id);
+                }
+                m.adt.sem().unlock(m.mode);
+            }
+            for m in batch.drain(..) {
+                interp.acquire_semantic_admit(m.adt, m.mode, m.stable_id, st)?;
+            }
+            Ok(())
+        }
+    }
 }

@@ -1,10 +1,10 @@
-//! Tree-walk vs compiled equivalence.
+//! Tree-walk vs compiled vs compiled-optimized equivalence.
 //!
 //! The compiled engine (`interp::compile`) must be observationally
 //! indistinguishable from the tree-walker, which remains the reference
-//! oracle. These tests hold the two engines to *bitwise* agreement —
-//! results, lock/unlock telemetry event sequences, fault injections, and
-//! poison outcomes — by running both against the **same** environment:
+//! oracle. These tests run a **three-way matrix** — tree-walk,
+//! compiled with the tape optimizer disabled, and compiled with the
+//! optimizer on — against the **same** environment:
 //!
 //! * Instance ids and stable site ids are then shared, so telemetry
 //!   events are directly comparable field by field.
@@ -15,6 +15,16 @@
 //! * Between phases the tracked ADT instances are wiped back to their
 //!   initial (empty) state and telemetry rings are reset.
 //!
+//! Unoptimized tapes are held to *bitwise* agreement on results,
+//! lock/unlock telemetry sequences, fault injections, and poison
+//! outcomes. Optimized tapes are held to the same bitwise agreement on
+//! results, state, and poisons, plus the documented event-stream
+//! relaxation (see [`assert_phases_equal_optimized`]): batched group
+//! admission replays every member's fault prologue before admitting
+//! anyone, so a fault on a later member legally suppresses earlier
+//! members' Admit/Release pairs, and the sorted fast pass may reorder
+//! admissions within a transaction.
+//!
 //! The proptest mirrors `crates/semlock/tests/fastpath.rs`: random
 //! programs (branches, loops, colliding keys) under seeded schedules and
 //! seeded fault plans (panics + forced timeouts).
@@ -24,6 +34,7 @@ use proptest::prelude::*;
 use semlock::fault::{self, FaultPlan};
 use semlock::telemetry::{self, EventKind, WaitCause};
 use semlock::value::Value;
+use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use synth::ir::{e::*, fig1_section, fig7_section, fig9_section, ptr, scalar, AtomicSection, Body};
@@ -125,6 +136,76 @@ fn assert_phases_equal(tree: &PhaseResult, comp: &PhaseResult) {
     );
 }
 
+/// Per-transaction event multisets.
+fn by_txn(events: &[EventKey]) -> BTreeMap<u64, BTreeMap<EventKey, i64>> {
+    let mut m: BTreeMap<u64, BTreeMap<EventKey, i64>> = BTreeMap::new();
+    for e in events {
+        *m.entry(e.2).or_default().entry(*e).or_insert(0) += 1;
+    }
+    m
+}
+
+/// The optimized-tape relaxation (the documented invariant).
+///
+/// Results, poison outcomes, and final ADT state must stay bitwise
+/// identical to the reference, but the telemetry stream may legally
+/// *shrink*: `AcquireBatch` replays every member's fault prologue
+/// before admitting anyone, so when a later member's acquisition
+/// faults, earlier members were never admitted — the unoptimized
+/// engine admitted them and rolled them back, emitting Admit/Release
+/// pairs the batch never produces. The sorted fast pass may also
+/// reorder admissions *within* one transaction. What optimized tapes
+/// are held to instead:
+///
+/// * per-transaction event multisets are a subset of the reference's,
+/// * every Admit in the optimized stream is balanced by a Release for
+///   the same (txn, instance, mode) — nothing leaks, and
+/// * with no injected faults the per-transaction multisets are equal
+///   (shrinkage only ever comes from a faulted prologue).
+fn assert_phases_equal_optimized(tree: &PhaseResult, opt: &PhaseResult, fault_free: bool) {
+    assert_eq!(
+        tree.outcomes, opt.outcomes,
+        "per-run results diverge (optimized)"
+    );
+    assert_eq!(
+        tree.poisons, opt.poisons,
+        "poison outcomes diverge (optimized)"
+    );
+    assert_eq!(
+        tree.fingerprint, opt.fingerprint,
+        "final ADT state diverges (optimized)"
+    );
+    let t = by_txn(&tree.events);
+    let o = by_txn(&opt.events);
+    if fault_free {
+        assert_eq!(
+            t, o,
+            "fault-free optimized events must match per-txn multisets"
+        );
+    } else {
+        for (txn, evs) in &o {
+            for (e, n) in evs {
+                let have = t.get(txn).and_then(|b| b.get(e)).copied().unwrap_or(0);
+                assert!(
+                    *n <= have,
+                    "txn {txn}: optimized emitted {n}x {e:?}, reference only {have}x"
+                );
+            }
+        }
+    }
+    let mut balance: BTreeMap<(u64, u64, u32), i64> = BTreeMap::new();
+    for e in &opt.events {
+        match e.0 {
+            EventKind::Admit => *balance.entry((e.2, e.3, e.4)).or_insert(0) += 1,
+            EventKind::Release => *balance.entry((e.2, e.3, e.4)).or_insert(0) -= 1,
+            _ => {}
+        }
+    }
+    for (k, v) in balance {
+        assert_eq!(v, 0, "unbalanced admission {k:?} in optimized stream");
+    }
+}
+
 /// Build a random section over a Map and a Set from an opcode list.
 /// Opcodes 0..7 are leaf statements; 7 wraps two leaves in an if/else on
 /// `v == null`; 8 wraps a leaf in a bounded counting loop.
@@ -175,7 +256,8 @@ fn build_section(spec: &[(u8, u64, u64)]) -> AtomicSection {
     )
 }
 
-/// Shared harness: same env, same txn base, both engines, full comparison.
+/// Shared harness: same env, same txn base, three engines (tree-walk,
+/// compiled-unoptimized, compiled-optimized), full comparison matrix.
 fn check_equivalence(
     program: Arc<SynthOutput>,
     section: &str,
@@ -200,6 +282,11 @@ fn check_equivalence(
     let tree = Interp::new(env.clone(), Strategy::Semantic)
         .with_faults(plan.clone())
         .with_txn_ids(txn_base);
+    let unopt = Interp::new(env.clone(), Strategy::Semantic)
+        .with_faults(plan.clone())
+        .with_txn_ids(txn_base)
+        .with_engine(Engine::Compiled)
+        .without_tape_opt();
     let comp = Interp::new(env.clone(), Strategy::Semantic)
         .with_faults(plan)
         .with_txn_ids(txn_base)
@@ -273,9 +360,13 @@ fn check_equivalence(
         }
     };
     let a = run(&tree);
-    let b = run(&comp);
+    let b = run(&unopt);
+    let c = run(&comp);
     telemetry::set_enabled(false);
+    // Unoptimized tapes are held to bitwise event-sequence equality; the
+    // optimizer gets the documented relaxation on the event stream only.
     assert_phases_equal(&a, &b);
+    assert_phases_equal_optimized(&a, &c, panic_ppm == 0 && timeout_ppm == 0);
 }
 
 #[test]
@@ -336,6 +427,11 @@ fn fig7_equivalent_with_faults() {
     let tree = Interp::new(env.clone(), Strategy::Semantic)
         .with_faults(plan.clone())
         .with_txn_ids(base);
+    let unopt = Interp::new(env.clone(), Strategy::Semantic)
+        .with_faults(plan.clone())
+        .with_txn_ids(base)
+        .with_engine(Engine::Compiled)
+        .without_tape_opt();
     let comp = Interp::new(env.clone(), Strategy::Semantic)
         .with_faults(plan)
         .with_txn_ids(base)
@@ -410,11 +506,26 @@ fn fig7_equivalent_with_faults() {
         (outcomes, events, drained)
     };
     let a = run(&tree);
-    let b = run(&comp);
+    let b = run(&unopt);
+    let c = run(&comp);
     telemetry::set_enabled(false);
     assert_eq!(a.0, b.0, "per-run results diverge");
     assert_eq!(a.2, b.2, "queue contents diverge");
     assert_eq!(a.1, b.1, "event sequences diverge");
+    // Optimized tape: same results and effects; events under the
+    // documented per-txn multiset-subset relaxation.
+    assert_eq!(a.0, c.0, "per-run results diverge (optimized)");
+    assert_eq!(a.2, c.2, "queue contents diverge (optimized)");
+    let (t, o) = (by_txn(&a.1), by_txn(&c.1));
+    for (txn, evs) in &o {
+        for (e, n) in evs {
+            let have = t.get(txn).and_then(|b| b.get(e)).copied().unwrap_or(0);
+            assert!(
+                *n <= have,
+                "txn {txn}: optimized emitted {n}x {e:?}, reference only {have}x"
+            );
+        }
+    }
 }
 
 #[test]

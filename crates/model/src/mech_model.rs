@@ -345,8 +345,9 @@ impl PackedMech {
     }
 
     /// `AdmitWord::try_admit` for the packed word, orderings from the
-    /// profile.
-    fn try_admit(&self, local: u32, mask: u64) -> bool {
+    /// profile. Public so the batched group probe ([`group_probe`]) can
+    /// drive the same single-CAS admission the runtime fast pass uses.
+    pub fn try_admit(&self, local: u32, mask: u64) -> bool {
         let one = 1u64 << field_shift(local);
         let mut cur = self.word.load(self.profile.packed_admit_load);
         loop {
@@ -426,11 +427,121 @@ impl PackedMech {
         }
     }
 
+    /// `AdmitWord::try_admit_many`: one combined admission attempt for
+    /// several modes of this partition word. The union of the members'
+    /// conflict masks is checked and every increment applied in a single
+    /// CAS — a refused group leaves the word untouched, which is the
+    /// all-or-nothing property the scenarios pin.
+    pub fn try_admit_group(&self, members: &[(u32, u64)]) -> bool {
+        let mut mask = 0u64;
+        let mut add = 0u64;
+        for &(local, m) in members {
+            mask |= m;
+            add += 1u64 << field_shift(local);
+        }
+        let mut cur = self.word.load(self.profile.packed_admit_load);
+        loop {
+            if cur & mask != 0 {
+                return false;
+            }
+            for &(local, _) in members {
+                let want = members.iter().filter(|x| x.0 == local).count() as u64;
+                if field_of(cur, local) + want > FIELD_MAX {
+                    return false;
+                }
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur + add,
+                self.profile.packed_admit_cas_ok,
+                self.profile.packed_admit_cas_fail,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The [`GroupRollback::SkipHandoff`] mutant body: the checked
+    /// CAS-decrement of `unlock` without the waiter handoff.
+    pub fn unlock_no_handoff(&self, local: u32) -> bool {
+        let one = 1u64 << field_shift(local);
+        let mut cur = self.word.load(self.profile.packed_release_load);
+        loop {
+            if field_of(cur, local) == 0 {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                cur,
+                cur - one,
+                self.profile.packed_release_cas_ok,
+                self.profile.packed_release_cas_fail,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Latest packed word (harness asserts after all threads joined, when
     /// the joiner's view pins the latest store).
     pub fn word(&self) -> u64 {
         self.word.load(Ordering::Relaxed)
     }
+}
+
+/// How the batched group acquisition rolls back fast-passed members when
+/// a later member's admission is refused
+/// (`interp::compile`'s `AcquireBatch` / `semlock::txn::Txn::acquire_group`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupRollback {
+    /// The shipped protocol: reverse acquisition order, full `unlock`
+    /// (decrement **plus** waiter handoff) of every member admitted so
+    /// far — a waiter that parked behind a fast-passed member is handed
+    /// the partition back.
+    Correct,
+    /// Mutant: decrement without the waiter handoff. A waiter parked
+    /// behind a fast-passed member is never woken; the checker reports
+    /// the lost wakeup as a deadlock.
+    SkipHandoff,
+    /// Mutant: also "roll back" the member whose admission was refused.
+    /// That member's count was never incremented, so the decrement can
+    /// steal a hold from a concurrent holder of the same mode — the
+    /// victim's own release then underflows.
+    IncludeFailed,
+}
+
+/// The batched multi-partition fast pass: probe each member's partition
+/// word with one admission CAS, and on refusal roll back every
+/// fast-passed member according to `rollback`. Returns whether the whole
+/// group was admitted. (On refusal the runtime escalates to sequential
+/// blocking acquisition; the scenarios drive that separately so the
+/// rollback window itself stays small enough to check exhaustively.)
+pub fn group_probe(members: &[(Arc<PackedMech>, u32, u64)], rollback: GroupRollback) -> bool {
+    let mut passed = 0;
+    while passed < members.len() {
+        let (m, local, mask) = &members[passed];
+        if !m.try_admit(*local, *mask) {
+            break;
+        }
+        passed += 1;
+    }
+    if passed == members.len() {
+        return true;
+    }
+    let upto = if rollback == GroupRollback::IncludeFailed {
+        passed + 1
+    } else {
+        passed
+    };
+    for (m, local, _) in members[..upto].iter().rev() {
+        if rollback == GroupRollback::SkipHandoff {
+            m.unlock_no_handoff(*local);
+        } else {
+            m.unlock(*local);
+        }
+    }
+    false
 }
 
 /// The Dwcas (double-word) blocking mechanism over the model shims:

@@ -34,8 +34,8 @@
 use std::time::Instant;
 
 use crate::mech::{
-    ordering as ord, Acquire, ConflictSet, Mech, MechLayout, MechStats, Wait, WaitStrategy,
-    DWCAS_MODE_LIMIT, PACKED_MODE_LIMIT, PROBE_INTERVAL,
+    ordering as ord, Acquire, ConflictSet, GroupRequest, Mech, MechLayout, MechStats, Wait,
+    WaitStrategy, DWCAS_MODE_LIMIT, PACKED_MODE_LIMIT, PROBE_INTERVAL,
 };
 use crate::sync::{AtomicU32, Condvar, Mutex, Ordering};
 
@@ -79,6 +79,36 @@ pub trait Admission: Send + Sync {
         deadline: Instant,
         probe: &mut dyn FnMut() -> Wait,
     ) -> Acquire;
+
+    /// All-or-nothing batched admission of several modes of this
+    /// partition. Never blocks. Returns whether the whole group was
+    /// admitted; on `false` no member remains admitted.
+    ///
+    /// The default body is the loop fallback every backend is correct
+    /// under: admit members in order with [`Admission::try_lock`], and on
+    /// the first refusal roll the already-admitted prefix back in
+    /// **reverse order** through [`Admission::unlock`] (so a rollback
+    /// release still performs the backend's waiter handoff — no lost
+    /// wakeups, no leaked partial admissions). The word layouts override
+    /// it with a one-CAS-per-word fast path ([`Mech::try_lock_group`]);
+    /// the conflict-graph backend with a single mutex-guarded
+    /// check-all-then-admit-all.
+    ///
+    /// Statistics under the default body follow the per-member calls: a
+    /// rolled-back member was counted by its successful `try_lock` (the
+    /// word-layout override instead counts only admitted groups).
+    fn lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        for (i, m) in members.iter().enumerate() {
+            if !self.try_lock(m.local, m.cs) {
+                for m2 in members[..i].iter().rev() {
+                    let released = self.unlock(m2.local);
+                    debug_assert!(released, "group rollback released an unheld mode");
+                }
+                return false;
+            }
+        }
+        true
+    }
 
     /// Release one hold on `local`. Returns `false` — leaving the
     /// counter untouched — if the release would underflow (double
@@ -467,6 +497,39 @@ impl Admission for ConflictGraphBackend {
         outcome
     }
 
+    fn lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        // One mutex-guarded check-all-then-admit-all: the graph backend's
+        // admission is already serialized by `internal`, so the batched
+        // form is genuinely atomic — no rollback path needed.
+        let guard = self.internal.lock();
+        if members.iter().any(|m| self.conflicted(m.local)) {
+            drop(guard);
+            return false;
+        }
+        // A member adjacent to another member would self-exclude: the
+        // check above ran against pre-admission counts, so refuse such
+        // groups explicitly (mirrors the word layouts' sequential
+        // fallback, which refuses them through its per-member checks).
+        let mutual = members.iter().enumerate().any(|(i, a)| {
+            members
+                .iter()
+                .enumerate()
+                .any(|(j, b)| i != j && self.rows[a.local as usize].contains(&b.local))
+        });
+        if mutual {
+            drop(guard);
+            return false;
+        }
+        for m in members {
+            self.counts[m.local as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        drop(guard);
+        self.stats
+            .acquisitions
+            .fetch_add(members.len() as u64, Ordering::Relaxed);
+        true
+    }
+
     fn unlock(&self, local: u32) -> bool {
         // Checked decrement via CAS — a double unlock is refused without
         // publishing a transient wrapped value (see `Mech::unlock`'s
@@ -606,6 +669,12 @@ impl Admission for OptimisticHybridBackend {
         self.inner.try_lock(local, cs)
     }
 
+    fn lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        // Group admission stays a single combined probe over the inner
+        // word — no retry budget, as with `try_lock`.
+        self.inner.try_lock_group(members)
+    }
+
     fn lock_deadline(
         &self,
         local: u32,
@@ -683,6 +752,10 @@ impl Admission for Mech {
 
     fn try_lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
         Mech::try_lock(self, local, cs)
+    }
+
+    fn lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        Mech::try_lock_group(self, members)
     }
 
     fn lock_deadline(
@@ -769,6 +842,11 @@ impl Admission for AnyBackend {
     #[inline]
     fn try_lock(&self, local: u32, cs: ConflictSet<'_>) -> bool {
         delegate!(self, b => Admission::try_lock(b, local, cs))
+    }
+
+    #[inline]
+    fn lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        delegate!(self, b => Admission::lock_group(b, members))
     }
 
     #[inline]

@@ -598,6 +598,19 @@ impl<'a> ConflictSet<'a> {
     }
 }
 
+/// One member of a batched group admission: a local mode index plus its
+/// precomputed conflict set. A group is admitted **all-or-nothing**: every
+/// member's conflict check passes and every count increments, or no count
+/// changes at all (see [`Mech::try_lock_group`] and
+/// [`crate::admission::Admission::lock_group`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GroupRequest<'a> {
+    /// Local mode index within the partition.
+    pub local: u32,
+    /// The mode's conflict set (as for [`Mech::lock`]).
+    pub cs: ConflictSet<'a>,
+}
+
 /// Contention statistics for one mechanism (relaxed counters; cheap enough
 /// to keep always on — they are read by the benchmark harness to report
 /// admission concurrency).
@@ -688,6 +701,18 @@ trait AdmitWord {
     /// if a conflicting mode is held (or the local field is saturated);
     /// retries only on CAS contention, never on conflict.
     fn try_admit(&self, local: u32, cs: ConflictSet<'_>) -> bool;
+    /// One combined lock-free admission attempt for several modes of this
+    /// partition: check the **union** of the members' conflict masks and
+    /// apply every increment in a single try-update — one CAS admits (or
+    /// refuses) the whole group, so a failed group leaves the word
+    /// untouched with nothing to roll back.
+    ///
+    /// Precondition (checked by the caller, [`Mech::try_lock_group_raw`]):
+    /// no member's mode appears in another member's conflict set —
+    /// mutually conflicting members must take the sequential fallback,
+    /// because the union-mask check runs against the pre-admission word
+    /// and would otherwise admit two modes that exclude each other.
+    fn try_admit_many(&self, members: &[GroupRequest<'_>]) -> bool;
     /// Advisory conflict check — used by the spin strategy between
     /// admission attempts.
     fn conflicted(&self, local: u32, cs: ConflictSet<'_>) -> bool;
@@ -726,6 +751,42 @@ impl AdmitWord for AtomicU64 {
             match self.compare_exchange_weak(
                 cur,
                 cur + one,
+                ord::PACKED_ADMIT_CAS_OK,
+                ord::PACKED_ADMIT_CAS_FAIL,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn try_admit_many(&self, members: &[GroupRequest<'_>]) -> bool {
+        let mut mask = 0u64;
+        let mut add = 0u64;
+        for m in members {
+            mask |= m.cs.mask;
+            add += 1u64 << field_shift(m.local);
+        }
+        // Ordering: as `try_admit` — the CAS re-validates the whole word.
+        let mut cur = self.load(ord::PACKED_ADMIT_LOAD);
+        loop {
+            if cur & mask != 0 {
+                return false;
+            }
+            // Saturation: each member's field must hold its requested
+            // increments (duplicate locals are legal and sum).
+            for m in members {
+                let want = members.iter().filter(|x| x.local == m.local).count() as u64;
+                if field_of(cur, m.local) + want > FIELD_MAX {
+                    return false;
+                }
+            }
+            // Ordering: the same Acquire/Relaxed pair as the single-mode
+            // admit CAS — one successful CAS publishes every member's
+            // admission at once. (Audited: `packed.admit.cas_ok`.)
+            match self.compare_exchange_weak(
+                cur,
+                cur + add,
                 ord::PACKED_ADMIT_CAS_OK,
                 ord::PACKED_ADMIT_CAS_FAIL,
             ) {
@@ -803,6 +864,38 @@ impl AdmitWord for AtomicU128 {
             match self.compare_exchange_weak(
                 cur,
                 cur + one,
+                ord::DWCAS_ADMIT_CAS_OK,
+                ord::DWCAS_ADMIT_CAS_FAIL,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn try_admit_many(&self, members: &[GroupRequest<'_>]) -> bool {
+        let mut mask = 0u128;
+        let mut add = 0u128;
+        for m in members {
+            mask |= m.cs.mask128;
+            add += 1u128 << field_shift(m.local);
+        }
+        // Ordering: as the packed impl — one cmpxchg16b admits the group.
+        let mut cur = self.load(ord::DWCAS_ADMIT_LOAD);
+        loop {
+            if cur & mask != 0 {
+                return false;
+            }
+            for m in members {
+                let want = members.iter().filter(|x| x.local == m.local).count() as u128;
+                if dwcas_field_of(cur, m.local) + want > FIELD_MAX as u128 {
+                    return false;
+                }
+            }
+            // (Audited: `dwcas.admit.cas_ok`.)
+            match self.compare_exchange_weak(
+                cur,
+                cur + add,
                 ord::DWCAS_ADMIT_CAS_OK,
                 ord::DWCAS_ADMIT_CAS_FAIL,
             ) {
@@ -1330,6 +1423,80 @@ impl Mech {
                 }
             }
         }
+    }
+
+    /// All-or-nothing batched admission of several modes of this
+    /// partition. Never blocks. Returns whether the whole group was
+    /// admitted; on `false` **no member remains admitted**.
+    ///
+    /// On the packed and Dwcas layouts a group whose members do not
+    /// mutually conflict is admitted (or refused) by **one CAS** over the
+    /// union of the members' conflict masks — a failed group costs one
+    /// failed CAS and leaves nothing to roll back, exactly like
+    /// [`Mech::try_lock`]'s side-effect-free failure. Mutually
+    /// conflicting members and the wide layout take a sequential
+    /// try-with-rollback loop instead: members admit in order, and the
+    /// first refusal rolls the already-admitted prefix back in reverse
+    /// order through the full release path (so a rollback decrement that
+    /// observes the waiter-summary bit still runs the claim-based
+    /// handoff — no lost wakeups).
+    ///
+    /// Statistics: `members.len()` acquisitions on success, nothing on
+    /// failure (a rolled-back partial admission is not an acquisition).
+    pub fn try_lock_group(&self, members: &[GroupRequest<'_>]) -> bool {
+        let taken = self.try_lock_group_raw(members);
+        if taken {
+            self.stats
+                .acquisitions
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// [`Mech::try_lock_group`] without the statistics update — see
+    /// [`Mech::lock_raw`] for why the core and the accounting are split.
+    pub(crate) fn try_lock_group_raw(&self, members: &[GroupRequest<'_>]) -> bool {
+        match members {
+            [] => return true,
+            [m] => return self.try_lock_raw(m.local, m.cs),
+            _ => {}
+        }
+        // The combined-CAS fast path checks the union mask against the
+        // pre-admission word, so it is only sound when no member's mode
+        // appears in another member's conflict set (a group may not
+        // exclude itself). Mutually conflicting members fall back to the
+        // sequential loop, whose per-member checks see the group's own
+        // earlier increments and refuse correctly.
+        let mutual = members.iter().enumerate().any(|(i, a)| {
+            members
+                .iter()
+                .enumerate()
+                .any(|(j, b)| i != j && a.cs.locals().contains(&b.local))
+        });
+        match (&self.counts, mutual) {
+            (Counts::Packed(word), false) => word.try_admit_many(members),
+            (Counts::Dwcas(word), false) => word.try_admit_many(members),
+            _ => self.try_lock_group_seq(members),
+        }
+    }
+
+    /// Sequential group admission with reverse-order rollback: the loop
+    /// fallback behind [`Mech::try_lock_group_raw`] (wide layout, or
+    /// mutually conflicting members on any layout).
+    fn try_lock_group_seq(&self, members: &[GroupRequest<'_>]) -> bool {
+        for (i, m) in members.iter().enumerate() {
+            if !self.try_lock_raw(m.local, m.cs) {
+                for m2 in members[..i].iter().rev() {
+                    // Cannot underflow (this group holds the count), and
+                    // must run the full release path so a decrement that
+                    // carried the waiter-summary bit performs the handoff.
+                    let released = self.unlock(m2.local);
+                    debug_assert!(released, "group rollback released an unheld mode");
+                }
+                return false;
+            }
+        }
+        true
     }
 
     /// Bounded acquisition: like [`Mech::lock`], but gives up once
@@ -2245,6 +2412,159 @@ mod tests {
             assert_eq!(m.held_total(), 0, "{layout:?}");
             assert!(!m.waiter_summary(), "{layout:?}: summary bit left set");
             assert_eq!(m.live_waiter_nodes(), 0, "{layout:?}: waiter nodes leaked");
+        }
+    }
+
+    #[test]
+    fn group_admission_is_all_or_nothing() {
+        for layout in layouts() {
+            let m = Mech::with_layout(3, WaitStrategy::Block, layout);
+            let (c0, c1) = cross_conflict();
+            // Empty and singleton groups degenerate correctly.
+            assert!(m.try_lock_group(&[]), "{layout:?}");
+            assert!(
+                m.try_lock_group(&[GroupRequest {
+                    local: 2,
+                    cs: ConflictSet::new(&[2]),
+                }]),
+                "{layout:?}"
+            );
+            assert!(m.unlock(2));
+            // Non-conflicting pair admits in one shot.
+            assert!(
+                m.try_lock_group(&[
+                    GroupRequest {
+                        local: 0,
+                        cs: ConflictSet::new(&c0),
+                    },
+                    GroupRequest {
+                        local: 2,
+                        cs: ConflictSet::new(&[2]),
+                    },
+                ]),
+                "{layout:?}"
+            );
+            assert_eq!(m.count(0), 1, "{layout:?}");
+            assert_eq!(m.count(2), 1, "{layout:?}");
+            // A group refused by a standing conflict admits nothing.
+            assert!(
+                !m.try_lock_group(&[
+                    GroupRequest {
+                        local: 2,
+                        cs: ConflictSet::new(&[2]), // blocked: 2 is held
+                    },
+                    GroupRequest {
+                        local: 1,
+                        cs: ConflictSet::new(&c1),
+                    },
+                ]),
+                "{layout:?}"
+            );
+            assert_eq!(m.count(1), 0, "{layout:?}: leaked partial admission");
+            assert_eq!(m.count(2), 1, "{layout:?}");
+            assert!(m.unlock(0));
+            assert!(m.unlock(2));
+            assert_eq!(m.held_total(), 0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn group_with_mutual_conflict_refuses_cleanly() {
+        // Modes 0 and 1 exclude each other: a group containing both can
+        // never be admitted together, on any layout (the combined-CAS
+        // path must not union-mask its way past the mutual exclusion).
+        for layout in layouts() {
+            let m = Mech::with_layout(2, WaitStrategy::Block, layout);
+            let (c0, c1) = cross_conflict();
+            assert!(
+                !m.try_lock_group(&[
+                    GroupRequest {
+                        local: 0,
+                        cs: ConflictSet::new(&c0),
+                    },
+                    GroupRequest {
+                        local: 1,
+                        cs: ConflictSet::new(&c1),
+                    },
+                ]),
+                "{layout:?}: mutually conflicting group admitted"
+            );
+            assert_eq!(m.held_total(), 0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn group_respects_saturation() {
+        for layout in [MechLayout::Packed, MechLayout::Dwcas] {
+            let m = Mech::with_layout(1, WaitStrategy::Block, layout);
+            for _ in 0..FIELD_MAX - 1 {
+                m.lock(0, ConflictSet::new(&[]));
+            }
+            // One slot of headroom left: a two-member group on the same
+            // mode would overflow the 7-bit field and must be refused.
+            let req = || GroupRequest {
+                local: 0,
+                cs: ConflictSet::new(&[]),
+            };
+            assert!(!m.try_lock_group(&[req(), req()]), "{layout:?}");
+            assert!(m.try_lock_group(&[req()]), "{layout:?}");
+            assert_eq!(u64::from(m.count(0)), FIELD_MAX, "{layout:?}");
+            for _ in 0..FIELD_MAX {
+                assert!(m.unlock(0));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_groups_never_interleave_partially() {
+        // Two threads race disjoint-but-conflicting groups: T0 wants
+        // {0, 1}, T1 wants {2, 3}, where 1 and 2 exclude each other. Any
+        // moment must show either a whole group admitted or none of it.
+        for layout in layouts() {
+            let m = Arc::new(Mech::with_layout(4, WaitStrategy::Block, layout));
+            let stop = Arc::new(AtomicBool::new(false));
+            let active = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for (a, b, other) in [(0u32, 1u32, 2u32), (2, 3, 1)] {
+                let m = m.clone();
+                let stop = stop.clone();
+                let active = active.clone();
+                handles.push(std::thread::spawn(move || {
+                    let ca = [a]; // self-conflicting anchor mode
+                    let cb = [other];
+                    let mut admitted = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let ok = m.try_lock_group(&[
+                            GroupRequest {
+                                local: a,
+                                cs: ConflictSet::new(&ca),
+                            },
+                            GroupRequest {
+                                local: b,
+                                cs: ConflictSet::new(&cb),
+                            },
+                        ]);
+                        if ok {
+                            admitted += 1;
+                            // Full admissions of the two groups exclude
+                            // each other (b vs the peer's b): at most one
+                            // whole group may be in its section at once.
+                            let prev = active.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "{layout:?}: both groups admitted");
+                            assert_eq!(m.count(a), 1, "{layout:?}");
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            assert!(m.unlock(b));
+                            assert!(m.unlock(a));
+                        }
+                    }
+                    admitted
+                }));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            stop.store(true, Ordering::Relaxed);
+            let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert!(total > 0, "{layout:?}: no group ever admitted");
+            assert_eq!(m.held_total(), 0, "{layout:?}");
         }
     }
 }

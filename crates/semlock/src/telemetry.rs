@@ -53,9 +53,27 @@ pub const SITE_NONE: u32 = u32::MAX;
 /// Sentinel mode value for events without a secondary mode.
 pub const MODE_NONE: u32 = u32::MAX;
 
-/// Events retained per recording thread before the ring wraps and the
-/// oldest are dropped (counted, never blocking the writer).
+/// Default events retained per recording thread before the ring wraps and
+/// the oldest are dropped (counted, never blocking the writer). The
+/// `SEMLOCK_TELEMETRY_CAP` environment variable overrides this per
+/// process — see [`ring_capacity`].
 pub const RING_CAPACITY: usize = 1 << 14;
+
+/// Per-thread ring capacity in effect for this process: the value of the
+/// `SEMLOCK_TELEMETRY_CAP` environment variable (rounded up to a power of
+/// two, clamped to `64..=2^24`) or [`RING_CAPACITY`] when unset or
+/// unparsable. Read once, at the first ring allocation — changing the
+/// variable afterwards has no effect.
+pub fn ring_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SEMLOCK_TELEMETRY_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .map(|n| n.clamp(64, 1 << 24).next_power_of_two())
+            .unwrap_or(RING_CAPACITY)
+    })
+}
 
 // ---------------------------------------------------------------------------
 // Gate
@@ -380,7 +398,8 @@ fn unpack(w: &[u64; 7]) -> Option<Event> {
 }
 
 /// The per-thread ring. `head` counts events ever written by this thread;
-/// slot `head % RING_CAPACITY` is the next write position.
+/// slot `head % capacity` is the next write position (capacity =
+/// `slots.len()`, fixed at allocation by [`ring_capacity`]).
 struct Shard {
     thread: u32,
     head: AtomicU64,
@@ -392,7 +411,7 @@ impl Shard {
         Shard {
             thread,
             head: AtomicU64::new(0),
-            slots: (0..RING_CAPACITY).map(|_| Slot::empty()).collect(),
+            slots: (0..ring_capacity()).map(|_| Slot::empty()).collect(),
         }
     }
 
@@ -400,7 +419,7 @@ impl Shard {
     /// it requires quiescence).
     fn push(&self, ev: &Event) {
         let h = self.head.load(Ordering::Relaxed);
-        let slot = &self.slots[(h as usize) % RING_CAPACITY];
+        let slot = &self.slots[(h as usize) % self.slots.len()];
         let s = slot.seq.load(Ordering::Relaxed);
         slot.seq.store(s.wrapping_add(1), Ordering::Release);
         let packed = pack(ev);
@@ -414,9 +433,9 @@ impl Shard {
     /// Read every retained event in write order, skipping torn slots.
     fn drain_into(&self, out: &mut Vec<Event>) -> u64 {
         let h = self.head.load(Ordering::Acquire);
-        let dropped = h.saturating_sub(RING_CAPACITY as u64);
+        let dropped = h.saturating_sub(self.slots.len() as u64);
         for i in dropped..h {
-            let slot = &self.slots[(i as usize) % RING_CAPACITY];
+            let slot = &self.slots[(i as usize) % self.slots.len()];
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 continue;
@@ -1035,14 +1054,15 @@ mod tests {
     #[test]
     fn ring_wraps_and_counts_dropped() {
         let shard = Shard::new(999);
-        let total = RING_CAPACITY + 100;
+        let cap = ring_capacity();
+        let total = cap + 100;
         for i in 0..total {
             shard.push(&ev(EventKind::Admit, i as u64, 1, 0, 0));
         }
         let mut out = Vec::new();
         let dropped = shard.drain_into(&mut out);
         assert_eq!(dropped, 100);
-        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(out.len(), cap);
         assert_eq!(out.first().unwrap().txn, 100);
         assert_eq!(out.last().unwrap().txn, total as u64 - 1);
     }

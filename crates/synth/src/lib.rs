@@ -47,6 +47,7 @@ pub mod parse;
 pub mod pipeline;
 pub mod restrictions;
 pub mod tape_audit;
+pub mod tape_opt;
 
 pub use audit::{audit_program, AuditReport};
 pub use diag::{Diagnostic, Lint, Severity, SynthError};

@@ -15,6 +15,7 @@
 //! semlockc -                        # read from stdin
 //! semlockc check a.sl b.sl          # audit synthesized output
 //! semlockc check --json a.sl       # machine-readable findings
+//! semlockc check --dump-tape a.sl  # pre-/post-optimizer op tapes
 //! ```
 //!
 //! Check-mode exit codes: 0 — audit clean (warnings allowed); 1 — lint
@@ -38,7 +39,10 @@ use synth::{ClassRegistry, Synthesizer};
 
 fn usage() -> ExitCode {
     eprintln!("usage: semlockc [--no-opt] [--no-refine] [--phi N] <program.sl | ->");
-    eprintln!("       semlockc check [--json] [--no-opt] [--no-refine] [--phi N] <program.sl...>");
+    eprintln!(
+        "       semlockc check [--json] [--dump-tape] [--no-opt] [--no-refine] [--phi N] \
+         <program.sl...>"
+    );
     ExitCode::from(2)
 }
 
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut check = false;
     let mut json = false;
+    let mut dump_tape = false;
     let mut opts = Options {
         no_opt: false,
         no_refine: false,
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--check" => check = true,
             "--json" if check => json = true,
+            "--dump-tape" if check => dump_tape = true,
             "--no-opt" => opts.no_opt = true,
             "--no-refine" => opts.no_refine = true,
             "--phi" => match args.next().and_then(|v| v.parse().ok()) {
@@ -96,7 +102,7 @@ fn main() -> ExitCode {
     }
 
     if check {
-        check_files(&paths, &opts, json)
+        check_files(&paths, &opts, json, dump_tape)
     } else {
         compile_one(&paths[0], &opts)
     }
@@ -149,7 +155,7 @@ fn load_sections(src: &str) -> Result<Vec<synth::ir::AtomicSection>, Box<Diagnos
 }
 
 /// `semlockc check`: synthesize each file and audit the result.
-fn check_files(paths: &[String], opts: &Options, json: bool) -> ExitCode {
+fn check_files(paths: &[String], opts: &Options, json: bool, dump_tape: bool) -> ExitCode {
     let mut worst = ExitCode::SUCCESS;
     let mut json_entries = Vec::new();
     for path in paths {
@@ -173,7 +179,12 @@ fn check_files(paths: &[String], opts: &Options, json: bool) -> ExitCode {
                 continue;
             }
         };
-        let (_, report) = opts.synthesizer(registry()).synthesize_and_audit(&sections);
+        let (out, report) = opts.synthesizer(registry()).synthesize_and_audit(&sections);
+        if dump_tape {
+            // Under `--json` the dump goes to stderr so the JSON document
+            // on stdout stays parseable.
+            dump_tapes(path, &out, json);
+        }
         if json {
             let diags: Vec<String> = report.diagnostics.iter().map(|d| d.render_json()).collect();
             json_entries.push(format!(
@@ -200,6 +211,114 @@ fn check_files(paths: &[String], opts: &Options, json: bool) -> ExitCode {
         );
     }
     worst
+}
+
+/// `--dump-tape`: for every synthesized section, lower to the raw op
+/// tape, run the tape optimizer, and print the two tapes side by side
+/// with the per-pass transformation counts (acquisition fusion, batched
+/// group admission, loop-invariant hoisting) — the view to reach for
+/// when asking *why* an acquisition did or did not fuse, batch, or
+/// rotate out of a loop.
+fn dump_tapes(path: &str, out: &synth::SynthOutput, to_stderr: bool) {
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    for section in &out.sections {
+        let pre = synth::lower::lower_section(section, &out.tables);
+        let (post, stats) = synth::tape_opt::optimize(&pre);
+        let _ = writeln!(
+            buf,
+            "{path}: section {}: {} ops -> {} ops \
+             (fused {}, batches {} [{} members], hoisted {})",
+            pre.section,
+            pre.ops.len(),
+            post.ops.len(),
+            stats.fused,
+            stats.batches,
+            stats.batch_members,
+            stats.hoisted
+        );
+        let render = |t: &synth::lower::Tape| -> Vec<String> {
+            t.ops
+                .iter()
+                .enumerate()
+                .map(|(pc, op)| format!("{pc:3}: {}", render_op(t, op)))
+                .collect()
+        };
+        let left = render(&pre);
+        let right = render(&post);
+        let width = left
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("pre-opt".len());
+        let _ = writeln!(buf, "  {:<width$} | {}", "pre-opt", "post-opt");
+        for i in 0..left.len().max(right.len()) {
+            let l = left.get(i).map(String::as_str).unwrap_or("");
+            let r = right.get(i).map(String::as_str).unwrap_or("");
+            let _ = writeln!(buf, "  {l:<width$} | {r}");
+        }
+    }
+    if to_stderr {
+        eprint!("{buf}");
+    } else {
+        print!("{buf}");
+    }
+}
+
+/// One lowered op, compactly: slots as `rN`, jump offsets relative to
+/// the next op, lock sites as `site<Class>[key slots]`.
+fn render_op(t: &synth::lower::Tape, op: &synth::lower::LowOp) -> String {
+    use synth::lower::{LowOp, NO_SLOT};
+    let site = |s: u16| {
+        let d = &t.sites[s as usize];
+        let keys: Vec<String> = d.key_slots.iter().map(|k| format!("r{k}")).collect();
+        format!("site{s}<{}>[{}]", d.class, keys.join(","))
+    };
+    let group = |start: u32, len: u16| {
+        let entries: Vec<String> = t.group_pool[start as usize..start as usize + len as usize]
+            .iter()
+            .map(|&(recv, s)| format!("r{recv} {}", site(s)))
+            .collect();
+        entries.join("; ")
+    };
+    match op {
+        LowOp::Const { dst, val } => format!("r{dst} = const {val:?}"),
+        LowOp::Copy { dst, src } => format!("r{dst} = r{src}"),
+        LowOp::IsNull { dst, src } => format!("r{dst} = is_null r{src}"),
+        LowOp::Not { dst, src } => format!("r{dst} = not r{src}"),
+        LowOp::Eq { dst, a, b } => format!("r{dst} = r{a} == r{b}"),
+        LowOp::Lt { dst, a, b } => format!("r{dst} = r{a} < r{b}"),
+        LowOp::Add { dst, a, b } => format!("r{dst} = r{a} + r{b}"),
+        LowOp::New { dst, class } => format!("r{dst} = new {}", t.classes[*class as usize]),
+        LowOp::Call {
+            call,
+            ret,
+            recv,
+            args_start,
+            args_len,
+        } => {
+            let c = &t.calls[*call as usize];
+            let args: Vec<String> = t.arg_pool
+                [*args_start as usize..*args_start as usize + *args_len as usize]
+                .iter()
+                .map(|s| format!("r{s}"))
+                .collect();
+            let dst = if *ret == NO_SLOT {
+                String::new()
+            } else {
+                format!("r{ret} = ")
+            };
+            format!("{dst}r{recv}.{}({})", c.method, args.join(", "))
+        }
+        LowOp::Jump { off } => format!("jump {off:+}"),
+        LowOp::JumpIfFalse { cond, off } => format!("jump_if_false r{cond} {off:+}"),
+        LowOp::Lock { recv, site: s } => format!("lock r{recv} {}", site(*s)),
+        LowOp::LockGroup { start, len } => format!("lock_group [{}]", group(*start, *len)),
+        LowOp::UnlockAllOf { recv } => format!("unlock_all_of r{recv}"),
+        LowOp::UnlockAll => "unlock_all".to_string(),
+        LowOp::AcquireBatch { start, len } => format!("acquire_batch [{}]", group(*start, *len)),
+    }
 }
 
 /// The runtime's `ORDERING_AUDIT` table as JSON objects: one per audited

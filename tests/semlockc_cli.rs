@@ -75,3 +75,49 @@ fn check_json_v2_structure() {
     assert_eq!(got.matches("\"ordering\":\"").count(), entries);
     assert_eq!(got.matches("\"claim\":\"").count(), entries);
 }
+
+#[test]
+fn check_dump_tape_shows_both_tapes_and_pass_counts() {
+    let out = Command::new(env!("CARGO_BIN_EXE_semlockc"))
+        .arg("check")
+        .arg("--dump-tape")
+        .arg("--no-opt")
+        .arg("examples/programs/fig1.sl")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("semlockc runs");
+    assert!(out.status.success(), "exit {:?}", out.status.code());
+    let got = String::from_utf8(out.stdout).expect("utf-8 output");
+    // Per-section header with op counts and per-pass stats.
+    assert!(got.contains("section fig1:"), "{got}");
+    assert!(got.contains(" ops -> "), "{got}");
+    assert!(got.contains("(fused "), "{got}");
+    assert!(got.contains("hoisted "), "{got}");
+    // Side-by-side columns, rendered ops on both sides.
+    assert!(got.contains("pre-opt"), "{got}");
+    assert!(got.contains("post-opt"), "{got}");
+    assert!(got.contains("lock "), "{got}");
+    assert!(got.contains("unlock_all"), "{got}");
+}
+
+#[test]
+fn check_dump_tape_keeps_json_stdout_parseable() {
+    // Under --json the dump goes to stderr so stdout stays the v2 document.
+    let out = Command::new(env!("CARGO_BIN_EXE_semlockc"))
+        .arg("check")
+        .arg("--json")
+        .arg("--dump-tape")
+        .arg("examples/programs/fig1.sl")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("semlockc runs");
+    assert!(out.status.success(), "exit {:?}", out.status.code());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 output");
+    assert!(
+        stdout.starts_with("{\"schema\":\"semlock-audit/v2\","),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("pre-opt"), "{stdout}");
+    assert!(stderr.contains("pre-opt"), "{stderr}");
+}
